@@ -1,0 +1,43 @@
+// Ablation: LPIP threshold-candidate subsampling. The paper solves one LP
+// per edge; this bench shows revenue as a function of the candidate budget
+// (log-spread over the sorted valuations) — justifying the bench default.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/str_util.h"
+#include "core/bounds.h"
+#include "core/valuation.h"
+
+namespace qp::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  LoadOptions load = LoadOptionsFromFlags(flags);
+  std::cout << "=== Ablation: LPIP candidate budget ===\n";
+  TablePrinter table({"workload", "candidates", "lps-solved", "norm-revenue",
+                      "seconds"});
+  for (const char* name : {"skewed", "tpch"}) {
+    WorkloadHypergraph wh = LoadWorkloadHypergraph(name, load);
+    Rng rng(Mix64(load.seed ^ 0xa1));
+    core::Valuations v = core::SampleUniformValuations(wh.hypergraph, 100, rng);
+    double total = core::SumOfValuations(v);
+    for (int candidates : {2, 4, 8, 16, 32, 64}) {
+      core::LpipOptions options;
+      options.classes = &wh.classes;
+      options.max_candidates = candidates;
+      core::PricingResult r = core::RunLpip(wh.hypergraph, v, options);
+      table.AddRow({wh.name, std::to_string(candidates),
+                    std::to_string(r.lps_solved),
+                    StrFormat("%.4f", r.revenue / total),
+                    StrFormat("%.3f", r.seconds)});
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace qp::bench
+
+int main(int argc, char** argv) { return qp::bench::Main(argc, argv); }

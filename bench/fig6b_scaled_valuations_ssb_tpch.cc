@@ -1,0 +1,47 @@
+// Figure 6(b): scaled bundle valuations (Exponential / Normal of
+// |e|^kappa) on the SSB and TPC-H workloads.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/str_util.h"
+#include "core/valuation.h"
+
+namespace qp::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  LoadOptions load = LoadOptionsFromFlags(flags);
+  int runs = flags.GetInt("runs", 1);
+  std::cout << "=== Figure 6b: scaled bundle valuations (SSB + TPC-H) ===\n";
+  TablePrinter table({"workload", "config", "algorithm", "norm-revenue",
+                      "seconds"});
+  const double kappas[] = {2.0, 1.5, 1.0, 0.5, 0.25};
+  for (const char* name : {"ssb", "tpch"}) {
+    WorkloadHypergraph wh = LoadWorkloadHypergraph(name, load);
+    core::AlgorithmOptions options = AlgorithmOptionsFor(wh, flags);
+    for (double kappa : kappas) {
+      RunConfigRow(table, wh, StrCat("exp k=", FormatDouble(kappa, 2)),
+                   [&](Rng& rng) {
+                     return core::ScaleExponentialValuations(wh.hypergraph,
+                                                             kappa, rng);
+                   },
+                   runs, options, load.seed);
+    }
+    for (double kappa : kappas) {
+      RunConfigRow(table, wh, StrCat("normal k=", FormatDouble(kappa, 2)),
+                   [&](Rng& rng) {
+                     return core::ScaleNormalValuations(wh.hypergraph, kappa,
+                                                        rng);
+                   },
+                   runs, options, load.seed);
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace qp::bench
+
+int main(int argc, char** argv) { return qp::bench::Main(argc, argv); }

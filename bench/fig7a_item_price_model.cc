@@ -1,0 +1,50 @@
+// Figure 7(a): the additive item-price valuation model on the skewed and
+// uniform workloads. Levels from Dtilde = Uniform{1..k} or Binomial(k, 1/2)
+// for k in {1, 10, 100, 1000, 5000, 10000}.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/str_util.h"
+#include "core/valuation.h"
+
+namespace qp::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  LoadOptions load = LoadOptionsFromFlags(flags);
+  int runs = flags.GetInt("runs", 1);
+  std::cout << "=== Figure 7a: sampled item prices (skewed + uniform) ===\n";
+  TablePrinter table({"workload", "config", "algorithm", "norm-revenue",
+                      "seconds"});
+  const uint64_t ks[] = {1, 10, 100, 1000, 5000, 10000};
+  for (const char* name : {"skewed", "uniform"}) {
+    WorkloadHypergraph wh = LoadWorkloadHypergraph(name, load);
+    core::AlgorithmOptions options = AlgorithmOptionsFor(wh, flags);
+    for (uint64_t k : ks) {
+      RunConfigRow(table, wh, StrCat("D~unif[1,", k, "]"),
+                   [&](Rng& rng) {
+                     return core::AdditiveItemValuations(
+                         wh.hypergraph, core::LevelDistribution::kUniform, k,
+                         rng);
+                   },
+                   runs, options, load.seed);
+    }
+    for (uint64_t k : ks) {
+      RunConfigRow(table, wh, StrCat("D~bin(", k, ",0.5)"),
+                   [&](Rng& rng) {
+                     return core::AdditiveItemValuations(
+                         wh.hypergraph, core::LevelDistribution::kBinomial, k,
+                         rng);
+                   },
+                   runs, options, load.seed);
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace qp::bench
+
+int main(int argc, char** argv) { return qp::bench::Main(argc, argv); }

@@ -1,0 +1,108 @@
+// google-benchmark microbenchmarks: per-algorithm scaling on synthetic
+// random hypergraphs (items = 4m, edge size ~ sqrt(m)); complements the
+// wall-clock Tables 4-6 with statistically stable per-call numbers.
+#include <algorithm>
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/algorithms.h"
+#include "core/valuation.h"
+
+namespace qp::core {
+namespace {
+
+struct Instance {
+  Hypergraph hypergraph{0};
+  Valuations valuations;
+};
+
+Instance MakeInstance(int m) {
+  Rng rng(static_cast<uint64_t>(m) * 77 + 5);
+  uint32_t n = static_cast<uint32_t>(4 * m);
+  Hypergraph h(n);
+  int edge_size = std::max(2, static_cast<int>(std::sqrt(m)));
+  for (int e = 0; e < m; ++e) {
+    std::vector<uint32_t> items;
+    for (int s = 0; s < edge_size; ++s) {
+      items.push_back(static_cast<uint32_t>(rng.UniformInt(0, n - 1)));
+    }
+    h.AddEdge(std::move(items));
+  }
+  Instance out;
+  out.valuations = SampleUniformValuations(h, 100, rng);
+  out.hypergraph = std::move(h);
+  return out;
+}
+
+void BM_Ubp(benchmark::State& state) {
+  Instance inst = MakeInstance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunUbp(inst.hypergraph, inst.valuations).revenue);
+  }
+}
+BENCHMARK(BM_Ubp)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_Uip(benchmark::State& state) {
+  Instance inst = MakeInstance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunUip(inst.hypergraph, inst.valuations).revenue);
+  }
+}
+BENCHMARK(BM_Uip)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_Layering(benchmark::State& state) {
+  Instance inst = MakeInstance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RunLayering(inst.hypergraph, inst.valuations).revenue);
+  }
+}
+BENCHMARK(BM_Layering)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_Lpip(benchmark::State& state) {
+  Instance inst = MakeInstance(static_cast<int>(state.range(0)));
+  LpipOptions options;
+  options.max_candidates = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RunLpip(inst.hypergraph, inst.valuations, options).revenue);
+  }
+}
+BENCHMARK(BM_Lpip)->Arg(50)->Arg(200)->Arg(400);
+
+void BM_Cip(benchmark::State& state) {
+  Instance inst = MakeInstance(static_cast<int>(state.range(0)));
+  CipOptions options;
+  options.eps = 3.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RunCip(inst.hypergraph, inst.valuations, options).revenue);
+  }
+}
+BENCHMARK(BM_Cip)->Arg(50)->Arg(200)->Arg(400);
+
+void BM_ItemClassCompression(benchmark::State& state) {
+  Instance inst = MakeInstance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ItemClasses::Compute(inst.hypergraph).num_classes());
+  }
+}
+BENCHMARK(BM_ItemClassCompression)->Arg(1000)->Arg(10000);
+
+void BM_Revenue(benchmark::State& state) {
+  Instance inst = MakeInstance(static_cast<int>(state.range(0)));
+  ItemPricing pricing(
+      std::vector<double>(inst.hypergraph.num_items(), 1.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Revenue(pricing, inst.hypergraph, inst.valuations));
+  }
+}
+BENCHMARK(BM_Revenue)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace qp::core
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Table 6: running times (seconds) for the SSB workload as a function of
+// the support set size, *excluding* hypergraph construction time (reported
+// in its own column), as in the paper.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/str_util.h"
+#include "core/valuation.h"
+
+namespace qp::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  LoadOptions base = LoadOptionsFromFlags(flags);
+  std::cout << "=== Table 6: runtimes vs support size "
+               "(SSB, excl. construction) ===\n";
+  TablePrinter table({"|S|", "construction", "LPIP", "UBP", "UIP", "CIP",
+                      "Layering"});
+  std::vector<int> sizes =
+      flags.paper() ? std::vector<int>{1000, 5000, 10000, 50000, 100000}
+                    : std::vector<int>{500, 1000, 3000, 6000};
+  for (int support : sizes) {
+    LoadOptions load = base;
+    load.support = support;
+    WorkloadHypergraph wh = LoadWorkloadHypergraph("ssb", load);
+    core::AlgorithmOptions options = AlgorithmOptionsFor(wh, flags);
+    Rng rng(Mix64(load.seed ^ 0x66));
+    core::Valuations v = core::SampleUniformValuations(wh.hypergraph, 100, rng);
+    auto results = core::RunAllAlgorithms(wh.hypergraph, v, options);
+    auto seconds_of = [&](const char* alg) {
+      for (const auto& r : results) {
+        if (r.algorithm == alg) return StrFormat("%.3f", r.seconds);
+      }
+      return std::string("-");
+    };
+    table.AddRow({std::to_string(support), StrFormat("%.2f", wh.build_seconds),
+                  seconds_of("LPIP"), seconds_of("UBP"), seconds_of("UIP"),
+                  seconds_of("CIP"), seconds_of("Layering")});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace qp::bench
+
+int main(int argc, char** argv) { return qp::bench::Main(argc, argv); }

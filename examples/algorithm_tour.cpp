@@ -1,0 +1,72 @@
+// Tour of the algorithm zoo on instances engineered to favor each family,
+// including the paper's Lemma 2-4 worst-case constructions.
+//
+//   ./build/examples/algorithm_tour
+#include <iostream>
+
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "core/algorithms.h"
+#include "core/bounds.h"
+#include "core/lower_bounds.h"
+
+namespace {
+
+void Show(const char* title, const qp::core::Hypergraph& hypergraph,
+          const qp::core::Valuations& valuations, double optimal) {
+  using namespace qp;
+  std::cout << "--- " << title << " ---\n";
+  std::cout << hypergraph.StatsString() << ", OPT = " << optimal << "\n";
+  TablePrinter table({"algorithm", "revenue", "fraction of OPT"});
+  for (const auto& result : core::RunAllAlgorithms(hypergraph, valuations)) {
+    table.AddRow({result.algorithm, StrFormat("%.3f", result.revenue),
+                  StrFormat("%.3f", result.revenue / optimal)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace qp;
+
+  // 1. Uniform-friendly: identical bundles and valuations.
+  {
+    core::Hypergraph h(4);
+    core::Valuations v;
+    for (int e = 0; e < 8; ++e) {
+      h.AddEdge({static_cast<uint32_t>(e % 4)});
+      v.push_back(5.0);
+    }
+    Show("identical valuations (UBP optimal)", h, v, 40.0);
+  }
+
+  // 2. Lemma 2: harmonic singleton buyers — uniform bundle pricing caps at
+  // O(1) while item pricings extract H_m.
+  {
+    core::GapInstance lemma2 = core::MakeLemma2Instance(64);
+    Show("Lemma 2 (uniform bundle pricing loses log m)", lemma2.hypergraph,
+         lemma2.valuations, lemma2.optimal_revenue);
+  }
+
+  // 3. Lemma 3: partition classes — item pricing caps at O(n) of n log n.
+  {
+    core::GapInstance lemma3 = core::MakeLemma3Instance(32);
+    Show("Lemma 3 (item pricing loses log n)", lemma3.hypergraph,
+         lemma3.valuations, lemma3.optimal_revenue);
+  }
+
+  // 4. Lemma 4: the laminar family where *both* families lose log m.
+  {
+    core::GapInstance lemma4 = core::MakeLemma4Instance(4);
+    Show("Lemma 4 (both families lose log m)", lemma4.hypergraph,
+         lemma4.valuations, lemma4.optimal_revenue);
+  }
+
+  std::cout << "Takeaway (paper Section 7): no single succinct family wins "
+               "everywhere;\nLPIP is the most consistent, UBP is unbeatable "
+               "when valuations are flat,\nand the gaps of Lemmas 2-4 are "
+               "real but logarithmic.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: build a tiny pricing instance by hand, run every algorithm,
+// and verify the resulting pricing functions are arbitrage-free.
+//
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "core/algorithms.h"
+#include "core/bounds.h"
+#include "market/arbitrage.h"
+
+int main() {
+  using namespace qp;
+
+  // A data market with 6 support instances (items) and 5 buyer queries
+  // whose conflict sets are the bundles below, with buyer valuations.
+  core::Hypergraph market(6);
+  core::Valuations valuations;
+  market.AddEdge({0, 1});
+  valuations.push_back(8.0);  // buyer 1 pays up to $8 for this answer
+  market.AddEdge({1, 2, 3});
+  valuations.push_back(6.0);
+  market.AddEdge({3});
+  valuations.push_back(3.0);
+  market.AddEdge({4, 5});
+  valuations.push_back(5.0);
+  market.AddEdge({0, 1, 2, 3, 4, 5});
+  valuations.push_back(12.0);
+
+  std::cout << "Instance: " << market.StatsString() << "\n";
+  std::cout << "Sum of valuations: " << core::SumOfValuations(valuations)
+            << "  (upper bound on any revenue)\n";
+  std::cout << "Subadditive LP bound: "
+            << core::SubadditiveBound(market, valuations) << "\n\n";
+
+  // Run all six pricing algorithms from the paper.
+  for (const auto& result : core::RunAllAlgorithms(market, valuations)) {
+    std::cout << result.algorithm << ": revenue " << result.revenue << "  ["
+              << result.pricing->Describe() << "]\n";
+
+    // Theorem 1: monotone + subadditive == arbitrage-free.
+    auto report =
+        market::CheckArbitrageFreeExhaustive(*result.pricing, market.num_items());
+    if (!report.arbitrage_free()) {
+      std::cout << "  ARBITRAGE VIOLATION: " << report.violation << "\n";
+      return 1;
+    }
+  }
+  std::cout << "\nAll pricings verified arbitrage-free (Theorem 1).\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "common/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace qp {
+
+// --- ZipfDistribution -------------------------------------------------------
+//
+// Rejection-inversion for discrete power laws, after W. Hormann and
+// G. Derflinger, "Rejection-inversion to generate variates from monotone
+// discrete distributions" (1996). H is an antiderivative of x^{-a}.
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double a) : n_(n), a_(a) {
+  assert(n >= 1);
+  assert(a > 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -a_));
+}
+
+double ZipfDistribution::H(double x) const {
+  if (std::abs(a_ - 1.0) < 1e-12) return std::log(x);
+  return std::pow(x, 1.0 - a_) / (1.0 - a_);
+}
+
+double ZipfDistribution::HInverse(double x) const {
+  if (std::abs(a_ - 1.0) < 1e-12) return std::exp(x);
+  return std::pow((1.0 - a_) * x, 1.0 / (1.0 - a_));
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  if (n_ == 1) return 1;
+  while (true) {
+    double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(
+        std::clamp(x + 0.5, 1.0, static_cast<double>(n_)));
+    if (static_cast<double>(k) - x <= s_) return k;
+    if (u >= H(static_cast<double>(k) + 0.5) - std::pow(static_cast<double>(k), -a_)) {
+      return k;
+    }
+  }
+}
+
+// --- BinomialDistribution ----------------------------------------------------
+
+BinomialDistribution::BinomialDistribution(uint64_t n, double p)
+    : n_(n), p_(std::clamp(p, 0.0, 1.0)) {}
+
+uint64_t BinomialDistribution::Sample(Rng& rng) const {
+  if (p_ <= 0.0 || n_ == 0) return 0;
+  if (p_ >= 1.0) return n_;
+  const double np = static_cast<double>(n_) * p_;
+  if (n_ <= 64) {
+    // Exact: count successes bit by bit.
+    uint64_t count = 0;
+    for (uint64_t i = 0; i < n_; ++i) count += rng.Bernoulli(p_) ? 1 : 0;
+    return count;
+  }
+  if (np < 32.0) {
+    // Waiting-time (geometric skips): exact, O(np) expected.
+    const double log_q = std::log1p(-p_);
+    uint64_t count = 0;
+    double sum = 0.0;
+    while (true) {
+      double u = 1.0 - rng.NextDouble();  // (0,1]
+      sum += std::log(u) / log_q;
+      if (sum > static_cast<double>(n_)) break;
+      ++count;
+      if (count > n_) return n_;
+    }
+    return count;
+  }
+  // Large n*p: normal approximation with continuity correction. Relative
+  // error is far below the noise floor of the valuation experiments.
+  const double mean = np;
+  const double sd = std::sqrt(np * (1.0 - p_));
+  double x = std::round(rng.Normal(mean, sd));
+  if (x < 0.0) x = 0.0;
+  if (x > static_cast<double>(n_)) x = static_cast<double>(n_);
+  return static_cast<uint64_t>(x);
+}
+
+}  // namespace qp

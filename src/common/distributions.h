@@ -1,0 +1,58 @@
+// Heavier-tailed / discrete samplers used by the paper's valuation models
+// (Section 6.3): Zipf(a) for "sampling bundle valuations" and
+// Binomial(k, 1/2) for the additive item-price model's level distribution.
+#ifndef QP_COMMON_DISTRIBUTIONS_H_
+#define QP_COMMON_DISTRIBUTIONS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace qp {
+
+/// Zipf distribution over {1, ..., n} with Pr[X = x] proportional to
+/// x^{-a}, a > 1 typically. Uses Hormann's rejection-inversion sampler,
+/// which is O(1) per draw with no per-instance tables.
+class ZipfDistribution {
+ public:
+  /// Requires n >= 1 and a > 0 (a != 1 handled; a == 1 uses the limit form).
+  ZipfDistribution(uint64_t n, double a);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double a() const { return a_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double a_;
+  double h_x1_;        // H(1.5) - 1
+  double h_n_;         // H(n + 0.5)
+  double s_;           // 2 - HInverse(H(2.5) - 2^{-a})
+};
+
+/// Binomial(n, p) sampler. Exact inversion for small n; BTPE-free
+/// waiting-time method for moderate n; normal approximation with
+/// continuity correction for very large n*p (documented tolerance —
+/// valuation models only need distributional shape, not exactness
+/// beyond n = 10^4).
+class BinomialDistribution {
+ public:
+  BinomialDistribution(uint64_t n, double p);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double p() const { return p_; }
+
+ private:
+  uint64_t n_;
+  double p_;
+};
+
+}  // namespace qp
+
+#endif  // QP_COMMON_DISTRIBUTIONS_H_

@@ -1,0 +1,67 @@
+// Hashing utilities, including an order-independent multiset fingerprint.
+//
+// Fingerprint128 represents a multiset of elements as the componentwise
+// 64-bit sum of two independent per-element hashes. Sums form a commutative
+// group, so elements can be added AND removed in O(1) — the property the
+// incremental conflict-set engine (src/market) relies on to process a cell
+// delta without re-running the query.
+#ifndef QP_COMMON_HASH_H_
+#define QP_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/rng.h"
+
+namespace qp {
+
+/// Combines two hashes (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (Mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// FNV-1a 64-bit hash of a byte string.
+inline uint64_t HashBytes(std::string_view bytes, uint64_t seed = 0xcbf29ce484222325ULL) {
+  uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Order-independent multiset fingerprint (two independent 64-bit sums).
+/// Equal multisets always produce equal fingerprints; distinct multisets
+/// collide with probability ~2^-128 (each element hash is mixed twice
+/// with different constants before summing).
+struct Fingerprint128 {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  /// Adds one element (given by its 64-bit hash) to the multiset.
+  void Add(uint64_t element_hash) {
+    lo += Mix64(element_hash ^ 0x6a09e667f3bcc909ULL);
+    hi += Mix64(element_hash ^ 0xbb67ae8584caa73bULL);
+  }
+
+  /// Removes one element previously added.
+  void Remove(uint64_t element_hash) {
+    lo -= Mix64(element_hash ^ 0x6a09e667f3bcc909ULL);
+    hi -= Mix64(element_hash ^ 0xbb67ae8584caa73bULL);
+  }
+
+  /// Merges another multiset fingerprint into this one.
+  void Merge(const Fingerprint128& other) {
+    lo += other.lo;
+    hi += other.hi;
+  }
+
+  bool operator==(const Fingerprint128& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+  bool operator!=(const Fingerprint128& other) const { return !(*this == other); }
+};
+
+}  // namespace qp
+
+#endif  // QP_COMMON_HASH_H_

@@ -1,0 +1,120 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace qp {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Mix64(uint64_t x) {
+  uint64_t state = x;
+  return SplitMix64(state);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) : seed_(seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(NextUint64());  // full range
+  // Debiased modulo (Lemire-style rejection).
+  const uint64_t threshold = (-range) % range;
+  uint64_t r;
+  do {
+    r = NextUint64();
+  } while (r < threshold);
+  return lo + static_cast<int64_t>(r % range);
+}
+
+double Rng::UniformReal(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::StandardNormal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - NextDouble();
+  double u2 = NextDouble();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(theta);
+  has_cached_normal_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * StandardNormal();
+}
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0.0);
+  double u = 1.0 - NextDouble();  // (0, 1]
+  return -mean * std::log(u);
+}
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
+  assert(k <= n);
+  std::vector<uint32_t> out;
+  out.reserve(k);
+  // Selection sampling (Knuth 3.4.2 Algorithm S): O(n), emits sorted indices.
+  // For k much smaller than n, a hash-set rejection loop would be faster,
+  // but callers here always have k within a small factor of n.
+  uint32_t seen = 0;
+  uint32_t chosen = 0;
+  while (chosen < k) {
+    double u = NextDouble();
+    if (static_cast<double>(n - seen) * u < static_cast<double>(k - chosen)) {
+      out.push_back(seen);
+      ++chosen;
+    }
+    ++seen;
+  }
+  return out;
+}
+
+Rng Rng::Fork(uint64_t key) const {
+  return Rng(Mix64(seed_ ^ Mix64(key)));
+}
+
+}  // namespace qp

@@ -1,0 +1,79 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in qpricer flows through Rng (xoshiro256**, seeded via
+// SplitMix64) so that every dataset, workload, support set and valuation
+// draw is reproducible from a single 64-bit seed. std::mt19937 is avoided
+// because its streams are not portable across standard library versions.
+#ifndef QP_COMMON_RNG_H_
+#define QP_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace qp {
+
+/// SplitMix64 step: used for seeding and cheap stateless mixing.
+uint64_t SplitMix64(uint64_t& state);
+
+/// Mixes a 64-bit value into a well-distributed hash (stateless).
+uint64_t Mix64(uint64_t x);
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain algorithm),
+/// reimplemented here. Fast, 256-bit state, passes BigCrush.
+class Rng {
+ public:
+  /// Seeds the four state words from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double UniformReal(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double StandardNormal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Exponential with the given mean (mean = 1/lambda). Requires mean > 0.
+  double Exponential(double mean);
+
+  /// Returns a uniformly random subset of size k from {0, ..., n-1},
+  /// in sorted order. Requires 0 <= k <= n.
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Creates an independent child generator; deterministic in (seed, key).
+  Rng Fork(uint64_t key) const;
+
+ private:
+  uint64_t s_[4];
+  uint64_t seed_;
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace qp
+
+#endif  // QP_COMMON_RNG_H_

@@ -1,0 +1,30 @@
+// Monotonic wall-clock stopwatch for the runtime tables (Tables 4-6).
+#ifndef QP_COMMON_STOPWATCH_H_
+#define QP_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace qp {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace qp
+
+#endif  // QP_COMMON_STOPWATCH_H_

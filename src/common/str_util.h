@@ -1,0 +1,57 @@
+// Small string helpers (no std::format on this toolchain).
+#ifndef QP_COMMON_STR_UTIL_H_
+#define QP_COMMON_STR_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qp {
+
+/// Concatenates all arguments with operator<<.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return std::string();
+  } else {
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+  }
+}
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins the elements of `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// ASCII lower-case copy.
+std::string ToLower(std::string_view text);
+
+/// ASCII upper-case copy.
+std::string ToUpper(std::string_view text);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// SQL LIKE matching: '%' matches any run (including empty), '_' matches
+/// exactly one character. Case-sensitive, no escape support.
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+/// Formats a double trimming trailing zeros ("1.5", "2", "0.25").
+std::string FormatDouble(double value, int max_decimals = 6);
+
+}  // namespace qp
+
+#endif  // QP_COMMON_STR_UTIL_H_

@@ -1,0 +1,55 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+#include "common/str_util.h"
+
+namespace qp {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToCell(double v) { return FormatDouble(v, 4); }
+std::string TablePrinter::ToCell(int v) { return std::to_string(v); }
+std::string TablePrinter::ToCell(long v) { return std::to_string(v); }
+std::string TablePrinter::ToCell(unsigned long v) { return std::to_string(v); }
+std::string TablePrinter::ToCell(unsigned int v) { return std::to_string(v); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += "  ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    // Trim trailing padding.
+    size_t end = line.find_last_not_of(' ');
+    line.erase(end == std::string::npos ? 0 : end + 1);
+    return line + "\n";
+  };
+  std::string out = render_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c > 0 ? 2 : 0);
+  out += std::string(total, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print(std::ostream& os) const { os << ToString(); }
+
+}  // namespace qp

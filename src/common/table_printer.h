@@ -1,0 +1,48 @@
+// Column-aligned ASCII tables: every bench binary prints the rows/series
+// behind the paper's figures and tables through this.
+#ifndef QP_COMMON_TABLE_PRINTER_H_
+#define QP_COMMON_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qp {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: builds the row by formatting each value.
+  template <typename... Args>
+  void AddRowValues(const Args&... args) {
+    std::vector<std::string> row;
+    (row.push_back(ToCell(args)), ...);
+    AddRow(std::move(row));
+  }
+
+  /// Renders the table with a separator line under the header.
+  std::string ToString() const;
+
+  /// Prints to the stream (used by benches: stdout).
+  void Print(std::ostream& os) const;
+
+ private:
+  static std::string ToCell(const std::string& s) { return s; }
+  static std::string ToCell(const char* s) { return s; }
+  static std::string ToCell(double v);
+  static std::string ToCell(int v);
+  static std::string ToCell(long v);
+  static std::string ToCell(unsigned long v);
+  static std::string ToCell(unsigned int v);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qp
+
+#endif  // QP_COMMON_TABLE_PRINTER_H_

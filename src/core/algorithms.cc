@@ -1,0 +1,119 @@
+#include "core/algorithms.h"
+
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/class_util.h"
+#include "lp/lp_model.h"
+#include "lp/simplex.h"
+
+namespace qp::core {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kUbp:
+      return "UBP";
+    case Algorithm::kUip:
+      return "UIP";
+    case Algorithm::kLpip:
+      return "LPIP";
+    case Algorithm::kCip:
+      return "CIP";
+    case Algorithm::kLayering:
+      return "Layering";
+    case Algorithm::kXos:
+      return "XOS";
+  }
+  return "?";
+}
+
+std::vector<PricingResult> RunAllAlgorithms(const Hypergraph& hypergraph,
+                                            const Valuations& v,
+                                            const AlgorithmOptions& options) {
+  // Share one compressed class structure across the LP algorithms.
+  ItemClasses classes = ItemClasses::Compute(hypergraph);
+  LpipOptions lpip_options = options.lpip;
+  CipOptions cip_options = options.cip;
+  if (lpip_options.use_compression && lpip_options.classes == nullptr) {
+    lpip_options.classes = &classes;
+  }
+  if (cip_options.use_compression && cip_options.classes == nullptr) {
+    cip_options.classes = &classes;
+  }
+
+  std::vector<PricingResult> results;
+  results.push_back(RunUbp(hypergraph, v));
+  results.push_back(RunUip(hypergraph, v));
+  results.push_back(RunLpip(hypergraph, v, lpip_options));
+  results.push_back(RunCip(hypergraph, v, cip_options));
+  results.push_back(RunLayering(hypergraph, v));
+  const auto* lpip_pricing =
+      static_cast<const ItemPricing*>(results[2].pricing.get());
+  const auto* cip_pricing =
+      static_cast<const ItemPricing*>(results[3].pricing.get());
+  results.push_back(RunXos(hypergraph, v, *lpip_pricing, *cip_pricing));
+  return results;
+}
+
+std::optional<PricingResult> RefineUbpWithItemLp(const Hypergraph& hypergraph,
+                                                 const Valuations& v) {
+  Stopwatch timer;
+  PricingResult ubp = RunUbp(hypergraph, v);
+  double bundle_price =
+      static_cast<const UniformBundlePricing*>(ubp.pricing.get())
+          ->bundle_price();
+
+  // Edges UBP sells; the LP must keep selling all of them.
+  std::vector<int> sold;
+  for (int e = 0; e < hypergraph.num_edges(); ++e) {
+    if (bundle_price <= v[e] + kSellTolerance) sold.push_back(e);
+  }
+  if (sold.empty()) return std::nullopt;
+
+  ItemClasses storage;
+  const ItemClasses& classes =
+      ResolveClasses(hypergraph, nullptr, /*use_compression=*/true, storage);
+
+  std::vector<int> class_to_var(classes.num_classes(), -1);
+  std::vector<uint32_t> used_classes;
+  std::vector<double> obj_coeff;
+  for (int e : sold) {
+    for (uint32_t cls : classes.edge_classes[e]) {
+      if (class_to_var[cls] < 0) {
+        class_to_var[cls] = static_cast<int>(used_classes.size());
+        used_classes.push_back(cls);
+        obj_coeff.push_back(0.0);
+      }
+      obj_coeff[class_to_var[cls]] += 1.0;
+    }
+  }
+  lp::LpModel model(lp::ObjectiveSense::kMaximize);
+  for (size_t u = 0; u < used_classes.size(); ++u) {
+    model.AddVariable(0.0, lp::kInf, obj_coeff[u]);
+  }
+  for (int e : sold) {
+    if (classes.edge_classes[e].empty()) continue;
+    std::vector<std::pair<int, double>> terms;
+    for (uint32_t cls : classes.edge_classes[e]) {
+      terms.emplace_back(class_to_var[cls], 1.0);
+    }
+    model.AddConstraint(lp::ConstraintSense::kLe, v[e], std::move(terms));
+  }
+  lp::LpSolution solution = lp::SolveLp(model);
+  if (!solution.ok()) return std::nullopt;
+
+  std::vector<double> class_weights(classes.num_classes(), 0.0);
+  for (size_t u = 0; u < used_classes.size(); ++u) {
+    class_weights[used_classes[u]] = solution.primal[u];
+  }
+  PricingResult refined;
+  refined.algorithm = "UBP+LP";
+  refined.lps_solved = 1;
+  refined.pricing = std::make_unique<ItemPricing>(
+      classes.ExpandClassWeights(class_weights, hypergraph.num_items()));
+  refined.revenue = Revenue(*refined.pricing, hypergraph, v);
+  refined.seconds = timer.ElapsedSeconds();
+  return refined;
+}
+
+}  // namespace qp::core

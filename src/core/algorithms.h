@@ -1,0 +1,106 @@
+// Revenue-maximization algorithms (paper Section 5).
+//
+//   UBP      optimal uniform bundle price          O(m log m), O(log m)-approx
+//   UIP      uniform item price (Guruswami et al.) O(m log m), O(log n + log m)
+//   LPIP     per-threshold LP item pricing         m LPs,      O(log m)
+//   CIP      Cheung-Swamy capacity primal-dual     LPs over k, O((1+eps) log B)
+//   Layering Algorithm 1 (set-cover layers)        O(B m),     O(B)
+//   XOS      max(LPIP, CIP) additive components
+//
+// All entry points are pure functions of (hypergraph, valuations, options)
+// and return a PricingResult carrying the pricing function, its revenue and
+// the wall-clock time spent, which is what the runtime tables report.
+#ifndef QP_CORE_ALGORITHMS_H_
+#define QP_CORE_ALGORITHMS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/hypergraph.h"
+#include "core/pricing.h"
+
+namespace qp::core {
+
+struct PricingResult {
+  std::string algorithm;
+  std::unique_ptr<PricingFunction> pricing;
+  double revenue = 0.0;
+  double seconds = 0.0;
+  int lps_solved = 0;
+
+  PricingResult() = default;
+  PricingResult(PricingResult&&) = default;
+  PricingResult& operator=(PricingResult&&) = default;
+};
+
+/// UBP: sort bundles by valuation, sweep the uniform price (Section 5.1).
+PricingResult RunUbp(const Hypergraph& hypergraph, const Valuations& v);
+
+/// UIP: uniform item weight swept over q_e = v_e / |e| (Section 5.2).
+PricingResult RunUip(const Hypergraph& hypergraph, const Valuations& v);
+
+struct LpipOptions {
+  /// Number of threshold candidates (edges e defining F_e = {e' : v_{e'}
+  /// >= v_e}) to solve LPs for; 0 = every edge, exactly as in the paper.
+  /// bench/ablation_lpip_candidates measures the revenue impact.
+  int max_candidates = 0;
+  /// Pre-computed item classes (optional; computed on demand).
+  const ItemClasses* classes = nullptr;
+  /// Disable item-class compression (ablation).
+  bool use_compression = true;
+};
+
+/// LPIP: for each candidate edge e, maximize revenue subject to every
+/// edge in F_e selling; keep the best resulting item pricing.
+PricingResult RunLpip(const Hypergraph& hypergraph, const Valuations& v,
+                      const LpipOptions& options = {});
+
+struct CipOptions {
+  /// Capacity grid step: k = 1, (1+eps), (1+eps)^2, ..., B.
+  double eps = 1.0;
+  const ItemClasses* classes = nullptr;
+  bool use_compression = true;
+};
+
+/// CIP: welfare LP with per-item capacity k; dual prices as item prices;
+/// best over the capacity grid (Cheung & Swamy).
+PricingResult RunCip(const Hypergraph& hypergraph, const Valuations& v,
+                     const CipOptions& options = {});
+
+/// Layering: Algorithm 1 of the paper (minimal set-cover layers; unique
+/// items of the best layer priced at their edge's valuation).
+PricingResult RunLayering(const Hypergraph& hypergraph, const Valuations& v);
+
+/// XOS over the LPIP and CIP weight vectors (price = max of the two).
+/// Reuses already-computed component pricings.
+PricingResult RunXos(const Hypergraph& hypergraph, const Valuations& v,
+                     const ItemPricing& lpip_component,
+                     const ItemPricing& cip_component);
+
+enum class Algorithm { kUbp, kUip, kLpip, kCip, kLayering, kXos };
+
+const char* AlgorithmName(Algorithm algorithm);
+
+struct AlgorithmOptions {
+  LpipOptions lpip;
+  CipOptions cip;
+};
+
+/// Runs every algorithm (XOS last, reusing LPIP/CIP components), in the
+/// order UBP, UIP, LPIP, CIP, Layering, XOS.
+std::vector<PricingResult> RunAllAlgorithms(const Hypergraph& hypergraph,
+                                            const Valuations& v,
+                                            const AlgorithmOptions& options = {});
+
+/// Post-processing step from Section 6.3: given the best uniform bundle
+/// price, solve an LP that maximizes item-pricing revenue subject to
+/// selling every edge the bundle price sold. Returns the refined pricing
+/// (or nullopt when UBP sells nothing).
+std::optional<PricingResult> RefineUbpWithItemLp(const Hypergraph& hypergraph,
+                                                 const Valuations& v);
+
+}  // namespace qp::core
+
+#endif  // QP_CORE_ALGORITHMS_H_

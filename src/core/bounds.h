@@ -1,0 +1,31 @@
+// Revenue upper bounds used to normalize the experiment plots.
+//
+//  * SumOfValuations — the weak bound sum_e v_e every plot normalizes by.
+//  * SubadditiveBound — the paper's LP bound (Section 6.1): maximize
+//    sum_e p_e with 0 <= p_e <= v_e plus greedily generated arbitrage
+//    constraints p_e <= sum_{e' in C} p_{e'} for covers C of e by other
+//    edges. As the paper itself notes (Section 6.3), this is a *heuristic*
+//    estimate: constraint generation is greedy, and cover members capped at
+//    their valuations may model unsold edges too pessimistically, so the
+//    estimate can occasionally fall below what an algorithm achieves. The
+//    only universal invariant is SubadditiveBound <= SumOfValuations.
+#ifndef QP_CORE_BOUNDS_H_
+#define QP_CORE_BOUNDS_H_
+
+#include "core/hypergraph.h"
+
+namespace qp::core {
+
+double SumOfValuations(const Valuations& v);
+
+struct SubadditiveBoundOptions {
+  /// Cap on cover constraints generated (<=0: one per edge where possible).
+  int max_constraints = 0;
+};
+
+double SubadditiveBound(const Hypergraph& hypergraph, const Valuations& v,
+                        const SubadditiveBoundOptions& options = {});
+
+}  // namespace qp::core
+
+#endif  // QP_CORE_BOUNDS_H_

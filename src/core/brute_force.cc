@@ -1,0 +1,82 @@
+#include "core/brute_force.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "core/pricing.h"
+#include "lp/lp_model.h"
+#include "lp/simplex.h"
+
+namespace qp::core {
+
+double BruteForceUniformBundleRevenue(const Valuations& v) {
+  double best = 0.0;
+  for (double candidate : v) {
+    double revenue = 0.0;
+    for (double value : v) {
+      if (candidate <= value + kSellTolerance) revenue += candidate;
+    }
+    best = std::max(best, revenue);
+  }
+  return best;
+}
+
+double BruteForceItemPricingRevenue(const Hypergraph& hypergraph,
+                                    const Valuations& v) {
+  const int m = hypergraph.num_edges();
+  assert(m <= 16);
+  double best = 0.0;
+  for (uint32_t mask = 0; mask < (1u << m); ++mask) {
+    // LP: maximize the total price of the subset, all of it selling.
+    lp::LpModel model(lp::ObjectiveSense::kMaximize);
+    std::vector<int> var_of_item(hypergraph.num_items(), -1);
+    std::vector<double> obj(hypergraph.num_items(), 0.0);
+    bool any = false;
+    for (int e = 0; e < m; ++e) {
+      if (!(mask & (1u << e))) continue;
+      any = true;
+      for (uint32_t j : hypergraph.edge(e)) obj[j] += 1.0;
+    }
+    if (!any) continue;
+    for (uint32_t j = 0; j < hypergraph.num_items(); ++j) {
+      if (obj[j] > 0.0) var_of_item[j] = model.AddVariable(0.0, lp::kInf, obj[j]);
+    }
+    for (int e = 0; e < m; ++e) {
+      if (!(mask & (1u << e))) continue;
+      std::vector<std::pair<int, double>> terms;
+      for (uint32_t j : hypergraph.edge(e)) {
+        terms.emplace_back(var_of_item[j], 1.0);
+      }
+      model.AddConstraint(lp::ConstraintSense::kLe, v[e], std::move(terms));
+    }
+    lp::LpSolution solution = lp::SolveLp(model);
+    if (!solution.ok()) continue;
+    // Realized revenue of the optimizer (incidental extra sales included).
+    std::vector<double> weights(hypergraph.num_items(), 0.0);
+    for (uint32_t j = 0; j < hypergraph.num_items(); ++j) {
+      if (var_of_item[j] >= 0) weights[j] = solution.primal[var_of_item[j]];
+    }
+    best = std::max(best, Revenue(ItemPricing(weights), hypergraph, v));
+  }
+  return best;
+}
+
+double BruteForceUniformItemRevenue(const Hypergraph& hypergraph,
+                                    const Valuations& v) {
+  double best = 0.0;
+  for (int e = 0; e < hypergraph.num_edges(); ++e) {
+    int size = hypergraph.edge_size(e);
+    if (size == 0) continue;
+    double w = v[e] / static_cast<double>(size);
+    double revenue = 0.0;
+    for (int e2 = 0; e2 < hypergraph.num_edges(); ++e2) {
+      double price = w * hypergraph.edge_size(e2);
+      if (price <= v[e2] + kSellTolerance) revenue += price;
+    }
+    best = std::max(best, revenue);
+  }
+  return best;
+}
+
+}  // namespace qp::core

@@ -1,0 +1,28 @@
+// Exact oracles for tiny instances, used by tests to validate the
+// approximation algorithms.
+#ifndef QP_CORE_BRUTE_FORCE_H_
+#define QP_CORE_BRUTE_FORCE_H_
+
+#include "core/hypergraph.h"
+
+namespace qp::core {
+
+/// Exact optimal uniform-bundle revenue (UBP is already exact; this is an
+/// independent O(m^2) reference).
+double BruteForceUniformBundleRevenue(const Valuations& v);
+
+/// Exact optimal item-pricing revenue via one LP per sold-subset
+/// (2^m LPs; requires m <= 16). For any pricing w with sold set T,
+/// revenue(w) <= LP(T) <= realized revenue of LP(T)'s optimizer, so the
+/// max over subsets is exactly the item-pricing optimum.
+double BruteForceItemPricingRevenue(const Hypergraph& hypergraph,
+                                    const Valuations& v);
+
+/// Exact optimal uniform item price (w constant across items) by sweeping
+/// all candidate thresholds; independent O(m^2) reference for UIP.
+double BruteForceUniformItemRevenue(const Hypergraph& hypergraph,
+                                    const Valuations& v);
+
+}  // namespace qp::core
+
+#endif  // QP_CORE_BRUTE_FORCE_H_

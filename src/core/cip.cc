@@ -1,0 +1,126 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/algorithms.h"
+#include "core/class_util.h"
+#include "lp/lp_model.h"
+#include "lp/simplex.h"
+
+namespace qp::core {
+
+namespace {
+
+// Solves the capacity-k welfare LP and returns per-class dual prices y_c.
+//
+//   (P)  max sum_e v_e x_e    s.t.  sum_{e : c in e} x_e <= k  (class c),
+//                                   0 <= x_e <= 1
+//
+// Items in a class have identical constraints, so one row per class
+// suffices; the class dual y_c then equals the *sum* of the per-item duals,
+// and the Cheung-Swamy edge price sum_{j in e} y_j = sum_{c in e} y_c.
+//
+// When the class count exceeds the edge count we solve the dual LP instead
+// (its simplex basis is m x m):
+//
+//   (D)  min sum_c k y_c + sum_e z_e   s.t.  sum_{c in e} y_c + z_e >= v_e,
+//        y, z >= 0
+//
+// and read y_c off the primal variables of (D).
+bool SolveCapacityLp(const Hypergraph& hypergraph, const Valuations& v,
+                     const ItemClasses& classes, double capacity,
+                     std::vector<double>* class_duals, int* lps_solved) {
+  const int m = hypergraph.num_edges();
+  const uint32_t num_classes = classes.num_classes();
+  class_duals->assign(num_classes, 0.0);
+
+  // Per-class edge lists.
+  std::vector<std::vector<int>> class_edges(num_classes);
+  for (int e = 0; e < m; ++e) {
+    for (uint32_t cls : classes.edge_classes[e]) class_edges[cls].push_back(e);
+  }
+
+  ++*lps_solved;
+  if (num_classes <= static_cast<uint32_t>(m)) {
+    // Primal form: one row per class.
+    lp::LpModel model(lp::ObjectiveSense::kMaximize);
+    for (int e = 0; e < m; ++e) model.AddVariable(0.0, 1.0, v[e]);
+    for (uint32_t cls = 0; cls < num_classes; ++cls) {
+      std::vector<std::pair<int, double>> terms;
+      terms.reserve(class_edges[cls].size());
+      for (int e : class_edges[cls]) terms.emplace_back(e, 1.0);
+      model.AddConstraint(lp::ConstraintSense::kLe, capacity, std::move(terms));
+    }
+    lp::LpSolution solution = lp::SolveLp(model);
+    if (!solution.ok()) return false;
+    for (uint32_t cls = 0; cls < num_classes; ++cls) {
+      (*class_duals)[cls] = std::max(0.0, solution.dual[cls]);
+    }
+    return true;
+  }
+
+  // Dual form: one row per edge; variables y_c then z_e.
+  lp::LpModel model(lp::ObjectiveSense::kMinimize);
+  for (uint32_t cls = 0; cls < num_classes; ++cls) {
+    model.AddVariable(0.0, lp::kInf, capacity);
+  }
+  for (int e = 0; e < m; ++e) model.AddVariable(0.0, lp::kInf, 1.0);
+  for (int e = 0; e < m; ++e) {
+    std::vector<std::pair<int, double>> terms;
+    terms.reserve(classes.edge_classes[e].size() + 1);
+    for (uint32_t cls : classes.edge_classes[e]) terms.emplace_back(cls, 1.0);
+    terms.emplace_back(static_cast<int>(num_classes) + e, 1.0);
+    model.AddConstraint(lp::ConstraintSense::kGe, v[e], std::move(terms));
+  }
+  lp::LpSolution solution = lp::SolveLp(model);
+  if (!solution.ok()) return false;
+  for (uint32_t cls = 0; cls < num_classes; ++cls) {
+    (*class_duals)[cls] = std::max(0.0, solution.primal[cls]);
+  }
+  return true;
+}
+
+}  // namespace
+
+PricingResult RunCip(const Hypergraph& hypergraph, const Valuations& v,
+                     const CipOptions& options) {
+  Stopwatch timer;
+  PricingResult result;
+  result.algorithm = "CIP";
+
+  ItemClasses storage;
+  const ItemClasses& classes = ResolveClasses(
+      hypergraph, options.classes, options.use_compression, storage);
+
+  // Capacity grid k = 1, (1+eps), (1+eps)^2, ..., capped at B.
+  double max_degree = static_cast<double>(hypergraph.MaxDegree());
+  std::vector<double> capacities;
+  double step = 1.0 + std::max(1e-3, options.eps);
+  for (double k = 1.0; k < max_degree; k *= step) capacities.push_back(k);
+  if (max_degree >= 1.0) capacities.push_back(max_degree);
+
+  std::vector<double> best_weights(hypergraph.num_items(), 0.0);
+  double best_revenue = 0.0;
+  std::vector<double> class_duals;
+  for (double capacity : capacities) {
+    if (!SolveCapacityLp(hypergraph, v, classes, capacity, &class_duals,
+                         &result.lps_solved)) {
+      continue;
+    }
+    std::vector<double> weights =
+        classes.ExpandClassWeights(class_duals, hypergraph.num_items());
+    double revenue = Revenue(ItemPricing(weights), hypergraph, v);
+    if (revenue > best_revenue) {
+      best_revenue = revenue;
+      best_weights = std::move(weights);
+    }
+  }
+
+  result.pricing = std::make_unique<ItemPricing>(std::move(best_weights));
+  result.revenue = Revenue(*result.pricing, hypergraph, v);
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace qp::core

@@ -1,0 +1,17 @@
+// Internal helper shared by the LP-based algorithms (LPIP, CIP): resolves
+// the item classes to use — caller-provided, freshly compressed, or the
+// identity mapping for the compression ablation.
+#ifndef QP_CORE_CLASS_UTIL_H_
+#define QP_CORE_CLASS_UTIL_H_
+
+#include "core/hypergraph.h"
+
+namespace qp::core {
+
+const ItemClasses& ResolveClasses(const Hypergraph& hypergraph,
+                                  const ItemClasses* provided,
+                                  bool use_compression, ItemClasses& storage);
+
+}  // namespace qp::core
+
+#endif  // QP_CORE_CLASS_UTIL_H_

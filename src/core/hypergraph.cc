@@ -1,0 +1,128 @@
+#include "core/hypergraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/str_util.h"
+
+namespace qp::core {
+
+int Hypergraph::AddEdge(std::vector<uint32_t> items) {
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  assert(items.empty() || items.back() < num_items_);
+  edges_.push_back(std::move(items));
+  return static_cast<int>(edges_.size()) - 1;
+}
+
+std::vector<uint32_t> Hypergraph::ItemDegrees() const {
+  std::vector<uint32_t> degree(num_items_, 0);
+  for (const auto& e : edges_) {
+    for (uint32_t j : e) degree[j]++;
+  }
+  return degree;
+}
+
+uint32_t Hypergraph::MaxDegree() const {
+  uint32_t best = 0;
+  for (uint32_t d : ItemDegrees()) best = std::max(best, d);
+  return best;
+}
+
+uint32_t Hypergraph::MaxEdgeSize() const {
+  size_t best = 0;
+  for (const auto& e : edges_) best = std::max(best, e.size());
+  return static_cast<uint32_t>(best);
+}
+
+double Hypergraph::AvgEdgeSize() const {
+  if (edges_.empty()) return 0.0;
+  double total = 0;
+  for (const auto& e : edges_) total += static_cast<double>(e.size());
+  return total / static_cast<double>(edges_.size());
+}
+
+int Hypergraph::NumEdgesWithUniqueItem() const {
+  std::vector<uint32_t> degree = ItemDegrees();
+  int count = 0;
+  for (const auto& e : edges_) {
+    for (uint32_t j : e) {
+      if (degree[j] == 1) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+std::string Hypergraph::StatsString() const {
+  return StrFormat(
+      "n=%u m=%d B=%u max|e|=%u avg|e|=%.2f unique-item edges=%d",
+      num_items_, num_edges(), MaxDegree(), MaxEdgeSize(), AvgEdgeSize(),
+      NumEdgesWithUniqueItem());
+}
+
+ItemClasses ItemClasses::Compute(const Hypergraph& hypergraph) {
+  const uint32_t n = hypergraph.num_items();
+  // Signature of an item = the (sorted) list of edges containing it.
+  std::vector<std::vector<uint32_t>> signature(n);
+  for (int e = 0; e < hypergraph.num_edges(); ++e) {
+    for (uint32_t j : hypergraph.edge(e)) {
+      signature[j].push_back(static_cast<uint32_t>(e));
+    }
+  }
+
+  ItemClasses out;
+  out.class_of_item.assign(n, kNoClass);
+  // Group by signature hash, verifying exact equality within buckets.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;  // hash -> reps
+  for (uint32_t j = 0; j < n; ++j) {
+    if (signature[j].empty()) continue;
+    uint64_t h = 0xabcdef12u;
+    for (uint32_t e : signature[j]) h = HashCombine(h, e);
+    auto& reps = buckets[h];
+    uint32_t cls = kNoClass;
+    for (uint32_t rep : reps) {
+      if (signature[rep] == signature[j]) {
+        cls = out.class_of_item[rep];
+        break;
+      }
+    }
+    if (cls == kNoClass) {
+      cls = static_cast<uint32_t>(out.class_size.size());
+      out.class_size.push_back(0);
+      reps.push_back(j);
+    }
+    out.class_of_item[j] = cls;
+    out.class_size[cls]++;
+  }
+
+  // Per-edge class lists (each class is all-or-nothing inside an edge, so
+  // dedup is enough).
+  out.edge_classes.resize(hypergraph.num_edges());
+  for (int e = 0; e < hypergraph.num_edges(); ++e) {
+    std::vector<uint32_t>& classes = out.edge_classes[e];
+    for (uint32_t j : hypergraph.edge(e)) {
+      classes.push_back(out.class_of_item[j]);
+    }
+    std::sort(classes.begin(), classes.end());
+    classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
+  }
+  return out;
+}
+
+std::vector<double> ItemClasses::ExpandClassWeights(
+    const std::vector<double>& class_weights, uint32_t num_items) const {
+  std::vector<double> weights(num_items, 0.0);
+  for (uint32_t j = 0; j < num_items; ++j) {
+    uint32_t cls = class_of_item[j];
+    if (cls == kNoClass) continue;
+    weights[j] = class_weights[cls] / static_cast<double>(class_size[cls]);
+  }
+  return weights;
+}
+
+}  // namespace qp::core

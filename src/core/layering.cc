@@ -1,0 +1,116 @@
+#include <algorithm>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/algorithms.h"
+
+namespace qp::core {
+
+namespace {
+
+// One minimal set cover of the items still present in `alive` edges:
+// greedily add edges that cover a new item, then prune back-to-front so
+// every kept edge retains a private item (minimality — this is what
+// guarantees each layer extracts its full value, Theorem 2).
+std::vector<int> MinimalSetCover(const Hypergraph& hypergraph,
+                                 const std::vector<int>& alive,
+                                 std::vector<int>& cover_count) {
+  std::vector<int> selected;
+  for (int e : alive) {
+    bool covers_new = false;
+    for (uint32_t j : hypergraph.edge(e)) {
+      if (cover_count[j] == 0) {
+        covers_new = true;
+        break;
+      }
+    }
+    if (!covers_new) continue;
+    selected.push_back(e);
+    for (uint32_t j : hypergraph.edge(e)) cover_count[j]++;
+  }
+  // Prune redundant edges (reverse order), keeping the cover a cover.
+  std::vector<int> pruned;
+  std::vector<char> keep(selected.size(), 1);
+  for (int i = static_cast<int>(selected.size()) - 1; i >= 0; --i) {
+    int e = selected[i];
+    bool redundant = true;
+    for (uint32_t j : hypergraph.edge(e)) {
+      if (cover_count[j] == 1) {
+        redundant = false;
+        break;
+      }
+    }
+    if (redundant) {
+      keep[i] = 0;
+      for (uint32_t j : hypergraph.edge(e)) cover_count[j]--;
+    }
+  }
+  for (size_t i = 0; i < selected.size(); ++i) {
+    if (keep[i]) pruned.push_back(selected[i]);
+  }
+  // Reset cover counts for the caller.
+  for (int e : pruned) {
+    for (uint32_t j : hypergraph.edge(e)) cover_count[j]--;
+  }
+  return pruned;
+}
+
+}  // namespace
+
+// Algorithm 1 of the paper. Empty edges can never be covered or priced by
+// item weights (their price is always 0; they sell and contribute 0), so
+// they are excluded from the layering loop.
+PricingResult RunLayering(const Hypergraph& hypergraph, const Valuations& v) {
+  Stopwatch timer;
+  std::vector<int> alive;
+  for (int e = 0; e < hypergraph.num_edges(); ++e) {
+    if (hypergraph.edge_size(e) > 0) alive.push_back(e);
+  }
+
+  std::vector<int> cover_count(hypergraph.num_items(), 0);
+  std::vector<int> best_layer;
+  double best_value = 0.0;
+  while (!alive.empty()) {
+    std::vector<int> layer = MinimalSetCover(hypergraph, alive, cover_count);
+    double layer_value = 0.0;
+    for (int e : layer) layer_value += v[e];
+    if (layer_value > best_value) {
+      best_value = layer_value;
+      best_layer = layer;
+    }
+    // Remove the layer from the alive set.
+    std::vector<char> in_layer_lookup(hypergraph.num_edges(), 0);
+    for (int e : layer) in_layer_lookup[e] = 1;
+    std::vector<int> next_alive;
+    next_alive.reserve(alive.size() - layer.size());
+    for (int e : alive) {
+      if (!in_layer_lookup[e]) next_alive.push_back(e);
+    }
+    alive.swap(next_alive);
+  }
+
+  // Price the private item of every best-layer edge at the edge's value;
+  // all other items at 0 (extracting the layer's full value).
+  std::vector<double> weights(hypergraph.num_items(), 0.0);
+  std::vector<int> layer_degree(hypergraph.num_items(), 0);
+  for (int e : best_layer) {
+    for (uint32_t j : hypergraph.edge(e)) layer_degree[j]++;
+  }
+  for (int e : best_layer) {
+    for (uint32_t j : hypergraph.edge(e)) {
+      if (layer_degree[j] == 1) {
+        weights[j] = v[e];
+        break;
+      }
+    }
+  }
+
+  PricingResult result;
+  result.algorithm = "Layering";
+  result.pricing = std::make_unique<ItemPricing>(std::move(weights));
+  result.revenue = Revenue(*result.pricing, hypergraph, v);
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace qp::core

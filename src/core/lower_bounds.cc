@@ -1,0 +1,69 @@
+#include "core/lower_bounds.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace qp::core {
+
+GapInstance MakeLemma2Instance(int m) {
+  GapInstance out;
+  out.hypergraph = Hypergraph(static_cast<uint32_t>(m));
+  for (int i = 1; i <= m; ++i) {
+    out.hypergraph.AddEdge({static_cast<uint32_t>(i - 1)});
+    out.valuations.push_back(1.0 / static_cast<double>(i));
+    out.optimal_revenue += 1.0 / static_cast<double>(i);
+  }
+  return out;
+}
+
+GapInstance MakeLemma3Instance(int n) {
+  GapInstance out;
+  out.hypergraph = Hypergraph(static_cast<uint32_t>(n));
+  for (int i = 1; i <= n; ++i) {
+    int buyers = (n + i - 1) / i;  // ceil(n/i)
+    for (int b = 0; b < buyers; ++b) {
+      std::vector<uint32_t> items;
+      for (int j = b * i; j < (b + 1) * i && j < n; ++j) {
+        items.push_back(static_cast<uint32_t>(j));
+      }
+      if (items.empty()) continue;
+      out.hypergraph.AddEdge(std::move(items));
+      out.valuations.push_back(1.0);
+      out.optimal_revenue += 1.0;
+    }
+  }
+  return out;
+}
+
+GapInstance MakeLemma4Instance(int t) {
+  assert(t >= 0 && t <= 12);
+  GapInstance out;
+  uint32_t n = 1u << t;
+  out.hypergraph = Hypergraph(n);
+  // Depth l: 2^l sets of size n / 2^l; value (3/4)^l; copies 2^l * 3^(t-l)
+  // (an integer form of (2/3)^l * 3^t).
+  for (int depth = 0; depth <= t; ++depth) {
+    uint32_t num_sets = 1u << depth;
+    uint32_t set_size = n >> depth;
+    double value = std::pow(0.75, depth);
+    int64_t copies = static_cast<int64_t>(std::llround(
+        std::pow(2.0, depth) * std::pow(3.0, t - depth)));
+    for (uint32_t s = 0; s < num_sets; ++s) {
+      std::vector<uint32_t> items;
+      items.reserve(set_size);
+      for (uint32_t j = s * set_size; j < (s + 1) * set_size; ++j) {
+        items.push_back(j);
+      }
+      for (int64_t c = 0; c < copies; ++c) {
+        out.hypergraph.AddEdge(items);
+        out.valuations.push_back(value);
+      }
+    }
+  }
+  // OPT = (t+1) * 3^t (pricing every bundle at its value).
+  out.optimal_revenue =
+      static_cast<double>(t + 1) * std::pow(3.0, t);
+  return out;
+}
+
+}  // namespace qp::core

@@ -1,0 +1,40 @@
+// The paper's worst-case gap instances (Lemmas 2-4, Appendix A).
+//
+// Each constructor returns the hypergraph together with its valuations and
+// the instance's known optimal (subadditive) revenue, so tests and the
+// ablation bench can measure the Omega(log m) gaps directly.
+#ifndef QP_CORE_LOWER_BOUNDS_H_
+#define QP_CORE_LOWER_BOUNDS_H_
+
+#include <utility>
+
+#include "core/hypergraph.h"
+
+namespace qp::core {
+
+struct GapInstance {
+  Hypergraph hypergraph{0};
+  Valuations valuations;
+  /// Revenue of the optimal monotone subadditive pricing on this instance.
+  double optimal_revenue = 0.0;
+};
+
+/// Lemma 2: m singleton buyers, buyer i wants item i at value 1/i.
+/// Additive valuations; OPT = H_m = Theta(log m); any uniform bundle
+/// price extracts O(1).
+GapInstance MakeLemma2Instance(int m);
+
+/// Lemma 3: customer classes C_i (i = 1..n), |C_i| = ceil(n/i), each buyer
+/// in C_i gets a block of i items disjoint within the class; all
+/// valuations 1. OPT = m = Theta(n log n); any item pricing extracts O(n).
+GapInstance MakeLemma3Instance(int n);
+
+/// Lemma 4: laminar binary-tree family over n = 2^t items; a set at depth
+/// l has value (3/4)^l and (2/3)^l * 3^t copies. The valuation is
+/// submodular; OPT = (t+1) * 3^t while both uniform bundle pricing and
+/// item pricing are O(3^t).
+GapInstance MakeLemma4Instance(int t);
+
+}  // namespace qp::core
+
+#endif  // QP_CORE_LOWER_BOUNDS_H_

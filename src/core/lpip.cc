@@ -1,0 +1,146 @@
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/algorithms.h"
+#include "core/class_util.h"
+#include "lp/lp_model.h"
+#include "lp/simplex.h"
+
+namespace qp::core {
+
+namespace {
+
+// Identity classes (one per item that appears in some edge) for the
+// compression ablation.
+ItemClasses IdentityClasses(const Hypergraph& hypergraph) {
+  ItemClasses out;
+  out.class_of_item.assign(hypergraph.num_items(), ItemClasses::kNoClass);
+  out.edge_classes.resize(hypergraph.num_edges());
+  for (int e = 0; e < hypergraph.num_edges(); ++e) {
+    for (uint32_t j : hypergraph.edge(e)) {
+      if (out.class_of_item[j] == ItemClasses::kNoClass) {
+        out.class_of_item[j] = static_cast<uint32_t>(out.class_size.size());
+        out.class_size.push_back(1);
+      }
+      out.edge_classes[e].push_back(out.class_of_item[j]);
+    }
+    std::sort(out.edge_classes[e].begin(), out.edge_classes[e].end());
+  }
+  return out;
+}
+
+}  // namespace
+
+const ItemClasses& ResolveClasses(const Hypergraph& hypergraph,
+                                  const ItemClasses* provided,
+                                  bool use_compression,
+                                  ItemClasses& storage) {
+  if (provided != nullptr) return *provided;
+  storage = use_compression ? ItemClasses::Compute(hypergraph)
+                            : IdentityClasses(hypergraph);
+  return storage;
+}
+
+// LPIP (Section 5.2): for each candidate threshold edge e, solve
+//   maximize   sum_{e' in F_e} price(e')
+//   subject to price(e') <= v_{e'}  for every e' in F_e,   weights >= 0
+// where F_e = { e' : v_{e'} >= v_e }, and keep the best item pricing by
+// realized revenue. Weights of items outside F_e's edges are set to 0,
+// which weakly dominates any other choice (extra sales only add revenue).
+PricingResult RunLpip(const Hypergraph& hypergraph, const Valuations& v,
+                      const LpipOptions& options) {
+  Stopwatch timer;
+  PricingResult result;
+  result.algorithm = "LPIP";
+
+  ItemClasses storage;
+  const ItemClasses& classes = ResolveClasses(
+      hypergraph, options.classes, options.use_compression, storage);
+
+  const int m = hypergraph.num_edges();
+  std::vector<int> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return v[a] > v[b]; });
+
+  // Candidate thresholds: the last index of every run of equal valuations
+  // (ties produce identical F sets).
+  std::vector<int> candidates;
+  for (int i = 0; i < m; ++i) {
+    if (i + 1 == m || v[order[i + 1]] < v[order[i]]) candidates.push_back(i);
+  }
+  if (options.max_candidates > 1 &&
+      static_cast<int>(candidates.size()) > options.max_candidates) {
+    std::vector<int> sampled;
+    int want = options.max_candidates;
+    for (int s = 0; s < want; ++s) {
+      size_t idx = static_cast<size_t>(
+          (static_cast<double>(s) / (want - 1)) * (candidates.size() - 1));
+      sampled.push_back(candidates[idx]);
+    }
+    sampled.erase(std::unique(sampled.begin(), sampled.end()), sampled.end());
+    candidates.swap(sampled);
+  }
+
+  std::vector<double> best_weights(hypergraph.num_items(), 0.0);
+  double best_revenue = 0.0;
+
+  std::vector<int> class_to_var(classes.num_classes(), -1);
+  for (int cutoff : candidates) {
+    // Collect the classes present in F = order[0..cutoff] and the
+    // objective coefficient of each (= number of F-edges containing it).
+    std::vector<uint32_t> used_classes;
+    std::vector<double> obj_coeff;
+    for (int i = 0; i <= cutoff; ++i) {
+      for (uint32_t cls : classes.edge_classes[order[i]]) {
+        if (class_to_var[cls] < 0) {
+          class_to_var[cls] = static_cast<int>(used_classes.size());
+          used_classes.push_back(cls);
+          obj_coeff.push_back(0.0);
+        }
+        obj_coeff[class_to_var[cls]] += 1.0;
+      }
+    }
+
+    lp::LpModel model(lp::ObjectiveSense::kMaximize);
+    for (size_t u = 0; u < used_classes.size(); ++u) {
+      model.AddVariable(0.0, lp::kInf, obj_coeff[u]);
+    }
+    for (int i = 0; i <= cutoff; ++i) {
+      int e = order[i];
+      if (classes.edge_classes[e].empty()) continue;  // empty edge: trivial
+      std::vector<std::pair<int, double>> terms;
+      terms.reserve(classes.edge_classes[e].size());
+      for (uint32_t cls : classes.edge_classes[e]) {
+        terms.emplace_back(class_to_var[cls], 1.0);
+      }
+      model.AddConstraint(lp::ConstraintSense::kLe, v[e], std::move(terms));
+    }
+
+    lp::LpSolution solution = lp::SolveLp(model);
+    ++result.lps_solved;
+    if (solution.ok()) {
+      std::vector<double> class_weights(classes.num_classes(), 0.0);
+      for (size_t u = 0; u < used_classes.size(); ++u) {
+        class_weights[used_classes[u]] = solution.primal[u];
+      }
+      std::vector<double> weights =
+          classes.ExpandClassWeights(class_weights, hypergraph.num_items());
+      double revenue = Revenue(ItemPricing(weights), hypergraph, v);
+      if (revenue > best_revenue) {
+        best_revenue = revenue;
+        best_weights = std::move(weights);
+      }
+    }
+    for (uint32_t cls : used_classes) class_to_var[cls] = -1;
+  }
+
+  result.pricing = std::make_unique<ItemPricing>(std::move(best_weights));
+  result.revenue = Revenue(*result.pricing, hypergraph, v);
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace qp::core

@@ -1,0 +1,103 @@
+#include "core/online.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace qp::core {
+
+Exp3PriceLearner::Exp3PriceLearner(const OnlinePricingOptions& options,
+                                   uint64_t seed)
+    : options_(options), rng_(Mix64(seed ^ 0x0e3ULL)) {
+  assert(options.grid_size >= 2);
+  assert(options.max_price > options.min_price);
+  double ratio = std::pow(options.max_price / options.min_price,
+                          1.0 / (options.grid_size - 1));
+  double price = options.min_price;
+  for (int i = 0; i < options.grid_size; ++i) {
+    grid_.push_back(price);
+    price *= ratio;
+  }
+  weights_.assign(grid_.size(), 1.0);
+}
+
+std::vector<double> Exp3PriceLearner::Probabilities() const {
+  double gamma = options_.gamma;
+  if (gamma <= 0.0) {
+    // Anytime exploration rate ~ sqrt(K ln K / t).
+    double k = static_cast<double>(grid_.size());
+    gamma = std::min(
+        1.0, std::sqrt(k * std::log(k) / std::max(1.0, double(rounds_ + 1))));
+  }
+  double total = 0.0;
+  for (double w : weights_) total += w;
+  std::vector<double> probs(grid_.size());
+  for (size_t i = 0; i < grid_.size(); ++i) {
+    probs[i] = (1.0 - gamma) * weights_[i] / total +
+               gamma / static_cast<double>(grid_.size());
+  }
+  return probs;
+}
+
+double Exp3PriceLearner::PostPrice() {
+  std::vector<double> probs = Probabilities();
+  double roll = rng_.NextDouble();
+  double acc = 0.0;
+  last_arm_ = static_cast<int>(grid_.size()) - 1;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    acc += probs[i];
+    if (roll < acc) {
+      last_arm_ = static_cast<int>(i);
+      break;
+    }
+  }
+  return grid_[last_arm_];
+}
+
+void Exp3PriceLearner::Observe(bool accepted) {
+  assert(last_arm_ >= 0);
+  std::vector<double> probs = Probabilities();
+  double reward = accepted ? grid_[last_arm_] : 0.0;
+  total_revenue_ += reward;
+  ++rounds_;
+  // Importance-weighted reward, normalized by the max grid price so the
+  // exponent stays in [0, 1/p].
+  double normalized = reward / grid_.back();
+  double estimate = normalized / probs[last_arm_];
+  double gamma = options_.gamma > 0 ? options_.gamma : 0.1;
+  double k = static_cast<double>(grid_.size());
+  weights_[last_arm_] *= std::exp(gamma * estimate / k);
+  // Guard against overflow by renormalizing when weights grow large.
+  double max_weight = *std::max_element(weights_.begin(), weights_.end());
+  if (max_weight > 1e200) {
+    for (double& w : weights_) w /= max_weight;
+  }
+  last_arm_ = -1;
+}
+
+OnlineSimulationResult SimulateOnlinePricing(
+    const std::vector<double>& buyer_valuations,
+    const OnlinePricingOptions& options, uint64_t seed) {
+  Exp3PriceLearner learner(options, seed);
+  for (double valuation : buyer_valuations) {
+    double price = learner.PostPrice();
+    learner.Observe(price <= valuation);
+  }
+  OnlineSimulationResult out;
+  out.learner_revenue = learner.total_revenue();
+  // Best fixed grid price in hindsight.
+  for (double price : learner.grid()) {
+    double revenue = 0.0;
+    for (double valuation : buyer_valuations) {
+      if (price <= valuation) revenue += price;
+    }
+    if (revenue > out.best_fixed_revenue) {
+      out.best_fixed_revenue = revenue;
+      out.best_fixed_price = price;
+    }
+  }
+  out.regret = out.best_fixed_revenue - out.learner_revenue;
+  return out;
+}
+
+}  // namespace qp::core

@@ -1,0 +1,79 @@
+// Online revenue maximization (paper Section 7.2, "Learning buyer
+// valuations"): buyers arrive one at a time; the broker posts a price for
+// the requested bundle and only observes whether the buyer accepted —
+// bandit feedback. This module implements the EXP3 bandit over a
+// geometric grid of uniform bundle prices, the classic baseline the paper
+// proposes investigating, plus an explicit regret accounting against the
+// best fixed grid price in hindsight.
+#ifndef QP_CORE_ONLINE_H_
+#define QP_CORE_ONLINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/hypergraph.h"
+
+namespace qp::core {
+
+struct OnlinePricingOptions {
+  /// Price grid: geometric from min_price to max_price with `grid_size`
+  /// points (covers a [1, H] valuation range with O(log H) arms, the
+  /// standard discretization for posted-price bandits).
+  double min_price = 1.0;
+  double max_price = 1024.0;
+  int grid_size = 11;
+  /// EXP3 exploration rate; <= 0 picks sqrt(ln K / (K T)) per round
+  /// internally with T unknown (anytime variant).
+  double gamma = 0.05;
+};
+
+/// EXP3 posted-price learner over a uniform bundle price grid.
+class Exp3PriceLearner {
+ public:
+  Exp3PriceLearner(const OnlinePricingOptions& options, uint64_t seed);
+
+  /// Price to post for the next buyer.
+  double PostPrice();
+
+  /// Reports whether the buyer at the last posted price accepted;
+  /// updates the arm weights (reward = price if accepted, else 0,
+  /// importance-weighted as in EXP3).
+  void Observe(bool accepted);
+
+  double total_revenue() const { return total_revenue_; }
+  int rounds() const { return rounds_; }
+  const std::vector<double>& grid() const { return grid_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<double> Probabilities() const;
+
+  OnlinePricingOptions options_;
+  std::vector<double> grid_;
+  std::vector<double> weights_;
+  Rng rng_;
+  int last_arm_ = -1;
+  int rounds_ = 0;
+  double total_revenue_ = 0.0;
+};
+
+struct OnlineSimulationResult {
+  double learner_revenue = 0.0;
+  /// Revenue of the best *fixed* grid price in hindsight.
+  double best_fixed_revenue = 0.0;
+  /// best_fixed_revenue - learner_revenue (>= 0 up to noise).
+  double regret = 0.0;
+  double best_fixed_price = 0.0;
+};
+
+/// Replays a buyer sequence (bundle index + valuation drawn by `draw`)
+/// against the learner and the best fixed price in hindsight. Buyers are
+/// single-minded: buyer t accepts iff posted price <= v_t.
+OnlineSimulationResult SimulateOnlinePricing(
+    const std::vector<double>& buyer_valuations,
+    const OnlinePricingOptions& options, uint64_t seed);
+
+}  // namespace qp::core
+
+#endif  // QP_CORE_ONLINE_H_

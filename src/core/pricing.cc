@@ -1,0 +1,70 @@
+#include "core/pricing.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace qp::core {
+
+double UniformBundlePricing::Price(const std::vector<uint32_t>&) const {
+  return price_;
+}
+
+std::string UniformBundlePricing::Describe() const {
+  return StrFormat("uniform bundle P=%g", price_);
+}
+
+double ItemPricing::Price(const std::vector<uint32_t>& bundle) const {
+  double total = 0.0;
+  for (uint32_t j : bundle) total += weights_[j];
+  return total;
+}
+
+std::string ItemPricing::Describe() const {
+  int nonzero = 0;
+  for (double w : weights_) nonzero += (w != 0.0);
+  return StrFormat("item pricing (%d/%zu nonzero weights)", nonzero,
+                   weights_.size());
+}
+
+double XosPricing::Price(const std::vector<uint32_t>& bundle) const {
+  double best = 0.0;
+  for (const auto& component : components_) {
+    double total = 0.0;
+    for (uint32_t j : bundle) total += component[j];
+    best = std::max(best, total);
+  }
+  return best;
+}
+
+std::string XosPricing::Describe() const {
+  return StrFormat("XOS pricing (%zu additive components)", components_.size());
+}
+
+double RevenueFromPrices(const std::vector<double>& edge_prices,
+                         const Valuations& valuations) {
+  double revenue = 0.0;
+  for (size_t e = 0; e < edge_prices.size(); ++e) {
+    double p = edge_prices[e];
+    if (p <= valuations[e] + kSellTolerance * (1.0 + std::abs(valuations[e]))) {
+      revenue += p;
+    }
+  }
+  return revenue;
+}
+
+std::vector<double> EdgePrices(const PricingFunction& pricing,
+                               const Hypergraph& hypergraph) {
+  std::vector<double> prices(hypergraph.num_edges());
+  for (int e = 0; e < hypergraph.num_edges(); ++e) {
+    prices[e] = pricing.Price(hypergraph.edge(e));
+  }
+  return prices;
+}
+
+double Revenue(const PricingFunction& pricing, const Hypergraph& hypergraph,
+               const Valuations& valuations) {
+  return RevenueFromPrices(EdgePrices(pricing, hypergraph), valuations);
+}
+
+}  // namespace qp::core

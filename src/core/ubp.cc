@@ -1,0 +1,33 @@
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "core/algorithms.h"
+
+namespace qp::core {
+
+// Sorts valuations in decreasing order; price candidate v_(i) sells exactly
+// the i highest-valued bundles, so a single pass finds the maximizer.
+PricingResult RunUbp(const Hypergraph& hypergraph, const Valuations& v) {
+  Stopwatch timer;
+  Valuations sorted = v;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+
+  double best_price = 0.0;
+  double best_revenue = 0.0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    double revenue = sorted[i] * static_cast<double>(i + 1);
+    if (revenue > best_revenue) {
+      best_revenue = revenue;
+      best_price = sorted[i];
+    }
+  }
+
+  PricingResult result;
+  result.algorithm = "UBP";
+  result.pricing = std::make_unique<UniformBundlePricing>(best_price);
+  result.revenue = Revenue(*result.pricing, hypergraph, v);
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace qp::core

@@ -1,0 +1,51 @@
+#include <algorithm>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/algorithms.h"
+
+namespace qp::core {
+
+// Guruswami et al.: set every item weight to the same w. Bundle e sells iff
+// w * |e| <= v_e, i.e. w <= q_e = v_e / |e|. Sorting by q_e descending makes
+// the sold set a prefix, so each candidate w = q_(i) is evaluated in O(1)
+// with a running size sum. Empty bundles always sell, at price 0.
+PricingResult RunUip(const Hypergraph& hypergraph, const Valuations& v) {
+  Stopwatch timer;
+  struct Candidate {
+    double q;
+    double size;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(v.size());
+  for (int e = 0; e < hypergraph.num_edges(); ++e) {
+    int size = hypergraph.edge_size(e);
+    if (size == 0) continue;
+    candidates.push_back(
+        {v[e] / static_cast<double>(size), static_cast<double>(size)});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) { return a.q > b.q; });
+
+  double best_w = 0.0;
+  double best_revenue = 0.0;
+  double size_prefix = 0.0;
+  for (const Candidate& c : candidates) {
+    size_prefix += c.size;
+    double revenue = c.q * size_prefix;
+    if (revenue > best_revenue) {
+      best_revenue = revenue;
+      best_w = c.q;
+    }
+  }
+
+  PricingResult result;
+  result.algorithm = "UIP";
+  result.pricing = std::make_unique<ItemPricing>(
+      std::vector<double>(hypergraph.num_items(), best_w));
+  result.revenue = Revenue(*result.pricing, hypergraph, v);
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace qp::core

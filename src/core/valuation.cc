@@ -1,0 +1,79 @@
+#include "core/valuation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/distributions.h"
+
+namespace qp::core {
+
+Valuations SampleUniformValuations(const Hypergraph& hypergraph, double k,
+                                   Rng& rng) {
+  Valuations v(hypergraph.num_edges());
+  for (double& x : v) x = rng.UniformReal(1.0, k);
+  return v;
+}
+
+Valuations SampleZipfValuations(const Hypergraph& hypergraph, double a,
+                                Rng& rng, uint64_t zipf_support) {
+  ZipfDistribution zipf(zipf_support, a);
+  Valuations v(hypergraph.num_edges());
+  for (double& x : v) x = static_cast<double>(zipf.Sample(rng));
+  return v;
+}
+
+Valuations ScaleExponentialValuations(const Hypergraph& hypergraph,
+                                      double kappa, Rng& rng) {
+  Valuations v(hypergraph.num_edges());
+  for (int e = 0; e < hypergraph.num_edges(); ++e) {
+    int size = hypergraph.edge_size(e);
+    if (size == 0) {
+      v[e] = 0.0;
+      continue;
+    }
+    double mean = std::pow(static_cast<double>(size), kappa);
+    v[e] = rng.Exponential(mean);
+  }
+  return v;
+}
+
+Valuations ScaleNormalValuations(const Hypergraph& hypergraph, double kappa,
+                                 Rng& rng, double variance) {
+  double sigma = std::sqrt(variance);
+  Valuations v(hypergraph.num_edges());
+  for (int e = 0; e < hypergraph.num_edges(); ++e) {
+    int size = hypergraph.edge_size(e);
+    if (size == 0) {
+      v[e] = 0.0;
+      continue;
+    }
+    double mu = std::pow(static_cast<double>(size), kappa);
+    v[e] = std::max(0.0, rng.Normal(mu, sigma));
+  }
+  return v;
+}
+
+Valuations AdditiveItemValuations(const Hypergraph& hypergraph,
+                                  LevelDistribution levels, uint64_t k,
+                                  Rng& rng) {
+  const uint32_t n = hypergraph.num_items();
+  std::vector<double> item_price(n);
+  BinomialDistribution binomial(k, 0.5);
+  for (uint32_t j = 0; j < n; ++j) {
+    uint64_t level = levels == LevelDistribution::kUniform
+                         ? static_cast<uint64_t>(
+                               rng.UniformInt(1, std::max<int64_t>(1, k)))
+                         : binomial.Sample(rng);
+    item_price[j] =
+        rng.UniformReal(static_cast<double>(level), static_cast<double>(level) + 1.0);
+  }
+  Valuations v(hypergraph.num_edges(), 0.0);
+  for (int e = 0; e < hypergraph.num_edges(); ++e) {
+    double total = 0.0;
+    for (uint32_t j : hypergraph.edge(e)) total += item_price[j];
+    v[e] = total;
+  }
+  return v;
+}
+
+}  // namespace qp::core

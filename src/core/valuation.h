@@ -1,0 +1,46 @@
+// Buyer-valuation generative models (paper Section 6.3).
+//
+//  * Sampling bundle valuations:  v_e ~ Uniform[1,k]  or  v_e ~ Zipf(a).
+//  * Scaling bundle valuations:   v_e ~ Exponential(mean = |e|^kappa)  or
+//                                 v_e ~ Normal(mu = |e|^kappa, sigma^2 = 10),
+//    clamped at 0; empty edges get v = 0.
+//  * Sampling item prices (additive model): item j draws a level
+//    l_j ~ Dtilde (Uniform{1..k} or Binomial(k, 1/2)), then a price
+//    x_j ~ Uniform[l_j, l_j + 1]; v_e = sum of x_j over j in e.
+#ifndef QP_CORE_VALUATION_H_
+#define QP_CORE_VALUATION_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "core/hypergraph.h"
+
+namespace qp::core {
+
+/// v_e ~ Uniform[1, k], independent of the edge.
+Valuations SampleUniformValuations(const Hypergraph& hypergraph, double k,
+                                   Rng& rng);
+
+/// v_e ~ Zipf(a) over {1, ..., zipf_support}.
+Valuations SampleZipfValuations(const Hypergraph& hypergraph, double a,
+                                Rng& rng, uint64_t zipf_support = 1000000);
+
+/// v_e ~ Exponential(mean = |e|^kappa); empty edges get 0.
+Valuations ScaleExponentialValuations(const Hypergraph& hypergraph,
+                                      double kappa, Rng& rng);
+
+/// v_e ~ Normal(mu = |e|^kappa, sigma^2 = variance), clamped at 0;
+/// empty edges get 0.
+Valuations ScaleNormalValuations(const Hypergraph& hypergraph, double kappa,
+                                 Rng& rng, double variance = 10.0);
+
+enum class LevelDistribution { kUniform, kBinomial };
+
+/// Additive item-price model: levels from Uniform{1..k} or Binomial(k, 1/2).
+Valuations AdditiveItemValuations(const Hypergraph& hypergraph,
+                                  LevelDistribution levels, uint64_t k,
+                                  Rng& rng);
+
+}  // namespace qp::core
+
+#endif  // QP_CORE_VALUATION_H_

@@ -1,0 +1,23 @@
+#include "common/stopwatch.h"
+#include "core/algorithms.h"
+
+namespace qp::core {
+
+// XOS (Section 5.2): combine the LPIP and CIP price vectors, offering each
+// bundle at the higher of the two additive prices. More expressive than
+// either component, but — as the paper observes (Section 6.3) — the max
+// can overshoot v_e on bundles either component alone would have sold.
+PricingResult RunXos(const Hypergraph& hypergraph, const Valuations& v,
+                     const ItemPricing& lpip_component,
+                     const ItemPricing& cip_component) {
+  Stopwatch timer;
+  PricingResult result;
+  result.algorithm = "XOS";
+  result.pricing = std::make_unique<XosPricing>(std::vector<std::vector<double>>{
+      lpip_component.weights(), cip_component.weights()});
+  result.revenue = Revenue(*result.pricing, hypergraph, v);
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace qp::core

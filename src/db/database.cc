@@ -1,0 +1,38 @@
+#include "db/database.h"
+
+#include "common/str_util.h"
+
+namespace qp::db {
+
+Status Database::AddTable(Table table) {
+  std::string key = ToLower(table.name());
+  if (index_.count(key) > 0) {
+    return Status::AlreadyExists(StrCat("table ", table.name()));
+  }
+  index_.emplace(key, static_cast<int>(tables_.size()));
+  tables_.push_back(std::make_unique<Table>(std::move(table)));
+  return Status::OK();
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  int idx = FindTableIndex(name);
+  return idx < 0 ? nullptr : tables_[idx].get();
+}
+
+Table* Database::FindTable(const std::string& name) {
+  int idx = FindTableIndex(name);
+  return idx < 0 ? nullptr : tables_[idx].get();
+}
+
+int Database::FindTableIndex(const std::string& name) const {
+  auto it = index_.find(ToLower(name));
+  return it == index_.end() ? -1 : it->second;
+}
+
+int64_t Database::TotalRows() const {
+  int64_t total = 0;
+  for (const auto& t : tables_) total += t->num_rows();
+  return total;
+}
+
+}  // namespace qp::db

@@ -1,0 +1,41 @@
+// A named collection of tables (the seller's instance D).
+#ifndef QP_DB_DATABASE_H_
+#define QP_DB_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "db/table.h"
+
+namespace qp::db {
+
+class Database {
+ public:
+  /// Adds a table; fails on duplicate (case-insensitive) names.
+  Status AddTable(Table table);
+
+  /// Case-insensitive lookup; nullptr when absent.
+  const Table* FindTable(const std::string& name) const;
+  Table* FindTable(const std::string& name);
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+  const Table& table(int idx) const { return *tables_[idx]; }
+  Table& table(int idx) { return *tables_[idx]; }
+
+  /// Index of a table by name, -1 if absent.
+  int FindTableIndex(const std::string& name) const;
+
+  /// Total number of rows across tables.
+  int64_t TotalRows() const;
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, int> index_;  // lower-cased name -> idx
+};
+
+}  // namespace qp::db
+
+#endif  // QP_DB_DATABASE_H_

@@ -1,0 +1,432 @@
+#include "db/parser.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/str_util.h"
+#include "db/tokenizer.h"
+
+namespace qp::db {
+
+namespace {
+
+bool IsReservedKeyword(const Token& t) {
+  static const char* kKeywords[] = {"select", "from",  "where", "group",
+                                    "by",     "limit", "and",   "or",
+                                    "not",    "like",  "between", "in",
+                                    "distinct"};
+  for (const char* kw : kKeywords) {
+    if (t.IsKeyword(kw)) return true;
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const Database& db, std::string sql)
+      : tokens_(std::move(tokens)), db_(db), sql_(std::move(sql)) {}
+
+  Result<BoundQuery> Parse();
+
+ private:
+  // -- token helpers ----------------------------------------------------
+  const Token& Peek(int ahead = 0) const {
+    size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[idx];
+  }
+  const Token& Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool AcceptKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(const char* s) {
+    if (Peek().IsSymbol(s)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        StrCat("parse error at offset ", Peek().position, ": ", message,
+               " (query: ", sql_, ")"));
+  }
+
+  // -- binding helpers --------------------------------------------------
+  struct TableRef {
+    int db_index = -1;
+    std::string alias;  // lower-cased alias or table name
+    int offset = 0;
+  };
+
+  /// Resolves [qualifier.]column to a flat index.
+  Result<int> BindColumn(const std::string& qualifier, const std::string& name) {
+    if (!qualifier.empty()) {
+      for (const TableRef& ref : tables_) {
+        if (ToLower(qualifier) != ref.alias &&
+            !EqualsIgnoreCase(qualifier, db_.table(ref.db_index).name())) {
+          continue;
+        }
+        int c = db_.table(ref.db_index).schema().FindColumn(name);
+        if (c >= 0) return ref.offset + c;
+        return Status::NotFound(
+            StrCat("column ", qualifier, ".", name, " not found"));
+      }
+      return Status::NotFound(StrCat("unknown table or alias ", qualifier));
+    }
+    int found = -1;
+    for (const TableRef& ref : tables_) {
+      int c = db_.table(ref.db_index).schema().FindColumn(name);
+      if (c < 0) continue;
+      if (found >= 0) {
+        return Status::InvalidArgument(StrCat("ambiguous column ", name));
+      }
+      found = ref.offset + c;
+    }
+    if (found < 0) return Status::NotFound(StrCat("column ", name, " not found"));
+    return found;
+  }
+
+  /// Parses `[qualifier.]name`; returns flat column index.
+  Result<int> ParseColumnRef() {
+    if (Peek().type != TokenType::kIdentifier) return Error("expected column");
+    std::string first = Advance().text;
+    std::string qualifier, name;
+    if (Peek().IsSymbol(".")) {
+      Advance();
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected column after '.'");
+      }
+      qualifier = first;
+      name = Advance().text;
+    } else {
+      name = first;
+    }
+    return BindColumn(qualifier, name);
+  }
+
+  std::optional<Value> ParseLiteralOpt() {
+    if (Peek().IsSymbol("-") &&
+        (Peek(1).type == TokenType::kInteger ||
+         Peek(1).type == TokenType::kFloat)) {
+      Advance();
+      const Token& num = Advance();
+      return num.type == TokenType::kInteger ? Value::Int(-num.int_value)
+                                             : Value::Real(-num.float_value);
+    }
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInteger:
+        Advance();
+        return Value::Int(t.int_value);
+      case TokenType::kFloat:
+        Advance();
+        return Value::Real(t.float_value);
+      case TokenType::kString:
+        Advance();
+        return Value::Str(t.text);
+      default:
+        return std::nullopt;
+    }
+  }
+
+  // -- grammar ----------------------------------------------------------
+  Status ParseFromClause();
+  Status ParseSelectList();
+  Result<ExprPtr> ParseDisjunction(bool allow_join_extraction);
+  Result<ExprPtr> ParseConjunction(bool allow_join_extraction);
+  Result<ExprPtr> ParseCondition(bool allow_join_extraction);
+  Result<ExprPtr> ParseComparisonTail(ExprPtr operand, bool operand_is_column,
+                                      int column_flat,
+                                      bool allow_join_extraction);
+  Result<ExprPtr> ParseOperand(bool* is_column, int* column_flat);
+
+  std::vector<Token> tokens_;
+  const Database& db_;
+  std::string sql_;
+  size_t pos_ = 0;
+
+  std::vector<TableRef> tables_;
+  BoundQuery query_;
+  bool select_star_ = false;
+  size_t select_clause_begin_ = 0, select_clause_end_ = 0;
+};
+
+Status Parser::ParseFromClause() {
+  while (true) {
+    if (Peek().type != TokenType::kIdentifier || IsReservedKeyword(Peek())) {
+      return Error("expected table name");
+    }
+    std::string table_name = Advance().text;
+    int idx = db_.FindTableIndex(table_name);
+    if (idx < 0) return Status::NotFound(StrCat("table ", table_name));
+    TableRef ref;
+    ref.db_index = idx;
+    ref.alias = ToLower(table_name);
+    // Optional alias (an identifier that is not a keyword).
+    if (Peek().type == TokenType::kIdentifier && !IsReservedKeyword(Peek())) {
+      ref.alias = ToLower(Advance().text);
+    }
+    tables_.push_back(ref);
+    if (!AcceptSymbol(",")) break;
+  }
+  if (tables_.size() > 2) {
+    return Status::Unimplemented("queries over more than two tables");
+  }
+  int offset = 0;
+  query_.table_indices.clear();
+  query_.column_offsets.clear();
+  for (TableRef& ref : tables_) {
+    ref.offset = offset;
+    query_.table_indices.push_back(ref.db_index);
+    query_.column_offsets.push_back(offset);
+    offset += db_.table(ref.db_index).schema().num_columns();
+  }
+  query_.total_columns = offset;
+  return Status::OK();
+}
+
+Status Parser::ParseSelectList() {
+  // Re-parse the saved select-clause token range now that tables are bound.
+  size_t saved = pos_;
+  pos_ = select_clause_begin_;
+  if (AcceptSymbol("*")) {
+    select_star_ = true;
+    for (int f = 0; f < query_.total_columns; ++f) {
+      query_.select.push_back(SelectItem::Column(f));
+    }
+  } else {
+    while (true) {
+      const Token& t = Peek();
+      bool is_agg_kw = t.IsKeyword("count") || t.IsKeyword("sum") ||
+                       t.IsKeyword("avg") || t.IsKeyword("min") ||
+                       t.IsKeyword("max");
+      if (is_agg_kw && Peek(1).IsSymbol("(")) {
+        AggFunc func = AggFunc::kCount;
+        if (t.IsKeyword("count")) func = AggFunc::kCount;
+        if (t.IsKeyword("sum")) func = AggFunc::kSum;
+        if (t.IsKeyword("avg")) func = AggFunc::kAvg;
+        if (t.IsKeyword("min")) func = AggFunc::kMin;
+        if (t.IsKeyword("max")) func = AggFunc::kMax;
+        Advance();  // function name
+        Advance();  // '('
+        bool agg_distinct = AcceptKeyword("distinct");
+        int arg = -1;
+        if (AcceptSymbol("*")) {
+          if (func != AggFunc::kCount) return Error("only COUNT(*) allowed");
+        } else {
+          QP_ASSIGN_OR_RETURN(arg, ParseColumnRef());
+        }
+        if (agg_distinct) {
+          if (func != AggFunc::kCount || arg < 0) {
+            return Error("DISTINCT only supported inside COUNT(col)");
+          }
+          func = AggFunc::kCountDistinct;
+        }
+        if (!AcceptSymbol(")")) return Error("expected ')' after aggregate");
+        query_.select.push_back(SelectItem::Aggregate(func, arg));
+      } else if (auto lit = ParseLiteralOpt()) {
+        query_.select.push_back(SelectItem::LiteralValue(*lit));
+      } else {
+        QP_ASSIGN_OR_RETURN(int col, ParseColumnRef());
+        query_.select.push_back(SelectItem::Column(col));
+      }
+      if (!AcceptSymbol(",")) break;
+    }
+  }
+  if (pos_ != select_clause_end_) return Error("trailing tokens in SELECT list");
+  pos_ = saved;
+  return Status::OK();
+}
+
+Result<ExprPtr> Parser::ParseOperand(bool* is_column, int* column_flat) {
+  *is_column = false;
+  *column_flat = -1;
+  if (auto lit = ParseLiteralOpt()) {
+    return Expr::Literal(*lit);
+  }
+  if (Peek().type == TokenType::kIdentifier && !IsReservedKeyword(Peek())) {
+    QP_ASSIGN_OR_RETURN(int col, ParseColumnRef());
+    *is_column = true;
+    *column_flat = col;
+    return Expr::Column(col);
+  }
+  return Error("expected column or literal");
+}
+
+Result<ExprPtr> Parser::ParseComparisonTail(ExprPtr operand,
+                                            bool operand_is_column,
+                                            int column_flat,
+                                            bool allow_join_extraction) {
+  if (AcceptKeyword("between")) {
+    auto lo = ParseLiteralOpt();
+    if (!lo) return Error("expected literal after BETWEEN");
+    if (!AcceptKeyword("and")) return Error("expected AND in BETWEEN");
+    auto hi = ParseLiteralOpt();
+    if (!hi) return Error("expected literal after AND");
+    return Expr::Between(std::move(operand), *lo, *hi);
+  }
+  if (AcceptKeyword("like")) {
+    if (Peek().type != TokenType::kString) {
+      return Error("expected string pattern after LIKE");
+    }
+    return Expr::Like(std::move(operand), Advance().text);
+  }
+  if (AcceptKeyword("in")) {
+    if (!AcceptSymbol("(")) return Error("expected '(' after IN");
+    std::vector<Value> values;
+    while (true) {
+      auto lit = ParseLiteralOpt();
+      if (!lit) return Error("expected literal in IN list");
+      values.push_back(*lit);
+      if (!AcceptSymbol(",")) break;
+    }
+    if (!AcceptSymbol(")")) return Error("expected ')' after IN list");
+    return Expr::InList(std::move(operand), std::move(values));
+  }
+  CompareOp op;
+  if (AcceptSymbol("=")) {
+    op = CompareOp::kEq;
+  } else if (AcceptSymbol("<>")) {
+    op = CompareOp::kNe;
+  } else if (AcceptSymbol("<=")) {
+    op = CompareOp::kLe;
+  } else if (AcceptSymbol(">=")) {
+    op = CompareOp::kGe;
+  } else if (AcceptSymbol("<")) {
+    op = CompareOp::kLt;
+  } else if (AcceptSymbol(">")) {
+    op = CompareOp::kGt;
+  } else {
+    return Error("expected comparison operator");
+  }
+  bool rhs_is_column = false;
+  int rhs_flat = -1;
+  QP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseOperand(&rhs_is_column, &rhs_flat));
+
+  // Equi-join extraction: first top-level cross-table column equality.
+  if (allow_join_extraction && op == CompareOp::kEq && operand_is_column &&
+      rhs_is_column && tables_.size() == 2 && query_.join_left < 0) {
+    int n0 = db_.table(tables_[0].db_index).schema().num_columns();
+    int lhs_flat = column_flat;
+    bool lhs_in_t0 = lhs_flat < n0;
+    bool rhs_in_t0 = rhs_flat < n0;
+    if (lhs_in_t0 != rhs_in_t0) {
+      query_.join_left = lhs_in_t0 ? lhs_flat : rhs_flat;
+      query_.join_right = lhs_in_t0 ? rhs_flat : lhs_flat;
+      return ExprPtr(nullptr);  // consumed as the join condition
+    }
+  }
+  return Expr::Compare(op, std::move(operand), std::move(rhs));
+}
+
+Result<ExprPtr> Parser::ParseCondition(bool allow_join_extraction) {
+  if (AcceptKeyword("not")) {
+    QP_ASSIGN_OR_RETURN(ExprPtr inner, ParseCondition(false));
+    if (!inner) return Error("NOT cannot wrap the join condition");
+    return Expr::Not(std::move(inner));
+  }
+  if (AcceptSymbol("(")) {
+    QP_ASSIGN_OR_RETURN(ExprPtr inner, ParseDisjunction(false));
+    if (!AcceptSymbol(")")) return Error("expected ')'");
+    return inner;
+  }
+  bool is_column = false;
+  int column_flat = -1;
+  QP_ASSIGN_OR_RETURN(ExprPtr operand, ParseOperand(&is_column, &column_flat));
+  return ParseComparisonTail(std::move(operand), is_column, column_flat,
+                             allow_join_extraction);
+}
+
+Result<ExprPtr> Parser::ParseConjunction(bool allow_join_extraction) {
+  QP_ASSIGN_OR_RETURN(ExprPtr left, ParseCondition(allow_join_extraction));
+  while (AcceptKeyword("and")) {
+    QP_ASSIGN_OR_RETURN(ExprPtr right, ParseCondition(allow_join_extraction));
+    if (!left) {
+      left = std::move(right);  // previous conjunct was the join condition
+    } else if (right) {
+      left = Expr::And(std::move(left), std::move(right));
+    }
+  }
+  return left;  // may be nullptr if everything was the join condition
+}
+
+Result<ExprPtr> Parser::ParseDisjunction(bool allow_join_extraction) {
+  // Join extraction is only sound when the equality is a top-level
+  // conjunct; an OR-context must keep it as a plain condition.
+  QP_ASSIGN_OR_RETURN(ExprPtr left,
+                      ParseConjunction(allow_join_extraction &&
+                                       !Peek().IsKeyword("or")));
+  bool saw_or = false;
+  while (AcceptKeyword("or")) {
+    saw_or = true;
+    QP_ASSIGN_OR_RETURN(ExprPtr right, ParseConjunction(false));
+    if (!left || !right) {
+      return Error("OR cannot combine with the join condition");
+    }
+    left = Expr::Or(std::move(left), std::move(right));
+  }
+  (void)saw_or;
+  return left;
+}
+
+Result<BoundQuery> Parser::Parse() {
+  if (!AcceptKeyword("select")) return Error("expected SELECT");
+  query_.distinct = AcceptKeyword("distinct");
+
+  // Skip the select list for now; it binds after FROM is known.
+  select_clause_begin_ = pos_;
+  int depth = 0;
+  while (Peek().type != TokenType::kEnd &&
+         !(depth == 0 && Peek().IsKeyword("from"))) {
+    if (Peek().IsSymbol("(")) ++depth;
+    if (Peek().IsSymbol(")")) --depth;
+    Advance();
+  }
+  select_clause_end_ = pos_;
+  if (!AcceptKeyword("from")) return Error("expected FROM");
+
+  QP_RETURN_IF_ERROR(ParseFromClause());
+  QP_RETURN_IF_ERROR(ParseSelectList());
+
+  if (AcceptKeyword("where")) {
+    QP_ASSIGN_OR_RETURN(ExprPtr predicate,
+                        ParseDisjunction(/*allow_join_extraction=*/true));
+    query_.predicate = std::move(predicate);  // may be null (join only)
+  }
+  if (AcceptKeyword("group")) {
+    if (!AcceptKeyword("by")) return Error("expected BY after GROUP");
+    while (true) {
+      QP_ASSIGN_OR_RETURN(int col, ParseColumnRef());
+      query_.group_by.push_back(col);
+      if (!AcceptSymbol(",")) break;
+    }
+  }
+  if (AcceptKeyword("limit")) {
+    if (Peek().type != TokenType::kInteger) return Error("expected LIMIT count");
+    query_.limit = Advance().int_value;
+  }
+  if (Peek().type != TokenType::kEnd) return Error("unexpected trailing tokens");
+
+  if (tables_.size() == 2 && query_.join_left < 0) {
+    return Status::Unimplemented(
+        StrCat("two-table query without an equi-join: ", sql_));
+  }
+  query_.text = sql_;
+  QP_RETURN_IF_ERROR(query_.Validate(db_));
+  return query_;
+}
+
+}  // namespace
+
+Result<BoundQuery> ParseQuery(const std::string& sql, const Database& db) {
+  QP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens), db, sql);
+  return parser.Parse();
+}
+
+}  // namespace qp::db

@@ -1,0 +1,36 @@
+// Recursive-descent parser + binder for the SQL subset:
+//
+//   SELECT [DISTINCT] select_list
+//   FROM table [alias] [, table [alias]]
+//   [WHERE predicate]
+//   [GROUP BY column_list]
+//   [LIMIT n]
+//
+// select_list: '*' | items; item: column | literal |
+//   COUNT(*) | COUNT([DISTINCT] col) | SUM/AVG/MIN/MAX(col)
+// predicate: AND/OR/NOT over comparisons (= <> < <= > >=), BETWEEN,
+//   LIKE, IN (...); parenthesized subexpressions allowed.
+//
+// Two-table queries follow the workloads' implicit-join style: the first
+// top-level `colA = colB` conjunct whose columns come from different
+// tables becomes the equi-join; remaining conditions stay as the residual
+// predicate. Names bind case-insensitively against the Database, with
+// optional table aliases (e.g. "from Country C ... where C.Code = ...").
+#ifndef QP_DB_PARSER_H_
+#define QP_DB_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "db/database.h"
+#include "db/query.h"
+
+namespace qp::db {
+
+/// Parses and binds `sql` against `db`. The returned query passes
+/// BoundQuery::Validate.
+Result<BoundQuery> ParseQuery(const std::string& sql, const Database& db);
+
+}  // namespace qp::db
+
+#endif  // QP_DB_PARSER_H_

@@ -1,0 +1,230 @@
+#include "db/query.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace qp::db {
+
+const char* AggFuncToString(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kCountDistinct:
+      return "count distinct";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+bool BoundQuery::has_aggregates() const {
+  for (const SelectItem& item : select) {
+    if (item.kind == SelectItem::Kind::kAggregate) return true;
+  }
+  return false;
+}
+
+std::pair<int, int> BoundQuery::FlatToTableColumn(int flat) const {
+  for (int t = static_cast<int>(table_indices.size()) - 1; t >= 0; --t) {
+    if (flat >= column_offsets[t]) {
+      return {table_indices[t], flat - column_offsets[t]};
+    }
+  }
+  return {-1, -1};
+}
+
+std::vector<std::pair<int, int>> BoundQuery::SensitiveColumns() const {
+  std::vector<int> flats;
+  if (predicate) predicate->CollectColumns(&flats);
+  if (join_left >= 0) flats.push_back(join_left);
+  if (join_right >= 0) flats.push_back(join_right);
+  for (int g : group_by) flats.push_back(g);
+  for (const SelectItem& item : select) {
+    if (item.kind == SelectItem::Kind::kLiteral) continue;
+    if (item.column >= 0) flats.push_back(item.column);
+  }
+  std::sort(flats.begin(), flats.end());
+  flats.erase(std::unique(flats.begin(), flats.end()), flats.end());
+  std::vector<std::pair<int, int>> out;
+  out.reserve(flats.size());
+  for (int f : flats) out.push_back(FlatToTableColumn(f));
+  return out;
+}
+
+Status BoundQuery::Validate(const Database& db) const {
+  if (table_indices.empty() || table_indices.size() > 2) {
+    return Status::InvalidArgument("queries must reference 1 or 2 tables");
+  }
+  if (table_indices.size() == 2 &&
+      table_indices[0] == table_indices[1]) {
+    return Status::Unimplemented("self-joins are not supported");
+  }
+  int expected_offset = 0;
+  if (column_offsets.size() != table_indices.size()) {
+    return Status::InvalidArgument("column_offsets arity mismatch");
+  }
+  for (size_t t = 0; t < table_indices.size(); ++t) {
+    int ti = table_indices[t];
+    if (ti < 0 || ti >= db.num_tables()) {
+      return Status::InvalidArgument(StrCat("bad table index ", ti));
+    }
+    if (column_offsets[t] != expected_offset) {
+      return Status::InvalidArgument("column offsets are inconsistent");
+    }
+    expected_offset += db.table(ti).schema().num_columns();
+  }
+  if (total_columns != expected_offset) {
+    return Status::InvalidArgument("total_columns mismatch");
+  }
+  auto check_flat = [&](int flat, const char* what) {
+    if (flat < 0 || flat >= total_columns) {
+      return Status::InvalidArgument(StrCat("bad ", what, " column ", flat));
+    }
+    return Status::OK();
+  };
+  if (table_indices.size() == 2) {
+    if (join_left < 0 || join_right < 0) {
+      return Status::InvalidArgument("two-table queries need an equi-join");
+    }
+    QP_RETURN_IF_ERROR(check_flat(join_left, "join-left"));
+    QP_RETURN_IF_ERROR(check_flat(join_right, "join-right"));
+    int n0 = db.table(table_indices[0]).schema().num_columns();
+    if (join_left >= n0 || join_right < n0) {
+      return Status::InvalidArgument(
+          "join_left must come from table 0 and join_right from table 1");
+    }
+  }
+  std::vector<int> pred_cols;
+  if (predicate) predicate->CollectColumns(&pred_cols);
+  for (int c : pred_cols) QP_RETURN_IF_ERROR(check_flat(c, "predicate"));
+  for (int c : group_by) QP_RETURN_IF_ERROR(check_flat(c, "group-by"));
+  if (select.empty()) {
+    return Status::InvalidArgument("empty select list");
+  }
+  bool has_agg = has_aggregates();
+  for (const SelectItem& item : select) {
+    switch (item.kind) {
+      case SelectItem::Kind::kColumn: {
+        QP_RETURN_IF_ERROR(check_flat(item.column, "select"));
+        if (has_agg || !group_by.empty()) {
+          bool grouped = std::find(group_by.begin(), group_by.end(),
+                                   item.column) != group_by.end();
+          if (!grouped) {
+            return Status::InvalidArgument(
+                StrCat("select column ", item.column,
+                       " must appear in GROUP BY alongside aggregates"));
+          }
+        }
+        break;
+      }
+      case SelectItem::Kind::kAggregate:
+        if (item.column != -1) {
+          QP_RETURN_IF_ERROR(check_flat(item.column, "aggregate"));
+        } else if (item.agg != AggFunc::kCount) {
+          return Status::InvalidArgument("only COUNT(*) may omit its argument");
+        }
+        break;
+      case SelectItem::Kind::kLiteral:
+        break;
+    }
+  }
+  if (!group_by.empty() && !has_agg) {
+    // GROUP BY without aggregates behaves like DISTINCT over the group
+    // columns; allowed, as in MySQL.
+  }
+  return Status::OK();
+}
+
+Status QueryBuilder::SetTables(const std::vector<std::string>& names) {
+  query_.table_indices.clear();
+  query_.column_offsets.clear();
+  query_.total_columns = 0;
+  for (const std::string& name : names) {
+    int idx = db_->FindTableIndex(name);
+    if (idx < 0) {
+      tables_status_ = Status::NotFound(StrCat("table ", name));
+      return tables_status_;
+    }
+    query_.table_indices.push_back(idx);
+    query_.column_offsets.push_back(query_.total_columns);
+    query_.total_columns += db_->table(idx).schema().num_columns();
+  }
+  tables_status_ = Status::OK();
+  return tables_status_;
+}
+
+int QueryBuilder::Col(const std::string& table, const std::string& column) const {
+  for (size_t t = 0; t < query_.table_indices.size(); ++t) {
+    const Table& tab = db_->table(query_.table_indices[t]);
+    if (!EqualsIgnoreCase(tab.name(), table)) continue;
+    int c = tab.schema().FindColumn(column);
+    if (c >= 0) return query_.column_offsets[t] + c;
+  }
+  return -1;
+}
+
+int QueryBuilder::Col(const std::string& column) const {
+  int found = -1;
+  for (size_t t = 0; t < query_.table_indices.size(); ++t) {
+    const Table& tab = db_->table(query_.table_indices[t]);
+    int c = tab.schema().FindColumn(column);
+    if (c >= 0) {
+      if (found >= 0) return -1;  // ambiguous
+      found = query_.column_offsets[t] + c;
+    }
+  }
+  return found;
+}
+
+QueryBuilder& QueryBuilder::Join(int left_flat, int right_flat) {
+  query_.join_left = left_flat;
+  query_.join_right = right_flat;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Where(ExprPtr predicate) {
+  query_.predicate = std::move(predicate);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Select(SelectItem item) {
+  query_.select.push_back(std::move(item));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::SelectAll() {
+  for (int f = 0; f < query_.total_columns; ++f) {
+    query_.select.push_back(SelectItem::Column(f));
+  }
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::GroupBy(int flat_col) {
+  query_.group_by.push_back(flat_col);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Distinct() {
+  query_.distinct = true;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Limit(int64_t n) {
+  query_.limit = n;
+  return *this;
+}
+
+Result<BoundQuery> QueryBuilder::Build() const {
+  if (!tables_status_.ok()) return tables_status_;
+  QP_RETURN_IF_ERROR(query_.Validate(*db_));
+  return query_;
+}
+
+}  // namespace qp::db

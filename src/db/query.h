@@ -1,0 +1,122 @@
+// Bound query representation.
+//
+// A BoundQuery is a fully-resolved select/project/equi-join/aggregate query
+// over a Database: every column reference is a *flat* index into the
+// concatenation of the referenced tables' schemas (table 0's columns first,
+// then table 1's). Queries are produced either by the SQL parser
+// (db/parser.h) or programmatically.
+#ifndef QP_DB_QUERY_H_
+#define QP_DB_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "db/database.h"
+#include "db/expr.h"
+
+namespace qp::db {
+
+enum class AggFunc : uint8_t { kCount, kCountDistinct, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncToString(AggFunc func);
+
+/// One item of the SELECT list.
+struct SelectItem {
+  enum class Kind : uint8_t { kColumn, kAggregate, kLiteral } kind = Kind::kColumn;
+  /// kColumn: flat column; kAggregate: aggregate argument (-1 = COUNT(*)).
+  int column = -1;
+  AggFunc agg = AggFunc::kCount;
+  Value literal;
+
+  static SelectItem Column(int flat_col) {
+    SelectItem item;
+    item.kind = Kind::kColumn;
+    item.column = flat_col;
+    return item;
+  }
+  static SelectItem Aggregate(AggFunc func, int flat_col) {
+    SelectItem item;
+    item.kind = Kind::kAggregate;
+    item.agg = func;
+    item.column = flat_col;
+    return item;
+  }
+  static SelectItem LiteralValue(Value v) {
+    SelectItem item;
+    item.kind = Kind::kLiteral;
+    item.literal = std::move(v);
+    return item;
+  }
+};
+
+/// A resolved query. `table_indices` holds 1 or 2 indices into the Database;
+/// two-table queries must have an equi-join pair (join_left from table 0,
+/// join_right from table 1, both as flat indices).
+struct BoundQuery {
+  std::string text;  // original SQL when parsed; informational
+
+  std::vector<int> table_indices;
+  std::vector<int> column_offsets;  // flat offset of each table's columns
+  int total_columns = 0;
+
+  int join_left = -1;
+  int join_right = -1;
+
+  ExprPtr predicate;  // nullptr = always true (residual conditions included)
+
+  std::vector<SelectItem> select;
+  std::vector<int> group_by;
+  bool distinct = false;
+  int64_t limit = -1;  // -1 = no limit
+
+  bool has_aggregates() const;
+
+  /// (database table index, column index) pairs whose cell changes can
+  /// affect the query result; deduplicated. Cell deltas never add/remove
+  /// rows, so bare COUNT(*) contributes nothing.
+  std::vector<std::pair<int, int>> SensitiveColumns() const;
+
+  /// Maps a flat column index back to (database table index, column).
+  std::pair<int, int> FlatToTableColumn(int flat) const;
+
+  /// Structural validation against `db` (arity, ranges, aggregate rules:
+  /// with aggregates present every plain select column must be grouped).
+  Status Validate(const Database& db) const;
+};
+
+/// Convenience builder used by tests and programmatic workload generation.
+class QueryBuilder {
+ public:
+  explicit QueryBuilder(const Database* db) : db_(db) {}
+
+  /// Sets 1 or 2 tables by name. Must be called first.
+  Status SetTables(const std::vector<std::string>& names);
+
+  /// Flat index of `table.column`; -1 when unknown.
+  int Col(const std::string& table, const std::string& column) const;
+  /// Flat index of an unqualified column (must be unique across tables).
+  int Col(const std::string& column) const;
+
+  QueryBuilder& Join(int left_flat, int right_flat);
+  QueryBuilder& Where(ExprPtr predicate);
+  QueryBuilder& Select(SelectItem item);
+  QueryBuilder& SelectAll();
+  QueryBuilder& GroupBy(int flat_col);
+  QueryBuilder& Distinct();
+  QueryBuilder& Limit(int64_t n);
+
+  /// Validates and returns the query.
+  Result<BoundQuery> Build() const;
+
+ private:
+  const Database* db_;
+  BoundQuery query_;
+  Status tables_status_ = Status::OK();
+};
+
+}  // namespace qp::db
+
+#endif  // QP_DB_QUERY_H_

@@ -1,0 +1,18 @@
+#include "db/schema.h"
+
+#include "common/str_util.h"
+
+namespace qp::db {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {
+  for (int i = 0; i < static_cast<int>(columns_.size()); ++i) {
+    index_.emplace(ToLower(columns_[i].name), i);
+  }
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  auto it = index_.find(ToLower(name));
+  return it == index_.end() ? -1 : it->second;
+}
+
+}  // namespace qp::db

@@ -1,0 +1,39 @@
+// Column and table schema.
+#ifndef QP_DB_SCHEMA_H_
+#define QP_DB_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/value.h"
+
+namespace qp::db {
+
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kString;
+};
+
+/// Ordered list of columns with case-insensitive name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnDef& column(int idx) const { return columns_[idx]; }
+
+  /// Returns the column index, or -1 if absent. Case-insensitive.
+  int FindColumn(const std::string& name) const;
+
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::unordered_map<std::string, int> index_;  // lower-cased name -> idx
+};
+
+}  // namespace qp::db
+
+#endif  // QP_DB_SCHEMA_H_

@@ -1,0 +1,26 @@
+#include "db/table.h"
+
+#include "common/str_util.h"
+
+namespace qp::db {
+
+Status Table::AppendRow(Row row) {
+  if (static_cast<int>(row.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        StrCat("row arity ", row.size(), " != schema arity ",
+               schema_.num_columns(), " for table ", name_));
+  }
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    if (row[c].is_null()) continue;
+    if (row[c].type() != schema_.column(c).type) {
+      return Status::InvalidArgument(
+          StrCat("column ", schema_.column(c).name, " expects ",
+                 ValueTypeToString(schema_.column(c).type), " got ",
+                 ValueTypeToString(row[c].type())));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+}  // namespace qp::db

@@ -1,0 +1,49 @@
+// In-memory row-oriented table.
+#ifndef QP_DB_TABLE_H_
+#define QP_DB_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/schema.h"
+#include "db/value.h"
+
+namespace qp::db {
+
+using Row = std::vector<Value>;
+
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  const Row& row(int idx) const { return rows_[idx]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Appends a row after checking arity and type compatibility
+  /// (NULL allowed in any column).
+  Status AppendRow(Row row);
+
+  const Value& cell(int row, int col) const { return rows_[row][col]; }
+
+  /// Overwrites one cell; used by the conflict engine's apply/undo of
+  /// support deltas. No type checking (the support generator only produces
+  /// same-type perturbations; tests cover mixed types explicitly).
+  void SetCell(int row, int col, Value value) {
+    rows_[row][col] = std::move(value);
+  }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace qp::db
+
+#endif  // QP_DB_TABLE_H_

@@ -1,0 +1,107 @@
+#include "db/tokenizer.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace qp::db {
+
+bool Token::IsSymbol(const char* s) const {
+  return type == TokenType::kSymbol && text == s;
+}
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kIdentifier && EqualsIgnoreCase(text, kw);
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      tok.type = TokenType::kIdentifier;
+      tok.text = sql.substr(start, i - start);
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i + 1 < n && sql[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      std::string num = sql.substr(start, i - start);
+      if (is_float) {
+        tok.type = TokenType::kFloat;
+        tok.float_value = std::stod(num);
+      } else {
+        tok.type = TokenType::kInteger;
+        tok.int_value = std::stoll(num);
+      }
+      tok.text = std::move(num);
+    } else if (c == '\'') {
+      ++i;
+      std::string contents;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // doubled quote escape
+            contents.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        contents.push_back(sql[i++]);
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            StrCat("unterminated string literal at offset ", tok.position));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(contents);
+    } else {
+      // Multi-char operators first.
+      auto two = sql.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+        tok.type = TokenType::kSymbol;
+        tok.text = two == "!=" ? "<>" : two;  // normalize != to <>
+        i += 2;
+      } else if (c == '(' || c == ')' || c == ',' || c == '.' || c == '*' ||
+                 c == '=' || c == '<' || c == '>' || c == '+' || c == '-' ||
+                 c == '/' || c == '%') {
+        tok.type = TokenType::kSymbol;
+        tok.text = std::string(1, c);
+        ++i;
+      } else {
+        return Status::InvalidArgument(
+            StrCat("unexpected character '", std::string(1, c), "' at offset ",
+                   i));
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace qp::db

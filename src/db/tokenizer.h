@@ -1,0 +1,39 @@
+// SQL tokenizer for the query subset used by the paper's workloads.
+#ifndef QP_DB_TOKENIZER_H_
+#define QP_DB_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qp::db {
+
+enum class TokenType : uint8_t {
+  kIdentifier,  // table / column / function names (case preserved)
+  kInteger,
+  kFloat,
+  kString,      // 'quoted' (quotes stripped)
+  kSymbol,      // ( ) , . * = <> != < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // identifier/symbol text or string contents
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t position = 0;  // byte offset in the input, for error messages
+
+  bool IsSymbol(const char* s) const;
+  /// Case-insensitive keyword match for identifiers.
+  bool IsKeyword(const char* kw) const;
+};
+
+/// Splits `sql` into tokens; a kEnd token is always appended.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace qp::db
+
+#endif  // QP_DB_TOKENIZER_H_

@@ -1,0 +1,114 @@
+#include "db/value.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/str_util.h"
+
+namespace qp::db {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+double Value::ToNumeric() const {
+  switch (type_) {
+    case ValueType::kInt:
+      return static_cast<double>(int_);
+    case ValueType::kDouble:
+      return double_;
+    default:
+      return 0.0;
+  }
+}
+
+int Value::Compare(const Value& other) const {
+  auto rank = [](ValueType t) {
+    switch (t) {
+      case ValueType::kNull:
+        return 0;
+      case ValueType::kInt:
+      case ValueType::kDouble:
+        return 1;  // numerics compare with each other
+      case ValueType::kString:
+        return 2;
+    }
+    return 3;
+  };
+  int ra = rank(type_), rb = rank(other.type_);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (type_) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt:
+      if (other.type_ == ValueType::kInt) {
+        if (int_ != other.int_) return int_ < other.int_ ? -1 : 1;
+        return 0;
+      }
+      break;
+    case ValueType::kDouble:
+    case ValueType::kString:
+      break;
+  }
+  if (type_ == ValueType::kString) {
+    int c = string_.compare(other.string_);
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  // Mixed or double numerics.
+  double a = ToNumeric(), b = other.ToNumeric();
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+uint64_t Value::Hash() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return 0x9ae16a3b2f90404fULL;
+    case ValueType::kInt:
+      return Mix64(0x1000 ^ static_cast<uint64_t>(int_));
+    case ValueType::kDouble: {
+      // Hash doubles representing integers identically to the integer,
+      // preserving Hash-consistency with Compare's numeric equality.
+      double d = double_;
+      if (d == 0.0) d = 0.0;  // normalize -0.0
+      int64_t as_i = static_cast<int64_t>(d);
+      if (static_cast<double>(as_i) == d) {
+        return Mix64(0x1000 ^ static_cast<uint64_t>(as_i));
+      }
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return Mix64(0x2000 ^ bits);
+    }
+    case ValueType::kString:
+      return HashBytes(string_, 0x3000);
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(int_);
+    case ValueType::kDouble:
+      return FormatDouble(double_, 6);
+    case ValueType::kString:
+      return string_;
+  }
+  return "?";
+}
+
+}  // namespace qp::db

@@ -1,0 +1,80 @@
+// SQL value: NULL, 64-bit integer, double, or string.
+//
+// The engine favors integer columns for all dataset numerics (scaled
+// decimals such as cents / tenths) so that aggregate accumulators stay
+// exact; this is what lets the incremental conflict-set engine update
+// SUM/AVG in O(1) without floating-point drift relative to the naive
+// evaluator (see src/market/conflict.h).
+#ifndef QP_DB_VALUE_H_
+#define QP_DB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qp::db {
+
+enum class ValueType : uint8_t { kNull = 0, kInt, kDouble, kString };
+
+const char* ValueTypeToString(ValueType type);
+
+class Value {
+ public:
+  Value() : type_(ValueType::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) {
+    Value out;
+    out.type_ = ValueType::kInt;
+    out.int_ = v;
+    return out;
+  }
+  static Value Real(double v) {
+    Value out;
+    out.type_ = ValueType::kDouble;
+    out.double_ = v;
+    return out;
+  }
+  static Value Str(std::string v) {
+    Value out;
+    out.type_ = ValueType::kString;
+    out.string_ = std::move(v);
+    return out;
+  }
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+
+  /// Preconditions: matching type() (checked only by assert in debug).
+  int64_t as_int() const { return int_; }
+  double as_double() const { return double_; }
+  const std::string& as_string() const { return string_; }
+
+  /// Numeric coercion: kInt/kDouble as double; 0.0 for others.
+  double ToNumeric() const;
+
+  /// Total order used for canonical result sorting and comparisons:
+  /// NULL < numerics (kInt and kDouble compared by numeric value) < strings.
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Stable 64-bit hash; equal values (including int 2 == double 2.0)
+  /// hash equally.
+  uint64_t Hash() const;
+
+  /// Display form ("NULL", "42", "1.5", "abc").
+  std::string ToString() const;
+
+ private:
+  ValueType type_;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+};
+
+}  // namespace qp::db
+
+#endif  // QP_DB_VALUE_H_

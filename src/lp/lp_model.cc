@@ -1,0 +1,98 @@
+#include "lp/lp_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace qp::lp {
+
+int LpModel::AddVariable(double lower, double upper, double objective) {
+  variables_.push_back(Variable{lower, upper, objective});
+  return static_cast<int>(variables_.size()) - 1;
+}
+
+int LpModel::AddConstraint(ConstraintSense sense, double rhs,
+                           std::vector<std::pair<int, double>> terms) {
+  // Merge duplicate variables so the solver sees each column once per row.
+  std::sort(terms.begin(), terms.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<int, double>> merged;
+  merged.reserve(terms.size());
+  for (const auto& [var, coeff] : terms) {
+    if (!merged.empty() && merged.back().first == var) {
+      merged.back().second += coeff;
+    } else {
+      merged.emplace_back(var, coeff);
+    }
+  }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const auto& t) { return t.second == 0.0; }),
+               merged.end());
+  constraints_.push_back(Constraint{sense, rhs, std::move(merged)});
+  return static_cast<int>(constraints_.size()) - 1;
+}
+
+Status LpModel::Validate() const {
+  for (int j = 0; j < num_variables(); ++j) {
+    const Variable& v = variables_[j];
+    if (std::isnan(v.lower) || std::isnan(v.upper) || std::isnan(v.objective) ||
+        std::isinf(v.objective)) {
+      return Status::InvalidArgument(
+          StrCat("variable ", j, " has NaN/Inf bound or objective"));
+    }
+    if (v.lower > v.upper) {
+      return Status::InvalidArgument(
+          StrCat("variable ", j, " has lower > upper"));
+    }
+  }
+  for (int i = 0; i < num_constraints(); ++i) {
+    const Constraint& c = constraints_[i];
+    if (std::isnan(c.rhs) || std::isinf(c.rhs)) {
+      return Status::InvalidArgument(StrCat("constraint ", i, " has NaN/Inf rhs"));
+    }
+    for (const auto& [var, coeff] : c.terms) {
+      if (var < 0 || var >= num_variables()) {
+        return Status::InvalidArgument(
+            StrCat("constraint ", i, " references unknown variable ", var));
+      }
+      if (std::isnan(coeff) || std::isinf(coeff)) {
+        return Status::InvalidArgument(
+            StrCat("constraint ", i, " has NaN/Inf coefficient"));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double LpModel::ObjectiveValue(const std::vector<double>& x) const {
+  double obj = 0.0;
+  for (int j = 0; j < num_variables(); ++j) obj += variables_[j].objective * x[j];
+  return obj;
+}
+
+double LpModel::MaxInfeasibility(const std::vector<double>& x) const {
+  double worst = 0.0;
+  for (int j = 0; j < num_variables(); ++j) {
+    worst = std::max(worst, variables_[j].lower - x[j]);
+    worst = std::max(worst, x[j] - variables_[j].upper);
+  }
+  for (const Constraint& c : constraints_) {
+    double lhs = 0.0;
+    for (const auto& [var, coeff] : c.terms) lhs += coeff * x[var];
+    switch (c.sense) {
+      case ConstraintSense::kLe:
+        worst = std::max(worst, lhs - c.rhs);
+        break;
+      case ConstraintSense::kGe:
+        worst = std::max(worst, c.rhs - lhs);
+        break;
+      case ConstraintSense::kEq:
+        worst = std::max(worst, std::abs(lhs - c.rhs));
+        break;
+    }
+  }
+  return worst;
+}
+
+}  // namespace qp::lp

@@ -1,0 +1,80 @@
+// Linear program builder.
+//
+// The paper's algorithms (LPIP, CIP, the subadditive revenue bound and the
+// UBP price-refinement step) all reduce to ordinary LPs that the authors
+// solved through CVXPY. This module is the in-repo replacement: a small
+// modeling API (this file) plus an exact two-phase revised simplex solver
+// (simplex.h) that also produces dual values.
+#ifndef QP_LP_LP_MODEL_H_
+#define QP_LP_LP_MODEL_H_
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qp::lp {
+
+/// +infinity bound marker.
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class ConstraintSense { kLe, kGe, kEq };
+enum class ObjectiveSense { kMaximize, kMinimize };
+
+/// One linear constraint: sum(coeff * var) <sense> rhs.
+struct Constraint {
+  ConstraintSense sense = ConstraintSense::kLe;
+  double rhs = 0.0;
+  /// (variable index, coefficient); duplicates are merged by AddConstraint.
+  std::vector<std::pair<int, double>> terms;
+};
+
+/// A decision variable with box bounds and an objective coefficient.
+struct Variable {
+  double lower = 0.0;
+  double upper = kInf;
+  double objective = 0.0;
+};
+
+/// In-memory LP: variables with bounds, linear constraints, linear objective.
+class LpModel {
+ public:
+  explicit LpModel(ObjectiveSense sense = ObjectiveSense::kMaximize)
+      : sense_(sense) {}
+
+  /// Adds a variable with bounds [lower, upper] (use kInf / -kInf for
+  /// unbounded) and the given objective coefficient. Returns its index.
+  int AddVariable(double lower, double upper, double objective);
+
+  /// Adds `sum(terms) sense rhs`. Duplicate variable entries are summed.
+  /// Returns the constraint index.
+  int AddConstraint(ConstraintSense sense, double rhs,
+                    std::vector<std::pair<int, double>> terms);
+
+  ObjectiveSense sense() const { return sense_; }
+  int num_variables() const { return static_cast<int>(variables_.size()); }
+  int num_constraints() const { return static_cast<int>(constraints_.size()); }
+  const Variable& variable(int j) const { return variables_[j]; }
+  const Constraint& constraint(int i) const { return constraints_[i]; }
+
+  /// Structural validation: bound sanity, term indices in range, finite
+  /// coefficients. The solver calls this before solving.
+  Status Validate() const;
+
+  /// Objective value of a given point (user sense; no feasibility check).
+  double ObjectiveValue(const std::vector<double>& x) const;
+
+  /// Max violation of constraints and bounds at `x` (0 when feasible).
+  double MaxInfeasibility(const std::vector<double>& x) const;
+
+ private:
+  ObjectiveSense sense_;
+  std::vector<Variable> variables_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace qp::lp
+
+#endif  // QP_LP_LP_MODEL_H_

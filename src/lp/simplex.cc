@@ -1,0 +1,702 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace qp::lp {
+
+const char* SolveStatusToString(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal:
+      return "Optimal";
+    case SolveStatus::kInfeasible:
+      return "Infeasible";
+    case SolveStatus::kUnbounded:
+      return "Unbounded";
+    case SolveStatus::kIterationLimit:
+      return "IterationLimit";
+    case SolveStatus::kNumericalFailure:
+      return "NumericalFailure";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+enum class VarStatus : uint8_t { kBasic, kAtLower, kAtUpper, kFreeZero };
+
+// Internal solver state for one SolveLp call. Computational form:
+//   min c'x   s.t.  Ax = b,  lo <= x <= up
+// Columns: [0, ns) structural, [ns, ns+m) slacks, [ns+m, ...) artificials.
+class Simplex {
+ public:
+  Simplex(const LpModel& model, const SimplexOptions& options)
+      : model_(model), opts_(options) {}
+
+  LpSolution Solve();
+
+ private:
+  enum class IterateResult { kOptimal, kUnbounded, kIterLimit, kNumFail };
+
+  void BuildProblem();
+  void BuildInitialBasis();
+  bool Refactorize();
+  void RecomputeBasicValues();
+  IterateResult Iterate(int phase);
+  bool DriveOutArtificials();
+  LpSolution ExtractSolution(SolveStatus status);
+  LpSolution SolveWithoutConstraints();
+
+  double NonbasicValue(int j) const {
+    switch (status_[j]) {
+      case VarStatus::kAtLower:
+        return lo_[j];
+      case VarStatus::kAtUpper:
+        return up_[j];
+      case VarStatus::kFreeZero:
+        return 0.0;
+      case VarStatus::kBasic:
+        break;
+    }
+    assert(false);
+    return 0.0;
+  }
+
+  // Sparse column access.
+  struct ColRange {
+    const int* rows;
+    const double* vals;
+    int size;
+  };
+  ColRange Col(int j) const {
+    int begin = col_start_[j];
+    int end = col_start_[j + 1];
+    return {col_row_.data() + begin, col_val_.data() + begin, end - begin};
+  }
+
+  const LpModel& model_;
+  SimplexOptions opts_;
+
+  int m_ = 0;        // rows
+  int ns_ = 0;       // structural columns
+  int n_price_ = 0;  // columns eligible for pricing (= ns_ + m_)
+  int n_total_ = 0;  // including artificials
+
+  // CSC matrix over all columns.
+  std::vector<int> col_start_;
+  std::vector<int> col_row_;
+  std::vector<double> col_val_;
+
+  std::vector<double> lo_, up_;
+  std::vector<double> cost_;    // phase-2 (real, internal-min) costs
+  std::vector<double> b_;
+  std::vector<VarStatus> status_;
+
+  std::vector<int> basic_var_;  // row -> column index
+  std::vector<int> basic_pos_;  // column -> row index or -1
+  std::vector<double> xb_;      // basic values, aligned with basic_var_
+  std::vector<double> binv_;    // dense m x m, row-major
+
+  std::vector<double> work_y_;  // BTRAN result
+  std::vector<double> work_w_;  // FTRAN result
+
+  bool maximize_ = false;
+  int iterations_ = 0;
+  int phase1_iterations_ = 0;
+  int pivots_since_refactor_ = 0;
+  int max_iterations_ = 0;
+};
+
+void Simplex::BuildProblem() {
+  m_ = model_.num_constraints();
+  ns_ = model_.num_variables();
+  n_price_ = ns_ + m_;
+  maximize_ = model_.sense() == ObjectiveSense::kMaximize;
+
+  // Row-major -> CSC for structural columns.
+  std::vector<int> col_counts(ns_, 0);
+  for (int i = 0; i < m_; ++i) {
+    for (const auto& [var, coeff] : model_.constraint(i).terms) {
+      (void)coeff;
+      col_counts[var]++;
+    }
+  }
+  col_start_.assign(n_price_ + 1, 0);
+  for (int j = 0; j < ns_; ++j) col_start_[j + 1] = col_start_[j] + col_counts[j];
+  for (int j = ns_; j < n_price_; ++j) col_start_[j + 1] = col_start_[j] + 1;
+  col_row_.resize(col_start_[n_price_]);
+  col_val_.resize(col_start_[n_price_]);
+  std::vector<int> fill(ns_, 0);
+  for (int i = 0; i < m_; ++i) {
+    for (const auto& [var, coeff] : model_.constraint(i).terms) {
+      int pos = col_start_[var] + fill[var]++;
+      col_row_[pos] = i;
+      col_val_[pos] = coeff;
+    }
+  }
+  // Slack columns.
+  for (int i = 0; i < m_; ++i) {
+    int j = ns_ + i;
+    col_row_[col_start_[j]] = i;
+    col_val_[col_start_[j]] = 1.0;
+  }
+
+  lo_.resize(n_price_);
+  up_.resize(n_price_);
+  cost_.assign(n_price_, 0.0);
+  b_.resize(m_);
+  for (int j = 0; j < ns_; ++j) {
+    const Variable& v = model_.variable(j);
+    lo_[j] = v.lower;
+    up_[j] = v.upper;
+    cost_[j] = maximize_ ? -v.objective : v.objective;
+  }
+  for (int i = 0; i < m_; ++i) {
+    const Constraint& c = model_.constraint(i);
+    b_[i] = c.rhs;
+    int j = ns_ + i;
+    switch (c.sense) {
+      case ConstraintSense::kLe:
+        lo_[j] = 0.0;
+        up_[j] = kInf;
+        break;
+      case ConstraintSense::kGe:
+        lo_[j] = -kInf;
+        up_[j] = 0.0;
+        break;
+      case ConstraintSense::kEq:
+        lo_[j] = 0.0;
+        up_[j] = 0.0;
+        break;
+    }
+  }
+  n_total_ = n_price_;
+}
+
+void Simplex::BuildInitialBasis() {
+  status_.assign(n_price_, VarStatus::kAtLower);
+  for (int j = 0; j < n_price_; ++j) {
+    if (std::isfinite(lo_[j])) {
+      status_[j] = VarStatus::kAtLower;
+    } else if (std::isfinite(up_[j])) {
+      status_[j] = VarStatus::kAtUpper;
+    } else {
+      status_[j] = VarStatus::kFreeZero;
+    }
+  }
+
+  // Residual with all structural columns at their start values.
+  std::vector<double> residual = b_;
+  for (int j = 0; j < ns_; ++j) {
+    double xj = NonbasicValue(j);
+    if (xj == 0.0) continue;
+    ColRange col = Col(j);
+    for (int t = 0; t < col.size; ++t) residual[col.rows[t]] -= col.vals[t] * xj;
+  }
+
+  basic_var_.assign(m_, -1);
+  xb_.assign(m_, 0.0);
+  std::vector<double> diag(m_, 1.0);
+  for (int i = 0; i < m_; ++i) {
+    int slack = ns_ + i;
+    double sval = residual[i];
+    if (sval >= lo_[slack] - opts_.feasibility_tol &&
+        sval <= up_[slack] + opts_.feasibility_tol) {
+      // Slack basic and feasible.
+      basic_var_[i] = slack;
+      status_[slack] = VarStatus::kBasic;
+      xb_[i] = sval;
+    } else {
+      // Slack pinned to its nearest bound; artificial covers the rest.
+      double pin = (sval < lo_[slack]) ? lo_[slack] : up_[slack];
+      status_[slack] = (pin == lo_[slack] && std::isfinite(lo_[slack]))
+                           ? VarStatus::kAtLower
+                           : VarStatus::kAtUpper;
+      if (!std::isfinite(pin)) pin = 0.0;  // Ge rows pin at upper bound 0.
+      double rem = sval - pin;
+      int art = n_total_++;
+      col_start_.push_back(static_cast<int>(col_row_.size()) + 1);
+      col_row_.push_back(i);
+      col_val_.push_back(rem >= 0.0 ? 1.0 : -1.0);
+      lo_.push_back(0.0);
+      up_.push_back(kInf);
+      cost_.push_back(0.0);  // phase-2 cost; phase 1 uses its own costs
+      status_.push_back(VarStatus::kBasic);
+      basic_var_[i] = art;
+      xb_[i] = std::abs(rem);
+      diag[i] = (rem >= 0.0) ? 1.0 : -1.0;
+    }
+  }
+
+  basic_pos_.assign(n_total_, -1);
+  for (int i = 0; i < m_; ++i) basic_pos_[basic_var_[i]] = i;
+
+  // Initial basis matrix is diagonal (+1 slacks, +/-1 artificials).
+  binv_.assign(static_cast<size_t>(m_) * m_, 0.0);
+  for (int i = 0; i < m_; ++i) binv_[static_cast<size_t>(i) * m_ + i] = 1.0 / diag[i];
+}
+
+bool Simplex::Refactorize() {
+  // Dense Gauss-Jordan inversion of B with partial pivoting.
+  const int m = m_;
+  std::vector<double> mat(static_cast<size_t>(m) * m, 0.0);
+  for (int i = 0; i < m; ++i) {
+    ColRange col = Col(basic_var_[i]);
+    for (int t = 0; t < col.size; ++t) {
+      mat[static_cast<size_t>(col.rows[t]) * m + i] = col.vals[t];
+    }
+  }
+  std::vector<double>& inv = binv_;
+  inv.assign(static_cast<size_t>(m) * m, 0.0);
+  for (int i = 0; i < m; ++i) inv[static_cast<size_t>(i) * m + i] = 1.0;
+
+  for (int c = 0; c < m; ++c) {
+    // Partial pivot on column c.
+    int pivot_row = -1;
+    double best = opts_.pivot_tol;
+    for (int r = c; r < m; ++r) {
+      double v = std::abs(mat[static_cast<size_t>(r) * m + c]);
+      if (v > best) {
+        best = v;
+        pivot_row = r;
+      }
+    }
+    if (pivot_row < 0) return false;  // singular basis
+    if (pivot_row != c) {
+      // Row swap is an ordinary row operation: applied to both `mat` and
+      // `inv` it preserves inv * B = (row ops applied to I) * B.
+      for (int k = 0; k < m; ++k) {
+        std::swap(mat[static_cast<size_t>(pivot_row) * m + k],
+                  mat[static_cast<size_t>(c) * m + k]);
+        std::swap(inv[static_cast<size_t>(pivot_row) * m + k],
+                  inv[static_cast<size_t>(c) * m + k]);
+      }
+    }
+    double pivot = mat[static_cast<size_t>(c) * m + c];
+    double inv_pivot = 1.0 / pivot;
+    for (int k = 0; k < m; ++k) {
+      mat[static_cast<size_t>(c) * m + k] *= inv_pivot;
+      inv[static_cast<size_t>(c) * m + k] *= inv_pivot;
+    }
+    for (int r = 0; r < m; ++r) {
+      if (r == c) continue;
+      double f = mat[static_cast<size_t>(r) * m + c];
+      if (f == 0.0) continue;
+      double* mrow = &mat[static_cast<size_t>(r) * m];
+      double* irow = &inv[static_cast<size_t>(r) * m];
+      const double* mcrow = &mat[static_cast<size_t>(c) * m];
+      const double* icrow = &inv[static_cast<size_t>(c) * m];
+      for (int k = 0; k < m; ++k) {
+        mrow[k] -= f * mcrow[k];
+        irow[k] -= f * icrow[k];
+      }
+    }
+  }
+  pivots_since_refactor_ = 0;
+  return true;
+}
+
+void Simplex::RecomputeBasicValues() {
+  std::vector<double> residual = b_;
+  for (int j = 0; j < n_total_; ++j) {
+    if (status_[j] == VarStatus::kBasic) continue;
+    double xj = NonbasicValue(j);
+    if (xj == 0.0) continue;
+    ColRange col = Col(j);
+    for (int t = 0; t < col.size; ++t) residual[col.rows[t]] -= col.vals[t] * xj;
+  }
+  for (int i = 0; i < m_; ++i) {
+    const double* row = &binv_[static_cast<size_t>(i) * m_];
+    double sum = 0.0;
+    for (int k = 0; k < m_; ++k) sum += row[k] * residual[k];
+    xb_[i] = sum;
+  }
+}
+
+Simplex::IterateResult Simplex::Iterate(int phase) {
+  const double kBigStep = kInf;
+  std::vector<double> phase_cost;
+  const std::vector<double>* cost = &cost_;
+  if (phase == 1) {
+    phase_cost.assign(n_total_, 0.0);
+    for (int j = n_price_; j < n_total_; ++j) phase_cost[j] = 1.0;
+    cost = &phase_cost;
+  }
+
+  work_y_.assign(m_, 0.0);
+  work_w_.assign(m_, 0.0);
+
+  int iters_no_progress = 0;
+  bool bland = false;
+
+  while (true) {
+    if (iterations_ >= max_iterations_) return IterateResult::kIterLimit;
+    if (pivots_since_refactor_ >= opts_.refactor_interval) {
+      if (!Refactorize()) return IterateResult::kNumFail;
+      RecomputeBasicValues();
+    }
+
+    // BTRAN: y = (B^-1)' c_B, skipping zero basic costs.
+    std::fill(work_y_.begin(), work_y_.end(), 0.0);
+    for (int r = 0; r < m_; ++r) {
+      double cb = (*cost)[basic_var_[r]];
+      if (cb == 0.0) continue;
+      const double* row = &binv_[static_cast<size_t>(r) * m_];
+      for (int i = 0; i < m_; ++i) work_y_[i] += cb * row[i];
+    }
+
+    // Pricing (Dantzig, or Bland when stalled).
+    int enter = -1;
+    int dir = 0;
+    double best_score = opts_.optimality_tol;
+    for (int j = 0; j < n_price_; ++j) {
+      VarStatus st = status_[j];
+      if (st == VarStatus::kBasic) continue;
+      if (lo_[j] == up_[j]) continue;  // fixed
+      ColRange col = Col(j);
+      double dj = (*cost)[j];
+      for (int t = 0; t < col.size; ++t) dj -= work_y_[col.rows[t]] * col.vals[t];
+      int candidate_dir = 0;
+      if (st == VarStatus::kAtLower && dj < -opts_.optimality_tol) {
+        candidate_dir = +1;
+      } else if (st == VarStatus::kAtUpper && dj > opts_.optimality_tol) {
+        candidate_dir = -1;
+      } else if (st == VarStatus::kFreeZero &&
+                 std::abs(dj) > opts_.optimality_tol) {
+        candidate_dir = dj < 0 ? +1 : -1;
+      }
+      if (candidate_dir == 0) continue;
+      if (bland) {
+        enter = j;
+        dir = candidate_dir;
+        break;
+      }
+      double score = std::abs(dj);
+      if (score > best_score) {
+        best_score = score;
+        enter = j;
+        dir = candidate_dir;
+      }
+    }
+    if (enter < 0) return IterateResult::kOptimal;
+
+    // FTRAN: w = B^-1 A_enter.
+    std::fill(work_w_.begin(), work_w_.end(), 0.0);
+    {
+      ColRange col = Col(enter);
+      for (int t = 0; t < col.size; ++t) {
+        double a = col.vals[t];
+        int r = col.rows[t];
+        for (int i = 0; i < m_; ++i) {
+          work_w_[i] += binv_[static_cast<size_t>(i) * m_ + r] * a;
+        }
+      }
+    }
+
+    // Ratio test.
+    double t_limit = kBigStep;
+    if (std::isfinite(lo_[enter]) && std::isfinite(up_[enter])) {
+      t_limit = up_[enter] - lo_[enter];  // bound flip distance
+    }
+    int leave = -1;
+    double leave_alpha = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      double alpha = dir * work_w_[i];
+      if (std::abs(alpha) <= opts_.pivot_tol) continue;
+      int bv = basic_var_[i];
+      double lim;
+      if (alpha > 0.0) {
+        if (!std::isfinite(lo_[bv])) continue;
+        lim = (xb_[i] - lo_[bv]) / alpha;
+      } else {
+        if (!std::isfinite(up_[bv])) continue;
+        lim = (up_[bv] - xb_[i]) / (-alpha);
+      }
+      if (lim < 0.0) lim = 0.0;  // tolerate slight infeasibility
+      const double tie_tol = 1e-10;
+      if (lim < t_limit - tie_tol) {
+        t_limit = lim;
+        leave = i;
+        leave_alpha = alpha;
+      } else if (lim < t_limit + tie_tol) {
+        if (leave < 0) {
+          // Tie with the entering variable's bound-flip distance: prefer a
+          // real pivot. Bound flips leave every constraint-row slack basic,
+          // which yields all-zero dual prices on degenerate LPs (e.g. the
+          // CIP welfare LP); a pivot produces an equally optimal vertex
+          // with informative duals.
+          t_limit = std::min(t_limit, lim);
+          leave = i;
+          leave_alpha = alpha;
+        } else {
+          // Tie among rows: prefer the larger pivot magnitude for
+          // stability, or the smallest basic variable index under Bland.
+          bool take = bland ? basic_var_[i] < basic_var_[leave]
+                            : std::abs(alpha) > std::abs(leave_alpha);
+          if (take) {
+            t_limit = std::min(t_limit, lim);
+            leave = i;
+            leave_alpha = alpha;
+          }
+        }
+      }
+    }
+
+    if (!std::isfinite(t_limit)) {
+      return phase == 1 ? IterateResult::kNumFail : IterateResult::kUnbounded;
+    }
+
+    ++iterations_;
+    if (phase == 1) ++phase1_iterations_;
+
+    double step = t_limit;
+    bool degenerate = step <= 1e-12;
+    if (degenerate) {
+      ++iters_no_progress;
+      if (iters_no_progress >= opts_.stall_threshold) bland = true;
+    } else {
+      iters_no_progress = 0;
+      // Bland's rule is only needed while stalled; drop back to Dantzig.
+      bland = false;
+    }
+
+    if (leave < 0) {
+      // Bound flip: entering variable jumps to its other bound.
+      for (int i = 0; i < m_; ++i) xb_[i] -= dir * work_w_[i] * step;
+      status_[enter] = (status_[enter] == VarStatus::kAtLower)
+                           ? VarStatus::kAtUpper
+                           : VarStatus::kAtLower;
+      continue;
+    }
+
+    // Pivot.
+    double enter_val = NonbasicValue(enter) + dir * step;
+    int old_basic = basic_var_[leave];
+    double alpha_leave = dir * work_w_[leave];
+    for (int i = 0; i < m_; ++i) {
+      if (i == leave) continue;
+      xb_[i] -= dir * work_w_[i] * step;
+    }
+    // The leaving variable lands exactly on the bound it hit.
+    VarStatus leaving_status;
+    if (alpha_leave > 0.0) {
+      leaving_status = VarStatus::kAtLower;
+    } else {
+      leaving_status = VarStatus::kAtUpper;
+    }
+    if (!std::isfinite(lo_[old_basic]) && leaving_status == VarStatus::kAtLower) {
+      leaving_status = VarStatus::kFreeZero;  // defensive; cannot happen
+    }
+    status_[old_basic] = leaving_status;
+    basic_pos_[old_basic] = -1;
+    basic_var_[leave] = enter;
+    basic_pos_[enter] = leave;
+    status_[enter] = VarStatus::kBasic;
+    xb_[leave] = enter_val;
+
+    // Product-form update of B^-1: eliminate w in all rows but `leave`.
+    double pivot = work_w_[leave];
+    double* prow = &binv_[static_cast<size_t>(leave) * m_];
+    double inv_pivot = 1.0 / pivot;
+    for (int k = 0; k < m_; ++k) prow[k] *= inv_pivot;
+    for (int i = 0; i < m_; ++i) {
+      if (i == leave) continue;
+      double f = work_w_[i];
+      if (f == 0.0) continue;
+      double* row = &binv_[static_cast<size_t>(i) * m_];
+      for (int k = 0; k < m_; ++k) row[k] -= f * prow[k];
+    }
+    ++pivots_since_refactor_;
+  }
+}
+
+bool Simplex::DriveOutArtificials() {
+  for (int r = 0; r < m_; ++r) {
+    int bv = basic_var_[r];
+    if (bv < n_price_) continue;  // not artificial
+    // Row r of B^-1 gives alpha_j = (B^-1 A_j)_r for any column j.
+    const double* brow = &binv_[static_cast<size_t>(r) * m_];
+    int pivot_col = -1;
+    for (int j = 0; j < n_price_ && pivot_col < 0; ++j) {
+      if (status_[j] == VarStatus::kBasic) continue;
+      if (lo_[j] == up_[j]) continue;
+      ColRange col = Col(j);
+      double alpha = 0.0;
+      for (int t = 0; t < col.size; ++t) alpha += brow[col.rows[t]] * col.vals[t];
+      if (std::abs(alpha) > 1e-7) pivot_col = j;
+    }
+    if (pivot_col < 0) {
+      // Redundant row: keep the artificial basic, pinned to zero.
+      lo_[bv] = up_[bv] = 0.0;
+      continue;
+    }
+    // Degenerate pivot (step 0): swap the artificial for pivot_col.
+    std::fill(work_w_.begin(), work_w_.end(), 0.0);
+    ColRange col = Col(pivot_col);
+    for (int t = 0; t < col.size; ++t) {
+      double a = col.vals[t];
+      int rr = col.rows[t];
+      for (int i = 0; i < m_; ++i) {
+        work_w_[i] += binv_[static_cast<size_t>(i) * m_ + rr] * a;
+      }
+    }
+    double pivot = work_w_[r];
+    if (std::abs(pivot) < 1e-9) {
+      lo_[bv] = up_[bv] = 0.0;
+      continue;
+    }
+    double entering_value = NonbasicValue(pivot_col);
+    status_[pivot_col] = VarStatus::kBasic;
+    status_[bv] = VarStatus::kAtLower;  // excluded from pricing anyway
+    basic_pos_[bv] = -1;
+    basic_var_[r] = pivot_col;
+    basic_pos_[pivot_col] = r;
+    xb_[r] = entering_value;
+
+    double* prow = &binv_[static_cast<size_t>(r) * m_];
+    double inv_pivot = 1.0 / pivot;
+    for (int k = 0; k < m_; ++k) prow[k] *= inv_pivot;
+    for (int i = 0; i < m_; ++i) {
+      if (i == r) continue;
+      double f = work_w_[i];
+      if (f == 0.0) continue;
+      double* row = &binv_[static_cast<size_t>(i) * m_];
+      for (int k = 0; k < m_; ++k) row[k] -= f * prow[k];
+    }
+    ++pivots_since_refactor_;
+    RecomputeBasicValues();
+  }
+  return true;
+}
+
+LpSolution Simplex::SolveWithoutConstraints() {
+  // Pure bound optimization: each variable independently at its best bound.
+  LpSolution out;
+  out.primal.resize(ns_);
+  double obj = 0.0;
+  for (int j = 0; j < ns_; ++j) {
+    const Variable& v = model_.variable(j);
+    double c = maximize_ ? -v.objective : v.objective;
+    double x;
+    if (c > 0.0) {
+      x = v.lower;
+    } else if (c < 0.0) {
+      x = v.upper;
+    } else {
+      x = std::isfinite(v.lower) ? v.lower : (std::isfinite(v.upper) ? v.upper : 0.0);
+    }
+    if (!std::isfinite(x)) {
+      out.status = SolveStatus::kUnbounded;
+      return out;
+    }
+    out.primal[j] = x;
+    obj += v.objective * x;
+  }
+  out.status = SolveStatus::kOptimal;
+  out.objective = obj;
+  return out;
+}
+
+LpSolution Simplex::ExtractSolution(SolveStatus status) {
+  LpSolution out;
+  out.status = status;
+  out.iterations = iterations_;
+  out.phase1_iterations = phase1_iterations_;
+  if (status != SolveStatus::kOptimal) return out;
+
+  out.primal.assign(ns_, 0.0);
+  for (int j = 0; j < ns_; ++j) {
+    out.primal[j] =
+        status_[j] == VarStatus::kBasic ? xb_[basic_pos_[j]] : NonbasicValue(j);
+  }
+  out.objective = model_.ObjectiveValue(out.primal);
+
+  // Duals: y = (B^-1)' c_B with real costs, flipped back to the user sense.
+  out.dual.assign(m_, 0.0);
+  for (int r = 0; r < m_; ++r) {
+    double cb = cost_[basic_var_[r]];
+    if (cb == 0.0) continue;
+    const double* row = &binv_[static_cast<size_t>(r) * m_];
+    for (int i = 0; i < m_; ++i) out.dual[i] += cb * row[i];
+  }
+  if (maximize_) {
+    for (double& y : out.dual) y = -y;
+  }
+  return out;
+}
+
+LpSolution Simplex::Solve() {
+  Status valid = model_.Validate();
+  if (!valid.ok()) {
+    LpSolution out;
+    out.status = SolveStatus::kNumericalFailure;
+    return out;
+  }
+  if (model_.num_constraints() == 0) {
+    ns_ = model_.num_variables();
+    maximize_ = model_.sense() == ObjectiveSense::kMaximize;
+    return SolveWithoutConstraints();
+  }
+
+  BuildProblem();
+  BuildInitialBasis();
+  max_iterations_ = opts_.max_iterations > 0
+                        ? opts_.max_iterations
+                        : 200 + 40 * (m_ + n_total_);
+
+  bool need_phase1 = n_total_ > n_price_;
+  if (need_phase1) {
+    IterateResult r1 = Iterate(/*phase=*/1);
+    if (r1 == IterateResult::kIterLimit) {
+      return ExtractSolution(SolveStatus::kIterationLimit);
+    }
+    if (r1 == IterateResult::kNumFail) {
+      return ExtractSolution(SolveStatus::kNumericalFailure);
+    }
+    // Phase-1 objective = total infeasibility.
+    double infeas = 0.0;
+    for (int r = 0; r < m_; ++r) {
+      if (basic_var_[r] >= n_price_) infeas += std::max(0.0, xb_[r]);
+    }
+    if (infeas > 1e-6) {
+      return ExtractSolution(SolveStatus::kInfeasible);
+    }
+    if (!DriveOutArtificials()) {
+      return ExtractSolution(SolveStatus::kNumericalFailure);
+    }
+  }
+
+  IterateResult r2 = Iterate(/*phase=*/2);
+  switch (r2) {
+    case IterateResult::kOptimal:
+      break;
+    case IterateResult::kUnbounded:
+      return ExtractSolution(SolveStatus::kUnbounded);
+    case IterateResult::kIterLimit:
+      return ExtractSolution(SolveStatus::kIterationLimit);
+    case IterateResult::kNumFail:
+      return ExtractSolution(SolveStatus::kNumericalFailure);
+  }
+
+  // Final accuracy polish + sanity check.
+  if (!Refactorize()) return ExtractSolution(SolveStatus::kNumericalFailure);
+  RecomputeBasicValues();
+  LpSolution out = ExtractSolution(SolveStatus::kOptimal);
+  double infeas = model_.MaxInfeasibility(out.primal);
+  if (infeas > 1e-5) {
+    out.status = SolveStatus::kNumericalFailure;
+  }
+  return out;
+}
+
+}  // namespace
+
+LpSolution SolveLp(const LpModel& model, const SimplexOptions& options) {
+  Simplex solver(model, options);
+  return solver.Solve();
+}
+
+}  // namespace qp::lp

@@ -1,0 +1,74 @@
+// Two-phase revised simplex for bounded-variable LPs.
+//
+// Design notes:
+//  * Internal computational form: min c'x  s.t.  Ax = b,  l <= x <= u,
+//    with one slack column per row (Le: s in [0,inf), Ge: s in (-inf,0],
+//    Eq: s fixed to 0) and artificial columns only for rows whose slack
+//    start value is out of bounds.
+//  * The basis inverse is kept as an explicit dense matrix updated by
+//    product-form (eta) pivots and refactorized from scratch every
+//    `refactor_interval` pivots — simple, exact at the scales this repo
+//    needs (basis dimension = #constraints, at most a few thousand).
+//  * Dantzig pricing with a Bland's-rule fallback after a stall, which
+//    guarantees termination on degenerate instances.
+//  * Dual values (shadow prices in the *user's* objective sense) are
+//    reported for optimal solutions; tests check strong duality and
+//    complementary slackness.
+#ifndef QP_LP_SIMPLEX_H_
+#define QP_LP_SIMPLEX_H_
+
+#include <string>
+#include <vector>
+
+#include "lp/lp_model.h"
+
+namespace qp::lp {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kNumericalFailure,
+};
+
+const char* SolveStatusToString(SolveStatus status);
+
+struct SimplexOptions {
+  /// Feasibility tolerance (bounds / constraint residuals).
+  double feasibility_tol = 1e-7;
+  /// Reduced-cost optimality tolerance.
+  double optimality_tol = 1e-9;
+  /// Pivot element magnitude floor.
+  double pivot_tol = 1e-8;
+  /// Hard iteration cap; <= 0 means 200 + 40 * (rows + cols).
+  int max_iterations = 0;
+  /// Refactorize the basis inverse every this many pivots.
+  int refactor_interval = 120;
+  /// Switch to Bland's anti-cycling rule after this many iterations
+  /// without objective progress.
+  int stall_threshold = 300;
+};
+
+struct LpSolution {
+  SolveStatus status = SolveStatus::kNumericalFailure;
+  /// Objective in the user's sense (max problems report the max value).
+  double objective = 0.0;
+  /// One value per model variable (empty unless optimal).
+  std::vector<double> primal;
+  /// One shadow price per constraint, in the user's sense: for a
+  /// maximization problem with a <= constraint the dual is >= 0 and equals
+  /// d(objective)/d(rhs). Empty unless optimal.
+  std::vector<double> dual;
+  int iterations = 0;
+  int phase1_iterations = 0;
+
+  bool ok() const { return status == SolveStatus::kOptimal; }
+};
+
+/// Solves `model` with the revised simplex method.
+LpSolution SolveLp(const LpModel& model, const SimplexOptions& options = {});
+
+}  // namespace qp::lp
+
+#endif  // QP_LP_SIMPLEX_H_

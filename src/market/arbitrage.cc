@@ -1,0 +1,99 @@
+#include "market/arbitrage.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace qp::market {
+
+namespace {
+
+constexpr double kTol = 1e-9;
+
+std::vector<uint32_t> MaskToBundle(uint32_t mask) {
+  std::vector<uint32_t> bundle;
+  for (uint32_t j = 0; mask != 0; ++j, mask >>= 1) {
+    if (mask & 1u) bundle.push_back(j);
+  }
+  return bundle;
+}
+
+std::string DescribeBundle(const std::vector<uint32_t>& bundle) {
+  std::vector<std::string> parts;
+  for (uint32_t j : bundle) parts.push_back(std::to_string(j));
+  return "{" + Join(parts, ",") + "}";
+}
+
+void CheckPair(const core::PricingFunction& pricing,
+               const std::vector<uint32_t>& a, const std::vector<uint32_t>& b,
+               ArbitrageReport& report) {
+  std::vector<uint32_t> united;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(united));
+  double pa = pricing.Price(a);
+  double pb = pricing.Price(b);
+  double pu = pricing.Price(united);
+  // Monotonicity: A ⊆ A∪B.
+  if (report.monotone && pa > pu + kTol * (1.0 + std::abs(pu))) {
+    report.monotone = false;
+    if (report.violation.empty()) {
+      report.violation =
+          StrCat("monotonicity: p(", DescribeBundle(a), ")=", pa, " > p(",
+                 DescribeBundle(united), ")=", pu);
+    }
+  }
+  // Subadditivity.
+  if (report.subadditive && pa + pb + kTol * (1.0 + std::abs(pu)) < pu) {
+    report.subadditive = false;
+    if (report.violation.empty()) {
+      report.violation =
+          StrCat("subadditivity: p(", DescribeBundle(a), ")+p(",
+                 DescribeBundle(b), ")=", pa + pb, " < p(",
+                 DescribeBundle(united), ")=", pu);
+    }
+  }
+}
+
+}  // namespace
+
+ArbitrageReport CheckArbitrageFreeExhaustive(
+    const core::PricingFunction& pricing, uint32_t num_items) {
+  ArbitrageReport report;
+  const uint32_t limit = 1u << num_items;
+  std::vector<std::vector<uint32_t>> bundles(limit);
+  for (uint32_t mask = 0; mask < limit; ++mask) {
+    bundles[mask] = MaskToBundle(mask);
+  }
+  for (uint32_t a = 0; a < limit; ++a) {
+    for (uint32_t b = a; b < limit; ++b) {
+      CheckPair(pricing, bundles[a], bundles[b], report);
+      if (!report.monotone && !report.subadditive) return report;
+    }
+  }
+  return report;
+}
+
+ArbitrageReport CheckArbitrageFree(const core::PricingFunction& pricing,
+                                   uint32_t num_items, Rng& rng, int samples) {
+  ArbitrageReport report;
+  for (int s = 0; s < samples; ++s) {
+    std::vector<uint32_t> a, b;
+    for (uint32_t j = 0; j < num_items; ++j) {
+      double roll = rng.NextDouble();
+      if (roll < 0.25) {
+        a.push_back(j);
+      } else if (roll < 0.5) {
+        b.push_back(j);
+      } else if (roll < 0.6) {
+        a.push_back(j);
+        b.push_back(j);
+      }
+    }
+    CheckPair(pricing, a, b, report);
+    if (!report.monotone && !report.subadditive) break;
+  }
+  return report;
+}
+
+}  // namespace qp::market

@@ -1,0 +1,39 @@
+// Arbitrage-freeness verification (paper Theorem 1).
+//
+// A pricing function over bundles of support instances is arbitrage-free
+// iff it is monotone and subadditive as a set function. The checkers below
+// verify those two properties either exhaustively (small n) or by random
+// sampling of subset pairs, and are used in tests/property suites on every
+// pricing the algorithms produce.
+#ifndef QP_MARKET_ARBITRAGE_H_
+#define QP_MARKET_ARBITRAGE_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "core/pricing.h"
+
+namespace qp::market {
+
+struct ArbitrageReport {
+  bool monotone = true;
+  bool subadditive = true;
+  /// Human-readable description of the first violation found, if any.
+  std::string violation;
+
+  bool arbitrage_free() const { return monotone && subadditive; }
+};
+
+/// Exhaustive check over all subset pairs; requires num_items <= 12.
+ArbitrageReport CheckArbitrageFreeExhaustive(
+    const core::PricingFunction& pricing, uint32_t num_items);
+
+/// Randomized check: samples subset pairs (A, B), testing monotonicity on
+/// A vs A∪B and subadditivity p(A) + p(B) >= p(A∪B).
+ArbitrageReport CheckArbitrageFree(const core::PricingFunction& pricing,
+                                   uint32_t num_items, Rng& rng,
+                                   int samples = 2000);
+
+}  // namespace qp::market
+
+#endif  // QP_MARKET_ARBITRAGE_H_

@@ -1,0 +1,474 @@
+#include "market/conflict.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "db/eval.h"
+
+namespace qp::market {
+
+std::vector<uint32_t> NaiveConflictSet(db::Database& db,
+                                       const db::BoundQuery& query,
+                                       const SupportSet& support) {
+  db::ResultTable base = db::Evaluate(query, db);
+  std::vector<uint32_t> conflicts;
+  for (uint32_t i = 0; i < support.size(); ++i) {
+    db::Value saved = ApplyDelta(db, support[i]);
+    db::ResultTable perturbed = db::Evaluate(query, db);
+    UndoDelta(db, support[i], saved);
+    if (!perturbed.Equals(base)) conflicts.push_back(i);
+  }
+  return conflicts;
+}
+
+namespace {
+
+struct RowLess {
+  bool operator()(const db::Row& a, const db::Row& b) const {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+// Per-group exact aggregate accumulators. Only aggregate select items have
+// an entry. SUM/AVG arguments are integer columns on this path (double
+// accumulators force the fallback engine), so all state is exact and
+// supports O(log) add/remove.
+struct AggState {
+  int64_t count_nonnull = 0;
+  int64_t int_sum = 0;
+  std::map<db::Value, int64_t> values;  // min / max / count-distinct
+};
+
+struct GroupState {
+  int64_t row_count = 0;
+  std::vector<AggState> aggs;
+};
+
+class PreparedQuery {
+ public:
+  PreparedQuery(db::Database* db, const db::BoundQuery& query)
+      : db_(db), query_(query) {
+    Classify();
+    if (fallback_) {
+      base_result_ = db::Evaluate(query_, *db_);
+      return;
+    }
+    BuildSensitivity();
+    if (two_tables_) BuildJoinIndexes();
+    if (grouped_) {
+      BuildGroups();
+    } else {
+      BuildProjections();
+    }
+  }
+
+  bool is_fallback() const { return fallback_; }
+
+  bool Probe(const CellDelta& delta, ConflictSetEngine::Stats& stats) {
+    if (fallback_) {
+      ++stats.probes;
+      db::Value saved = ApplyDelta(*db_, delta);
+      db::ResultTable perturbed = db::Evaluate(query_, *db_);
+      UndoDelta(*db_, delta, saved);
+      return !perturbed.Equals(base_result_);
+    }
+    int slot = SlotOfTable(delta.table);
+    if (slot < 0 || !IsSensitive(slot, delta.column)) {
+      ++stats.pruned;
+      return false;
+    }
+    ++stats.probes;
+    return grouped_ ? ProbeGrouped(delta, slot) : ProbeProjection(delta, slot);
+  }
+
+ private:
+  // --- classification ----------------------------------------------------
+  void Classify() {
+    two_tables_ = query_.table_indices.size() == 2;
+    grouped_ = query_.has_aggregates() || !query_.group_by.empty();
+    fallback_ = query_.limit >= 0;
+    for (const db::SelectItem& item : query_.select) {
+      if (item.kind != db::SelectItem::Kind::kAggregate) continue;
+      if ((item.agg == db::AggFunc::kSum || item.agg == db::AggFunc::kAvg) &&
+          item.column >= 0) {
+        auto [table, col] = query_.FlatToTableColumn(item.column);
+        if (db_->table(table).schema().column(col).type ==
+            db::ValueType::kDouble) {
+          fallback_ = true;  // float accumulation: use the reference engine
+        }
+      }
+    }
+  }
+
+  int SlotOfTable(int db_table) const {
+    if (query_.table_indices[0] == db_table) return 0;
+    if (two_tables_ && query_.table_indices[1] == db_table) return 1;
+    return -1;
+  }
+
+  bool IsSensitive(int slot, int column) const {
+    const std::vector<char>& mask = sensitive_[slot];
+    return column < static_cast<int>(mask.size()) && mask[column];
+  }
+
+  void BuildSensitivity() {
+    sensitive_[0].assign(
+        db_->table(query_.table_indices[0]).schema().num_columns(), 0);
+    if (two_tables_) {
+      sensitive_[1].assign(
+          db_->table(query_.table_indices[1]).schema().num_columns(), 0);
+    }
+    for (auto [table, col] : query_.SensitiveColumns()) {
+      int slot = SlotOfTable(table);
+      sensitive_[slot][col] = 1;
+    }
+  }
+
+  // --- shared row machinery ----------------------------------------------
+  const db::Table& TableOfSlot(int slot) const {
+    return db_->table(query_.table_indices[slot]);
+  }
+
+  void BuildJoinIndexes() {
+    const db::Table& t0 = TableOfSlot(0);
+    const db::Table& t1 = TableOfSlot(1);
+    join_col0_ = query_.join_left;  // table 0 columns start at flat 0
+    join_col1_ = query_.join_right - query_.column_offsets[1];
+    for (int r = 0; r < t0.num_rows(); ++r) {
+      index0_[t0.cell(r, join_col0_).Hash()].push_back(r);
+    }
+    for (int r = 0; r < t1.num_rows(); ++r) {
+      index1_[t1.cell(r, join_col1_).Hash()].push_back(r);
+    }
+  }
+
+  // Joined + filtered input rows involving row `row` of table `slot`,
+  // evaluated against the database's *current* state.
+  std::vector<db::Row> AffectedInputRows(int row, int slot) const {
+    std::vector<db::Row> inputs;
+    if (!two_tables_) {
+      const db::Row& r = TableOfSlot(0).row(row);
+      if (query_.predicate == nullptr || query_.predicate->EvaluateBool(r)) {
+        inputs.push_back(r);
+      }
+      return inputs;
+    }
+    const db::Table& t0 = TableOfSlot(0);
+    const db::Table& t1 = TableOfSlot(1);
+    if (slot == 0) {
+      const db::Row& left = t0.row(row);
+      const db::Value& key = left[join_col0_];
+      auto it = index1_.find(key.Hash());
+      if (it == index1_.end()) return inputs;
+      for (int r1 : it->second) {
+        if (key.Compare(t1.cell(r1, join_col1_)) != 0) continue;
+        db::Row joined = left;
+        const db::Row& right = t1.row(r1);
+        joined.insert(joined.end(), right.begin(), right.end());
+        if (query_.predicate == nullptr ||
+            query_.predicate->EvaluateBool(joined)) {
+          inputs.push_back(std::move(joined));
+        }
+      }
+    } else {
+      const db::Row& right = t1.row(row);
+      const db::Value& key = right[join_col1_];
+      auto it = index0_.find(key.Hash());
+      if (it == index0_.end()) return inputs;
+      for (int r0 : it->second) {
+        if (key.Compare(t0.cell(r0, join_col0_)) != 0) continue;
+        db::Row joined = t0.row(r0);
+        joined.insert(joined.end(), right.begin(), right.end());
+        if (query_.predicate == nullptr ||
+            query_.predicate->EvaluateBool(joined)) {
+          inputs.push_back(std::move(joined));
+        }
+      }
+    }
+    return inputs;
+  }
+
+  // --- projection (non-aggregate) mode -------------------------------------
+  void BuildProjections() {
+    if (!two_tables_) {
+      const db::Table& t0 = TableOfSlot(0);
+      row_present_.assign(t0.num_rows(), 0);
+      row_hash_.assign(t0.num_rows(), 0);
+      for (int r = 0; r < t0.num_rows(); ++r) {
+        const db::Row& row = t0.row(r);
+        if (query_.predicate != nullptr &&
+            !query_.predicate->EvaluateBool(row)) {
+          continue;
+        }
+        row_present_[r] = 1;
+        row_hash_[r] =
+            db::ResultTable::RowHash(db::ProjectInputRow(query_, row));
+        if (query_.distinct) tuple_counts_[row_hash_[r]]++;
+      }
+      return;
+    }
+    if (query_.distinct) {
+      for (const db::Row& input : db::GatherInputRows(query_, *db_)) {
+        tuple_counts_[db::ResultTable::RowHash(
+            db::ProjectInputRow(query_, input))]++;
+      }
+    }
+  }
+
+  bool ProbeProjection(const CellDelta& delta, int slot) {
+    if (!two_tables_) {
+      bool old_present = row_present_[delta.row];
+      uint64_t old_hash = row_hash_[delta.row];
+      db::Value saved = ApplyDelta(*db_, delta);
+      const db::Row& row = TableOfSlot(0).row(delta.row);
+      bool new_present = query_.predicate == nullptr ||
+                         query_.predicate->EvaluateBool(row);
+      uint64_t new_hash =
+          new_present
+              ? db::ResultTable::RowHash(db::ProjectInputRow(query_, row))
+              : 0;
+      UndoDelta(*db_, delta, saved);
+      std::vector<uint64_t> removed, added;
+      if (old_present) removed.push_back(old_hash);
+      if (new_present) added.push_back(new_hash);
+      return ContributionsDiffer(removed, added);
+    }
+    std::vector<db::Row> old_inputs = AffectedInputRows(delta.row, slot);
+    db::Value saved = ApplyDelta(*db_, delta);
+    std::vector<db::Row> new_inputs = AffectedInputRows(delta.row, slot);
+    UndoDelta(*db_, delta, saved);
+    std::vector<uint64_t> removed, added;
+    removed.reserve(old_inputs.size());
+    added.reserve(new_inputs.size());
+    for (const db::Row& r : old_inputs) {
+      removed.push_back(db::ResultTable::RowHash(db::ProjectInputRow(query_, r)));
+    }
+    for (const db::Row& r : new_inputs) {
+      added.push_back(db::ResultTable::RowHash(db::ProjectInputRow(query_, r)));
+    }
+    return ContributionsDiffer(removed, added);
+  }
+
+  // Whether swapping `removed` for `added` changes the visible output —
+  // multiset semantics normally, set semantics under DISTINCT.
+  bool ContributionsDiffer(std::vector<uint64_t>& removed,
+                           std::vector<uint64_t>& added) const {
+    if (!query_.distinct) {
+      std::sort(removed.begin(), removed.end());
+      std::sort(added.begin(), added.end());
+      return removed != added;
+    }
+    std::unordered_map<uint64_t, int64_t> net;
+    for (uint64_t h : removed) net[h]--;
+    for (uint64_t h : added) net[h]++;
+    for (const auto& [hash, change] : net) {
+      if (change == 0) continue;
+      auto it = tuple_counts_.find(hash);
+      int64_t current = it == tuple_counts_.end() ? 0 : it->second;
+      if ((current > 0) != (current + change > 0)) return true;
+    }
+    return false;
+  }
+
+  // --- aggregate mode ------------------------------------------------------
+  db::Row GroupKeyOf(const db::Row& input) const {
+    db::Row key;
+    key.reserve(query_.group_by.size());
+    for (int c : query_.group_by) key.push_back(input[c]);
+    return key;
+  }
+
+  void BuildGroups() {
+    // Aggregate select items, in select order.
+    for (size_t i = 0; i < query_.select.size(); ++i) {
+      const db::SelectItem& item = query_.select[i];
+      if (item.kind == db::SelectItem::Kind::kAggregate) {
+        agg_items_.push_back(static_cast<int>(i));
+      } else if (item.kind == db::SelectItem::Kind::kColumn) {
+        auto it = std::find(query_.group_by.begin(), query_.group_by.end(),
+                            item.column);
+        select_key_index_.push_back(
+            static_cast<int>(it - query_.group_by.begin()));
+      }
+    }
+    if (query_.group_by.empty()) {
+      GroupFor(db::Row{});  // the global group exists even when empty
+    }
+    for (const db::Row& input : db::GatherInputRows(query_, *db_)) {
+      AddInput(input);
+    }
+  }
+
+  GroupState& GroupFor(const db::Row& key) {
+    GroupState& g = groups_[key];
+    if (g.aggs.empty() && !agg_items_.empty()) {
+      g.aggs.resize(agg_items_.size());
+    }
+    return g;
+  }
+
+  void AddInput(const db::Row& input) { UpdateGroup(input, +1); }
+  void RemoveInput(const db::Row& input) { UpdateGroup(input, -1); }
+
+  void UpdateGroup(const db::Row& input, int64_t direction) {
+    GroupState& g = GroupFor(GroupKeyOf(input));
+    g.row_count += direction;
+    for (size_t a = 0; a < agg_items_.size(); ++a) {
+      const db::SelectItem& item = query_.select[agg_items_[a]];
+      if (item.column < 0) continue;  // COUNT(*) uses row_count
+      const db::Value& v = input[item.column];
+      if (v.is_null()) continue;
+      AggState& state = g.aggs[a];
+      state.count_nonnull += direction;
+      switch (item.agg) {
+        case db::AggFunc::kSum:
+        case db::AggFunc::kAvg:
+          state.int_sum += direction * v.as_int();
+          break;
+        case db::AggFunc::kMin:
+        case db::AggFunc::kMax:
+        case db::AggFunc::kCountDistinct: {
+          int64_t& count = state.values[v];
+          count += direction;
+          if (count == 0) state.values.erase(v);
+          break;
+        }
+        case db::AggFunc::kCount:
+          break;
+      }
+    }
+  }
+
+  // Output row of one group, mirroring db::ComputeAggregate exactly.
+  db::Row GroupOutput(const db::Row& key, const GroupState& g) const {
+    db::Row out;
+    out.reserve(query_.select.size());
+    size_t agg_idx = 0;
+    size_t key_idx = 0;
+    for (const db::SelectItem& item : query_.select) {
+      switch (item.kind) {
+        case db::SelectItem::Kind::kColumn:
+          out.push_back(key[select_key_index_[key_idx++]]);
+          break;
+        case db::SelectItem::Kind::kLiteral:
+          out.push_back(item.literal);
+          break;
+        case db::SelectItem::Kind::kAggregate: {
+          const AggState& state = g.aggs[agg_idx++];
+          switch (item.agg) {
+            case db::AggFunc::kCount:
+              out.push_back(db::Value::Int(
+                  item.column < 0 ? g.row_count : state.count_nonnull));
+              break;
+            case db::AggFunc::kCountDistinct:
+              out.push_back(
+                  db::Value::Int(static_cast<int64_t>(state.values.size())));
+              break;
+            case db::AggFunc::kSum:
+              out.push_back(state.count_nonnull == 0
+                                ? db::Value::Null()
+                                : db::Value::Int(state.int_sum));
+              break;
+            case db::AggFunc::kAvg:
+              out.push_back(
+                  state.count_nonnull == 0
+                      ? db::Value::Null()
+                      : db::Value::Real(
+                            static_cast<double>(state.int_sum) /
+                            static_cast<double>(state.count_nonnull)));
+              break;
+            case db::AggFunc::kMin:
+              out.push_back(state.values.empty() ? db::Value::Null()
+                                                 : state.values.begin()->first);
+              break;
+            case db::AggFunc::kMax:
+              out.push_back(state.values.empty()
+                                ? db::Value::Null()
+                                : state.values.rbegin()->first);
+              break;
+          }
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  // Visible outputs of the groups with the given keys, as a sorted multiset.
+  std::vector<db::Row> SnapshotOutputs(const std::vector<db::Row>& keys) const {
+    std::vector<db::Row> outputs;
+    for (const db::Row& key : keys) {
+      auto it = groups_.find(key);
+      if (it == groups_.end()) continue;
+      // Grouped queries drop empty groups; the global group never drops.
+      if (!query_.group_by.empty() && it->second.row_count <= 0) continue;
+      outputs.push_back(GroupOutput(key, it->second));
+    }
+    std::sort(outputs.begin(), outputs.end(), RowLess());
+    return outputs;
+  }
+
+  bool ProbeGrouped(const CellDelta& delta, int slot) {
+    std::vector<db::Row> old_inputs = AffectedInputRows(delta.row, slot);
+    db::Value saved = ApplyDelta(*db_, delta);
+    std::vector<db::Row> new_inputs = AffectedInputRows(delta.row, slot);
+    UndoDelta(*db_, delta, saved);
+    if (old_inputs == new_inputs) return false;
+
+    std::vector<db::Row> keys;
+    for (const db::Row& r : old_inputs) keys.push_back(GroupKeyOf(r));
+    for (const db::Row& r : new_inputs) keys.push_back(GroupKeyOf(r));
+    std::sort(keys.begin(), keys.end(), RowLess());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+    std::vector<db::Row> before = SnapshotOutputs(keys);
+    for (const db::Row& r : old_inputs) RemoveInput(r);
+    for (const db::Row& r : new_inputs) AddInput(r);
+    std::vector<db::Row> after = SnapshotOutputs(keys);
+    // Revert the tentative state change.
+    for (const db::Row& r : new_inputs) RemoveInput(r);
+    for (const db::Row& r : old_inputs) AddInput(r);
+    return before != after;
+  }
+
+  db::Database* db_;
+  const db::BoundQuery& query_;
+
+  bool two_tables_ = false;
+  bool grouped_ = false;
+  bool fallback_ = false;
+
+  std::vector<char> sensitive_[2];
+  db::ResultTable base_result_;
+
+  std::unordered_map<uint64_t, std::vector<int>> index0_, index1_;
+  int join_col0_ = -1, join_col1_ = -1;
+
+  std::vector<char> row_present_;
+  std::vector<uint64_t> row_hash_;
+  std::unordered_map<uint64_t, int64_t> tuple_counts_;
+
+  std::map<db::Row, GroupState, RowLess> groups_;
+  std::vector<int> agg_items_;
+  std::vector<int> select_key_index_;
+};
+
+}  // namespace
+
+std::vector<uint32_t> ConflictSetEngine::ConflictSet(
+    const db::BoundQuery& query, const SupportSet& support) {
+  PreparedQuery prepared(db_, query);
+  if (prepared.is_fallback()) ++stats_.fallback_queries;
+  std::vector<uint32_t> conflicts;
+  for (uint32_t i = 0; i < support.size(); ++i) {
+    if (prepared.Probe(support[i], stats_)) conflicts.push_back(i);
+  }
+  return conflicts;
+}
+
+}  // namespace qp::market

@@ -1,0 +1,62 @@
+// Conflict-set computation: C_S(Q, D) = { D' in S : Q(D) != Q(D') }.
+//
+// Two engines with identical semantics:
+//
+//  * NaiveConflictSet — applies each delta, re-evaluates the query with the
+//    reference evaluator, compares canonical results, reverts. O(|S| *
+//    eval(Q)) per query; the correctness oracle.
+//
+//  * ConflictSetEngine — prepares per-query state once (per-row
+//    contribution hashes, group aggregate states with exact integer
+//    accumulators, join-key indexes) and answers each delta in O(1)-ish:
+//    recompute only the modified row's (or its join partners')
+//    contribution, tentatively update the affected groups, compare the
+//    visible output, revert. Falls back to naive re-evaluation for LIMIT
+//    queries and SUM/AVG over double columns (where incremental float
+//    accumulation could drift from the reference evaluator).
+//
+// tests/market/conflict_test.cc checks the two engines produce identical
+// conflict sets over randomized queries, datasets and supports.
+#ifndef QP_MARKET_CONFLICT_H_
+#define QP_MARKET_CONFLICT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "db/database.h"
+#include "db/query.h"
+#include "market/support.h"
+
+namespace qp::market {
+
+/// Reference implementation (apply / re-evaluate / compare / revert).
+std::vector<uint32_t> NaiveConflictSet(db::Database& db,
+                                       const db::BoundQuery& query,
+                                       const SupportSet& support);
+
+class ConflictSetEngine {
+ public:
+  /// The database must outlive the engine. Deltas are applied and reverted
+  /// in place during probing; the database is always restored.
+  explicit ConflictSetEngine(db::Database* db) : db_(db) {}
+
+  /// Conflict set of `query` as sorted indices into `support`.
+  std::vector<uint32_t> ConflictSet(const db::BoundQuery& query,
+                                    const SupportSet& support);
+
+  struct Stats {
+    int64_t probes = 0;          // sensitive deltas actually probed
+    int64_t pruned = 0;          // deltas skipped by column sensitivity
+    int64_t fallback_queries = 0;  // queries handled by full re-evaluation
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  db::Database* db_;
+  Stats stats_;
+};
+
+}  // namespace qp::market
+
+#endif  // QP_MARKET_CONFLICT_H_

@@ -1,0 +1,28 @@
+#include "market/hypergraph_builder.h"
+
+#include "common/stopwatch.h"
+
+namespace qp::market {
+
+BuildResult BuildHypergraph(db::Database& db,
+                            const std::vector<db::BoundQuery>& queries,
+                            const SupportSet& support,
+                            const BuildOptions& options) {
+  Stopwatch timer;
+  BuildResult result;
+  result.hypergraph = core::Hypergraph(static_cast<uint32_t>(support.size()));
+  result.conflict_sets.reserve(queries.size());
+  ConflictSetEngine engine(&db);
+  for (const db::BoundQuery& query : queries) {
+    std::vector<uint32_t> conflicts =
+        options.incremental ? engine.ConflictSet(query, support)
+                            : NaiveConflictSet(db, query, support);
+    result.hypergraph.AddEdge(conflicts);
+    result.conflict_sets.push_back(std::move(conflicts));
+  }
+  result.stats = engine.stats();
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace qp::market

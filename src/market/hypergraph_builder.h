@@ -1,0 +1,40 @@
+// Queries + support set -> pricing hypergraph (paper Section 3.3).
+#ifndef QP_MARKET_HYPERGRAPH_BUILDER_H_
+#define QP_MARKET_HYPERGRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "core/hypergraph.h"
+#include "db/database.h"
+#include "db/query.h"
+#include "market/conflict.h"
+#include "market/support.h"
+
+namespace qp::market {
+
+struct BuildOptions {
+  /// Use the incremental conflict engine (false = naive re-evaluation;
+  /// the equivalence is tested, the naive path is for oracles/debugging).
+  bool incremental = true;
+};
+
+struct BuildResult {
+  core::Hypergraph hypergraph{0};
+  /// Per query: sorted support indices in its conflict set (= the edge).
+  std::vector<std::vector<uint32_t>> conflict_sets;
+  /// Wall-clock seconds spent computing conflict sets (the "hypergraph
+  /// construction time" the paper's Tables 4-5 include).
+  double seconds = 0.0;
+  ConflictSetEngine::Stats stats;
+};
+
+/// Builds the hypergraph whose items are support deltas and whose edges are
+/// the queries' conflict sets.
+BuildResult BuildHypergraph(db::Database& db,
+                            const std::vector<db::BoundQuery>& queries,
+                            const SupportSet& support,
+                            const BuildOptions& options = {});
+
+}  // namespace qp::market
+
+#endif  // QP_MARKET_HYPERGRAPH_BUILDER_H_

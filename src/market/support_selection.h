@@ -1,0 +1,44 @@
+// Support-set selection (paper Section 7.2, "Choosing support set").
+//
+// The paper poses: given queries Q_1..Q_m and database D, find neighboring
+// databases D_1..D_m with Q_i(D_i) != Q_i(D) but Q_i(D_j) = Q_i(D) for
+// j != i — i.e. give every hyperedge a *private* item, after which item
+// pricing extracts full revenue (price the private item at v_i).
+//
+// AugmentSupportWithUniqueItems implements a greedy constructive answer:
+// for every query lacking a degree-1 item in the current hypergraph, it
+// searches candidate single-cell deltas drawn from the query's sensitive
+// columns and keeps one that conflicts with this query and no other.
+#ifndef QP_MARKET_SUPPORT_SELECTION_H_
+#define QP_MARKET_SUPPORT_SELECTION_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "db/database.h"
+#include "db/query.h"
+#include "market/support.h"
+
+namespace qp::market {
+
+struct SupportSelectionOptions {
+  /// Candidate deltas tried per query before giving up.
+  int candidates_per_query = 64;
+};
+
+struct SupportSelectionResult {
+  SupportSet support;            // base support + appended private deltas
+  int queries_fixed = 0;         // queries that gained a private item
+  int queries_unfixable = 0;     // no private delta found within budget
+};
+
+/// Appends, for each query without a private (degree-1) item under
+/// `base_support`, one delta that conflicts with that query alone.
+SupportSelectionResult AugmentSupportWithUniqueItems(
+    db::Database& db, const std::vector<db::BoundQuery>& queries,
+    const SupportSet& base_support, const SupportSelectionOptions& options,
+    Rng& rng);
+
+}  // namespace qp::market
+
+#endif  // QP_MARKET_SUPPORT_SELECTION_H_

@@ -1,0 +1,116 @@
+#include "workloads/ssb.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace qp::workload {
+
+namespace {
+const char* kSsbRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                             "MIDDLE EAST"};
+}  // namespace
+
+std::unique_ptr<db::Database> MakeSsbData(const SsbOptions& options) {
+  Rng rng(Mix64(options.seed ^ 0x55bu));
+  auto database = std::make_unique<db::Database>();
+  const double sf = options.scale_factor;
+  const int num_dates = 7 * 365;  // 1992..1998
+  const int num_customers = std::max(300, static_cast<int>(30000 * sf));
+  const int num_suppliers = std::max(100, static_cast<int>(2000 * sf));
+  const int num_parts = std::max(200, static_cast<int>(200000 * sf));
+  const int num_lineorders = std::max(1000, static_cast<int>(6000000 * sf));
+
+  // Consistent geography: city i belongs to nation i % 25, nation n to
+  // region n % 5.
+  auto city_name = [](int i) { return StrCat("CITY", i); };
+  auto nation_name = [](int n) { return StrCat("NATION", n); };
+
+  db::Table date("date", db::Schema({{"d_datekey", db::ValueType::kInt},
+                                     {"d_year", db::ValueType::kInt},
+                                     {"d_month", db::ValueType::kInt},
+                                     {"d_weeknum", db::ValueType::kInt}}));
+  for (int d = 0; d < num_dates; ++d) {
+    QP_CHECK_OK(date.AppendRow({db::Value::Int(d),
+                                db::Value::Int(1992 + d / 365),
+                                db::Value::Int(1 + (d / 30) % 12),
+                                db::Value::Int(1 + (d / 7) % 52)}));
+  }
+  QP_CHECK_OK(database->AddTable(std::move(date)));
+
+  db::Table customer("customer",
+                     db::Schema({{"c_custkey", db::ValueType::kInt},
+                                 {"c_name", db::ValueType::kString},
+                                 {"c_city", db::ValueType::kString},
+                                 {"c_nation", db::ValueType::kString},
+                                 {"c_region", db::ValueType::kString}}));
+  for (int c = 0; c < num_customers; ++c) {
+    int city = static_cast<int>(rng.UniformInt(0, 249));
+    int nat = city % 25;
+    QP_CHECK_OK(customer.AppendRow(
+        {db::Value::Int(c), db::Value::Str(StrCat("Customer#", c)),
+         db::Value::Str(city_name(city)), db::Value::Str(nation_name(nat)),
+         db::Value::Str(kSsbRegions[nat % 5])}));
+  }
+  QP_CHECK_OK(database->AddTable(std::move(customer)));
+
+  db::Table supplier("supplier",
+                     db::Schema({{"s_suppkey", db::ValueType::kInt},
+                                 {"s_name", db::ValueType::kString},
+                                 {"s_city", db::ValueType::kString},
+                                 {"s_nation", db::ValueType::kString},
+                                 {"s_region", db::ValueType::kString}}));
+  for (int s = 0; s < num_suppliers; ++s) {
+    int city = static_cast<int>(rng.UniformInt(0, 249));
+    int nat = city % 25;
+    QP_CHECK_OK(supplier.AppendRow(
+        {db::Value::Int(s), db::Value::Str(StrCat("Supplier#", s)),
+         db::Value::Str(city_name(city)), db::Value::Str(nation_name(nat)),
+         db::Value::Str(kSsbRegions[nat % 5])}));
+  }
+  QP_CHECK_OK(database->AddTable(std::move(supplier)));
+
+  db::Table part("part", db::Schema({{"p_partkey", db::ValueType::kInt},
+                                     {"p_name", db::ValueType::kString},
+                                     {"p_category", db::ValueType::kString},
+                                     {"p_brand", db::ValueType::kString},
+                                     {"p_color", db::ValueType::kString}}));
+  static const char* kColors[] = {"red", "green", "blue", "ivory", "plum"};
+  for (int p = 0; p < num_parts; ++p) {
+    int category = static_cast<int>(rng.UniformInt(1, 25));
+    QP_CHECK_OK(part.AppendRow(
+        {db::Value::Int(p), db::Value::Str(StrCat("Part#", p)),
+         db::Value::Str(StrCat("MFGR#", category)),
+         db::Value::Str(StrCat("MFGR#", category, "-", rng.UniformInt(1, 40))),
+         db::Value::Str(kColors[rng.UniformInt(0, 4)])}));
+  }
+  QP_CHECK_OK(database->AddTable(std::move(part)));
+
+  db::Table lineorder(
+      "lineorder", db::Schema({{"lo_orderkey", db::ValueType::kInt},
+                               {"lo_custkey", db::ValueType::kInt},
+                               {"lo_suppkey", db::ValueType::kInt},
+                               {"lo_partkey", db::ValueType::kInt},
+                               {"lo_orderdatekey", db::ValueType::kInt},
+                               {"lo_quantity", db::ValueType::kInt},
+                               {"lo_extendedprice", db::ValueType::kInt},
+                               {"lo_discount", db::ValueType::kInt},
+                               {"lo_revenue", db::ValueType::kInt}}));
+  for (int l = 0; l < num_lineorders; ++l) {
+    QP_CHECK_OK(lineorder.AppendRow(
+        {db::Value::Int(l / 4),
+         db::Value::Int(rng.UniformInt(0, num_customers - 1)),
+         db::Value::Int(rng.UniformInt(0, num_suppliers - 1)),
+         db::Value::Int(rng.UniformInt(0, num_parts - 1)),
+         db::Value::Int(rng.UniformInt(0, num_dates - 1)),
+         db::Value::Int(rng.UniformInt(1, 50)),
+         db::Value::Int(rng.UniformInt(100000, 10000000)),
+         db::Value::Int(rng.UniformInt(0, 10)),
+         db::Value::Int(rng.UniformInt(80000, 9000000))}));
+  }
+  QP_CHECK_OK(database->AddTable(std::move(lineorder)));
+  return database;
+}
+
+}  // namespace qp::workload

@@ -1,0 +1,33 @@
+// Star Schema Benchmark-shaped dataset + the paper's 701-query workload.
+//
+// Parameterization (paper Appendix C: year 7, region 5, nation 25,
+// city 250), mapped onto one-dimension joins (substitutions in DESIGN.md):
+//   flight 1: 3 templates x 7 years            = 21   (lineorder x date)
+//   flight 2: 6 templates x 5 regions          = 30   (lineorder x supplier)
+//   flight 3: 2 templates x 250 customer cities = 500 (lineorder x customer)
+//   flight 4: 5 regions x 25 nations            = 125 (lineorder x supplier)
+//   flight 4b: 25 nations                       = 25  (lineorder x supplier)
+//   total                                       = 701
+#ifndef QP_WORKLOADS_SSB_H_
+#define QP_WORKLOADS_SSB_H_
+
+#include "common/status.h"
+#include "workloads/workload.h"
+
+namespace qp::workload {
+
+struct SsbOptions {
+  double scale_factor = 0.01;
+  uint64_t seed = 7;
+};
+
+/// Generates the SSB-shaped database (date, customer, supplier, part,
+/// lineorder).
+std::unique_ptr<db::Database> MakeSsbData(const SsbOptions& options);
+
+/// The 701-query workload bound against a freshly generated database.
+Result<WorkloadInstance> MakeSsbWorkload(const SsbOptions& options = {});
+
+}  // namespace qp::workload
+
+#endif  // QP_WORKLOADS_SSB_H_

@@ -1,0 +1,103 @@
+// The 701 SSB workload queries (see ssb.h for the flight breakdown).
+#include "common/str_util.h"
+#include "db/parser.h"
+#include "workloads/ssb.h"
+
+namespace qp::workload {
+
+namespace {
+
+std::vector<std::string> SsbWorkloadSql() {
+  std::vector<std::string> sql;
+  // Flight 1: 3 templates x 7 years = 21 (lineorder x date).
+  for (int year = 1992; year <= 1998; ++year) {
+    sql.push_back(StrCat(
+        "select sum(lo_revenue) from lineorder, date where lo_orderdatekey "
+        "= d_datekey and d_year = ",
+        year, " and lo_discount between 1 and 3 and lo_quantity < 25"));
+    sql.push_back(StrCat(
+        "select sum(lo_revenue) from lineorder, date where lo_orderdatekey "
+        "= d_datekey and d_year = ",
+        year, " and lo_discount between 4 and 6 and lo_quantity between 26 "
+              "and 35"));
+    sql.push_back(StrCat(
+        "select sum(lo_revenue), count(*) from lineorder, date where "
+        "lo_orderdatekey = d_datekey and d_year = ",
+        year, " and lo_discount between 5 and 7"));
+  }
+  // Flight 2: 6 templates x 5 regions = 30 (lineorder x supplier).
+  for (const char* region :
+       {"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}) {
+    sql.push_back(StrCat(
+        "select sum(lo_revenue) from lineorder, supplier where lo_suppkey = "
+        "s_suppkey and s_region = '",
+        region, "'"));
+    sql.push_back(StrCat(
+        "select count(*) from lineorder, supplier where lo_suppkey = "
+        "s_suppkey and s_region = '",
+        region, "'"));
+    sql.push_back(StrCat(
+        "select s_nation, sum(lo_revenue) from lineorder, supplier where "
+        "lo_suppkey = s_suppkey and s_region = '",
+        region, "' group by s_nation"));
+    sql.push_back(StrCat(
+        "select avg(lo_quantity) from lineorder, supplier where lo_suppkey "
+        "= s_suppkey and s_region = '",
+        region, "'"));
+    sql.push_back(StrCat(
+        "select max(lo_revenue) from lineorder, supplier where lo_suppkey = "
+        "s_suppkey and s_region = '",
+        region, "'"));
+    sql.push_back(StrCat(
+        "select count(distinct lo_custkey) from lineorder, supplier where "
+        "lo_suppkey = s_suppkey and s_region = '",
+        region, "'"));
+  }
+  // Flight 3: 2 templates x 250 customer cities = 500.
+  for (int city = 0; city < 250; ++city) {
+    sql.push_back(StrCat(
+        "select sum(lo_revenue) from lineorder, customer where lo_custkey = "
+        "c_custkey and c_city = 'CITY",
+        city, "'"));
+    sql.push_back(StrCat(
+        "select count(*) from lineorder, customer where lo_custkey = "
+        "c_custkey and c_city = 'CITY",
+        city, "'"));
+  }
+  // Flight 4: every (region, nation) pair = 125.
+  for (const char* region :
+       {"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}) {
+    for (int nation = 0; nation < 25; ++nation) {
+      sql.push_back(StrCat(
+          "select sum(lo_revenue) from lineorder, supplier where lo_suppkey "
+          "= s_suppkey and s_region = '",
+          region, "' and s_nation = 'NATION", nation, "'"));
+    }
+  }
+  // Flight 4b: per nation = 25.
+  for (int nation = 0; nation < 25; ++nation) {
+    sql.push_back(StrCat(
+        "select count(*) from lineorder, supplier where lo_suppkey = "
+        "s_suppkey and s_nation = 'NATION",
+        nation, "'"));
+  }
+  return sql;
+}
+
+}  // namespace
+
+Result<WorkloadInstance> MakeSsbWorkload(const SsbOptions& options) {
+  WorkloadInstance out;
+  out.name = "SSB";
+  out.database = MakeSsbData(options);
+  out.sql = SsbWorkloadSql();
+  out.queries.reserve(out.sql.size());
+  for (const std::string& statement : out.sql) {
+    QP_ASSIGN_OR_RETURN(db::BoundQuery q,
+                        db::ParseQuery(statement, *out.database));
+    out.queries.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace qp::workload

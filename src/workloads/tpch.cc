@@ -1,0 +1,215 @@
+#include "workloads/tpch.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace qp::workload {
+
+namespace {
+
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+const char* kMaterials[] = {"BRASS", "TIN", "COPPER", "STEEL", "NICKEL"};
+const char* kTypePrefixes[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE",
+                               "ECONOMY", "PROMO"};
+const char* kTypeMids[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                           "BRUSHED"};
+const char* kContainerSizes[] = {"SM", "MED", "LG", "JUMBO", "WRAP"};
+const char* kContainerKinds[] = {"CASE", "BOX", "BAG", "JAR", "PKG", "PACK",
+                                 "CAN", "DRUM"};
+const char* kShipModes[] = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                            "TRUCK",   "MAIL", "FOB"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+
+}  // namespace
+
+// The 150 p_type values: 6 prefixes x 5 mids x 5 materials.
+std::vector<std::string> TpchPartTypes() {
+  std::vector<std::string> types;
+  for (const char* p : kTypePrefixes) {
+    for (const char* m : kTypeMids) {
+      for (const char* mat : kMaterials) {
+        types.push_back(StrCat(p, " ", m, " ", mat));
+      }
+    }
+  }
+  return types;
+}
+
+// The 40 container values: 5 sizes x 8 kinds.
+std::vector<std::string> TpchContainers() {
+  std::vector<std::string> containers;
+  for (const char* s : kContainerSizes) {
+    for (const char* k : kContainerKinds) {
+      containers.push_back(StrCat(s, " ", k));
+    }
+  }
+  return containers;
+}
+
+std::vector<std::string> TpchMaterials() {
+  return {kMaterials, kMaterials + 5};
+}
+
+std::unique_ptr<db::Database> MakeTpchData(const TpchOptions& options) {
+  Rng rng(Mix64(options.seed ^ 0x79c4u));
+  auto database = std::make_unique<db::Database>();
+  const double sf = options.scale_factor;
+  const int num_suppliers = std::max(10, static_cast<int>(10000 * sf));
+  const int num_parts = std::max(50, static_cast<int>(200000 * sf));
+  const int num_partsupp = num_parts * 4;
+  const int num_customers = std::max(20, static_cast<int>(150000 * sf));
+  const int num_orders = std::max(30, static_cast<int>(1500000 * sf));
+  const int num_lineitems = num_orders * 4;
+  std::vector<std::string> part_types = TpchPartTypes();
+  std::vector<std::string> containers = TpchContainers();
+
+  // region(r_regionkey, r_name)
+  db::Table region("region", db::Schema({{"r_regionkey", db::ValueType::kInt},
+                                         {"r_name", db::ValueType::kString}}));
+  for (int r = 0; r < 5; ++r) {
+    QP_CHECK_OK(region.AppendRow({db::Value::Int(r), db::Value::Str(kRegions[r])}));
+  }
+  QP_CHECK_OK(database->AddTable(std::move(region)));
+
+  // nation(n_nationkey, n_name, n_regionname) — region denormalized.
+  db::Table nation("nation",
+                   db::Schema({{"n_nationkey", db::ValueType::kInt},
+                               {"n_name", db::ValueType::kString},
+                               {"n_regionname", db::ValueType::kString}}));
+  std::vector<std::string> nation_regions(25);
+  for (int n = 0; n < 25; ++n) {
+    nation_regions[n] = kRegions[n % 5];
+    QP_CHECK_OK(nation.AppendRow({db::Value::Int(n),
+                                  db::Value::Str(StrCat("NATION", n)),
+                                  db::Value::Str(nation_regions[n])}));
+  }
+  QP_CHECK_OK(database->AddTable(std::move(nation)));
+
+  // supplier(s_suppkey, s_name, s_nationkey, s_regionname, s_acctbal)
+  db::Table supplier("supplier",
+                     db::Schema({{"s_suppkey", db::ValueType::kInt},
+                                 {"s_name", db::ValueType::kString},
+                                 {"s_nationkey", db::ValueType::kInt},
+                                 {"s_regionname", db::ValueType::kString},
+                                 {"s_acctbal", db::ValueType::kInt}}));
+  for (int s = 0; s < num_suppliers; ++s) {
+    int nat = static_cast<int>(rng.UniformInt(0, 24));
+    QP_CHECK_OK(supplier.AppendRow(
+        {db::Value::Int(s), db::Value::Str(StrCat("Supplier#", s)),
+         db::Value::Int(nat), db::Value::Str(nation_regions[nat]),
+         db::Value::Int(rng.UniformInt(-99999, 999999))}));
+  }
+  QP_CHECK_OK(database->AddTable(std::move(supplier)));
+
+  // part(p_partkey, p_name, p_type, p_brand, p_container, p_size, p_retailprice)
+  db::Table part("part", db::Schema({{"p_partkey", db::ValueType::kInt},
+                                     {"p_name", db::ValueType::kString},
+                                     {"p_type", db::ValueType::kString},
+                                     {"p_brand", db::ValueType::kString},
+                                     {"p_container", db::ValueType::kString},
+                                     {"p_size", db::ValueType::kInt},
+                                     {"p_retailprice", db::ValueType::kInt}}));
+  for (int p = 0; p < num_parts; ++p) {
+    QP_CHECK_OK(part.AppendRow(
+        {db::Value::Int(p), db::Value::Str(StrCat("Part#", p)),
+         db::Value::Str(part_types[rng.UniformInt(0, 149)]),
+         db::Value::Str(StrCat("Brand#", rng.UniformInt(1, 5),
+                               rng.UniformInt(1, 5))),
+         db::Value::Str(containers[rng.UniformInt(0, 39)]),
+         db::Value::Int(rng.UniformInt(1, 50)),
+         db::Value::Int(rng.UniformInt(90000, 200000))}));
+  }
+  QP_CHECK_OK(database->AddTable(std::move(part)));
+
+  // partsupp(ps_partkey, ps_suppkey, ps_availqty, ps_supplycost)
+  db::Table partsupp("partsupp",
+                     db::Schema({{"ps_partkey", db::ValueType::kInt},
+                                 {"ps_suppkey", db::ValueType::kInt},
+                                 {"ps_availqty", db::ValueType::kInt},
+                                 {"ps_supplycost", db::ValueType::kInt}}));
+  for (int p = 0; p < num_parts; ++p) {
+    for (int k = 0; k < 4; ++k) {
+      QP_CHECK_OK(partsupp.AppendRow(
+          {db::Value::Int(p),
+           db::Value::Int(rng.UniformInt(0, num_suppliers - 1)),
+           db::Value::Int(rng.UniformInt(1, 9999)),
+           db::Value::Int(rng.UniformInt(100, 100000))}));
+    }
+  }
+  QP_CHECK_OK(database->AddTable(std::move(partsupp)));
+
+  // customer(c_custkey, c_name, c_nationkey, c_acctbal, c_mktsegment)
+  static const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                    "MACHINERY", "HOUSEHOLD"};
+  db::Table customer("customer",
+                     db::Schema({{"c_custkey", db::ValueType::kInt},
+                                 {"c_name", db::ValueType::kString},
+                                 {"c_nationkey", db::ValueType::kInt},
+                                 {"c_acctbal", db::ValueType::kInt},
+                                 {"c_mktsegment", db::ValueType::kString}}));
+  for (int c = 0; c < num_customers; ++c) {
+    QP_CHECK_OK(customer.AppendRow(
+        {db::Value::Int(c), db::Value::Str(StrCat("Customer#", c)),
+         db::Value::Int(rng.UniformInt(0, 24)),
+         db::Value::Int(rng.UniformInt(-99999, 999999)),
+         db::Value::Str(kSegments[rng.UniformInt(0, 4)])}));
+  }
+  QP_CHECK_OK(database->AddTable(std::move(customer)));
+
+  // orders(o_orderkey, o_custkey, o_orderstatus, o_totalprice, o_orderyear,
+  //        o_orderpriority)
+  db::Table orders("orders",
+                   db::Schema({{"o_orderkey", db::ValueType::kInt},
+                               {"o_custkey", db::ValueType::kInt},
+                               {"o_orderstatus", db::ValueType::kString},
+                               {"o_totalprice", db::ValueType::kInt},
+                               {"o_orderyear", db::ValueType::kInt},
+                               {"o_orderpriority", db::ValueType::kString}}));
+  static const char* kStatuses[] = {"O", "F", "P"};
+  for (int o = 0; o < num_orders; ++o) {
+    QP_CHECK_OK(orders.AppendRow(
+        {db::Value::Int(o), db::Value::Int(rng.UniformInt(0, num_customers - 1)),
+         db::Value::Str(kStatuses[rng.UniformInt(0, 2)]),
+         db::Value::Int(rng.UniformInt(100000, 50000000)),
+         db::Value::Int(rng.UniformInt(1993, 1998)),
+         db::Value::Str(kPriorities[rng.UniformInt(0, 4)])}));
+  }
+  QP_CHECK_OK(database->AddTable(std::move(orders)));
+
+  // lineitem(l_orderkey, l_partkey, l_quantity, l_extendedprice,
+  //          l_discount, l_returnflag, l_linestatus, l_shipyear,
+  //          l_receiptyear, l_shipmode)
+  db::Table lineitem("lineitem",
+                     db::Schema({{"l_orderkey", db::ValueType::kInt},
+                                 {"l_partkey", db::ValueType::kInt},
+                                 {"l_quantity", db::ValueType::kInt},
+                                 {"l_extendedprice", db::ValueType::kInt},
+                                 {"l_discount", db::ValueType::kInt},
+                                 {"l_returnflag", db::ValueType::kString},
+                                 {"l_linestatus", db::ValueType::kString},
+                                 {"l_shipyear", db::ValueType::kInt},
+                                 {"l_receiptyear", db::ValueType::kInt},
+                                 {"l_shipmode", db::ValueType::kString}}));
+  static const char* kReturnFlags[] = {"R", "A", "N"};
+  for (int l = 0; l < num_lineitems; ++l) {
+    int ship_year = static_cast<int>(rng.UniformInt(1993, 1998));
+    QP_CHECK_OK(lineitem.AppendRow(
+        {db::Value::Int(rng.UniformInt(0, num_orders - 1)),
+         db::Value::Int(rng.UniformInt(0, num_parts - 1)),
+         db::Value::Int(rng.UniformInt(1, 50)),
+         db::Value::Int(rng.UniformInt(100000, 10000000)),
+         db::Value::Int(rng.UniformInt(0, 10)),  // percent
+         db::Value::Str(kReturnFlags[rng.UniformInt(0, 2)]),
+         db::Value::Str(rng.Bernoulli(0.5) ? "O" : "F"),
+         db::Value::Int(ship_year),
+         db::Value::Int(std::min(1998, ship_year + (rng.Bernoulli(0.3) ? 1 : 0))),
+         db::Value::Str(kShipModes[rng.UniformInt(0, 6)])}));
+  }
+  QP_CHECK_OK(database->AddTable(std::move(lineitem)));
+  return database;
+}
+
+}  // namespace qp::workload

@@ -1,0 +1,50 @@
+// TPC-H-shaped dataset + the paper's 220-query workload (Appendix C).
+//
+// Substitutions vs. the official benchmark (documented in DESIGN.md §4):
+//  * scale factor defaults to 0.01 (the paper used SF 1 / ~10M rows); row
+//    counts scale linearly with `scale_factor` and the hypergraph *shape*
+//    (parameter structure of the templates) is preserved;
+//  * date columns are materialized as integer year columns because every
+//    template in the workload filters by year only;
+//  * monetary decimals are integer cents so aggregate accumulators and the
+//    incremental conflict engine stay exact;
+//  * multi-way joins in the original templates are reduced to their
+//    2-table core with denormalized region/nation names (the query-pricing
+//    hypergraph depends on which parameters/columns the predicates touch,
+//    not on join arity).
+//
+// Query counts per template family (exactly the paper's 220):
+//   Q1/Q4/Q6/Q12 x 5 years = 20; Q2 x 5 regions = 5; Q16 x 150 p_types =
+//   150; Q17 x 40 containers = 40; Q2 x 5 p_type materials = 5.
+#ifndef QP_WORKLOADS_TPCH_H_
+#define QP_WORKLOADS_TPCH_H_
+
+#include "common/status.h"
+#include "workloads/workload.h"
+
+namespace qp::workload {
+
+struct TpchOptions {
+  double scale_factor = 0.01;
+  uint64_t seed = 7;
+};
+
+/// Generates the TPC-H-shaped database (region, nation, supplier, part,
+/// partsupp, customer, orders, lineitem).
+std::unique_ptr<db::Database> MakeTpchData(const TpchOptions& options);
+
+/// The 220-query workload bound against a freshly generated database.
+Result<WorkloadInstance> MakeTpchWorkload(const TpchOptions& options = {});
+
+/// The 150 p_type values (6 prefixes x 5 mids x 5 materials).
+std::vector<std::string> TpchPartTypes();
+
+/// The 40 p_container values (5 sizes x 8 kinds).
+std::vector<std::string> TpchContainers();
+
+/// The 5 p_type materials used by the Q2 variant.
+std::vector<std::string> TpchMaterials();
+
+}  // namespace qp::workload
+
+#endif  // QP_WORKLOADS_TPCH_H_

@@ -1,0 +1,84 @@
+// The 220 TPC-H workload queries (paper Appendix C): Q1/Q4/Q6/Q12
+// parameterized by year (1993..1997), Q2 by region, Q16 by the 150 p_type
+// values, Q17 by the 40 containers, and Q2 by the 5 p_type materials.
+#include "common/str_util.h"
+#include "db/parser.h"
+#include "workloads/tpch.h"
+
+namespace qp::workload {
+
+namespace {
+
+std::vector<std::string> TpchWorkloadSql() {
+  std::vector<std::string> sql;
+  // Q1/Q4/Q6/Q12 per year: 4 x 5 = 20.
+  for (int year = 1993; year <= 1997; ++year) {
+    // Q1: pricing summary report (year cutoff instead of shipdate delta).
+    sql.push_back(StrCat(
+        "select l_returnflag, l_linestatus, sum(l_quantity), "
+        "sum(l_extendedprice), count(*) from lineitem where l_shipyear <= ",
+        year, " group by l_returnflag, l_linestatus"));
+    // Q4: order-priority checking (orders joined with lineitem).
+    sql.push_back(StrCat(
+        "select o_orderpriority, count(*) from orders, lineitem where "
+        "o_orderkey = l_orderkey and o_orderyear = ",
+        year, " group by o_orderpriority"));
+    // Q6: forecasting revenue change.
+    sql.push_back(StrCat(
+        "select sum(l_extendedprice) from lineitem where l_shipyear = ", year,
+        " and l_discount between 5 and 7 and l_quantity < 24"));
+    // Q12: shipping modes and order priority.
+    sql.push_back(StrCat(
+        "select l_shipmode, count(*) from orders, lineitem where o_orderkey "
+        "= l_orderkey and l_receiptyear = ",
+        year, " group by l_shipmode"));
+  }
+  // Q2 per region: 5 (minimum-cost supplier, 2-table core).
+  for (const char* region :
+       {"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}) {
+    sql.push_back(StrCat(
+        "select min(ps_supplycost) from supplier, partsupp where s_suppkey "
+        "= ps_suppkey and s_regionname = '",
+        region, "'"));
+  }
+  // Q16 per p_type: 150 (supplier counts by part type).
+  for (const std::string& type : TpchPartTypes()) {
+    sql.push_back(StrCat(
+        "select count(distinct ps_suppkey) from part, partsupp where "
+        "p_partkey = ps_partkey and p_type = '",
+        type, "'"));
+  }
+  // Q17 per container: 40 (small-quantity-order revenue).
+  for (const std::string& container : TpchContainers()) {
+    sql.push_back(StrCat(
+        "select avg(l_quantity) from part, lineitem where p_partkey = "
+        "l_partkey and p_container = '",
+        container, "'"));
+  }
+  // Q2 per material: 5 (p_type suffix match).
+  for (const std::string& material : TpchMaterials()) {
+    sql.push_back(StrCat(
+        "select min(ps_supplycost) from part, partsupp where p_partkey = "
+        "ps_partkey and p_type like '%",
+        material, "'"));
+  }
+  return sql;
+}
+
+}  // namespace
+
+Result<WorkloadInstance> MakeTpchWorkload(const TpchOptions& options) {
+  WorkloadInstance out;
+  out.name = "TPC-H";
+  out.database = MakeTpchData(options);
+  out.sql = TpchWorkloadSql();
+  out.queries.reserve(out.sql.size());
+  for (const std::string& statement : out.sql) {
+    QP_ASSIGN_OR_RETURN(db::BoundQuery q,
+                        db::ParseQuery(statement, *out.database));
+    out.queries.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace qp::workload

@@ -1,0 +1,23 @@
+// Common shape of a generated workload: a database plus a bound query set.
+#ifndef QP_WORKLOADS_WORKLOAD_H_
+#define QP_WORKLOADS_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "db/query.h"
+
+namespace qp::workload {
+
+struct WorkloadInstance {
+  std::unique_ptr<db::Database> database;
+  std::vector<db::BoundQuery> queries;
+  std::vector<std::string> sql;  // one statement per query, same order
+  std::string name;
+};
+
+}  // namespace qp::workload
+
+#endif  // QP_WORKLOADS_WORKLOAD_H_

@@ -1,0 +1,165 @@
+#include "workloads/world.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace qp::workload {
+
+namespace {
+
+constexpr int kNumCountries = 235;
+constexpr int kNumCities = 4000;
+constexpr int kNumLanguageRows = 765;
+constexpr int kNumLanguages = 120;
+
+const char* kContinents[] = {"Asia",          "Europe",       "North America",
+                             "Africa",        "Oceania",      "Antarctica",
+                             "South America"};
+
+const char* kGovernmentForms[] = {"Republic",
+                                  "Constitutional Monarchy",
+                                  "Federal Republic",
+                                  "Monarchy",
+                                  "Federation",
+                                  "Parliamentary Democracy"};
+
+uint64_t HashSalt(const char* salt) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char* p = salt; *p != 0; ++p) {
+    h ^= static_cast<unsigned char>(*p);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Pronounceable deterministic names: alternating consonant/vowel syllables
+// seeded by an index, with the leading letter cycling A..Z so that LIKE
+// 'A%' style predicates select a stable fraction.
+std::string SyntheticName(int index, const char* salt) {
+  static const char* kOnsets[] = {"b", "c", "d", "f", "g", "k", "l",
+                                  "m", "n", "r", "s", "t", "v", "z"};
+  static const char* kVowels[] = {"a", "e", "i", "o", "u"};
+  uint64_t h = Mix64(static_cast<uint64_t>(index) ^ HashSalt(salt));
+  std::string name;
+  name.push_back(static_cast<char>('A' + index % 26));
+  int syllables = 2 + static_cast<int>(h % 3);
+  for (int s = 0; s < syllables; ++s) {
+    h = Mix64(h);
+    name += kVowels[h % 5];
+    h = Mix64(h);
+    name += kOnsets[h % 14];
+  }
+  name += kVowels[Mix64(h) % 5];
+  return name;
+}
+
+}  // namespace
+
+WorldData MakeWorldData(uint64_t seed) {
+  Rng rng(seed);
+  WorldData out;
+  out.database = std::make_unique<db::Database>();
+
+  for (const char* c : kContinents) out.continents.push_back(c);
+  for (int r = 0; r < 25; ++r) {
+    out.regions.push_back(SyntheticName(r, "region") + " Region");
+  }
+  for (int l = 0; l < kNumLanguages; ++l) {
+    out.languages.push_back(SyntheticName(l, "language"));
+  }
+
+  // --- Country ------------------------------------------------------------
+  db::Table country("Country",
+                    db::Schema({{"Code", db::ValueType::kString},
+                                {"Name", db::ValueType::kString},
+                                {"Continent", db::ValueType::kString},
+                                {"Region", db::ValueType::kString},
+                                {"SurfaceArea", db::ValueType::kInt},
+                                {"IndepYear", db::ValueType::kInt},
+                                {"Population", db::ValueType::kInt},
+                                {"LifeExpectancy", db::ValueType::kDouble},
+                                {"GNP", db::ValueType::kInt},
+                                {"GovernmentForm", db::ValueType::kString},
+                                {"HeadOfState", db::ValueType::kString},
+                                {"Capital", db::ValueType::kInt}}));
+  std::vector<std::string> names;
+  for (int i = 0; i < kNumCountries; ++i) {
+    std::string name = SyntheticName(i, "country");
+    std::string code = ToUpper(name.substr(0, 2)) +
+                       static_cast<char>('A' + (i / 26) % 26);
+    // Make codes unique by suffixing the index when the prefix collides.
+    code += static_cast<char>('A' + i % 26);
+    out.country_codes.push_back(code);
+    names.push_back(name);
+    int64_t population = rng.UniformInt(50'000, 1'400'000'000 / 500) *
+                         (1 + rng.UniformInt(0, 499));
+    QP_CHECK_OK(country.AppendRow(
+        {db::Value::Str(code), db::Value::Str(name),
+         db::Value::Str(out.continents[rng.UniformInt(0, 6)]),
+         db::Value::Str(out.regions[rng.UniformInt(0, 24)]),
+         db::Value::Int(rng.UniformInt(1'000, 17'000'000)),
+         db::Value::Int(rng.UniformInt(1200, 1999)),
+         db::Value::Int(population),
+         db::Value::Real(
+             static_cast<double>(rng.UniformInt(450, 850)) / 10.0),
+         db::Value::Int(rng.UniformInt(100, 20'000'000)),
+         db::Value::Str(kGovernmentForms[rng.UniformInt(0, 5)]),
+         db::Value::Str(SyntheticName(i + 1000, "head")),
+         db::Value::Int(1 + rng.UniformInt(0, kNumCities - 1))}));
+  }
+  QP_CHECK_OK(out.database->AddTable(std::move(country)));
+
+  // --- City ---------------------------------------------------------------
+  db::Table city("City", db::Schema({{"ID", db::ValueType::kInt},
+                                     {"Name", db::ValueType::kString},
+                                     {"CountryCode", db::ValueType::kString},
+                                     {"District", db::ValueType::kString},
+                                     {"Population", db::ValueType::kInt}}));
+  for (int i = 0; i < kNumCities; ++i) {
+    // Skewed city populations: many small, a few metropolises.
+    int64_t pop = rng.UniformInt(5'000, 200'000);
+    if (rng.Bernoulli(0.08)) pop = rng.UniformInt(1'000'000, 25'000'000);
+    QP_CHECK_OK(city.AppendRow(
+        {db::Value::Int(i + 1), db::Value::Str(SyntheticName(i, "city")),
+         db::Value::Str(out.country_codes[rng.UniformInt(0, kNumCountries - 1)]),
+         db::Value::Str(SyntheticName(i % 300, "district")),
+         db::Value::Int(pop)}));
+  }
+  QP_CHECK_OK(out.database->AddTable(std::move(city)));
+
+  // --- CountryLanguage ------------------------------------------------------
+  db::Table lang("CountryLanguage",
+                 db::Schema({{"CountryCode", db::ValueType::kString},
+                             {"Language", db::ValueType::kString},
+                             {"IsOfficial", db::ValueType::kString},
+                             {"Percentage", db::ValueType::kInt}}));
+  // Every country gets at least one language; remaining rows are spread
+  // randomly, keeping (country, language) pairs unique.
+  int rows = 0;
+  std::vector<std::vector<int>> used(kNumCountries);
+  for (int c = 0; c < kNumCountries && rows < kNumLanguageRows; ++c, ++rows) {
+    int l = static_cast<int>(rng.UniformInt(0, kNumLanguages - 1));
+    used[c].push_back(l);
+    QP_CHECK_OK(lang.AppendRow({db::Value::Str(out.country_codes[c]),
+                                db::Value::Str(out.languages[l]),
+                                db::Value::Str("T"),
+                                db::Value::Int(rng.UniformInt(30, 100))}));
+  }
+  while (rows < kNumLanguageRows) {
+    int c = static_cast<int>(rng.UniformInt(0, kNumCountries - 1));
+    int l = static_cast<int>(rng.UniformInt(0, kNumLanguages - 1));
+    if (std::find(used[c].begin(), used[c].end(), l) != used[c].end()) continue;
+    used[c].push_back(l);
+    QP_CHECK_OK(lang.AppendRow({db::Value::Str(out.country_codes[c]),
+                                db::Value::Str(out.languages[l]),
+                                db::Value::Str(rng.Bernoulli(0.3) ? "T" : "F"),
+                                db::Value::Int(rng.UniformInt(1, 60))}));
+    ++rows;
+  }
+  QP_CHECK_OK(out.database->AddTable(std::move(lang)));
+  return out;
+}
+
+}  // namespace qp::workload

@@ -1,0 +1,40 @@
+// Synthetic "world" dataset (paper Section 6.2).
+//
+// The paper uses the classic MySQL `world` sample database: 3 tables,
+// ~5000 tuples, 21 attributes. This generator reproduces those shapes
+// deterministically:
+//   Country(Code, Name, Continent, Region, SurfaceArea, IndepYear,
+//           Population, LifeExpectancy, GNP, GovernmentForm, HeadOfState,
+//           Capital)                       -- 235 rows, 12 columns
+//   City(ID, Name, CountryCode, District, Population)
+//                                          -- 4000 rows, 5 columns
+//   CountryLanguage(CountryCode, Language, IsOfficial, Percentage)
+//                                          -- 765 rows, 4 columns
+// Totals: 5000 tuples, 21 attributes, and domain cardinalities (235
+// countries, 7 continents, 120 languages) chosen so the Table-7 template
+// expansion yields exactly the paper's 986 skewed queries.
+#ifndef QP_WORKLOADS_WORLD_H_
+#define QP_WORKLOADS_WORLD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+
+namespace qp::workload {
+
+struct WorldData {
+  std::unique_ptr<db::Database> database;
+  std::vector<std::string> country_codes;  // 235
+  std::vector<std::string> continents;     // 7
+  std::vector<std::string> regions;        // 25
+  std::vector<std::string> languages;      // 120
+};
+
+/// Deterministic world-like dataset.
+WorldData MakeWorldData(uint64_t seed = 7);
+
+}  // namespace qp::workload
+
+#endif  // QP_WORKLOADS_WORLD_H_

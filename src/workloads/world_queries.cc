@@ -1,0 +1,155 @@
+#include "workloads/world_queries.h"
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "db/parser.h"
+
+namespace qp::workload {
+
+std::vector<std::string> SkewedWorkloadSql(const WorldData& world) {
+  std::vector<std::string> sql;
+
+  // Q1: per continent.
+  for (const std::string& c : world.continents) {
+    sql.push_back(StrCat(
+        "select count(Name) from Country where Continent = '", c, "'"));
+  }
+  // Q2 - Q11 (single-instance templates).
+  sql.push_back("select count(distinct Continent) from Country");
+  sql.push_back("select avg(Population) from Country");
+  sql.push_back("select max(Population) from Country");
+  sql.push_back("select min(LifeExpectancy) from Country");
+  sql.push_back("select count(Name) from Country where Name like 'A%'");
+  sql.push_back(
+      "select Region, max(SurfaceArea) from Country group by Region");
+  sql.push_back(
+      "select Continent, max(Population) from Country group by Continent");
+  sql.push_back(
+      "select Continent, count(Code) from Country group by Continent");
+  sql.push_back("select * from Country");
+  sql.push_back("select Name from Country where Name like 'A%'");
+  // Q12: per continent.
+  for (const std::string& c : world.continents) {
+    sql.push_back(StrCat("select * from Country where Continent = '", c,
+                         "' and Population > 5000000"));
+  }
+  // Q13 - Q16.
+  const std::string& region0 = world.regions[0];
+  sql.push_back(StrCat("select * from Country where Region = '", region0, "'"));
+  sql.push_back(
+      StrCat("select Name from Country where Region = '", region0, "'"));
+  sql.push_back(
+      "select Name from Country where Population between 10000000 and "
+      "20000000");
+  sql.push_back(
+      StrCat("select * from Country where Continent = '", world.continents[1],
+             "' limit 2"));
+  // Q17: per country.
+  for (const std::string& code : world.country_codes) {
+    sql.push_back(
+        StrCat("select Population from Country where Code = '", code, "'"));
+  }
+  // Q18 - Q26.
+  sql.push_back("select GovernmentForm from Country");
+  sql.push_back("select distinct GovernmentForm from Country");
+  const std::string& code0 = world.country_codes[0];
+  sql.push_back(StrCat(
+      "select * from City where Population >= 1000000 and CountryCode = '",
+      code0, "'"));
+  sql.push_back(StrCat(
+      "select distinct Language from CountryLanguage where CountryCode = '",
+      code0, "'"));
+  sql.push_back("select * from CountryLanguage where IsOfficial = 'T'");
+  sql.push_back(
+      "select Language, count(CountryCode) from CountryLanguage group by "
+      "Language");
+  sql.push_back(
+      StrCat("select count(Language) from CountryLanguage where CountryCode "
+             "= '",
+             code0, "'"));
+  sql.push_back(
+      "select CountryCode, sum(Population) from City group by CountryCode");
+  sql.push_back(
+      "select CountryCode, count(ID) from City group by CountryCode");
+  // Q27: per country.
+  for (const std::string& code : world.country_codes) {
+    sql.push_back(
+        StrCat("select * from City where CountryCode = '", code, "'"));
+  }
+  // Q28.
+  sql.push_back(StrCat(
+      "select distinct 1 from City where CountryCode = '", code0,
+      "' and Population > 10000000"));
+  // Q29 / Q30: per language.
+  for (const std::string& lang : world.languages) {
+    sql.push_back(StrCat(
+        "select Name from Country, CountryLanguage where Code = CountryCode "
+        "and Language = '",
+        lang, "'"));
+  }
+  for (const std::string& lang : world.languages) {
+    sql.push_back(StrCat(
+        "select C.Name from Country C, CountryLanguage L where C.Code = "
+        "L.CountryCode and L.Language = '",
+        lang, "' and L.Percentage >= 50"));
+  }
+  // Q31: per country.
+  for (const std::string& code : world.country_codes) {
+    sql.push_back(StrCat(
+        "select T.District from Country C, City T where C.Code = '", code,
+        "' and C.Capital = T.ID"));
+  }
+  // Q32 - Q34.
+  sql.push_back(StrCat(
+      "select * from Country C, CountryLanguage L where C.Code = "
+      "L.CountryCode and L.Language = '",
+      world.languages[0], "'"));
+  sql.push_back(
+      "select Name, Language from Country, CountryLanguage where Code = "
+      "CountryCode");
+  sql.push_back(
+      "select * from Country, CountryLanguage where Code = CountryCode");
+  return sql;
+}
+
+Result<WorkloadInstance> MakeSkewedWorkload(uint64_t seed) {
+  WorldData world = MakeWorldData(seed);
+  WorkloadInstance out;
+  out.name = "skewed";
+  out.sql = SkewedWorkloadSql(world);
+  out.database = std::move(world.database);
+  out.queries.reserve(out.sql.size());
+  for (const std::string& statement : out.sql) {
+    QP_ASSIGN_OR_RETURN(db::BoundQuery q,
+                        db::ParseQuery(statement, *out.database));
+    out.queries.push_back(std::move(q));
+  }
+  return out;
+}
+
+Result<WorkloadInstance> MakeUniformWorkload(uint64_t seed, int count,
+                                             double selectivity) {
+  WorldData world = MakeWorldData(seed);
+  WorkloadInstance out;
+  out.name = "uniform";
+  out.database = std::move(world.database);
+  const db::Table* city = out.database->FindTable("City");
+  if (city == nullptr) return Status::Internal("world data lacks City");
+  int rows = city->num_rows();
+  int window = std::max(1, static_cast<int>(rows * selectivity));
+  Rng rng(Mix64(seed ^ 0x12f00du));
+  for (int i = 0; i < count; ++i) {
+    int start = static_cast<int>(rng.UniformInt(1, rows - window + 1));
+    out.sql.push_back(StrCat("select * from City where ID between ", start,
+                             " and ", start + window - 1));
+  }
+  out.queries.reserve(out.sql.size());
+  for (const std::string& statement : out.sql) {
+    QP_ASSIGN_OR_RETURN(db::BoundQuery q,
+                        db::ParseQuery(statement, *out.database));
+    out.queries.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace qp::workload

@@ -1,0 +1,30 @@
+// The skewed query workload: the 34 Table-7 queries expanded to exactly
+// 986 (paper Appendix B): one query per country for Q17/Q27/Q31, per
+// continent for Q1/Q12, per language for Q29/Q30; the other 27 templates
+// contribute one query each.
+#ifndef QP_WORKLOADS_WORLD_QUERIES_H_
+#define QP_WORKLOADS_WORLD_QUERIES_H_
+
+#include "common/status.h"
+#include "workloads/workload.h"
+#include "workloads/world.h"
+
+namespace qp::workload {
+
+/// SQL text of the 986 skewed-workload queries.
+std::vector<std::string> SkewedWorkloadSql(const WorldData& world);
+
+/// Parses and binds the skewed workload against the world database.
+Result<WorkloadInstance> MakeSkewedWorkload(uint64_t seed = 7);
+
+/// The uniform query workload (paper Section 6.2): `count` select-star
+/// range selections over City with identical selectivity (window covering
+/// ~40% of the table), which yields the paper's shape: hyperedge sizes
+/// concentrated around 0.3-0.4 n with high overlap.
+Result<WorkloadInstance> MakeUniformWorkload(uint64_t seed = 7,
+                                             int count = 1000,
+                                             double selectivity = 0.4);
+
+}  // namespace qp::workload
+
+#endif  // QP_WORKLOADS_WORLD_QUERIES_H_

@@ -1,0 +1,115 @@
+#include "common/distributions.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qp {
+namespace {
+
+// Empirical frequencies of a Zipf sampler should match the normalized
+// power-law mass function.
+TEST(ZipfTest, MatchesPmfSmallSupport) {
+  const uint64_t kN = 10;
+  const double kA = 1.5;
+  ZipfDistribution zipf(kN, kA);
+  Rng rng(101);
+  std::vector<int> counts(kN + 1, 0);
+  const int kDraws = 300000;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t x = zipf.Sample(rng);
+    ASSERT_GE(x, 1u);
+    ASSERT_LE(x, kN);
+    counts[x]++;
+  }
+  double norm = 0;
+  for (uint64_t x = 1; x <= kN; ++x) norm += std::pow(static_cast<double>(x), -kA);
+  for (uint64_t x = 1; x <= kN; ++x) {
+    double expected = std::pow(static_cast<double>(x), -kA) / norm;
+    double observed = static_cast<double>(counts[x]) / kDraws;
+    EXPECT_NEAR(observed, expected, 0.01) << "x=" << x;
+  }
+}
+
+TEST(ZipfTest, StaysInRangeLargeSupport) {
+  ZipfDistribution zipf(1000000, 2.0);
+  Rng rng(103);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t x = zipf.Sample(rng);
+    EXPECT_GE(x, 1u);
+    EXPECT_LE(x, 1000000u);
+  }
+}
+
+TEST(ZipfTest, HigherExponentConcentratesAtOne) {
+  Rng rng(107);
+  ZipfDistribution mild(1000, 1.5), steep(1000, 2.5);
+  int mild_ones = 0, steep_ones = 0;
+  for (int i = 0; i < 50000; ++i) {
+    mild_ones += (mild.Sample(rng) == 1);
+    steep_ones += (steep.Sample(rng) == 1);
+  }
+  EXPECT_GT(steep_ones, mild_ones);
+}
+
+TEST(ZipfTest, SupportOfOneAlwaysReturnsOne) {
+  ZipfDistribution zipf(1, 2.0);
+  Rng rng(109);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 1u);
+}
+
+TEST(ZipfTest, ExponentNearOneIsHandled) {
+  ZipfDistribution zipf(100, 1.0);
+  Rng rng(113);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t x = zipf.Sample(rng);
+    EXPECT_GE(x, 1u);
+    EXPECT_LE(x, 100u);
+  }
+}
+
+class BinomialMomentsTest
+    : public ::testing::TestWithParam<std::pair<uint64_t, double>> {};
+
+TEST_P(BinomialMomentsTest, MeanAndVarianceMatch) {
+  auto [n, p] = GetParam();
+  BinomialDistribution binom(n, p);
+  Rng rng(127);
+  const int kDraws = 120000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    double x = static_cast<double>(binom.Sample(rng));
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, static_cast<double>(n));
+    sum += x;
+    sum_sq += x * x;
+  }
+  double mean = sum / kDraws;
+  double var = sum_sq / kDraws - mean * mean;
+  double expect_mean = static_cast<double>(n) * p;
+  double expect_var = expect_mean * (1 - p);
+  EXPECT_NEAR(mean, expect_mean, std::max(0.05, 0.02 * expect_mean));
+  EXPECT_NEAR(var, expect_var, std::max(0.1, 0.05 * expect_var));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BinomialMomentsTest,
+    ::testing::Values(std::pair<uint64_t, double>{10, 0.5},    // exact bitwise
+                      std::pair<uint64_t, double>{64, 0.1},    // exact bitwise
+                      std::pair<uint64_t, double>{500, 0.01},  // waiting time
+                      std::pair<uint64_t, double>{1000, 0.5},  // normal approx
+                      std::pair<uint64_t, double>{10000, 0.5}));
+
+TEST(BinomialTest, DegenerateProbabilities) {
+  Rng rng(131);
+  BinomialDistribution zero(100, 0.0), one(100, 1.0);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(zero.Sample(rng), 0u);
+    EXPECT_EQ(one.Sample(rng), 100u);
+  }
+}
+
+}  // namespace
+}  // namespace qp

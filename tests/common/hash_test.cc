@@ -1,0 +1,91 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+namespace qp {
+namespace {
+
+TEST(HashBytesTest, DeterministicAndSensitive) {
+  EXPECT_EQ(HashBytes("abc"), HashBytes("abc"));
+  EXPECT_NE(HashBytes("abc"), HashBytes("abd"));
+  EXPECT_NE(HashBytes("abc"), HashBytes("ab"));
+  EXPECT_NE(HashBytes("abc", 1), HashBytes("abc", 2));
+}
+
+TEST(FingerprintTest, EmptyEqualsEmpty) {
+  Fingerprint128 a, b;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.lo, 0u);
+  EXPECT_EQ(a.hi, 0u);
+}
+
+TEST(FingerprintTest, OrderIndependent) {
+  Fingerprint128 a, b;
+  a.Add(1);
+  a.Add(2);
+  a.Add(3);
+  b.Add(3);
+  b.Add(1);
+  b.Add(2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(FingerprintTest, MultisetSemantics) {
+  Fingerprint128 a, b;
+  a.Add(5);
+  a.Add(5);
+  b.Add(5);
+  EXPECT_NE(a, b);
+  b.Add(5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(FingerprintTest, RemoveInvertsAdd) {
+  Fingerprint128 a;
+  a.Add(10);
+  a.Add(20);
+  a.Add(30);
+  a.Remove(20);
+  Fingerprint128 b;
+  b.Add(10);
+  b.Add(30);
+  EXPECT_EQ(a, b);
+  a.Remove(10);
+  a.Remove(30);
+  EXPECT_EQ(a, Fingerprint128{});
+}
+
+TEST(FingerprintTest, MergeIsUnion) {
+  Fingerprint128 a, b, both;
+  a.Add(1);
+  a.Add(2);
+  b.Add(3);
+  both.Add(1);
+  both.Add(2);
+  both.Add(3);
+  a.Merge(b);
+  EXPECT_EQ(a, both);
+}
+
+TEST(FingerprintTest, DifferentElementsDiffer) {
+  Fingerprint128 a, b;
+  a.Add(1);
+  b.Add(2);
+  EXPECT_NE(a, b);
+  // Sum-collision probe: {1,4} vs {2,3} must differ after mixing.
+  Fingerprint128 c, d;
+  c.Add(1);
+  c.Add(4);
+  d.Add(2);
+  d.Add(3);
+  EXPECT_NE(c, d);
+}
+
+TEST(HashCombineTest, OrderSensitive) {
+  uint64_t ab = HashCombine(HashCombine(0, 1), 2);
+  uint64_t ba = HashCombine(HashCombine(0, 2), 1);
+  EXPECT_NE(ab, ba);
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,148 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace qp {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextUint64() == b.NextUint64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsRange) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.UniformInt(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 9u);  // all 9 values hit
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(42, 42), 42);
+}
+
+TEST(RngTest, UniformIntMeanIsCentered) {
+  Rng rng(13);
+  double sum = 0;
+  const int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.UniformInt(1, 100));
+  double mean = sum / kN;
+  EXPECT_NEAR(mean, 50.5, 0.5);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(17);
+  double sum = 0, sum_sq = 0;
+  const int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    double x = rng.Normal(10.0, 3.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  double mean = sum / kN;
+  double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(19);
+  double sum = 0;
+  const int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.Exponential(4.0);
+  EXPECT_NEAR(sum / kN, 4.0, 0.08);
+}
+
+TEST(RngTest, ExponentialIsNonNegative) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.Exponential(0.1), 0.0);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng rng(29);
+  int hits = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, SampleWithoutReplacementSortedUnique) {
+  Rng rng(31);
+  auto sample = rng.SampleWithoutReplacement(100, 20);
+  ASSERT_EQ(sample.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  EXPECT_EQ(std::set<uint32_t>(sample.begin(), sample.end()).size(), 20u);
+  for (uint32_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullAndEmpty) {
+  Rng rng(37);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(5, 0).empty());
+  auto all = rng.SampleWithoutReplacement(5, 5);
+  ASSERT_EQ(all.size(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsUniformish) {
+  Rng rng(41);
+  std::vector<int> counts(10, 0);
+  for (int trial = 0; trial < 20000; ++trial) {
+    for (uint32_t v : rng.SampleWithoutReplacement(10, 3)) counts[v]++;
+  }
+  for (int c : counts) EXPECT_NEAR(c, 6000, 300);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(43);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkIsDeterministicAndIndependent) {
+  Rng a(99), b(99);
+  Rng fa = a.Fork(1), fb = b.Fork(1);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(fa.NextUint64(), fb.NextUint64());
+  Rng f2 = a.Fork(2);
+  EXPECT_NE(a.Fork(1).NextUint64(), f2.NextUint64());
+}
+
+TEST(Mix64Test, IsDeterministicAndSpreads) {
+  EXPECT_EQ(Mix64(1), Mix64(1));
+  EXPECT_NE(Mix64(1), Mix64(2));
+  // Low bits of sequential inputs should not be sequential.
+  EXPECT_NE(Mix64(2) - Mix64(1), Mix64(3) - Mix64(2));
+}
+
+}  // namespace
+}  // namespace qp

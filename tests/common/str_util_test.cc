@@ -1,0 +1,75 @@
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace qp {
+namespace {
+
+TEST(StrUtilTest, StrCat) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StrUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrUtilTest, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StrUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("AbC1"), "abc1");
+  EXPECT_EQ(ToUpper("AbC1"), "ABC1");
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+}
+
+TEST(StrUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+  EXPECT_TRUE(EndsWith("hello", "lo"));
+  EXPECT_FALSE(EndsWith("lo", "hello"));
+}
+
+TEST(StrUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  a b \t\n"), "a b");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+}
+
+TEST(LikeMatchTest, ExactAndWildcards) {
+  EXPECT_TRUE(LikeMatch("abc", "abc"));
+  EXPECT_FALSE(LikeMatch("abc", "abd"));
+  EXPECT_TRUE(LikeMatch("abc", "a%"));
+  EXPECT_TRUE(LikeMatch("abc", "%c"));
+  EXPECT_TRUE(LikeMatch("abc", "%b%"));
+  EXPECT_TRUE(LikeMatch("abc", "a_c"));
+  EXPECT_FALSE(LikeMatch("abc", "a_d"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_TRUE(LikeMatch("anything", "%%"));
+}
+
+TEST(LikeMatchTest, BacktrackingCases) {
+  EXPECT_TRUE(LikeMatch("aXbXc", "a%c"));
+  EXPECT_TRUE(LikeMatch("mississippi", "m%iss%ppi"));
+  EXPECT_FALSE(LikeMatch("mississippi", "m%issx%ppi"));
+  EXPECT_TRUE(LikeMatch("Argentina", "A%"));
+  EXPECT_FALSE(LikeMatch("Brazil", "A%"));
+}
+
+TEST(FormatDoubleTest, TrimsZeros) {
+  EXPECT_EQ(FormatDouble(2.0), "2");
+  EXPECT_EQ(FormatDouble(1.5), "1.5");
+  EXPECT_EQ(FormatDouble(0.25), "0.25");
+  EXPECT_EQ(FormatDouble(1.0 / 3.0, 3), "0.333");
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,45 @@
+#include "common/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace qp {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "v"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("name   v"), std::string::npos);
+  EXPECT_NE(s.find("alpha  1"), std::string::npos);
+  EXPECT_NE(s.find("b      22"), std::string::npos);
+}
+
+TEST(TablePrinterTest, HeaderOnly) {
+  TablePrinter t({"a", "bb"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("a  bb"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, AddRowValuesFormats) {
+  TablePrinter t({"alg", "rev", "n"});
+  t.AddRowValues("UBP", 0.75, 42);
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("UBP"), std::string::npos);
+  EXPECT_NE(s.find("0.75"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(TablePrinterTest, PrintWritesToStream) {
+  TablePrinter t({"x"});
+  t.AddRow({"1"});
+  std::ostringstream oss;
+  t.Print(oss);
+  EXPECT_EQ(oss.str(), t.ToString());
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,135 @@
+#include "core/hypergraph.h"
+
+#include <gtest/gtest.h>
+
+namespace qp::core {
+namespace {
+
+Hypergraph Diamond() {
+  // 4 items; edges {0,1}, {1,2}, {2,3}, {0,1,2,3}, {} (one empty).
+  Hypergraph h(4);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  h.AddEdge({2, 3});
+  h.AddEdge({0, 1, 2, 3});
+  h.AddEdge({});
+  return h;
+}
+
+TEST(HypergraphTest, BasicCounts) {
+  Hypergraph h = Diamond();
+  EXPECT_EQ(h.num_items(), 4u);
+  EXPECT_EQ(h.num_edges(), 5);
+  EXPECT_EQ(h.edge_size(0), 2);
+  EXPECT_EQ(h.edge_size(4), 0);
+}
+
+TEST(HypergraphTest, AddEdgeSortsAndDedupes) {
+  Hypergraph h(5);
+  int e = h.AddEdge({3, 1, 3, 0});
+  EXPECT_EQ(h.edge(e), (std::vector<uint32_t>{0, 1, 3}));
+}
+
+TEST(HypergraphTest, Degrees) {
+  Hypergraph h = Diamond();
+  auto deg = h.ItemDegrees();
+  EXPECT_EQ(deg, (std::vector<uint32_t>{2, 3, 3, 2}));
+  EXPECT_EQ(h.MaxDegree(), 3u);
+}
+
+TEST(HypergraphTest, EdgeSizeStats) {
+  Hypergraph h = Diamond();
+  EXPECT_EQ(h.MaxEdgeSize(), 4u);
+  EXPECT_DOUBLE_EQ(h.AvgEdgeSize(), (2 + 2 + 2 + 4 + 0) / 5.0);
+}
+
+TEST(HypergraphTest, UniqueItemEdges) {
+  Hypergraph h(4);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  h.AddEdge({3});
+  // {0,1} via item 0, {1,2} via item 2, {3} via item 3.
+  EXPECT_EQ(h.NumEdgesWithUniqueItem(), 3);
+  Hypergraph h2(2);
+  h2.AddEdge({0, 1});
+  h2.AddEdge({0, 1});
+  EXPECT_EQ(h2.NumEdgesWithUniqueItem(), 0);  // duplicates share everything
+}
+
+TEST(HypergraphTest, EmptyHypergraphStats) {
+  Hypergraph h(0);
+  EXPECT_EQ(h.MaxDegree(), 0u);
+  EXPECT_DOUBLE_EQ(h.AvgEdgeSize(), 0.0);
+}
+
+TEST(ItemClassesTest, IdenticalItemsMerge) {
+  // Items 0 and 1 always co-occur; 2 alone; 3 in no edge.
+  Hypergraph h(4);
+  h.AddEdge({0, 1});
+  h.AddEdge({0, 1, 2});
+  ItemClasses classes = ItemClasses::Compute(h);
+  EXPECT_EQ(classes.num_classes(), 2u);
+  EXPECT_EQ(classes.class_of_item[0], classes.class_of_item[1]);
+  EXPECT_NE(classes.class_of_item[0], classes.class_of_item[2]);
+  EXPECT_EQ(classes.class_of_item[3], ItemClasses::kNoClass);
+  EXPECT_EQ(classes.class_size[classes.class_of_item[0]], 2u);
+  EXPECT_EQ(classes.class_size[classes.class_of_item[2]], 1u);
+}
+
+TEST(ItemClassesTest, EdgeClassesCoverEdges) {
+  Hypergraph h(4);
+  h.AddEdge({0, 1});
+  h.AddEdge({0, 1, 2});
+  h.AddEdge({});
+  ItemClasses classes = ItemClasses::Compute(h);
+  EXPECT_EQ(classes.edge_classes[0].size(), 1u);
+  EXPECT_EQ(classes.edge_classes[1].size(), 2u);
+  EXPECT_TRUE(classes.edge_classes[2].empty());
+}
+
+TEST(ItemClassesTest, DistinctSignaturesStaySeparate) {
+  Hypergraph h(3);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  ItemClasses classes = ItemClasses::Compute(h);
+  EXPECT_EQ(classes.num_classes(), 3u);  // {0}, {1}, {2} all differ
+}
+
+TEST(ItemClassesTest, ExpandClassWeightsSplitsEvenly) {
+  Hypergraph h(4);
+  h.AddEdge({0, 1});
+  h.AddEdge({0, 1, 2});
+  ItemClasses classes = ItemClasses::Compute(h);
+  std::vector<double> class_weights(classes.num_classes(), 0.0);
+  class_weights[classes.class_of_item[0]] = 6.0;  // class {0,1}
+  class_weights[classes.class_of_item[2]] = 5.0;  // class {2}
+  auto weights = classes.ExpandClassWeights(class_weights, 4);
+  EXPECT_DOUBLE_EQ(weights[0], 3.0);
+  EXPECT_DOUBLE_EQ(weights[1], 3.0);
+  EXPECT_DOUBLE_EQ(weights[2], 5.0);
+  EXPECT_DOUBLE_EQ(weights[3], 0.0);
+  // Edge prices are preserved: edge {0,1} costs 6, edge {0,1,2} costs 11.
+}
+
+TEST(ItemClassesTest, CompressionPreservesEdgePrices) {
+  Hypergraph h(6);
+  h.AddEdge({0, 1, 2});
+  h.AddEdge({0, 1, 2, 3});
+  h.AddEdge({3, 4, 5});
+  ItemClasses classes = ItemClasses::Compute(h);
+  std::vector<double> class_weights(classes.num_classes());
+  for (size_t c = 0; c < class_weights.size(); ++c) {
+    class_weights[c] = static_cast<double>(c + 1);
+  }
+  auto weights = classes.ExpandClassWeights(class_weights, 6);
+  for (int e = 0; e < h.num_edges(); ++e) {
+    double by_item = 0.0;
+    for (uint32_t j : h.edge(e)) by_item += weights[j];
+    double by_class = 0.0;
+    for (uint32_t cls : classes.edge_classes[e]) by_class += class_weights[cls];
+    EXPECT_NEAR(by_item, by_class, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace qp::core

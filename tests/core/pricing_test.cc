@@ -1,0 +1,109 @@
+#include "core/pricing.h"
+
+#include <gtest/gtest.h>
+
+namespace qp::core {
+namespace {
+
+TEST(UniformBundlePricingTest, ConstantPrice) {
+  UniformBundlePricing p(7.5);
+  EXPECT_DOUBLE_EQ(p.Price({0, 1, 2}), 7.5);
+  EXPECT_DOUBLE_EQ(p.Price({}), 7.5);
+  EXPECT_DOUBLE_EQ(p.bundle_price(), 7.5);
+}
+
+TEST(ItemPricingTest, SumsWeights) {
+  ItemPricing p({1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(p.Price({0, 2}), 5.0);
+  EXPECT_DOUBLE_EQ(p.Price({}), 0.0);
+  EXPECT_DOUBLE_EQ(p.Price({0, 1, 2}), 7.0);
+}
+
+TEST(XosPricingTest, TakesMaxComponent) {
+  XosPricing p({{1.0, 0.0, 0.0}, {0.0, 0.0, 2.0}});
+  EXPECT_DOUBLE_EQ(p.Price({0}), 1.0);
+  EXPECT_DOUBLE_EQ(p.Price({2}), 2.0);
+  EXPECT_DOUBLE_EQ(p.Price({0, 2}), 2.0);  // max(1, 2)
+  EXPECT_DOUBLE_EQ(p.Price({}), 0.0);
+}
+
+TEST(XosPricingTest, DominatesComponentsPointwise) {
+  XosPricing xos({{1.0, 3.0}, {2.0, 1.0}});
+  ItemPricing a({1.0, 3.0}), b({2.0, 1.0});
+  for (std::vector<uint32_t> bundle :
+       {std::vector<uint32_t>{0}, {1}, {0, 1}}) {
+    EXPECT_GE(xos.Price(bundle), a.Price(bundle) - 1e-12);
+    EXPECT_GE(xos.Price(bundle), b.Price(bundle) - 1e-12);
+  }
+}
+
+TEST(RevenueTest, CountsOnlySoldBundles) {
+  Hypergraph h(3);
+  h.AddEdge({0});
+  h.AddEdge({1});
+  h.AddEdge({0, 1});
+  Valuations v{5.0, 1.0, 4.0};
+  ItemPricing p({2.0, 2.0, 0.0});
+  // Prices: 2 (sold, v=5), 2 (not sold, v=1), 4 (sold, v=4).
+  EXPECT_DOUBLE_EQ(Revenue(p, h, v), 6.0);
+}
+
+TEST(RevenueTest, EmptyBundleSellsAtZero) {
+  Hypergraph h(2);
+  h.AddEdge({});
+  Valuations v{3.0};
+  ItemPricing p({10.0, 10.0});
+  EXPECT_DOUBLE_EQ(Revenue(p, h, v), 0.0);  // sold, contributes 0
+}
+
+TEST(RevenueTest, UniformBundleOnEmptyBundle) {
+  Hypergraph h(2);
+  h.AddEdge({});
+  h.AddEdge({0});
+  Valuations v{3.0, 1.0};
+  UniformBundlePricing p(2.0);
+  // Empty bundle priced 2 <= 3: sold. Edge {0} priced 2 > 1: not sold.
+  EXPECT_DOUBLE_EQ(Revenue(p, h, v), 2.0);
+}
+
+TEST(RevenueTest, SellToleranceAbsorbsLpNoise) {
+  Hypergraph h(1);
+  h.AddEdge({0});
+  Valuations v{1.0};
+  ItemPricing p({1.0 + 1e-9});  // epsilon above the valuation
+  EXPECT_DOUBLE_EQ(Revenue(p, h, v), 1.0 + 1e-9);
+}
+
+TEST(RevenueTest, EdgePricesMatchesPricingFunction) {
+  Hypergraph h(3);
+  h.AddEdge({0, 1});
+  h.AddEdge({2});
+  ItemPricing p({1.0, 2.0, 3.0});
+  auto prices = EdgePrices(p, h);
+  ASSERT_EQ(prices.size(), 2u);
+  EXPECT_DOUBLE_EQ(prices[0], 3.0);
+  EXPECT_DOUBLE_EQ(prices[1], 3.0);
+  EXPECT_DOUBLE_EQ(RevenueFromPrices(prices, {3.0, 3.0}), 6.0);
+  EXPECT_DOUBLE_EQ(RevenueFromPrices(prices, {2.9, 3.0}), 3.0);
+}
+
+TEST(PricingCloneTest, ClonesAreIndependentAndEqual) {
+  ItemPricing p({1.0, 2.0});
+  auto clone = p.Clone();
+  EXPECT_DOUBLE_EQ(clone->Price({0, 1}), 3.0);
+  XosPricing x({{1.0, 0.0}});
+  EXPECT_DOUBLE_EQ(x.Clone()->Price({0}), 1.0);
+  UniformBundlePricing u(4.0);
+  EXPECT_DOUBLE_EQ(u.Clone()->Price({}), 4.0);
+}
+
+TEST(PricingDescribeTest, MentionsFamily) {
+  EXPECT_NE(UniformBundlePricing(1).Describe().find("uniform"),
+            std::string::npos);
+  EXPECT_NE(ItemPricing({1.0}).Describe().find("item"), std::string::npos);
+  XosPricing xos(std::vector<std::vector<double>>{{1.0}});
+  EXPECT_NE(xos.Describe().find("XOS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qp::core

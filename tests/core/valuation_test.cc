@@ -1,0 +1,159 @@
+#include "core/valuation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace qp::core {
+namespace {
+
+Hypergraph SizedEdges() {
+  Hypergraph h(16);
+  h.AddEdge({0});                    // size 1
+  h.AddEdge({0, 1, 2, 3});           // size 4
+  h.AddEdge({0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15});  // 16
+  h.AddEdge({});                     // empty
+  return h;
+}
+
+TEST(ValuationTest, UniformRange) {
+  Hypergraph h = SizedEdges();
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    Valuations v = SampleUniformValuations(h, 100, rng);
+    ASSERT_EQ(v.size(), 4u);
+    for (double x : v) {
+      EXPECT_GE(x, 1.0);
+      EXPECT_LE(x, 100.0);
+    }
+  }
+}
+
+TEST(ValuationTest, UniformMean) {
+  Hypergraph h = SizedEdges();
+  Rng rng(2);
+  double sum = 0;
+  const int kTrials = 20000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    sum += SampleUniformValuations(h, 100, rng)[0];
+  }
+  EXPECT_NEAR(sum / kTrials, 50.5, 1.0);
+}
+
+TEST(ValuationTest, ZipfIntegersInRange) {
+  Hypergraph h = SizedEdges();
+  Rng rng(3);
+  Valuations v = SampleZipfValuations(h, 2.0, rng);
+  for (double x : v) {
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 1e6);
+    EXPECT_DOUBLE_EQ(x, std::floor(x));  // integer support
+  }
+}
+
+TEST(ValuationTest, ZipfSkewsTowardOne) {
+  Hypergraph h = SizedEdges();
+  Rng rng(4);
+  int ones = 0;
+  const int kTrials = 5000;
+  for (int t = 0; t < kTrials; ++t) {
+    Valuations v = SampleZipfValuations(h, 2.5, rng);
+    ones += (v[0] == 1.0);
+  }
+  EXPECT_GT(ones, kTrials / 2);  // zeta(2.5): P(1) ~ 0.75
+}
+
+TEST(ValuationTest, ExponentialScalesWithEdgeSize) {
+  Hypergraph h = SizedEdges();
+  Rng rng(5);
+  double sum1 = 0, sum16 = 0;
+  const int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    Valuations v = ScaleExponentialValuations(h, 1.0, rng);
+    EXPECT_DOUBLE_EQ(v[3], 0.0);  // empty edge
+    sum1 += v[0];
+    sum16 += v[2];
+  }
+  EXPECT_NEAR(sum1 / kTrials, 1.0, 0.05);    // mean |e|^1 = 1
+  EXPECT_NEAR(sum16 / kTrials, 16.0, 0.5);   // mean 16
+}
+
+TEST(ValuationTest, ExponentialKappaExponent) {
+  Hypergraph h = SizedEdges();
+  Rng rng(6);
+  double sum4 = 0;
+  const int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    sum4 += ScaleExponentialValuations(h, 2.0, rng)[1];  // |e|=4 -> mean 16
+  }
+  EXPECT_NEAR(sum4 / kTrials, 16.0, 0.5);
+}
+
+TEST(ValuationTest, NormalScalesAndClamps) {
+  Hypergraph h = SizedEdges();
+  Rng rng(7);
+  double sum = 0;
+  const int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    Valuations v = ScaleNormalValuations(h, 1.0, rng);
+    EXPECT_DOUBLE_EQ(v[3], 0.0);
+    for (double x : v) EXPECT_GE(x, 0.0);
+    sum += v[2];  // mu = 16, sigma^2 = 10
+  }
+  EXPECT_NEAR(sum / kTrials, 16.0, 0.25);
+}
+
+TEST(ValuationTest, FractionalKappa) {
+  Hypergraph h = SizedEdges();
+  Rng rng(8);
+  double sum = 0;
+  const int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    sum += ScaleNormalValuations(h, 0.5, rng)[1];  // mu = sqrt(4) = 2
+  }
+  // Clamping N(2, 10) at zero shifts the mean up:
+  // E[max(0,X)] = mu Phi(mu/sigma) + sigma phi(mu/sigma) ~ 2.508.
+  EXPECT_NEAR(sum / kTrials, 2.508, 0.15);
+}
+
+TEST(ValuationTest, AdditiveModelSumsItemPrices) {
+  Hypergraph h = SizedEdges();
+  Rng rng(9);
+  Valuations v = AdditiveItemValuations(h, LevelDistribution::kUniform, 10, rng);
+  // Each item price is in [1, 11]; sizes 1/4/16/0.
+  EXPECT_GE(v[0], 1.0);
+  EXPECT_LE(v[0], 11.0);
+  EXPECT_GE(v[1], 4.0);
+  EXPECT_LE(v[1], 44.0);
+  EXPECT_DOUBLE_EQ(v[3], 0.0);
+  // The size-16 edge contains the size-4 edge: additive => strictly more.
+  EXPECT_GT(v[2], v[1]);
+}
+
+TEST(ValuationTest, AdditiveModelBinomialLevels) {
+  Hypergraph h = SizedEdges();
+  Rng rng(10);
+  double sum = 0;
+  const int kTrials = 5000;
+  for (int t = 0; t < kTrials; ++t) {
+    Valuations v =
+        AdditiveItemValuations(h, LevelDistribution::kBinomial, 10, rng);
+    sum += v[0];
+  }
+  // Level ~ Binomial(10, .5): mean 5; price ~ level + 0.5.
+  EXPECT_NEAR(sum / kTrials, 5.5, 0.2);
+}
+
+TEST(ValuationTest, DeterministicGivenSeed) {
+  Hypergraph h = SizedEdges();
+  Rng a(42), b(42);
+  EXPECT_EQ(SampleUniformValuations(h, 50, a),
+            SampleUniformValuations(h, 50, b));
+  Rng c(42), d(42);
+  EXPECT_EQ(AdditiveItemValuations(h, LevelDistribution::kBinomial, 8, c),
+            AdditiveItemValuations(h, LevelDistribution::kBinomial, 8, d));
+}
+
+}  // namespace
+}  // namespace qp::core

@@ -1,0 +1,147 @@
+#include "db/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace qp::db {
+namespace {
+
+Row TestRow() {
+  return {Value::Int(10), Value::Str("Paris"), Value::Real(2.5), Value::Null()};
+}
+
+TEST(ExprTest, ColumnAndLiteral) {
+  Row row = TestRow();
+  EXPECT_EQ(Expr::Column(0)->Evaluate(row).as_int(), 10);
+  EXPECT_EQ(Expr::Column(1)->Evaluate(row).as_string(), "Paris");
+  EXPECT_EQ(Expr::Literal(Value::Int(7))->Evaluate(row).as_int(), 7);
+}
+
+TEST(ExprTest, ComparisonOperators) {
+  Row row = TestRow();
+  auto col0 = Expr::Column(0);
+  auto lit5 = Expr::Literal(Value::Int(5));
+  auto lit10 = Expr::Literal(Value::Int(10));
+  EXPECT_TRUE(Expr::Compare(CompareOp::kGt, col0, lit5)->EvaluateBool(row));
+  EXPECT_FALSE(Expr::Compare(CompareOp::kLt, col0, lit5)->EvaluateBool(row));
+  EXPECT_TRUE(Expr::Compare(CompareOp::kEq, col0, lit10)->EvaluateBool(row));
+  EXPECT_TRUE(Expr::Compare(CompareOp::kGe, col0, lit10)->EvaluateBool(row));
+  EXPECT_TRUE(Expr::Compare(CompareOp::kLe, col0, lit10)->EvaluateBool(row));
+  EXPECT_FALSE(Expr::Compare(CompareOp::kNe, col0, lit10)->EvaluateBool(row));
+}
+
+TEST(ExprTest, StringComparison) {
+  Row row = TestRow();
+  auto name = Expr::Column(1);
+  EXPECT_TRUE(Expr::Compare(CompareOp::kEq, name,
+                            Expr::Literal(Value::Str("Paris")))
+                  ->EvaluateBool(row));
+  EXPECT_TRUE(Expr::Compare(CompareOp::kLt, name,
+                            Expr::Literal(Value::Str("Q")))
+                  ->EvaluateBool(row));
+}
+
+TEST(ExprTest, NullComparisonsAreFalse) {
+  Row row = TestRow();
+  auto null_col = Expr::Column(3);
+  auto lit = Expr::Literal(Value::Int(0));
+  EXPECT_FALSE(Expr::Compare(CompareOp::kEq, null_col, lit)->EvaluateBool(row));
+  EXPECT_FALSE(Expr::Compare(CompareOp::kNe, null_col, lit)->EvaluateBool(row));
+  EXPECT_FALSE(Expr::Compare(CompareOp::kLt, null_col, lit)->EvaluateBool(row));
+}
+
+TEST(ExprTest, Between) {
+  Row row = TestRow();
+  EXPECT_TRUE(Expr::Between(Expr::Column(0), Value::Int(5), Value::Int(15))
+                  ->EvaluateBool(row));
+  EXPECT_TRUE(Expr::Between(Expr::Column(0), Value::Int(10), Value::Int(10))
+                  ->EvaluateBool(row));
+  EXPECT_FALSE(Expr::Between(Expr::Column(0), Value::Int(11), Value::Int(15))
+                   ->EvaluateBool(row));
+  EXPECT_FALSE(Expr::Between(Expr::Column(3), Value::Int(0), Value::Int(1))
+                   ->EvaluateBool(row));  // NULL
+}
+
+TEST(ExprTest, Like) {
+  Row row = TestRow();
+  EXPECT_TRUE(Expr::Like(Expr::Column(1), "P%")->EvaluateBool(row));
+  EXPECT_TRUE(Expr::Like(Expr::Column(1), "%ri%")->EvaluateBool(row));
+  EXPECT_FALSE(Expr::Like(Expr::Column(1), "Q%")->EvaluateBool(row));
+  // LIKE on a non-string (int) is false.
+  EXPECT_FALSE(Expr::Like(Expr::Column(0), "1%")->EvaluateBool(row));
+}
+
+TEST(ExprTest, InList) {
+  Row row = TestRow();
+  EXPECT_TRUE(Expr::InList(Expr::Column(0),
+                           {Value::Int(1), Value::Int(10), Value::Int(20)})
+                  ->EvaluateBool(row));
+  EXPECT_FALSE(
+      Expr::InList(Expr::Column(0), {Value::Int(1)})->EvaluateBool(row));
+  EXPECT_FALSE(Expr::InList(Expr::Column(3), {Value::Null()})
+                   ->EvaluateBool(row));  // NULL never IN
+}
+
+TEST(ExprTest, BooleanConnectives) {
+  Row row = TestRow();
+  auto t = Expr::Compare(CompareOp::kEq, Expr::Column(0),
+                         Expr::Literal(Value::Int(10)));
+  auto f = Expr::Compare(CompareOp::kEq, Expr::Column(0),
+                         Expr::Literal(Value::Int(11)));
+  EXPECT_TRUE(Expr::And(t, t)->EvaluateBool(row));
+  EXPECT_FALSE(Expr::And(t, f)->EvaluateBool(row));
+  EXPECT_TRUE(Expr::Or(f, t)->EvaluateBool(row));
+  EXPECT_FALSE(Expr::Or(f, f)->EvaluateBool(row));
+  EXPECT_TRUE(Expr::Not(f)->EvaluateBool(row));
+  EXPECT_FALSE(Expr::Not(t)->EvaluateBool(row));
+}
+
+TEST(ExprTest, ArithmeticIntStaysExact) {
+  Row row = TestRow();
+  auto sum = Expr::Arith(ArithOp::kAdd, Expr::Column(0),
+                         Expr::Literal(Value::Int(5)));
+  Value v = sum->Evaluate(row);
+  EXPECT_EQ(v.type(), ValueType::kInt);
+  EXPECT_EQ(v.as_int(), 15);
+  auto prod = Expr::Arith(ArithOp::kMul, Expr::Column(0),
+                          Expr::Literal(Value::Int(3)));
+  EXPECT_EQ(prod->Evaluate(row).as_int(), 30);
+}
+
+TEST(ExprTest, ArithmeticDivisionIsDouble) {
+  Row row = TestRow();
+  auto div = Expr::Arith(ArithOp::kDiv, Expr::Column(0),
+                         Expr::Literal(Value::Int(4)));
+  Value v = div->Evaluate(row);
+  EXPECT_EQ(v.type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(v.as_double(), 2.5);
+  auto by_zero = Expr::Arith(ArithOp::kDiv, Expr::Column(0),
+                             Expr::Literal(Value::Int(0)));
+  EXPECT_TRUE(by_zero->Evaluate(row).is_null());
+}
+
+TEST(ExprTest, ArithmeticNullPropagates) {
+  Row row = TestRow();
+  auto sum = Expr::Arith(ArithOp::kAdd, Expr::Column(3),
+                         Expr::Literal(Value::Int(5)));
+  EXPECT_TRUE(sum->Evaluate(row).is_null());
+}
+
+TEST(ExprTest, CollectColumns) {
+  auto e = Expr::And(
+      Expr::Compare(CompareOp::kEq, Expr::Column(2), Expr::Column(0)),
+      Expr::Like(Expr::Column(1), "x%"));
+  std::vector<int> cols;
+  e->CollectColumns(&cols);
+  EXPECT_EQ(cols, (std::vector<int>{2, 0, 1}));
+}
+
+TEST(ExprTest, ToStringRendersSqlIsh) {
+  auto e = Expr::And(Expr::Compare(CompareOp::kGe, Expr::Column(0),
+                                   Expr::Literal(Value::Int(5))),
+                     Expr::Like(Expr::Column(1), "A%"));
+  std::vector<std::string> names{"pop", "name"};
+  EXPECT_EQ(e->ToString(&names), "(pop >= 5 AND name LIKE 'A%')");
+}
+
+}  // namespace
+}  // namespace qp::db

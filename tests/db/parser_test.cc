@@ -1,0 +1,231 @@
+#include "db/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "db/tokenizer.h"
+#include "tests/db/test_db.h"
+
+namespace qp::db {
+namespace {
+
+TEST(TokenizerTest, BasicTokens) {
+  auto toks = Tokenize("select Name, 42 from T where x >= 1.5");
+  ASSERT_TRUE(toks.ok());
+  const auto& t = *toks;
+  EXPECT_TRUE(t[0].IsKeyword("SELECT"));
+  EXPECT_EQ(t[1].type, TokenType::kIdentifier);
+  EXPECT_TRUE(t[2].IsSymbol(","));
+  EXPECT_EQ(t[3].type, TokenType::kInteger);
+  EXPECT_EQ(t[3].int_value, 42);
+  EXPECT_TRUE(t[8].IsSymbol(">="));
+  EXPECT_EQ(t[9].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ(t[9].float_value, 1.5);
+  EXPECT_EQ(t.back().type, TokenType::kEnd);
+}
+
+TEST(TokenizerTest, StringsAndEscapes) {
+  auto toks = Tokenize("where name = 'O''Brien'");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[3].type, TokenType::kString);
+  EXPECT_EQ((*toks)[3].text, "O'Brien");
+}
+
+TEST(TokenizerTest, NormalizesNotEquals) {
+  auto toks = Tokenize("a != b");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_TRUE((*toks)[1].IsSymbol("<>"));
+}
+
+TEST(TokenizerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("select 'oops").ok());
+}
+
+TEST(TokenizerTest, UnexpectedCharacterFails) {
+  EXPECT_FALSE(Tokenize("select @x").ok());
+}
+
+class ParserTest : public ::testing::Test {
+ protected:
+  void SetUp() override { db_ = testing::MakeTestDatabase(); }
+
+  BoundQuery MustParse(const std::string& sql) {
+    auto q = ParseQuery(sql, *db_);
+    EXPECT_TRUE(q.ok()) << sql << " -> " << q.status();
+    return q.ok() ? *q : BoundQuery{};
+  }
+
+  Status ParseError(const std::string& sql) {
+    auto q = ParseQuery(sql, *db_);
+    EXPECT_FALSE(q.ok()) << sql << " unexpectedly parsed";
+    return q.ok() ? Status::OK() : q.status();
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ParserTest, SimpleSelect) {
+  BoundQuery q = MustParse("select Name from Country");
+  EXPECT_EQ(q.table_indices.size(), 1u);
+  EXPECT_EQ(q.select.size(), 1u);
+  EXPECT_EQ(q.select[0].kind, SelectItem::Kind::kColumn);
+  EXPECT_EQ(q.select[0].column, 1);  // Country.Name
+  EXPECT_FALSE(q.distinct);
+  EXPECT_EQ(q.limit, -1);
+}
+
+TEST_F(ParserTest, SelectStarExpands) {
+  BoundQuery q = MustParse("select * from City");
+  EXPECT_EQ(q.select.size(), 4u);
+}
+
+TEST_F(ParserTest, CaseInsensitiveKeywordsAndNames) {
+  BoundQuery q = MustParse("SELECT name FROM country WHERE continent = 'Asia'");
+  EXPECT_EQ(q.select[0].column, 1);
+  EXPECT_NE(q.predicate, nullptr);
+}
+
+TEST_F(ParserTest, AggregatesParse) {
+  BoundQuery q = MustParse(
+      "select count(*), count(Name), count(distinct Continent), "
+      "sum(Population), avg(Population), min(Population), max(Population) "
+      "from Country");
+  ASSERT_EQ(q.select.size(), 7u);
+  EXPECT_EQ(q.select[0].agg, AggFunc::kCount);
+  EXPECT_EQ(q.select[0].column, -1);
+  EXPECT_EQ(q.select[1].agg, AggFunc::kCount);
+  EXPECT_EQ(q.select[1].column, 1);
+  EXPECT_EQ(q.select[2].agg, AggFunc::kCountDistinct);
+  EXPECT_EQ(q.select[3].agg, AggFunc::kSum);
+  EXPECT_EQ(q.select[4].agg, AggFunc::kAvg);
+  EXPECT_EQ(q.select[5].agg, AggFunc::kMin);
+  EXPECT_EQ(q.select[6].agg, AggFunc::kMax);
+}
+
+TEST_F(ParserTest, GroupByAndLimit) {
+  BoundQuery q = MustParse(
+      "select Continent, max(Population) from Country group by Continent");
+  EXPECT_EQ(q.group_by, std::vector<int>{2});
+  BoundQuery q2 = MustParse("select * from Country limit 2");
+  EXPECT_EQ(q2.limit, 2);
+}
+
+TEST_F(ParserTest, JoinExtractionImplicitSyntax) {
+  BoundQuery q = MustParse(
+      "select Name from Country, CountryLanguage where Code = CountryCode "
+      "and Language = 'Greek'");
+  EXPECT_EQ(q.table_indices.size(), 2u);
+  EXPECT_EQ(q.join_left, 0);       // Country.Code
+  EXPECT_EQ(q.join_right, 5 + 0);  // CountryLanguage.CountryCode (offset 5)
+  ASSERT_NE(q.predicate, nullptr);  // residual Language = 'Greek'
+}
+
+TEST_F(ParserTest, JoinOnlyPredicateBecomesNull) {
+  BoundQuery q = MustParse(
+      "select Name, Language from Country, CountryLanguage where Code = "
+      "CountryCode");
+  EXPECT_EQ(q.join_left, 0);
+  EXPECT_EQ(q.predicate, nullptr);
+}
+
+TEST_F(ParserTest, AliasesBindQualifiedColumns) {
+  BoundQuery q = MustParse(
+      "select C.Name from Country C, CountryLanguage L where C.Code = "
+      "L.CountryCode and L.Percentage >= 50");
+  EXPECT_EQ(q.select[0].column, 1);
+  EXPECT_EQ(q.join_left, 0);
+  EXPECT_EQ(q.join_right, 5);
+}
+
+TEST_F(ParserTest, AmbiguousColumnRejected) {
+  // Population exists in Country and City.
+  ParseError("select Population from Country, City where Code = CountryCode");
+}
+
+TEST_F(ParserTest, QualifiedAmbiguousColumnAccepted) {
+  BoundQuery q = MustParse(
+      "select City.Population from Country, City where Code = CountryCode");
+  EXPECT_EQ(q.select[0].column, 5 + 3);
+}
+
+TEST_F(ParserTest, BetweenLikeIn) {
+  BoundQuery q = MustParse(
+      "select Name from Country where Population between 1 and 10 or Name "
+      "like 'A%' or Code in ('USA', 'FRA')");
+  ASSERT_NE(q.predicate, nullptr);
+  EXPECT_EQ(q.predicate->kind(), ExprKind::kOr);
+}
+
+TEST_F(ParserTest, NegativeLiterals) {
+  BoundQuery q = MustParse("select Name from Country where Population > -5");
+  ASSERT_NE(q.predicate, nullptr);
+}
+
+TEST_F(ParserTest, DistinctLiteral) {
+  BoundQuery q = MustParse("select distinct 1 from City where Population > 5");
+  EXPECT_TRUE(q.distinct);
+  EXPECT_EQ(q.select[0].kind, SelectItem::Kind::kLiteral);
+}
+
+TEST_F(ParserTest, ErrorsAreInformative) {
+  EXPECT_EQ(ParseError("selec Name from Country").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseError("select Name from Nowhere").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ParseError("select Nope from Country").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ParseError("select Name from Country where").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseError("select Name from Country limit x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseError("select Name from Country trailing junk").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ParserTest, TwoTablesWithoutJoinRejected) {
+  EXPECT_EQ(ParseError("select Code from Country, City").code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST_F(ParserTest, ThreeTablesRejected) {
+  EXPECT_EQ(
+      ParseError("select Name from Country, City, CountryLanguage").code(),
+      StatusCode::kUnimplemented);
+}
+
+TEST_F(ParserTest, AggregateMixedWithUngroupedColumnRejected) {
+  ParseError("select Name, count(*) from Country");
+}
+
+TEST_F(ParserTest, ValidationPassesOnParsedQueries) {
+  BoundQuery q = MustParse(
+      "select Continent, count(Code) from Country group by Continent");
+  EXPECT_TRUE(q.Validate(*db_).ok());
+}
+
+TEST_F(ParserTest, SensitiveColumnsForPlainQuery) {
+  BoundQuery q = MustParse("select Name from Country where Continent = 'Asia'");
+  auto cols = q.SensitiveColumns();
+  // (Country=0, Name=1), (Country=0, Continent=2).
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], (std::pair<int, int>{0, 1}));
+  EXPECT_EQ(cols[1], (std::pair<int, int>{0, 2}));
+}
+
+TEST_F(ParserTest, SensitiveColumnsBareCountStarIsEmpty) {
+  BoundQuery q = MustParse("select count(*) from City");
+  EXPECT_TRUE(q.SensitiveColumns().empty());
+}
+
+TEST_F(ParserTest, SensitiveColumnsIncludeJoinKeys) {
+  BoundQuery q = MustParse(
+      "select Name from Country, CountryLanguage where Code = CountryCode");
+  auto cols = q.SensitiveColumns();
+  // Country.Code, Country.Name, CountryLanguage.CountryCode.
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], (std::pair<int, int>{0, 0}));
+  EXPECT_EQ(cols[1], (std::pair<int, int>{0, 1}));
+  EXPECT_EQ(cols[2], (std::pair<int, int>{2, 0}));
+}
+
+}  // namespace
+}  // namespace qp::db

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "db/schema.h"
+#include "db/table.h"
+#include "tests/db/test_db.h"
+
+namespace qp::db {
+namespace {
+
+TEST(SchemaTest, FindColumnCaseInsensitive) {
+  Schema s({{"Code", ValueType::kString}, {"Population", ValueType::kInt}});
+  EXPECT_EQ(s.num_columns(), 2);
+  EXPECT_EQ(s.FindColumn("code"), 0);
+  EXPECT_EQ(s.FindColumn("CODE"), 0);
+  EXPECT_EQ(s.FindColumn("population"), 1);
+  EXPECT_EQ(s.FindColumn("missing"), -1);
+}
+
+TEST(SchemaTest, ColumnMetadata) {
+  Schema s({{"A", ValueType::kInt}});
+  EXPECT_EQ(s.column(0).name, "A");
+  EXPECT_EQ(s.column(0).type, ValueType::kInt);
+}
+
+TEST(TableTest, AppendRowChecksArity) {
+  Table t("T", Schema({{"a", ValueType::kInt}, {"b", ValueType::kString}}));
+  EXPECT_TRUE(t.AppendRow({Value::Int(1), Value::Str("x")}).ok());
+  EXPECT_FALSE(t.AppendRow({Value::Int(1)}).ok());
+  EXPECT_EQ(t.num_rows(), 1);
+}
+
+TEST(TableTest, AppendRowChecksTypes) {
+  Table t("T", Schema({{"a", ValueType::kInt}}));
+  EXPECT_FALSE(t.AppendRow({Value::Str("not an int")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value::Null()}).ok());  // NULL fits any column
+  EXPECT_TRUE(t.AppendRow({Value::Int(3)}).ok());
+}
+
+TEST(TableTest, CellAccessAndSetCell) {
+  Table t("T", Schema({{"a", ValueType::kInt}}));
+  QP_CHECK_OK(t.AppendRow({Value::Int(1)}));
+  EXPECT_EQ(t.cell(0, 0).as_int(), 1);
+  t.SetCell(0, 0, Value::Int(9));
+  EXPECT_EQ(t.cell(0, 0).as_int(), 9);
+}
+
+TEST(DatabaseTest, AddAndFindTables) {
+  auto db = testing::MakeTestDatabase();
+  EXPECT_EQ(db->num_tables(), 3);
+  EXPECT_NE(db->FindTable("country"), nullptr);
+  EXPECT_NE(db->FindTable("COUNTRY"), nullptr);
+  EXPECT_EQ(db->FindTable("nope"), nullptr);
+  EXPECT_EQ(db->FindTableIndex("City"), 1);
+  EXPECT_EQ(db->FindTableIndex("missing"), -1);
+}
+
+TEST(DatabaseTest, DuplicateTableRejected) {
+  Database db;
+  QP_CHECK_OK(db.AddTable(Table("T", Schema({{"a", ValueType::kInt}}))));
+  EXPECT_EQ(db.AddTable(Table("t", Schema({{"b", ValueType::kInt}}))).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, TotalRows) {
+  auto db = testing::MakeTestDatabase();
+  EXPECT_EQ(db->TotalRows(), 6 + 9 + 8);
+}
+
+}  // namespace
+}  // namespace qp::db

@@ -1,0 +1,78 @@
+// Shared miniature database used across db/market tests: a 3-table
+// world-like schema small enough to reason about by hand.
+#ifndef QP_TESTS_DB_TEST_DB_H_
+#define QP_TESTS_DB_TEST_DB_H_
+
+#include <memory>
+
+#include "db/database.h"
+
+namespace qp::db::testing {
+
+inline std::unique_ptr<Database> MakeTestDatabase() {
+  auto db = std::make_unique<Database>();
+
+  Table country("Country", Schema({{"Code", ValueType::kString},
+                                   {"Name", ValueType::kString},
+                                   {"Continent", ValueType::kString},
+                                   {"Population", ValueType::kInt},
+                                   {"LifeExpectancy", ValueType::kDouble}}));
+  auto add_country = [&](const char* code, const char* name, const char* cont,
+                         int64_t pop, double life) {
+    QP_CHECK_OK(country.AppendRow({Value::Str(code), Value::Str(name),
+                                   Value::Str(cont), Value::Int(pop),
+                                   Value::Real(life)}));
+  };
+  add_country("USA", "United States", "North America", 331000000, 78.5);
+  add_country("FRA", "France", "Europe", 67000000, 82.5);
+  add_country("DEU", "Germany", "Europe", 83000000, 81.0);
+  add_country("JPN", "Japan", "Asia", 125000000, 84.5);
+  add_country("BRA", "Brazil", "South America", 213000000, 75.5);
+  add_country("IND", "India", "Asia", 1380000000, 69.5);
+  QP_CHECK_OK(db->AddTable(std::move(country)));
+
+  Table city("City", Schema({{"ID", ValueType::kInt},
+                             {"Name", ValueType::kString},
+                             {"CountryCode", ValueType::kString},
+                             {"Population", ValueType::kInt}}));
+  auto add_city = [&](int64_t id, const char* name, const char* code,
+                      int64_t pop) {
+    QP_CHECK_OK(city.AppendRow(
+        {Value::Int(id), Value::Str(name), Value::Str(code), Value::Int(pop)}));
+  };
+  add_city(1, "New York", "USA", 8400000);
+  add_city(2, "Los Angeles", "USA", 3900000);
+  add_city(3, "Paris", "FRA", 2100000);
+  add_city(4, "Berlin", "DEU", 3600000);
+  add_city(5, "Tokyo", "JPN", 13900000);
+  add_city(6, "Osaka", "JPN", 2700000);
+  add_city(7, "Sao Paulo", "BRA", 12300000);
+  add_city(8, "Mumbai", "IND", 12400000);
+  add_city(9, "Delhi", "IND", 11000000);
+  QP_CHECK_OK(db->AddTable(std::move(city)));
+
+  Table lang("CountryLanguage", Schema({{"CountryCode", ValueType::kString},
+                                        {"Language", ValueType::kString},
+                                        {"IsOfficial", ValueType::kString},
+                                        {"Percentage", ValueType::kInt}}));
+  auto add_lang = [&](const char* code, const char* language, const char* off,
+                      int64_t pct) {
+    QP_CHECK_OK(lang.AppendRow({Value::Str(code), Value::Str(language),
+                                Value::Str(off), Value::Int(pct)}));
+  };
+  add_lang("USA", "English", "T", 86);
+  add_lang("USA", "Spanish", "F", 10);
+  add_lang("FRA", "French", "T", 93);
+  add_lang("DEU", "German", "T", 91);
+  add_lang("JPN", "Japanese", "T", 99);
+  add_lang("BRA", "Portuguese", "T", 97);
+  add_lang("IND", "Hindi", "T", 41);
+  add_lang("IND", "English", "F", 12);
+  QP_CHECK_OK(db->AddTable(std::move(lang)));
+
+  return db;
+}
+
+}  // namespace qp::db::testing
+
+#endif  // QP_TESTS_DB_TEST_DB_H_

@@ -1,0 +1,82 @@
+#include "db/value.h"
+
+#include <gtest/gtest.h>
+
+namespace qp::db {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+}
+
+TEST(ValueTest, FactoryTypes) {
+  EXPECT_EQ(Value::Int(5).type(), ValueType::kInt);
+  EXPECT_EQ(Value::Real(2.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value::Str("x").type(), ValueType::kString);
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value::Int(-7).as_int(), -7);
+  EXPECT_DOUBLE_EQ(Value::Real(1.25).as_double(), 1.25);
+  EXPECT_EQ(Value::Str("abc").as_string(), "abc");
+}
+
+TEST(ValueTest, NumericCoercion) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).ToNumeric(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).ToNumeric(), 2.5);
+  EXPECT_DOUBLE_EQ(Value::Null().ToNumeric(), 0.0);
+}
+
+TEST(ValueTest, CompareSameTypes) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::Int(3).Compare(Value::Int(2)), 0);
+  EXPECT_LT(Value::Str("a").Compare(Value::Str("b")), 0);
+  EXPECT_EQ(Value::Str("a").Compare(Value::Str("a")), 0);
+  EXPECT_LT(Value::Real(1.5).Compare(Value::Real(2.5)), 0);
+}
+
+TEST(ValueTest, CompareMixedNumerics) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Real(2.0)), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Real(2.5)), 0);
+  EXPECT_GT(Value::Real(2.5).Compare(Value::Int(2)), 0);
+}
+
+TEST(ValueTest, TypeOrderingNullNumericString) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_LT(Value::Int(999).Compare(Value::Str("")), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, EqualityOperators) {
+  EXPECT_TRUE(Value::Int(2) == Value::Real(2.0));
+  EXPECT_TRUE(Value::Int(2) != Value::Int(3));
+  EXPECT_TRUE(Value::Int(2) < Value::Int(3));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  // int 2 == double 2.0 must hash identically.
+  EXPECT_EQ(Value::Int(2).Hash(), Value::Real(2.0).Hash());
+  EXPECT_EQ(Value::Str("abc").Hash(), Value::Str("abc").Hash());
+  EXPECT_NE(Value::Int(1).Hash(), Value::Int(2).Hash());
+  EXPECT_NE(Value::Str("1").Hash(), Value::Int(1).Hash());
+  EXPECT_NE(Value::Null().Hash(), Value::Int(0).Hash());
+}
+
+TEST(ValueTest, HashOfFractionalDoubles) {
+  EXPECT_EQ(Value::Real(2.5).Hash(), Value::Real(2.5).Hash());
+  EXPECT_NE(Value::Real(2.5).Hash(), Value::Real(2.0).Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Real(1.5).ToString(), "1.5");
+  EXPECT_EQ(Value::Str("hi").ToString(), "hi");
+}
+
+}  // namespace
+}  // namespace qp::db

@@ -1,0 +1,78 @@
+#include "lp/lp_model.h"
+
+#include <gtest/gtest.h>
+
+namespace qp::lp {
+namespace {
+
+TEST(LpModelTest, AddVariableAndConstraint) {
+  LpModel m(ObjectiveSense::kMaximize);
+  int x = m.AddVariable(0, 10, 1.0);
+  int y = m.AddVariable(0, kInf, 2.0);
+  EXPECT_EQ(x, 0);
+  EXPECT_EQ(y, 1);
+  int c = m.AddConstraint(ConstraintSense::kLe, 5, {{x, 1.0}, {y, 1.0}});
+  EXPECT_EQ(c, 0);
+  EXPECT_EQ(m.num_variables(), 2);
+  EXPECT_EQ(m.num_constraints(), 1);
+}
+
+TEST(LpModelTest, DuplicateTermsAreMerged) {
+  LpModel m;
+  int x = m.AddVariable(0, 1, 1.0);
+  m.AddConstraint(ConstraintSense::kLe, 3, {{x, 1.0}, {x, 2.0}});
+  ASSERT_EQ(m.constraint(0).terms.size(), 1u);
+  EXPECT_DOUBLE_EQ(m.constraint(0).terms[0].second, 3.0);
+}
+
+TEST(LpModelTest, ZeroCoefficientsDropped) {
+  LpModel m;
+  int x = m.AddVariable(0, 1, 1.0);
+  int y = m.AddVariable(0, 1, 1.0);
+  m.AddConstraint(ConstraintSense::kLe, 3, {{x, 1.0}, {y, 0.0}});
+  EXPECT_EQ(m.constraint(0).terms.size(), 1u);
+  // Exact cancellation also drops the term.
+  m.AddConstraint(ConstraintSense::kLe, 3, {{x, 1.0}, {x, -1.0}});
+  EXPECT_TRUE(m.constraint(1).terms.empty());
+}
+
+TEST(LpModelTest, ValidateCatchesBadBounds) {
+  LpModel m;
+  m.AddVariable(2, 1, 0.0);
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(LpModelTest, ValidateCatchesBadVariableIndex) {
+  LpModel m;
+  m.AddVariable(0, 1, 0.0);
+  m.AddConstraint(ConstraintSense::kLe, 1, {{5, 1.0}});
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(LpModelTest, ValidateOkOnWellFormed) {
+  LpModel m;
+  int x = m.AddVariable(0, 1, 1.0);
+  m.AddConstraint(ConstraintSense::kGe, 0.5, {{x, 2.0}});
+  EXPECT_TRUE(m.Validate().ok());
+}
+
+TEST(LpModelTest, ObjectiveValue) {
+  LpModel m(ObjectiveSense::kMaximize);
+  m.AddVariable(0, 10, 2.0);
+  m.AddVariable(0, 10, -1.0);
+  EXPECT_DOUBLE_EQ(m.ObjectiveValue({3.0, 4.0}), 2.0);
+}
+
+TEST(LpModelTest, MaxInfeasibilityMeasuresWorstViolation) {
+  LpModel m;
+  int x = m.AddVariable(0, 1, 0.0);
+  m.AddConstraint(ConstraintSense::kLe, 1, {{x, 1.0}});
+  m.AddConstraint(ConstraintSense::kGe, 3, {{x, 1.0}});
+  m.AddConstraint(ConstraintSense::kEq, 0.5, {{x, 1.0}});
+  EXPECT_DOUBLE_EQ(m.MaxInfeasibility({1.0}), 2.0);   // Ge violated by 2
+  EXPECT_DOUBLE_EQ(m.MaxInfeasibility({-1.0}), 4.0);  // bound violated by 1, Ge by 4
+  EXPECT_DOUBLE_EQ(m.MaxInfeasibility({0.5}), 2.5);
+}
+
+}  // namespace
+}  // namespace qp::lp

@@ -1,0 +1,243 @@
+// Property-based tests for the simplex solver.
+//
+// Two oracles:
+//  1. Certificate checking on random bounded LPs: optimal solutions must be
+//     primal feasible and satisfy strong duality / complementary slackness
+//     (duality closes the loop without needing a reference solver).
+//  2. Exact vertex enumeration on random 2-variable LPs.
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lp/lp_model.h"
+#include "lp/simplex.h"
+
+namespace qp::lp {
+namespace {
+
+struct RandomLp {
+  LpModel model;
+  bool all_bounded = true;
+  std::vector<double> feasible_point;  // empty if unknown
+};
+
+RandomLp MakeRandomLp(Rng& rng, int num_vars, int num_cons,
+                      bool ensure_feasible) {
+  RandomLp out;
+  out.model = LpModel(ObjectiveSense::kMaximize);
+  std::vector<double> point(num_vars);
+  for (int j = 0; j < num_vars; ++j) {
+    double lo = rng.UniformReal(-5, 1);
+    double hi = lo + rng.UniformReal(0, 8);
+    double obj = rng.UniformReal(-3, 3);
+    out.model.AddVariable(lo, hi, obj);
+    point[j] = rng.UniformReal(lo, hi);
+  }
+  for (int i = 0; i < num_cons; ++i) {
+    std::vector<std::pair<int, double>> terms;
+    double lhs_at_point = 0.0;
+    for (int j = 0; j < num_vars; ++j) {
+      if (rng.NextDouble() < 0.6) {
+        double coeff = rng.UniformReal(-2, 2);
+        if (coeff != 0.0) {
+          terms.emplace_back(j, coeff);
+          lhs_at_point += coeff * point[j];
+        }
+      }
+    }
+    double roll = rng.NextDouble();
+    ConstraintSense sense = roll < 0.5   ? ConstraintSense::kLe
+                            : roll < 0.9 ? ConstraintSense::kGe
+                                         : ConstraintSense::kEq;
+    double rhs;
+    if (ensure_feasible) {
+      // Choose rhs so `point` satisfies the constraint.
+      switch (sense) {
+        case ConstraintSense::kLe:
+          rhs = lhs_at_point + rng.UniformReal(0, 3);
+          break;
+        case ConstraintSense::kGe:
+          rhs = lhs_at_point - rng.UniformReal(0, 3);
+          break;
+        case ConstraintSense::kEq:
+          rhs = lhs_at_point;
+          break;
+        default:
+          rhs = lhs_at_point;
+      }
+    } else {
+      rhs = rng.UniformReal(-5, 5);
+    }
+    out.model.AddConstraint(sense, rhs, std::move(terms));
+  }
+  if (ensure_feasible) out.feasible_point = point;
+  return out;
+}
+
+// Strong duality for: max c'x, Ax {<=,>=,=} b, l <= x <= u.
+// Given optimal y (user sense), reduced costs rc = c - A'y split into bound
+// multipliers; dual objective must equal the primal objective.
+void CheckOptimalityCertificate(const LpModel& m, const LpSolution& s) {
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_LE(m.MaxInfeasibility(s.primal), 1e-5);
+
+  int nv = m.num_variables();
+  int nc = m.num_constraints();
+  std::vector<double> aty(nv, 0.0);
+  for (int i = 0; i < nc; ++i) {
+    for (const auto& [var, coeff] : m.constraint(i).terms) {
+      aty[var] += coeff * s.dual[i];
+    }
+  }
+  double dual_obj = 0.0;
+  for (int i = 0; i < nc; ++i) {
+    const Constraint& c = m.constraint(i);
+    dual_obj += s.dual[i] * c.rhs;
+    // Dual sign (max problem): Le -> y >= 0, Ge -> y <= 0.
+    if (c.sense == ConstraintSense::kLe) {
+      EXPECT_GT(s.dual[i], -1e-6);
+    }
+    if (c.sense == ConstraintSense::kGe) {
+      EXPECT_LT(s.dual[i], 1e-6);
+    }
+    // Complementary slackness: nonzero dual => binding row.
+    double lhs = 0.0;
+    for (const auto& [var, coeff] : c.terms) lhs += coeff * s.primal[var];
+    if (std::abs(s.dual[i]) > 1e-6 && c.sense != ConstraintSense::kEq) {
+      EXPECT_NEAR(lhs, c.rhs, 1e-5) << "dual " << s.dual[i] << " row " << i;
+    }
+  }
+  for (int j = 0; j < nv; ++j) {
+    const Variable& v = m.variable(j);
+    double rc = v.objective - aty[j];
+    if (rc > 1e-7) {
+      // Positive reduced cost: variable must sit at its upper bound.
+      ASSERT_TRUE(std::isfinite(v.upper));
+      EXPECT_NEAR(s.primal[j], v.upper, 1e-5) << "var " << j << " rc " << rc;
+      dual_obj += rc * v.upper;
+    } else if (rc < -1e-7) {
+      ASSERT_TRUE(std::isfinite(v.lower));
+      EXPECT_NEAR(s.primal[j], v.lower, 1e-5) << "var " << j << " rc " << rc;
+      dual_obj += rc * v.lower;
+    }
+  }
+  EXPECT_NEAR(dual_obj, s.objective, 1e-4 * (1.0 + std::abs(s.objective)));
+}
+
+class RandomBoundedLpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomBoundedLpTest, OptimalSolutionsCarryValidCertificates) {
+  Rng rng(1000 + GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    int nv = static_cast<int>(rng.UniformInt(1, 8));
+    int nc = static_cast<int>(rng.UniformInt(1, 10));
+    RandomLp lp = MakeRandomLp(rng, nv, nc, /*ensure_feasible=*/true);
+    LpSolution s = SolveLp(lp.model);
+    // Feasible by construction and all variables bounded: must be optimal.
+    ASSERT_EQ(s.status, SolveStatus::kOptimal)
+        << "trial " << trial << " status " << SolveStatusToString(s.status);
+    CheckOptimalityCertificate(lp.model, s);
+    // Optimal must be at least as good as the known feasible point.
+    EXPECT_GE(s.objective,
+              lp.model.ObjectiveValue(lp.feasible_point) - 1e-5);
+  }
+}
+
+TEST_P(RandomBoundedLpTest, ArbitraryRhsNeverMisclassified) {
+  Rng rng(9000 + GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    int nv = static_cast<int>(rng.UniformInt(1, 6));
+    int nc = static_cast<int>(rng.UniformInt(1, 8));
+    RandomLp lp = MakeRandomLp(rng, nv, nc, /*ensure_feasible=*/false);
+    LpSolution s = SolveLp(lp.model);
+    // All variables have finite bounds: unbounded is impossible.
+    ASSERT_NE(s.status, SolveStatus::kUnbounded);
+    if (s.status == SolveStatus::kOptimal) {
+      CheckOptimalityCertificate(lp.model, s);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomBoundedLpTest, ::testing::Range(0, 8));
+
+// --- 2D exact reference ------------------------------------------------------
+
+struct Line {
+  // a*x + b*y <= c after normalization (Eq handled as two lines).
+  double a, b, c;
+};
+
+// Enumerates all intersection points of constraint/bound boundary lines and
+// returns the best feasible objective, or nullopt if nothing feasible found.
+std::optional<double> BruteForce2D(const LpModel& m) {
+  std::vector<Line> lines;
+  for (int i = 0; i < m.num_constraints(); ++i) {
+    const Constraint& c = m.constraint(i);
+    double a = 0, b = 0;
+    for (const auto& [var, coeff] : c.terms) {
+      if (var == 0) a = coeff;
+      if (var == 1) b = coeff;
+    }
+    if (c.sense == ConstraintSense::kLe || c.sense == ConstraintSense::kEq) {
+      lines.push_back({a, b, c.rhs});
+    }
+    if (c.sense == ConstraintSense::kGe || c.sense == ConstraintSense::kEq) {
+      lines.push_back({-a, -b, -c.rhs});
+    }
+  }
+  for (int j = 0; j < 2; ++j) {
+    const Variable& v = m.variable(j);
+    Line lo{j == 0 ? -1.0 : 0.0, j == 1 ? -1.0 : 0.0, -v.lower};
+    Line hi{j == 0 ? 1.0 : 0.0, j == 1 ? 1.0 : 0.0, v.upper};
+    lines.push_back(lo);
+    lines.push_back(hi);
+  }
+  auto feasible = [&](double x, double y) {
+    for (const Line& l : lines) {
+      if (l.a * x + l.b * y > l.c + 1e-7) return false;
+    }
+    return true;
+  };
+  std::optional<double> best;
+  auto consider = [&](double x, double y) {
+    if (!std::isfinite(x) || !std::isfinite(y)) return;
+    if (!feasible(x, y)) return;
+    double obj = m.variable(0).objective * x + m.variable(1).objective * y;
+    if (!best || obj > *best) best = obj;
+  };
+  for (size_t i = 0; i < lines.size(); ++i) {
+    for (size_t j = i + 1; j < lines.size(); ++j) {
+      double det = lines[i].a * lines[j].b - lines[j].a * lines[i].b;
+      if (std::abs(det) < 1e-9) continue;
+      double x = (lines[i].c * lines[j].b - lines[j].c * lines[i].b) / det;
+      double y = (lines[i].a * lines[j].c - lines[j].a * lines[i].c) / det;
+      consider(x, y);
+    }
+  }
+  return best;
+}
+
+class TwoVarReferenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TwoVarReferenceTest, MatchesVertexEnumeration) {
+  Rng rng(4000 + GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    int nc = static_cast<int>(rng.UniformInt(1, 6));
+    RandomLp lp = MakeRandomLp(rng, 2, nc, /*ensure_feasible=*/true);
+    LpSolution s = SolveLp(lp.model);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal);
+    std::optional<double> reference = BruteForce2D(lp.model);
+    ASSERT_TRUE(reference.has_value());
+    // A max over vertices equals the LP optimum for bounded feasible LPs.
+    EXPECT_NEAR(s.objective, *reference, 1e-4 * (1.0 + std::abs(*reference)))
+        << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoVarReferenceTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace qp::lp

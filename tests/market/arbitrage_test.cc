@@ -1,0 +1,105 @@
+#include "market/arbitrage.h"
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "core/valuation.h"
+
+namespace qp::market {
+namespace {
+
+// A deliberately broken "pricing" for negative tests: charges less for a
+// superset (violates monotonicity).
+class DecreasingPricing : public core::PricingFunction {
+ public:
+  double Price(const std::vector<uint32_t>& bundle) const override {
+    return 10.0 - static_cast<double>(bundle.size());
+  }
+  std::string Describe() const override { return "decreasing"; }
+  std::unique_ptr<core::PricingFunction> Clone() const override {
+    return std::make_unique<DecreasingPricing>();
+  }
+};
+
+// Superadditive pricing (violates subadditivity): quadratic in size.
+class QuadraticPricing : public core::PricingFunction {
+ public:
+  double Price(const std::vector<uint32_t>& bundle) const override {
+    return static_cast<double>(bundle.size() * bundle.size());
+  }
+  std::string Describe() const override { return "quadratic"; }
+  std::unique_ptr<core::PricingFunction> Clone() const override {
+    return std::make_unique<QuadraticPricing>();
+  }
+};
+
+TEST(ArbitrageCheckTest, UniformBundleIsArbitrageFree) {
+  core::UniformBundlePricing p(5.0);
+  auto report = CheckArbitrageFreeExhaustive(p, 6);
+  EXPECT_TRUE(report.arbitrage_free()) << report.violation;
+}
+
+TEST(ArbitrageCheckTest, ItemPricingIsArbitrageFree) {
+  core::ItemPricing p({1.0, 0.0, 2.5, 0.25, 3.0, 0.0});
+  auto report = CheckArbitrageFreeExhaustive(p, 6);
+  EXPECT_TRUE(report.arbitrage_free()) << report.violation;
+}
+
+TEST(ArbitrageCheckTest, XosPricingIsArbitrageFree) {
+  core::XosPricing p({{1.0, 0.0, 2.0, 0.0}, {0.0, 3.0, 0.0, 0.5}});
+  auto report = CheckArbitrageFreeExhaustive(p, 4);
+  EXPECT_TRUE(report.arbitrage_free()) << report.violation;
+}
+
+TEST(ArbitrageCheckTest, DetectsMonotonicityViolation) {
+  DecreasingPricing p;
+  auto report = CheckArbitrageFreeExhaustive(p, 5);
+  EXPECT_FALSE(report.monotone);
+  EXPECT_FALSE(report.violation.empty());
+  EXPECT_NE(report.violation.find("monotonicity"), std::string::npos);
+}
+
+TEST(ArbitrageCheckTest, DetectsSubadditivityViolation) {
+  QuadraticPricing p;
+  auto report = CheckArbitrageFreeExhaustive(p, 5);
+  EXPECT_FALSE(report.subadditive);
+  EXPECT_NE(report.violation.find("subadditivity"), std::string::npos);
+}
+
+TEST(ArbitrageCheckTest, SamplerAgreesOnViolations) {
+  Rng rng(51);
+  DecreasingPricing bad;
+  EXPECT_FALSE(CheckArbitrageFree(bad, 8, rng).monotone);
+  core::ItemPricing good({1, 2, 3, 4, 5, 6, 7, 8});
+  Rng rng2(52);
+  EXPECT_TRUE(CheckArbitrageFree(good, 8, rng2).arbitrage_free());
+}
+
+// Theorem 1 in practice: every pricing produced by every algorithm must be
+// monotone + subadditive, i.e. arbitrage-free.
+class AlgorithmsArbitrageFreeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlgorithmsArbitrageFreeTest, AllProducedPricingsAreArbitrageFree) {
+  Rng rng(600 + GetParam());
+  core::Hypergraph h(10);
+  for (int e = 0; e < 12; ++e) {
+    std::vector<uint32_t> items;
+    int size = static_cast<int>(rng.UniformInt(1, 5));
+    for (int s = 0; s < size; ++s) {
+      items.push_back(static_cast<uint32_t>(rng.UniformInt(0, 9)));
+    }
+    h.AddEdge(std::move(items));
+  }
+  core::Valuations v = core::SampleUniformValuations(h, 50, rng);
+  for (const auto& result : core::RunAllAlgorithms(h, v)) {
+    auto report = CheckArbitrageFreeExhaustive(*result.pricing, 10);
+    EXPECT_TRUE(report.arbitrage_free())
+        << result.algorithm << ": " << report.violation;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgorithmsArbitrageFreeTest,
+                         ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace qp::market

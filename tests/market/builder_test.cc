@@ -1,0 +1,72 @@
+#include "market/hypergraph_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "db/parser.h"
+#include "tests/db/test_db.h"
+
+namespace qp::market {
+namespace {
+
+std::vector<db::BoundQuery> TestQueries(const db::Database& db) {
+  std::vector<db::BoundQuery> queries;
+  for (const char* sql : {
+           "select Name from Country where Continent = 'Europe'",
+           "select count(*) from City",  // empty conflict set
+           "select Continent, count(Code) from Country group by Continent",
+           "select Name from Country, CountryLanguage where Code = "
+           "CountryCode and Language = 'English'",
+       }) {
+    auto q = db::ParseQuery(sql, db);
+    EXPECT_TRUE(q.ok()) << sql;
+    queries.push_back(*q);
+  }
+  return queries;
+}
+
+TEST(HypergraphBuilderTest, EdgesMatchConflictSets) {
+  auto db = db::testing::MakeTestDatabase();
+  Rng rng(71);
+  auto support = GenerateSupport(*db, {.size = 100, .max_retries = 32}, rng);
+  ASSERT_TRUE(support.ok());
+  auto queries = TestQueries(*db);
+  BuildResult result = BuildHypergraph(*db, queries, *support);
+  EXPECT_EQ(result.hypergraph.num_items(), 100u);
+  ASSERT_EQ(result.hypergraph.num_edges(), 4);
+  for (int e = 0; e < 4; ++e) {
+    EXPECT_EQ(result.hypergraph.edge(e), result.conflict_sets[e]);
+  }
+  // Bare COUNT(*) has an empty conflict set (edge of size zero).
+  EXPECT_EQ(result.hypergraph.edge_size(1), 0);
+  EXPECT_GE(result.seconds, 0.0);
+}
+
+TEST(HypergraphBuilderTest, IncrementalAndNaiveAgree) {
+  auto db = db::testing::MakeTestDatabase();
+  Rng rng(72);
+  auto support = GenerateSupport(*db, {.size = 80, .max_retries = 32}, rng);
+  ASSERT_TRUE(support.ok());
+  auto queries = TestQueries(*db);
+  BuildResult fast = BuildHypergraph(*db, queries, *support, {.incremental = true});
+  BuildResult slow = BuildHypergraph(*db, queries, *support, {.incremental = false});
+  ASSERT_EQ(fast.hypergraph.num_edges(), slow.hypergraph.num_edges());
+  for (int e = 0; e < fast.hypergraph.num_edges(); ++e) {
+    EXPECT_EQ(fast.conflict_sets[e], slow.conflict_sets[e]) << "edge " << e;
+  }
+}
+
+TEST(HypergraphBuilderTest, DeterministicAcrossRuns) {
+  auto db = db::testing::MakeTestDatabase();
+  Rng rng(73);
+  auto support = GenerateSupport(*db, {.size = 60, .max_retries = 32}, rng);
+  ASSERT_TRUE(support.ok());
+  auto queries = TestQueries(*db);
+  BuildResult a = BuildHypergraph(*db, queries, *support);
+  BuildResult b = BuildHypergraph(*db, queries, *support);
+  for (int e = 0; e < a.hypergraph.num_edges(); ++e) {
+    EXPECT_EQ(a.conflict_sets[e], b.conflict_sets[e]);
+  }
+}
+
+}  // namespace
+}  // namespace qp::market

@@ -1,0 +1,191 @@
+#include "market/conflict.h"
+
+#include <gtest/gtest.h>
+
+#include "db/parser.h"
+#include "tests/db/test_db.h"
+
+namespace qp::market {
+namespace {
+
+// The full battery of query shapes: every evaluation mode of the
+// incremental engine plus both fallback triggers (LIMIT, double SUM/AVG).
+const char* kQueries[] = {
+    // Projection, single table.
+    "select * from Country",
+    "select Name from Country where Continent = 'Europe'",
+    "select Name, Population from Country where Population > 100000000",
+    "select Name from Country where Name like '%an%'",
+    "select Name from City where Population between 3000000 and 13000000",
+    "select distinct Continent from Country",
+    "select distinct 1 from City where Population > 13000000",
+    "select distinct CountryCode from CountryLanguage where IsOfficial = 'T'",
+    // Aggregates, single table.
+    "select count(*) from City",
+    "select count(Name) from Country where Continent = 'Asia'",
+    "select count(distinct Continent) from Country",
+    "select sum(Population) from City where CountryCode = 'JPN'",
+    "select avg(Population) from Country",
+    "select min(Population), max(Population) from City",
+    "select Continent, count(Code) from Country group by Continent",
+    "select CountryCode, max(Population) from City group by CountryCode",
+    "select CountryCode, sum(Population) from City group by CountryCode",
+    "select Continent, min(Name) from Country group by Continent",
+    "select Continent from Country group by Continent",
+    // Joins.
+    "select Name from Country, CountryLanguage where Code = CountryCode and "
+    "Language = 'English'",
+    "select C.Name from Country C, CountryLanguage L where C.Code = "
+    "L.CountryCode and L.Percentage >= 50",
+    "select * from Country, CountryLanguage where Code = CountryCode and "
+    "Language = 'French'",
+    "select Name, Language from Country, CountryLanguage where Code = "
+    "CountryCode",
+    "select distinct Continent from Country, City where Code = CountryCode "
+    "and City.Population > 3000000",
+    // Joins with aggregation.
+    "select count(*) from Country, City where Code = CountryCode and "
+    "Continent = 'Asia'",
+    "select Continent, count(*) from Country, City where Code = CountryCode "
+    "group by Continent",
+    "select Continent, sum(City.Population) from Country, City where Code = "
+    "CountryCode group by Continent",
+    // Global aggregates over empty inputs (regression: the global group
+    // exists even when no row matches; deltas can create first matches).
+    "select sum(Population) from City where CountryCode = 'XXX'",
+    "select count(Name), min(Population) from Country where Continent = "
+    "'Atlantis'",
+    "select count(*) from Country, City where Code = CountryCode and "
+    "Continent = 'Atlantis'",
+    // Fallback paths.
+    "select Name from City limit 3",
+    "select * from Country limit 2",
+    "select avg(LifeExpectancy) from Country",  // double AVG
+    "select sum(LifeExpectancy) from Country where Continent = 'Europe'",
+    "select Continent, avg(LifeExpectancy) from Country group by Continent",
+};
+
+class ConflictEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConflictEquivalenceTest, IncrementalMatchesNaive) {
+  auto db = db::testing::MakeTestDatabase();
+  Rng rng(500 + GetParam());
+  auto support = GenerateSupport(*db, {.size = 120, .max_retries = 32}, rng);
+  ASSERT_TRUE(support.ok());
+  ConflictSetEngine engine(db.get());
+  for (const char* sql : kQueries) {
+    auto query = db::ParseQuery(sql, *db);
+    ASSERT_TRUE(query.ok()) << sql << ": " << query.status();
+    auto naive = NaiveConflictSet(*db, *query, *support);
+    auto fast = engine.ConflictSet(*query, *support);
+    EXPECT_EQ(fast, naive) << sql;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConflictEquivalenceTest, ::testing::Range(0, 5));
+
+TEST(ConflictSetTest, DatabaseRestoredAfterProbing) {
+  auto db = db::testing::MakeTestDatabase();
+  auto reference = db::testing::MakeTestDatabase();
+  Rng rng(21);
+  auto support = GenerateSupport(*db, {.size = 80, .max_retries = 32}, rng);
+  ASSERT_TRUE(support.ok());
+  ConflictSetEngine engine(db.get());
+  auto query = db::ParseQuery(
+      "select Continent, count(Code) from Country group by Continent", *db);
+  ASSERT_TRUE(query.ok());
+  engine.ConflictSet(*query, *support);
+  for (int t = 0; t < db->num_tables(); ++t) {
+    for (int r = 0; r < db->table(t).num_rows(); ++r) {
+      for (int c = 0; c < db->table(t).schema().num_columns(); ++c) {
+        EXPECT_EQ(db->table(t).cell(r, c).Compare(
+                      reference->table(t).cell(r, c)),
+                  0);
+      }
+    }
+  }
+}
+
+TEST(ConflictSetTest, InsensitiveColumnsArePruned) {
+  auto db = db::testing::MakeTestDatabase();
+  // Query touches only Country.Continent and Country.Name.
+  auto query = db::ParseQuery(
+      "select Name from Country where Continent = 'Asia'", *db);
+  ASSERT_TRUE(query.ok());
+  // Delta on City.Population can never conflict.
+  SupportSet support{CellDelta{1, 0, 3, db::Value::Int(123)}};
+  ConflictSetEngine engine(db.get());
+  EXPECT_TRUE(engine.ConflictSet(*query, support).empty());
+  EXPECT_EQ(engine.stats().pruned, 1);
+  EXPECT_EQ(engine.stats().probes, 0);
+}
+
+TEST(ConflictSetTest, KnownConflicts) {
+  auto db = db::testing::MakeTestDatabase();
+  auto query = db::ParseQuery(
+      "select count(Name) from Country where Continent = 'Asia'", *db);
+  ASSERT_TRUE(query.ok());
+  // Flipping France's continent to Asia changes the count: conflict.
+  // Row 1 = FRA, column 2 = Continent.
+  SupportSet support{
+      CellDelta{0, 1, 2, db::Value::Str("Asia")},          // changes count
+      CellDelta{0, 1, 2, db::Value::Str("South America")}, // Europe->SA: no
+      CellDelta{0, 3, 2, db::Value::Str("Europe")},        // JPN out of Asia
+      CellDelta{0, 1, 3, db::Value::Int(999)},             // population: no
+  };
+  ConflictSetEngine engine(db.get());
+  auto conflicts = engine.ConflictSet(*query, support);
+  EXPECT_EQ(conflicts, (std::vector<uint32_t>{0, 2}));
+}
+
+TEST(ConflictSetTest, JoinKeyDeltaMovesMatches) {
+  auto db = db::testing::MakeTestDatabase();
+  auto query = db::ParseQuery(
+      "select Name from Country, CountryLanguage where Code = CountryCode "
+      "and Language = 'English'",
+      *db);
+  ASSERT_TRUE(query.ok());
+  // CountryLanguage row 0 = (USA, English). Repointing it to FRA changes
+  // the result (France appears instead of the USA).
+  SupportSet support{
+      CellDelta{2, 0, 0, db::Value::Str("FRA")},
+      // Hindi -> something else: India still has English via row 7; the
+      // result only contains Name so nothing changes.
+      CellDelta{2, 6, 1, db::Value::Str("Tamil")},
+  };
+  auto naive = NaiveConflictSet(*db, *query, support);
+  ConflictSetEngine engine(db.get());
+  EXPECT_EQ(engine.ConflictSet(*query, support), naive);
+  EXPECT_EQ(naive, (std::vector<uint32_t>{0}));
+}
+
+TEST(ConflictSetTest, EmptyConflictSetForIrrelevantQuery) {
+  auto db = db::testing::MakeTestDatabase();
+  auto query = db::ParseQuery("select count(*) from City", *db);
+  ASSERT_TRUE(query.ok());
+  Rng rng(31);
+  auto support = GenerateSupport(*db, {.size = 60, .max_retries = 32}, rng);
+  ASSERT_TRUE(support.ok());
+  // Cell deltas never change row counts: bare COUNT(*) has no conflicts.
+  ConflictSetEngine engine(db.get());
+  EXPECT_TRUE(engine.ConflictSet(*query, *support).empty());
+}
+
+TEST(ConflictSetTest, StatsAccumulateAcrossQueries) {
+  auto db = db::testing::MakeTestDatabase();
+  Rng rng(41);
+  auto support = GenerateSupport(*db, {.size = 40, .max_retries = 32}, rng);
+  ASSERT_TRUE(support.ok());
+  ConflictSetEngine engine(db.get());
+  auto q1 = db::ParseQuery("select Name from Country", *db);
+  auto q2 = db::ParseQuery("select Name from City limit 2", *db);
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  engine.ConflictSet(*q1, *support);
+  engine.ConflictSet(*q2, *support);
+  EXPECT_EQ(engine.stats().fallback_queries, 1);
+  EXPECT_GT(engine.stats().probes, 0);
+  EXPECT_GT(engine.stats().pruned, 0);
+}
+
+}  // namespace
+}  // namespace qp::market

@@ -1,0 +1,127 @@
+#include "market/support_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "db/parser.h"
+#include "market/hypergraph_builder.h"
+#include "tests/db/test_db.h"
+
+namespace qp::market {
+namespace {
+
+std::vector<db::BoundQuery> Queries(const db::Database& db) {
+  std::vector<db::BoundQuery> queries;
+  for (const char* sql : {
+           "select Name from Country where Continent = 'Europe'",
+           "select Name from Country where Continent = 'Asia'",
+           "select max(Population) from City",
+           "select count(Language) from CountryLanguage where CountryCode "
+           "= 'USA'",
+       }) {
+    auto q = db::ParseQuery(sql, db);
+    EXPECT_TRUE(q.ok()) << sql;
+    queries.push_back(*q);
+  }
+  return queries;
+}
+
+TEST(SupportSelectionTest, GivesEveryFixableQueryAPrivateItem) {
+  auto db = db::testing::MakeTestDatabase();
+  auto queries = Queries(*db);
+  // Start from an empty support: nothing has a private item.
+  Rng rng(11);
+  SupportSelectionResult result = AugmentSupportWithUniqueItems(
+      *db, queries, /*base_support=*/{}, {.candidates_per_query = 128}, rng);
+  EXPECT_EQ(result.queries_fixed + result.queries_unfixable,
+            static_cast<int>(queries.size()));
+  EXPECT_GE(result.queries_fixed, 3);  // all of these queries are fixable
+
+  BuildResult built = BuildHypergraph(*db, queries, result.support);
+  auto degrees = built.hypergraph.ItemDegrees();
+  int with_private = 0;
+  for (int e = 0; e < built.hypergraph.num_edges(); ++e) {
+    for (uint32_t j : built.hypergraph.edge(e)) {
+      if (degrees[j] == 1) {
+        ++with_private;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(with_private, result.queries_fixed);
+}
+
+TEST(SupportSelectionTest, PrivateItemsUnlockFullLayeringRevenue) {
+  auto db = db::testing::MakeTestDatabase();
+  auto queries = Queries(*db);
+  Rng rng(13);
+  SupportSelectionResult result = AugmentSupportWithUniqueItems(
+      *db, queries, {}, {.candidates_per_query = 128}, rng);
+  ASSERT_GE(result.queries_fixed, 3);
+  BuildResult built = BuildHypergraph(*db, queries, result.support);
+  core::Valuations v{7, 5, 3, 2};
+  // Section 7.2: with a unique item per edge, pricing extracts everything
+  // from the fixed queries.
+  core::PricingResult layering = core::RunLayering(built.hypergraph, v);
+  double fixable_value = 0;
+  auto degrees = built.hypergraph.ItemDegrees();
+  for (int e = 0; e < built.hypergraph.num_edges(); ++e) {
+    for (uint32_t j : built.hypergraph.edge(e)) {
+      if (degrees[j] == 1) {
+        fixable_value += v[e];
+        break;
+      }
+    }
+  }
+  EXPECT_GE(layering.revenue, fixable_value - 1e-6);
+}
+
+TEST(SupportSelectionTest, PreservesBaseSupport) {
+  auto db = db::testing::MakeTestDatabase();
+  auto queries = Queries(*db);
+  Rng base_rng(17);
+  auto base = GenerateSupport(*db, {.size = 40, .max_retries = 32}, base_rng);
+  ASSERT_TRUE(base.ok());
+  Rng rng(19);
+  SupportSelectionResult result = AugmentSupportWithUniqueItems(
+      *db, queries, *base, {.candidates_per_query = 64}, rng);
+  ASSERT_GE(result.support.size(), base->size());
+  for (size_t i = 0; i < base->size(); ++i) {
+    EXPECT_EQ(result.support[i].table, (*base)[i].table);
+    EXPECT_EQ(result.support[i].row, (*base)[i].row);
+    EXPECT_EQ(result.support[i].column, (*base)[i].column);
+  }
+}
+
+TEST(SupportSelectionTest, BareCountStarIsUnfixable) {
+  auto db = db::testing::MakeTestDatabase();
+  auto q = db::ParseQuery("select count(*) from City", *db);
+  ASSERT_TRUE(q.ok());
+  Rng rng(23);
+  SupportSelectionResult result = AugmentSupportWithUniqueItems(
+      *db, {*q}, {}, {.candidates_per_query = 16}, rng);
+  EXPECT_EQ(result.queries_fixed, 0);
+  EXPECT_EQ(result.queries_unfixable, 1);
+  EXPECT_TRUE(result.support.empty());
+}
+
+TEST(SupportSelectionTest, DatabaseLeftIntact) {
+  auto db = db::testing::MakeTestDatabase();
+  auto reference = db::testing::MakeTestDatabase();
+  auto queries = Queries(*db);
+  Rng rng(29);
+  AugmentSupportWithUniqueItems(*db, queries, {}, {.candidates_per_query = 32},
+                                rng);
+  for (int t = 0; t < db->num_tables(); ++t) {
+    for (int r = 0; r < db->table(t).num_rows(); ++r) {
+      for (int c = 0; c < db->table(t).schema().num_columns(); ++c) {
+        ASSERT_EQ(
+            db->table(t).cell(r, c).Compare(reference->table(t).cell(r, c)),
+            0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qp::market

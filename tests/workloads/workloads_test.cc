@@ -1,0 +1,156 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "db/eval.h"
+#include "workloads/ssb.h"
+#include "workloads/tpch.h"
+#include "workloads/world.h"
+#include "workloads/world_queries.h"
+
+namespace qp::workload {
+namespace {
+
+TEST(WorldDataTest, PaperShapes) {
+  WorldData world = MakeWorldData();
+  ASSERT_NE(world.database, nullptr);
+  const db::Table* country = world.database->FindTable("Country");
+  const db::Table* city = world.database->FindTable("City");
+  const db::Table* lang = world.database->FindTable("CountryLanguage");
+  ASSERT_NE(country, nullptr);
+  ASSERT_NE(city, nullptr);
+  ASSERT_NE(lang, nullptr);
+  // 5000 tuples over 21 attributes (paper Section 6.2).
+  EXPECT_EQ(country->num_rows() + city->num_rows() + lang->num_rows(), 5000);
+  EXPECT_EQ(country->schema().num_columns() + city->schema().num_columns() +
+                lang->schema().num_columns(),
+            21);
+  EXPECT_EQ(country->num_rows(), 235);
+  EXPECT_EQ(world.country_codes.size(), 235u);
+  EXPECT_EQ(world.continents.size(), 7u);
+  EXPECT_EQ(world.languages.size(), 120u);
+}
+
+TEST(WorldDataTest, CountryCodesUnique) {
+  WorldData world = MakeWorldData();
+  std::set<std::string> codes(world.country_codes.begin(),
+                              world.country_codes.end());
+  EXPECT_EQ(codes.size(), world.country_codes.size());
+}
+
+TEST(WorldDataTest, CityIdsAreSequential) {
+  WorldData world = MakeWorldData();
+  const db::Table* city = world.database->FindTable("City");
+  for (int r = 0; r < city->num_rows(); ++r) {
+    EXPECT_EQ(city->cell(r, 0).as_int(), r + 1);
+  }
+}
+
+TEST(WorldDataTest, DeterministicForSeed) {
+  WorldData a = MakeWorldData(3), b = MakeWorldData(3);
+  const db::Table* ta = a.database->FindTable("Country");
+  const db::Table* tb = b.database->FindTable("Country");
+  for (int r = 0; r < ta->num_rows(); ++r) {
+    for (int c = 0; c < ta->schema().num_columns(); ++c) {
+      EXPECT_EQ(ta->cell(r, c).Compare(tb->cell(r, c)), 0);
+    }
+  }
+}
+
+TEST(SkewedWorkloadTest, Exactly986QueriesAllBind) {
+  auto workload = MakeSkewedWorkload();
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  EXPECT_EQ(workload->queries.size(), 986u);
+  EXPECT_EQ(workload->sql.size(), 986u);
+  EXPECT_EQ(workload->name, "skewed");
+}
+
+TEST(SkewedWorkloadTest, QueriesEvaluate) {
+  auto workload = MakeSkewedWorkload();
+  ASSERT_TRUE(workload.ok());
+  // Spot-evaluate a sample (every 40th query) end to end.
+  for (size_t i = 0; i < workload->queries.size(); i += 40) {
+    db::ResultTable r =
+        db::Evaluate(workload->queries[i], *workload->database);
+    (void)r;
+  }
+  SUCCEED();
+}
+
+TEST(UniformWorkloadTest, Exactly1000SameSelectivity) {
+  auto workload = MakeUniformWorkload();
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  EXPECT_EQ(workload->queries.size(), 1000u);
+  // Every query returns the same number of rows (identical selectivity).
+  std::set<size_t> sizes;
+  for (size_t i = 0; i < workload->queries.size(); i += 100) {
+    sizes.insert(
+        db::Evaluate(workload->queries[i], *workload->database).rows.size());
+  }
+  EXPECT_EQ(sizes.size(), 1u);
+}
+
+TEST(TpchWorkloadTest, Exactly220QueriesAllBind) {
+  auto workload = MakeTpchWorkload({.scale_factor = 0.002, .seed = 7});
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  EXPECT_EQ(workload->queries.size(), 220u);
+}
+
+TEST(TpchWorkloadTest, ParameterDomains) {
+  EXPECT_EQ(TpchPartTypes().size(), 150u);
+  EXPECT_EQ(TpchContainers().size(), 40u);
+  EXPECT_EQ(TpchMaterials().size(), 5u);
+}
+
+TEST(TpchDataTest, TablesAndScaling) {
+  auto small = MakeTpchData({.scale_factor = 0.002, .seed = 7});
+  EXPECT_EQ(small->num_tables(), 8);
+  const db::Table* lineitem = small->FindTable("lineitem");
+  ASSERT_NE(lineitem, nullptr);
+  auto bigger = MakeTpchData({.scale_factor = 0.004, .seed = 7});
+  EXPECT_GT(bigger->FindTable("lineitem")->num_rows(), lineitem->num_rows());
+}
+
+TEST(TpchDataTest, QueriesEvaluate) {
+  auto workload = MakeTpchWorkload({.scale_factor = 0.002, .seed = 7});
+  ASSERT_TRUE(workload.ok());
+  for (size_t i = 0; i < workload->queries.size(); i += 25) {
+    db::ResultTable r =
+        db::Evaluate(workload->queries[i], *workload->database);
+    (void)r;
+  }
+  SUCCEED();
+}
+
+TEST(SsbWorkloadTest, Exactly701QueriesAllBind) {
+  auto workload = MakeSsbWorkload({.scale_factor = 0.002, .seed = 7});
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  EXPECT_EQ(workload->queries.size(), 701u);
+}
+
+TEST(SsbDataTest, GeographyIsConsistent) {
+  auto data = MakeSsbData({.scale_factor = 0.002, .seed = 7});
+  const db::Table* supplier = data->FindTable("supplier");
+  ASSERT_NE(supplier, nullptr);
+  // nation i % 25 -> region (i % 25) % 5, cities share the mapping.
+  for (int r = 0; r < supplier->num_rows(); ++r) {
+    std::string city = supplier->cell(r, 2).as_string();
+    std::string nation = supplier->cell(r, 3).as_string();
+    int city_idx = std::stoi(city.substr(4));
+    EXPECT_EQ(nation, "NATION" + std::to_string(city_idx % 25));
+  }
+}
+
+TEST(SsbDataTest, QueriesEvaluate) {
+  auto workload = MakeSsbWorkload({.scale_factor = 0.002, .seed = 7});
+  ASSERT_TRUE(workload.ok());
+  for (size_t i = 0; i < workload->queries.size(); i += 70) {
+    db::ResultTable r =
+        db::Evaluate(workload->queries[i], *workload->database);
+    (void)r;
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace qp::workload
