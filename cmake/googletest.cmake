@@ -1,0 +1,35 @@
+# Provides GTest::gtest and GTest::gtest_main.
+#
+# Resolution order:
+#   1. The vendored copy in third_party/googletest (offline-safe default).
+#   2. FetchContent download of the same release, for checkouts that strip
+#      third_party/.
+include(FetchContent)
+
+set(QP_GOOGLETEST_VENDORED "${PROJECT_SOURCE_DIR}/third_party/googletest")
+
+if(EXISTS "${QP_GOOGLETEST_VENDORED}/CMakeLists.txt")
+  set(FETCHCONTENT_SOURCE_DIR_GOOGLETEST "${QP_GOOGLETEST_VENDORED}"
+      CACHE PATH "Use the vendored googletest" FORCE)
+else()
+  # Clear a stale cached path (e.g. third_party/ stripped after a first
+  # configure) so the download fallback actually engages.
+  unset(FETCHCONTENT_SOURCE_DIR_GOOGLETEST CACHE)
+endif()
+
+FetchContent_Declare(
+  googletest
+  URL https://github.com/google/googletest/archive/refs/tags/release-1.12.1.zip
+  URL_HASH SHA256=24564e3b712d3eb30ac9a85d92f7d720f60cc0173730ac166f27dda7fed76cb2)
+
+set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+
+FetchContent_MakeAvailable(googletest)
+
+# Older googletest releases only define the un-namespaced targets.
+if(NOT TARGET GTest::gtest AND TARGET gtest)
+  add_library(GTest::gtest ALIAS gtest)
+  add_library(GTest::gtest_main ALIAS gtest_main)
+endif()

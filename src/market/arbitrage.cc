@@ -22,7 +22,10 @@ std::vector<uint32_t> MaskToBundle(uint32_t mask) {
 std::string DescribeBundle(const std::vector<uint32_t>& bundle) {
   std::vector<std::string> parts;
   for (uint32_t j : bundle) parts.push_back(std::to_string(j));
-  return "{" + Join(parts, ",") + "}";
+  std::string out = "{";
+  out += Join(parts, ",");
+  out += "}";
+  return out;
 }
 
 void CheckPair(const core::PricingFunction& pricing,

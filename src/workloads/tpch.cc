@@ -59,7 +59,6 @@ std::unique_ptr<db::Database> MakeTpchData(const TpchOptions& options) {
   const double sf = options.scale_factor;
   const int num_suppliers = std::max(10, static_cast<int>(10000 * sf));
   const int num_parts = std::max(50, static_cast<int>(200000 * sf));
-  const int num_partsupp = num_parts * 4;
   const int num_customers = std::max(20, static_cast<int>(150000 * sf));
   const int num_orders = std::max(30, static_cast<int>(1500000 * sf));
   const int num_lineitems = num_orders * 4;

@@ -8,31 +8,15 @@
 #include "core/brute_force.h"
 #include "core/bounds.h"
 #include "core/valuation.h"
+#include "tests/testing/random_instances.h"
+#include "tests/testing/tolerance.h"
 
 namespace qp::core {
 namespace {
 
-constexpr double kTol = 1e-6;
-
-// Random hypergraph with non-empty edges (empty edges are tested separately).
-Hypergraph RandomHypergraph(Rng& rng, uint32_t n, int m, int max_edge) {
-  Hypergraph h(n);
-  for (int e = 0; e < m; ++e) {
-    int size = static_cast<int>(rng.UniformInt(1, max_edge));
-    std::vector<uint32_t> items;
-    for (int s = 0; s < size; ++s) {
-      items.push_back(static_cast<uint32_t>(rng.UniformInt(0, n - 1)));
-    }
-    h.AddEdge(std::move(items));
-  }
-  return h;
-}
-
-Valuations RandomValuations(Rng& rng, int m, double lo = 0.5, double hi = 20) {
-  Valuations v(m);
-  for (double& x : v) x = rng.UniformReal(lo, hi);
-  return v;
-}
+using qp::testing::kTol;
+using qp::testing::RandomHypergraph;
+using qp::testing::RandomValuations;
 
 // --- UBP ---------------------------------------------------------------
 

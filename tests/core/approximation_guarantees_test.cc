@@ -1,0 +1,126 @@
+// Brute-force cross-checks of the paper's approximation guarantees on
+// pinned-seed random instances small enough (n <= 8 items, m <= 6 edges)
+// for the exact oracles in core/brute_force.h.
+//
+// For every algorithm we assert (a) revenue never exceeds the welfare
+// upper bound sum(v), (b) revenue never exceeds the brute-force optimum
+// of its pricing class, and (c) revenue reaches the paper-stated fraction
+// of the brute-force optimum:
+//
+//   UBP       exact for uniform bundle prices; >= sum(v)/H_m   (Lemma 1)
+//   UIP       exact for uniform item prices; >= OPT/(H_n + H_m)
+//             (Guruswami et al. single-price guarantee)
+//   LPIP      >= OPT/H_m over item pricings                    (Theorem 2)
+//   CIP       >= OPT/((1+eps) * 2 * H_B) over item pricings
+//             (Cheung & Swamy, eps = 1 default grid)
+//   Layering  >= sum(v)/B >= OPT/B                             (Theorem 1)
+//   XOS       dominates its components pointwise; bounded by sum(v)
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/algorithms.h"
+#include "core/bounds.h"
+#include "core/brute_force.h"
+#include "tests/testing/random_instances.h"
+#include "tests/testing/tolerance.h"
+
+namespace qp::core {
+namespace {
+
+using qp::testing::kLpTol;
+using qp::testing::kTol;
+using qp::testing::RandomHypergraph;
+using qp::testing::RandomValuations;
+
+double Harmonic(int k) {
+  double h = 0;
+  for (int i = 1; i <= k; ++i) h += 1.0 / i;
+  return h;
+}
+
+class ApproximationGuaranteeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ApproximationGuaranteeTest, AllAlgorithmsMeetPaperBounds) {
+  Rng rng(9000 + GetParam());
+  const uint32_t n = 4 + static_cast<uint32_t>(rng.UniformInt(0, 4));  // <= 8
+  const int m = 2 + static_cast<int>(rng.UniformInt(0, 4));            // <= 6
+  Hypergraph h = RandomHypergraph(rng, n, m, 3);
+  Valuations v = RandomValuations(rng, h.num_edges());
+
+  const double welfare = SumOfValuations(v);
+  const double opt_bundle = BruteForceUniformBundleRevenue(v);
+  const double opt_item = BruteForceItemPricingRevenue(h, v);
+  const double opt = std::max(opt_bundle, opt_item);
+  const int b = static_cast<int>(h.MaxDegree());
+  ASSERT_GE(b, 1);
+
+  auto results = RunAllAlgorithms(h, v);
+  ASSERT_EQ(results.size(), 6u);
+  for (const auto& r : results) {
+    EXPECT_GE(r.revenue, -kTol) << r.algorithm;
+    EXPECT_LE(r.revenue, welfare + kTol) << r.algorithm << ": beyond welfare";
+  }
+
+  // Pin the slots to names so a future reorder of RunAllAlgorithms cannot
+  // silently check a bound against the wrong algorithm.
+  ASSERT_EQ(results[0].algorithm, "UBP");
+  ASSERT_EQ(results[1].algorithm, "UIP");
+  ASSERT_EQ(results[2].algorithm, "LPIP");
+  ASSERT_EQ(results[3].algorithm, "CIP");
+  ASSERT_EQ(results[4].algorithm, "Layering");
+  ASSERT_EQ(results[5].algorithm, "XOS");
+  const PricingResult& ubp = results[0];
+  const PricingResult& uip = results[1];
+  const PricingResult& lpip = results[2];
+  const PricingResult& cip = results[3];
+  const PricingResult& layering = results[4];
+  const PricingResult& xos = results[5];
+
+  // UBP is exactly optimal among uniform bundle prices, and Lemma 1 gives
+  // the logarithmic fraction of welfare (hence of any optimum).
+  EXPECT_NEAR(ubp.revenue, opt_bundle, kTol);
+  EXPECT_GE(ubp.revenue, welfare / Harmonic(m) - kTol);
+  EXPECT_GE(ubp.revenue, opt / Harmonic(m) - kTol);
+
+  // UIP is exactly optimal among uniform item prices and meets the
+  // single-price logarithmic guarantee against the item-pricing optimum.
+  EXPECT_NEAR(uip.revenue, BruteForceUniformItemRevenue(h, v), kTol);
+  EXPECT_LE(uip.revenue, opt_item + kLpTol);
+  EXPECT_GE(uip.revenue,
+            opt_item / (Harmonic(static_cast<int>(n)) + Harmonic(m)) - kTol);
+
+  // LPIP: item pricing, O(log m) fraction of the item-pricing optimum.
+  EXPECT_LE(lpip.revenue, opt_item + kLpTol);
+  EXPECT_GE(lpip.revenue, opt_item / Harmonic(m) - kLpTol);
+
+  // CIP: item pricing; guarantee degrades with the capacity grid (eps = 1)
+  // and the max degree B.
+  EXPECT_LE(cip.revenue, opt_item + kLpTol);
+  EXPECT_GE(cip.revenue, opt_item / (2.0 * 2.0 * Harmonic(b)) - kLpTol);
+
+  // Layering: B-approximation via the layer that carries sum(v)/B.
+  EXPECT_LE(layering.revenue, opt_item + kLpTol);
+  EXPECT_GE(layering.revenue, welfare / b - kTol);
+  EXPECT_GE(layering.revenue, opt / b - kTol);
+
+  // XOS prices dominate both components pointwise. Note XOS pricings form
+  // a strictly richer class than additive item pricings, so revenue may
+  // exceed opt_item (it does on some seeds); only the welfare bound
+  // (checked above) applies.
+  const auto& lpip_prices = *lpip.pricing;
+  const auto& cip_prices = *cip.pricing;
+  for (int e = 0; e < h.num_edges(); ++e) {
+    double px = xos.pricing->Price(h.edge(e));
+    EXPECT_GE(px, lpip_prices.Price(h.edge(e)) - kTol);
+    EXPECT_GE(px, cip_prices.Price(h.edge(e)) - kTol);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PinnedSeeds, ApproximationGuaranteeTest,
+                         ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace qp::core

@@ -7,11 +7,13 @@
 #include "common/rng.h"
 #include "core/algorithms.h"
 #include "core/lower_bounds.h"
+#include "tests/testing/random_instances.h"
+#include "tests/testing/tolerance.h"
 
 namespace qp::core {
 namespace {
 
-constexpr double kTol = 1e-6;
+using qp::testing::kTol;
 
 TEST(SumOfValuationsTest, Sums) {
   EXPECT_DOUBLE_EQ(SumOfValuations({1, 2, 3.5}), 6.5);
@@ -49,18 +51,8 @@ TEST(SubadditiveBoundTest, NeverExceedsSumOfValuations) {
   // Section 6.3), so the only universal invariant is <= sum(v).
   Rng rng(31);
   for (int trial = 0; trial < 10; ++trial) {
-    Hypergraph h(12);
-    int m = 10;
-    for (int e = 0; e < m; ++e) {
-      std::vector<uint32_t> items;
-      int size = static_cast<int>(rng.UniformInt(1, 4));
-      for (int s = 0; s < size; ++s) {
-        items.push_back(static_cast<uint32_t>(rng.UniformInt(0, 11)));
-      }
-      h.AddEdge(std::move(items));
-    }
-    Valuations v(m);
-    for (double& x : v) x = rng.UniformReal(0.5, 10);
+    Hypergraph h = testing::RandomHypergraph(rng, 12, 10, 4);
+    Valuations v = testing::RandomValuations(rng, h.num_edges(), 0.5, 10);
     double bound = SubadditiveBound(h, v);
     EXPECT_LE(bound, SumOfValuations(v) + kTol);
     EXPECT_GE(bound, 0.0);

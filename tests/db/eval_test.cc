@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "db/parser.h"
-#include "tests/db/test_db.h"
+#include "tests/testing/test_db.h"
 
 namespace qp::db {
 namespace {
@@ -105,8 +105,12 @@ TEST_F(EvalTest, GroupByMax) {
           "CountryCode");
   ASSERT_EQ(r.rows.size(), 6u);
   for (const Row& row : r.rows) {
-    if (row[0].as_string() == "JPN") EXPECT_EQ(row[1].as_int(), 13900000);
-    if (row[0].as_string() == "IND") EXPECT_EQ(row[1].as_int(), 12400000);
+    if (row[0].as_string() == "JPN") {
+      EXPECT_EQ(row[1].as_int(), 13900000);
+    }
+    if (row[0].as_string() == "IND") {
+      EXPECT_EQ(row[1].as_int(), 12400000);
+    }
   }
 }
 

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "db/tokenizer.h"
-#include "tests/db/test_db.h"
+#include "tests/testing/test_db.h"
 
 namespace qp::db {
 namespace {

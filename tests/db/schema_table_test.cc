@@ -3,7 +3,7 @@
 #include "db/database.h"
 #include "db/schema.h"
 #include "db/table.h"
-#include "tests/db/test_db.h"
+#include "tests/testing/test_db.h"
 
 namespace qp::db {
 namespace {

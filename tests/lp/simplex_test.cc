@@ -5,11 +5,12 @@
 #include <gtest/gtest.h>
 
 #include "lp/lp_model.h"
+#include "tests/testing/tolerance.h"
 
 namespace qp::lp {
 namespace {
 
-constexpr double kTol = 1e-6;
+using qp::testing::kTol;
 
 TEST(SimplexTest, TextbookMax2D) {
   // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18; x,y >= 0.

@@ -5,7 +5,7 @@
 #include "core/algorithms.h"
 #include "db/parser.h"
 #include "market/hypergraph_builder.h"
-#include "tests/db/test_db.h"
+#include "tests/testing/test_db.h"
 
 namespace qp::market {
 namespace {

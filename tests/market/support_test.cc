@@ -5,7 +5,7 @@
 
 #include <gtest/gtest.h>
 
-#include "tests/db/test_db.h"
+#include "tests/testing/test_db.h"
 
 namespace qp::market {
 namespace {

@@ -1,0 +1,28 @@
+#include "tests/testing/random_instances.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace qp::testing {
+
+core::Hypergraph RandomHypergraph(Rng& rng, uint32_t n, int m, int max_edge) {
+  core::Hypergraph h(n);
+  for (int e = 0; e < m; ++e) {
+    int size = static_cast<int>(rng.UniformInt(1, max_edge));
+    std::vector<uint32_t> items;
+    for (int s = 0; s < size; ++s) {
+      items.push_back(static_cast<uint32_t>(rng.UniformInt(0, n - 1)));
+    }
+    h.AddEdge(std::move(items));
+  }
+  return h;
+}
+
+core::Valuations RandomValuations(Rng& rng, int m, double lo, double hi) {
+  core::Valuations v(m);
+  for (double& x : v) x = rng.UniformReal(lo, hi);
+  return v;
+}
+
+}  // namespace qp::testing

@@ -1,0 +1,23 @@
+// Pinned-seed random pricing instances shared by the core / lp / market
+// suites (previously copy-pasted into each test file).
+#ifndef QP_TESTS_TESTING_RANDOM_INSTANCES_H_
+#define QP_TESTS_TESTING_RANDOM_INSTANCES_H_
+
+#include "common/rng.h"
+#include "core/hypergraph.h"
+#include "core/valuation.h"
+
+namespace qp::testing {
+
+/// Random hypergraph on `n` items with `m` non-empty edges of size
+/// 1..max_edge (duplicate items within an edge are allowed; Hypergraph
+/// dedupes). Empty edges are exercised by dedicated tests.
+core::Hypergraph RandomHypergraph(Rng& rng, uint32_t n, int m, int max_edge);
+
+/// `m` valuations drawn uniformly from [lo, hi).
+core::Valuations RandomValuations(Rng& rng, int m, double lo = 0.5,
+                                  double hi = 20);
+
+}  // namespace qp::testing
+
+#endif  // QP_TESTS_TESTING_RANDOM_INSTANCES_H_

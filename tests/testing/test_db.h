@@ -1,7 +1,7 @@
 // Shared miniature database used across db/market tests: a 3-table
 // world-like schema small enough to reason about by hand.
-#ifndef QP_TESTS_DB_TEST_DB_H_
-#define QP_TESTS_DB_TEST_DB_H_
+#ifndef QP_TESTS_TESTING_TEST_DB_H_
+#define QP_TESTS_TESTING_TEST_DB_H_
 
 #include <memory>
 
@@ -75,4 +75,4 @@ inline std::unique_ptr<Database> MakeTestDatabase() {
 
 }  // namespace qp::db::testing
 
-#endif  // QP_TESTS_DB_TEST_DB_H_
+#endif  // QP_TESTS_TESTING_TEST_DB_H_

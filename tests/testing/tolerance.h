@@ -1,0 +1,21 @@
+// Shared numeric tolerances for the test suites. Every suite used to
+// redeclare its own kTol; keep the values here so LP-backed and exact
+// comparisons stay consistent across modules.
+#ifndef QP_TESTS_TESTING_TOLERANCE_H_
+#define QP_TESTS_TESTING_TOLERANCE_H_
+
+namespace qp::testing {
+
+/// Default tolerance for revenue / price comparisons.
+inline constexpr double kTol = 1e-6;
+
+/// Looser tolerance for quantities that pass through an LP solve.
+inline constexpr double kLpTol = 1e-4;
+
+/// Tight tolerance for bookkeeping identities (reported revenue vs the
+/// pricing function re-evaluated on the same instance).
+inline constexpr double kExactTol = 1e-9;
+
+}  // namespace qp::testing
+
+#endif  // QP_TESTS_TESTING_TOLERANCE_H_
