@@ -1,6 +1,7 @@
 #include "bench/bench_util.h"
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "common/stopwatch.h"
@@ -142,7 +143,48 @@ core::AlgorithmOptions AlgorithmOptionsFor(const WorkloadHypergraph& wh,
   // saturates well before that). --candidates=0 restores every-edge LPs.
   options.lpip.max_candidates =
       flags.GetInt("candidates", flags.paper() ? 0 : 12);
+  // LP pipeline knobs: --warm=0 cold-solves every candidate LP (the
+  // pre-warm-start behavior), --threads=N runs candidate chains on N
+  // threads (results are bit-identical for every N).
+  options.lpip.warm_start = flags.GetBool("warm", true);
+  options.cip.warm_start = options.lpip.warm_start;
+  options.lpip.num_threads = flags.GetInt("threads", 1);
+  options.cip.num_threads = options.lpip.num_threads;
   return options;
+}
+
+void BenchRecorder::Add(const std::string& instance,
+                        const std::string& algorithm, double seconds,
+                        int lps_solved, double revenue) {
+  records_.push_back({instance, algorithm, seconds, lps_solved, revenue});
+}
+
+void BenchRecorder::AddAll(const std::string& instance,
+                           const std::vector<core::PricingResult>& results) {
+  for (const core::PricingResult& r : results) {
+    Add(instance, r.algorithm, r.seconds, r.lps_solved, r.revenue);
+  }
+}
+
+bool BenchRecorder::WriteJson(const std::string& path) const {
+  if (path.empty()) return true;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write bench json to " << path << std::endl;
+    return false;
+  }
+  // Revenues use %.17g so a baseline comparison can check bit-identity.
+  out << "[\n";
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const Record& r = records_[i];
+    out << StrFormat(
+        "  {\"instance\": \"%s\", \"algorithm\": \"%s\", \"seconds\": %.6f, "
+        "\"lps_solved\": %d, \"revenue\": %.17g}%s\n",
+        r.instance.c_str(), r.algorithm.c_str(), r.seconds, r.lps_solved,
+        r.revenue, i + 1 == records_.size() ? "" : ",");
+  }
+  out << "]\n";
+  return out.good();
 }
 
 void RunConfigRow(TablePrinter& table, const WorkloadHypergraph& wh,

@@ -79,6 +79,36 @@ void RunConfigRow(TablePrinter& table, const WorkloadHypergraph& wh,
                   int runs, const core::AlgorithmOptions& options,
                   uint64_t seed);
 
+/// Machine-readable bench output (--json=out.json): one record per
+/// (instance, algorithm) run. The pinned-seed records committed under
+/// bench/baselines/ are the repo's perf trajectory; CI re-runs the
+/// drivers and compares against them (tools/check_bench_regression.py).
+class BenchRecorder {
+ public:
+  void Add(const std::string& instance, const std::string& algorithm,
+           double seconds, int lps_solved, double revenue);
+
+  /// Adds one record per PricingResult, e.g. straight from
+  /// RunAllAlgorithms' output.
+  void AddAll(const std::string& instance,
+              const std::vector<core::PricingResult>& results);
+
+  /// Writes the records as a JSON array. No-op when `path` is empty;
+  /// returns false (with a message on stderr) when the file cannot be
+  /// written.
+  bool WriteJson(const std::string& path) const;
+
+ private:
+  struct Record {
+    std::string instance;
+    std::string algorithm;
+    double seconds;
+    int lps_solved;
+    double revenue;
+  };
+  std::vector<Record> records_;
+};
+
 }  // namespace qp::bench
 
 #endif  // QP_BENCH_BENCH_UTIL_H_

@@ -13,6 +13,8 @@ namespace {
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
   LoadOptions base = LoadOptionsFromFlags(flags);
+  std::string json_path = flags.GetString("json", "");
+  BenchRecorder recorder;
   std::cout << "=== Table 5: runtimes vs support size "
                "(skewed, incl. construction) ===\n";
   TablePrinter table({"|S|", "construction", "LPIP", "UBP", "UIP", "CIP",
@@ -28,6 +30,7 @@ int Main(int argc, char** argv) {
     Rng rng(Mix64(load.seed ^ 0x55));
     core::Valuations v = core::SampleUniformValuations(wh.hypergraph, 100, rng);
     auto results = core::RunAllAlgorithms(wh.hypergraph, v, options);
+    recorder.AddAll(StrFormat("skewed-s%d", support), results);
     auto with_build = [&](const char* alg, bool include_build) {
       for (const auto& r : results) {
         if (r.algorithm == alg) {
@@ -46,6 +49,7 @@ int Main(int argc, char** argv) {
                   with_build("Layering", true)});
   }
   table.Print(std::cout);
+  if (!recorder.WriteJson(json_path)) return 1;
   return 0;
 }
 

@@ -1,0 +1,40 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace qp::common {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {}
+
+void ThreadPool::ParallelFor(int count,
+                             const std::function<void(int)>& fn) const {
+  if (count <= 0) return;
+  int workers = std::min(num_threads_, count);
+  if (workers <= 1) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<int> next{0};
+  auto drain = [&]() {
+    while (true) {
+      int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      fn(i);
+    }
+  };
+
+  // Workers are cheap relative to the chains they run (each chain is a
+  // sequence of LP solves); spawning per call keeps the pool stateless.
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers) - 1);
+  for (int t = 1; t < workers; ++t) threads.emplace_back(drain);
+  drain();  // the calling thread is worker 0
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace qp::common

@@ -1,5 +1,7 @@
 #include "core/algorithms.h"
 
+#include <algorithm>
+#include <numeric>
 #include <vector>
 
 #include "common/stopwatch.h"
@@ -27,25 +29,70 @@ const char* AlgorithmName(Algorithm algorithm) {
   return "?";
 }
 
+std::vector<int> OrderByDescendingValuation(const Valuations& v) {
+  std::vector<int> order(v.size());
+  std::iota(order.begin(), order.end(), 0);
+  // Explicit index tie-break: the order must not depend on the standard
+  // library's (unstable) sort implementation, because LP row/column
+  // construction order — and therefore the committed bit-identity
+  // baseline — follows from it.
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return v[a] > v[b] || (v[a] == v[b] && a < b);
+  });
+  return order;
+}
+
+SharedPrecompute ComputeShared(const Hypergraph& hypergraph,
+                               const Valuations& v) {
+  SharedPrecompute shared;
+  shared.classes = ItemClasses::Compute(hypergraph);
+  shared.order_by_valuation = OrderByDescendingValuation(v);
+  return shared;
+}
+
+AlgorithmOptions WithShared(const AlgorithmOptions& options,
+                            const SharedPrecompute& shared) {
+  AlgorithmOptions out = options;
+  if (out.lpip.use_compression && out.lpip.classes == nullptr) {
+    out.lpip.classes = &shared.classes;
+  }
+  if (out.cip.use_compression && out.cip.classes == nullptr) {
+    out.cip.classes = &shared.classes;
+  }
+  // Only install an order that was actually computed: RunAllAlgorithms
+  // skips the sort when the caller already supplied one.
+  if (out.sorted_order == nullptr && !shared.order_by_valuation.empty()) {
+    out.sorted_order = &shared.order_by_valuation;
+  }
+  if (out.lpip.sorted_order == nullptr) {
+    out.lpip.sorted_order = out.sorted_order;
+  }
+  return out;
+}
+
 std::vector<PricingResult> RunAllAlgorithms(const Hypergraph& hypergraph,
                                             const Valuations& v,
                                             const AlgorithmOptions& options) {
-  // Share one compressed class structure across the LP algorithms.
-  ItemClasses classes = ItemClasses::Compute(hypergraph);
-  LpipOptions lpip_options = options.lpip;
-  CipOptions cip_options = options.cip;
-  if (lpip_options.use_compression && lpip_options.classes == nullptr) {
-    lpip_options.classes = &classes;
+  // Compute the item classes and the descending valuation order once and
+  // share them across every algorithm of this instance — skipping
+  // whatever the caller precomputed (the bench harness passes classes
+  // per workload) so nothing is derived twice.
+  SharedPrecompute shared;
+  bool need_classes =
+      (options.lpip.use_compression && options.lpip.classes == nullptr) ||
+      (options.cip.use_compression && options.cip.classes == nullptr);
+  if (need_classes) shared.classes = ItemClasses::Compute(hypergraph);
+  if (options.sorted_order == nullptr &&
+      options.lpip.sorted_order == nullptr) {
+    shared.order_by_valuation = OrderByDescendingValuation(v);
   }
-  if (cip_options.use_compression && cip_options.classes == nullptr) {
-    cip_options.classes = &classes;
-  }
+  AlgorithmOptions resolved = WithShared(options, shared);
 
   std::vector<PricingResult> results;
   results.push_back(RunUbp(hypergraph, v));
   results.push_back(RunUip(hypergraph, v));
-  results.push_back(RunLpip(hypergraph, v, lpip_options));
-  results.push_back(RunCip(hypergraph, v, cip_options));
+  results.push_back(RunLpip(hypergraph, v, resolved.lpip));
+  results.push_back(RunCip(hypergraph, v, resolved.cip));
   results.push_back(RunLayering(hypergraph, v));
   const auto* lpip_pricing =
       static_cast<const ItemPricing*>(results[2].pricing.get());

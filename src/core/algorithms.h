@@ -50,6 +50,23 @@ struct LpipOptions {
   const ItemClasses* classes = nullptr;
   /// Disable item-class compression (ablation).
   bool use_compression = true;
+  /// Build each candidate LP incrementally from the previous one (the
+  /// families F_e are nested in descending-valuation order) and restart
+  /// the simplex from its optimal basis. Off = cold-solve every candidate.
+  bool warm_start = true;
+  /// Candidates per warm-start chain. Chains are the parallel work units;
+  /// the partition depends only on the candidate list — never on
+  /// num_threads — so prices are bit-identical for every thread count.
+  /// The default trades a little serial speed (each chain cold-solves one
+  /// anchor) for parallelism that engages already at the bench default of
+  /// 12 candidates; paper-scale runs (max_candidates = 0) produce many
+  /// chains regardless.
+  int chain_length = 8;
+  /// Threads for independent chains; <= 1 runs serially inline.
+  int num_threads = 1;
+  /// Edge indices sorted by descending valuation (ties by index), e.g.
+  /// from RunAllAlgorithms' shared precompute; recomputed when null.
+  const std::vector<int>* sorted_order = nullptr;
 };
 
 /// LPIP: for each candidate edge e, maximize revenue subject to every
@@ -62,6 +79,15 @@ struct CipOptions {
   double eps = 1.0;
   const ItemClasses* classes = nullptr;
   bool use_compression = true;
+  /// Reuse one LP across the capacity grid: consecutive capacities only
+  /// move the RHS (primal form) or the objective (dual form), so each
+  /// solve warm-starts from the previous optimal basis — a pure
+  /// dual-simplex (resp. phase-2) reoptimization.
+  bool warm_start = true;
+  /// Capacities per warm-start chain; fixed partition, see LpipOptions.
+  int chain_length = 4;
+  /// Threads for independent chains; <= 1 runs serially inline.
+  int num_threads = 1;
 };
 
 /// CIP: welfare LP with per-item capacity k; dual prices as item prices;
@@ -86,7 +112,33 @@ const char* AlgorithmName(Algorithm algorithm);
 struct AlgorithmOptions {
   LpipOptions lpip;
   CipOptions cip;
+  /// Edge order by descending valuation; forwarded to LpipOptions (the
+  /// only consumer of the valuation order today). RunAllAlgorithms fills
+  /// it (with the item classes) once per instance instead of once per
+  /// algorithm. Callers normally leave it null.
+  const std::vector<int>* sorted_order = nullptr;
 };
+
+/// Edge indices sorted by descending valuation. Every consumer must use
+/// this one helper: the (unstable-sort) tie behavior is part of the
+/// bit-identity contract the committed bench baseline pins.
+std::vector<int> OrderByDescendingValuation(const Valuations& v);
+
+/// Shared per-instance precompute: item classes and the descending
+/// valuation order, computed once and threaded through AlgorithmOptions so
+/// LPIP, CIP and XOS (via its components) agree on — and stop
+/// recomputing — the same structures.
+struct SharedPrecompute {
+  ItemClasses classes;
+  std::vector<int> order_by_valuation;  // descending, ties by edge index
+};
+
+SharedPrecompute ComputeShared(const Hypergraph& hypergraph,
+                               const Valuations& v);
+
+/// Applies `shared` to any options field the caller left unset.
+AlgorithmOptions WithShared(const AlgorithmOptions& options,
+                            const SharedPrecompute& shared);
 
 /// Runs every algorithm (XOS last, reusing LPIP/CIP components), in the
 /// order UBP, UIP, LPIP, CIP, Layering, XOS.

@@ -1,8 +1,10 @@
 #include <algorithm>
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/algorithms.h"
 #include "core/class_util.h"
 #include "lp/lp_model.h"
@@ -12,7 +14,16 @@ namespace qp::core {
 
 namespace {
 
-// Solves the capacity-k welfare LP and returns per-class dual prices y_c.
+// Best pricing found by one warm-start chain of capacity LPs.
+struct ChainResult {
+  double best_revenue = 0.0;
+  std::vector<double> best_weights;
+  int lps_solved = 0;
+};
+
+}  // namespace
+
+// CIP solves the capacity-k welfare LP and prices items by the dual y_c.
 //
 //   (P)  max sum_e v_e x_e    s.t.  sum_{e : c in e} x_e <= k  (class c),
 //                                   0 <= x_e <= 1
@@ -28,61 +39,13 @@ namespace {
 //        y, z >= 0
 //
 // and read y_c off the primal variables of (D).
-bool SolveCapacityLp(const Hypergraph& hypergraph, const Valuations& v,
-                     const ItemClasses& classes, double capacity,
-                     std::vector<double>* class_duals, int* lps_solved) {
-  const int m = hypergraph.num_edges();
-  const uint32_t num_classes = classes.num_classes();
-  class_duals->assign(num_classes, 0.0);
-
-  // Per-class edge lists.
-  std::vector<std::vector<int>> class_edges(num_classes);
-  for (int e = 0; e < m; ++e) {
-    for (uint32_t cls : classes.edge_classes[e]) class_edges[cls].push_back(e);
-  }
-
-  ++*lps_solved;
-  if (num_classes <= static_cast<uint32_t>(m)) {
-    // Primal form: one row per class.
-    lp::LpModel model(lp::ObjectiveSense::kMaximize);
-    for (int e = 0; e < m; ++e) model.AddVariable(0.0, 1.0, v[e]);
-    for (uint32_t cls = 0; cls < num_classes; ++cls) {
-      std::vector<std::pair<int, double>> terms;
-      terms.reserve(class_edges[cls].size());
-      for (int e : class_edges[cls]) terms.emplace_back(e, 1.0);
-      model.AddConstraint(lp::ConstraintSense::kLe, capacity, std::move(terms));
-    }
-    lp::LpSolution solution = lp::SolveLp(model);
-    if (!solution.ok()) return false;
-    for (uint32_t cls = 0; cls < num_classes; ++cls) {
-      (*class_duals)[cls] = std::max(0.0, solution.dual[cls]);
-    }
-    return true;
-  }
-
-  // Dual form: one row per edge; variables y_c then z_e.
-  lp::LpModel model(lp::ObjectiveSense::kMinimize);
-  for (uint32_t cls = 0; cls < num_classes; ++cls) {
-    model.AddVariable(0.0, lp::kInf, capacity);
-  }
-  for (int e = 0; e < m; ++e) model.AddVariable(0.0, lp::kInf, 1.0);
-  for (int e = 0; e < m; ++e) {
-    std::vector<std::pair<int, double>> terms;
-    terms.reserve(classes.edge_classes[e].size() + 1);
-    for (uint32_t cls : classes.edge_classes[e]) terms.emplace_back(cls, 1.0);
-    terms.emplace_back(static_cast<int>(num_classes) + e, 1.0);
-    model.AddConstraint(lp::ConstraintSense::kGe, v[e], std::move(terms));
-  }
-  lp::LpSolution solution = lp::SolveLp(model);
-  if (!solution.ok()) return false;
-  for (uint32_t cls = 0; cls < num_classes; ++cls) {
-    (*class_duals)[cls] = std::max(0.0, solution.primal[cls]);
-  }
-  return true;
-}
-
-}  // namespace
-
+//
+// Across the capacity grid only k moves: the RHS of every class row in (P),
+// or the objective coefficient of every y_c in (D). Each chain therefore
+// builds its LP once and reoptimizes it per capacity from the previous
+// optimal basis — a pure dual-simplex step for (P), a phase-2-only primal
+// step for (D). Chains are fixed slices of the grid and run on the thread
+// pool; partition and reduction order never depend on num_threads.
 PricingResult RunCip(const Hypergraph& hypergraph, const Valuations& v,
                      const CipOptions& options) {
   Stopwatch timer;
@@ -100,20 +63,98 @@ PricingResult RunCip(const Hypergraph& hypergraph, const Valuations& v,
   for (double k = 1.0; k < max_degree; k *= step) capacities.push_back(k);
   if (max_degree >= 1.0) capacities.push_back(max_degree);
 
+  const int m = hypergraph.num_edges();
+  const uint32_t num_classes = classes.num_classes();
+  const bool primal_form = num_classes <= static_cast<uint32_t>(m);
+  // Per-class edge lists come straight off the incidence index via each
+  // class's representative item; force the (cached) build before fan-out.
+  const ItemIncidence& incidence = hypergraph.incidence();
+
+  const int num_capacities = static_cast<int>(capacities.size());
+  const int chain_length = std::max(1, options.chain_length);
+  const int num_chains = (num_capacities + chain_length - 1) / chain_length;
+  std::vector<ChainResult> chains(std::max(num_chains, 0));
+
+  common::ThreadPool pool(options.num_threads);
+  pool.ParallelFor(num_chains, [&](int ci) {
+    const int begin = ci * chain_length;
+    const int end = std::min(begin + chain_length, num_capacities);
+    ChainResult& out = chains[ci];
+
+    lp::LpModel model(primal_form ? lp::ObjectiveSense::kMaximize
+                                  : lp::ObjectiveSense::kMinimize);
+    if (primal_form) {
+      // One row per class; RHS (the capacity) is set per solve.
+      for (int e = 0; e < m; ++e) model.AddVariable(0.0, 1.0, v[e]);
+      for (uint32_t cls = 0; cls < num_classes; ++cls) {
+        uint32_t rep = classes.class_rep[cls];
+        std::vector<std::pair<int, double>> terms;
+        terms.reserve(static_cast<size_t>(incidence.degree(rep)));
+        for (const int* e = incidence.begin(rep); e != incidence.end(rep); ++e) {
+          terms.emplace_back(*e, 1.0);
+        }
+        model.AddConstraint(lp::ConstraintSense::kLe, 0.0, std::move(terms));
+      }
+    } else {
+      // Dual form: variables y_c (objective k, set per solve) then z_e.
+      for (uint32_t cls = 0; cls < num_classes; ++cls) {
+        model.AddVariable(0.0, lp::kInf, 0.0);
+      }
+      for (int e = 0; e < m; ++e) model.AddVariable(0.0, lp::kInf, 1.0);
+      for (int e = 0; e < m; ++e) {
+        std::vector<std::pair<int, double>> terms;
+        terms.reserve(classes.edge_classes[e].size() + 1);
+        for (uint32_t cls : classes.edge_classes[e]) {
+          terms.emplace_back(static_cast<int>(cls), 1.0);
+        }
+        terms.emplace_back(static_cast<int>(num_classes) + e, 1.0);
+        model.AddConstraint(lp::ConstraintSense::kGe, v[e], std::move(terms));
+      }
+    }
+
+    lp::Simplex solver(model);
+    lp::Basis basis;
+    std::vector<double> class_duals(num_classes, 0.0);
+    for (int c = begin; c < end; ++c) {
+      const double capacity = capacities[c];
+      if (primal_form) {
+        for (uint32_t cls = 0; cls < num_classes; ++cls) {
+          model.SetRhs(static_cast<int>(cls), capacity);
+        }
+      } else {
+        for (uint32_t cls = 0; cls < num_classes; ++cls) {
+          model.SetObjectiveCoefficient(static_cast<int>(cls), capacity);
+        }
+      }
+
+      lp::LpSolution solution = (options.warm_start && !basis.empty())
+                                    ? solver.ResolveFrom(basis)
+                                    : solver.Solve();
+      ++out.lps_solved;
+      if (!solution.ok()) continue;
+      if (options.warm_start) basis = std::move(solution.basis);
+
+      for (uint32_t cls = 0; cls < num_classes; ++cls) {
+        class_duals[cls] = primal_form ? std::max(0.0, solution.dual[cls])
+                                       : std::max(0.0, solution.primal[cls]);
+      }
+      std::vector<double> weights =
+          classes.ExpandClassWeights(class_duals, hypergraph.num_items());
+      double revenue = Revenue(ItemPricing(weights), hypergraph, v);
+      if (revenue > out.best_revenue) {
+        out.best_revenue = revenue;
+        out.best_weights = std::move(weights);
+      }
+    }
+  });
+
   std::vector<double> best_weights(hypergraph.num_items(), 0.0);
   double best_revenue = 0.0;
-  std::vector<double> class_duals;
-  for (double capacity : capacities) {
-    if (!SolveCapacityLp(hypergraph, v, classes, capacity, &class_duals,
-                         &result.lps_solved)) {
-      continue;
-    }
-    std::vector<double> weights =
-        classes.ExpandClassWeights(class_duals, hypergraph.num_items());
-    double revenue = Revenue(ItemPricing(weights), hypergraph, v);
-    if (revenue > best_revenue) {
-      best_revenue = revenue;
-      best_weights = std::move(weights);
+  for (ChainResult& chain : chains) {
+    result.lps_solved += chain.lps_solved;
+    if (chain.best_revenue > best_revenue) {
+      best_revenue = chain.best_revenue;
+      best_weights = std::move(chain.best_weights);
     }
   }
 

@@ -14,13 +14,35 @@ int Hypergraph::AddEdge(std::vector<uint32_t> items) {
   items.erase(std::unique(items.begin(), items.end()), items.end());
   assert(items.empty() || items.back() < num_items_);
   edges_.push_back(std::move(items));
+  incidence_built_ = false;
   return static_cast<int>(edges_.size()) - 1;
 }
 
-std::vector<uint32_t> Hypergraph::ItemDegrees() const {
-  std::vector<uint32_t> degree(num_items_, 0);
+const ItemIncidence& Hypergraph::incidence() const {
+  if (incidence_built_) return incidence_;
+  ItemIncidence out;
+  out.start.assign(num_items_ + 1, 0);
   for (const auto& e : edges_) {
-    for (uint32_t j : e) degree[j]++;
+    for (uint32_t j : e) out.start[j + 1]++;
+  }
+  for (uint32_t j = 0; j < num_items_; ++j) out.start[j + 1] += out.start[j];
+  out.edge.resize(out.start[num_items_]);
+  std::vector<int> fill(num_items_, 0);
+  for (int e = 0; e < num_edges(); ++e) {
+    for (uint32_t j : edges_[e]) {
+      out.edge[out.start[j] + fill[j]++] = e;  // ascending: edges scanned in order
+    }
+  }
+  incidence_ = std::move(out);
+  incidence_built_ = true;
+  return incidence_;
+}
+
+std::vector<uint32_t> Hypergraph::ItemDegrees() const {
+  const ItemIncidence& inc = incidence();
+  std::vector<uint32_t> degree(num_items_, 0);
+  for (uint32_t j = 0; j < num_items_; ++j) {
+    degree[j] = static_cast<uint32_t>(inc.degree(j));
   }
   return degree;
 }
@@ -67,26 +89,28 @@ std::string Hypergraph::StatsString() const {
 
 ItemClasses ItemClasses::Compute(const Hypergraph& hypergraph) {
   const uint32_t n = hypergraph.num_items();
-  // Signature of an item = the (sorted) list of edges containing it.
-  std::vector<std::vector<uint32_t>> signature(n);
-  for (int e = 0; e < hypergraph.num_edges(); ++e) {
-    for (uint32_t j : hypergraph.edge(e)) {
-      signature[j].push_back(static_cast<uint32_t>(e));
-    }
-  }
+  // Signature of an item = the (sorted) list of edges containing it, which
+  // is exactly its slice of the incidence index.
+  const ItemIncidence& inc = hypergraph.incidence();
+  auto same_signature = [&](uint32_t a, uint32_t b) {
+    return inc.degree(a) == inc.degree(b) &&
+           std::equal(inc.begin(a), inc.end(a), inc.begin(b));
+  };
 
   ItemClasses out;
   out.class_of_item.assign(n, kNoClass);
   // Group by signature hash, verifying exact equality within buckets.
   std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;  // hash -> reps
   for (uint32_t j = 0; j < n; ++j) {
-    if (signature[j].empty()) continue;
+    if (inc.degree(j) == 0) continue;
     uint64_t h = 0xabcdef12u;
-    for (uint32_t e : signature[j]) h = HashCombine(h, e);
+    for (const int* e = inc.begin(j); e != inc.end(j); ++e) {
+      h = HashCombine(h, static_cast<uint32_t>(*e));
+    }
     auto& reps = buckets[h];
     uint32_t cls = kNoClass;
     for (uint32_t rep : reps) {
-      if (signature[rep] == signature[j]) {
+      if (same_signature(rep, j)) {
         cls = out.class_of_item[rep];
         break;
       }
@@ -94,6 +118,7 @@ ItemClasses ItemClasses::Compute(const Hypergraph& hypergraph) {
     if (cls == kNoClass) {
       cls = static_cast<uint32_t>(out.class_size.size());
       out.class_size.push_back(0);
+      out.class_rep.push_back(j);
       reps.push_back(j);
     }
     out.class_of_item[j] = cls;

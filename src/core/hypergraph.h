@@ -16,6 +16,20 @@ namespace qp::core {
 /// Buyer valuations, one per hyperedge.
 using Valuations = std::vector<double>;
 
+/// CSR item -> edges incidence index: the edges containing item j are
+/// `edge[start[j]], ..., edge[start[j+1] - 1]`, in ascending edge order.
+/// Built once per hypergraph (see Hypergraph::incidence()) so LP
+/// construction, class compression and degree queries stop re-scanning
+/// every edge per item.
+struct ItemIncidence {
+  std::vector<int> start;  // size num_items + 1
+  std::vector<int> edge;   // concatenated ascending edge ids
+
+  int degree(uint32_t item) const { return start[item + 1] - start[item]; }
+  const int* begin(uint32_t item) const { return edge.data() + start[item]; }
+  const int* end(uint32_t item) const { return edge.data() + start[item + 1]; }
+};
+
 class Hypergraph {
  public:
   explicit Hypergraph(uint32_t num_items = 0) : num_items_(num_items) {}
@@ -30,6 +44,12 @@ class Hypergraph {
 
   const std::vector<uint32_t>& edge(int e) const { return edges_[e]; }
   int edge_size(int e) const { return static_cast<int>(edges_[e].size()); }
+
+  /// The item -> edges index, built on first use and cached until the next
+  /// AddEdge. Not thread-safe to *build*: callers that share a hypergraph
+  /// across threads (the LPIP/CIP candidate sweeps) force the build before
+  /// fanning out and only read afterwards.
+  const ItemIncidence& incidence() const;
 
   /// Degree of every item (number of edges containing it).
   std::vector<uint32_t> ItemDegrees() const;
@@ -51,6 +71,9 @@ class Hypergraph {
  private:
   uint32_t num_items_;
   std::vector<std::vector<uint32_t>> edges_;
+  // Lazily built incidence cache; invalidated by AddEdge.
+  mutable ItemIncidence incidence_;
+  mutable bool incidence_built_ = false;
 };
 
 /// Equivalence classes of items by edge membership. Items contained in
@@ -63,6 +86,10 @@ struct ItemClasses {
   std::vector<uint32_t> class_of_item;
   /// Number of items in each class.
   std::vector<uint32_t> class_size;
+  /// One representative item per class. All members share the same edge
+  /// set, so `incidence().begin(class_rep[c])` is the class's edge list —
+  /// CIP reads per-class edge lists straight off the incidence index.
+  std::vector<uint32_t> class_rep;
   /// Per edge: sorted list of class ids whose items it contains (each class
   /// is either fully inside or fully outside an edge, by construction).
   std::vector<std::vector<uint32_t>> edge_classes;

@@ -1,8 +1,9 @@
 #include <algorithm>
-#include <numeric>
+#include <utility>
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/algorithms.h"
 #include "core/class_util.h"
 #include "lp/lp_model.h"
@@ -23,6 +24,7 @@ ItemClasses IdentityClasses(const Hypergraph& hypergraph) {
       if (out.class_of_item[j] == ItemClasses::kNoClass) {
         out.class_of_item[j] = static_cast<uint32_t>(out.class_size.size());
         out.class_size.push_back(1);
+        out.class_rep.push_back(j);
       }
       out.edge_classes[e].push_back(out.class_of_item[j]);
     }
@@ -30,6 +32,14 @@ ItemClasses IdentityClasses(const Hypergraph& hypergraph) {
   }
   return out;
 }
+
+// Best pricing found by one warm-start chain of candidate LPs.
+struct ChainResult {
+  double best_revenue = 0.0;
+  std::vector<double> best_weights;
+  int best_candidate = -1;
+  int lps_solved = 0;
+};
 
 }  // namespace
 
@@ -49,6 +59,23 @@ const ItemClasses& ResolveClasses(const Hypergraph& hypergraph,
 // where F_e = { e' : v_{e'} >= v_e }, and keep the best item pricing by
 // realized revenue. Weights of items outside F_e's edges are set to 0,
 // which weakly dominates any other choice (extra sales only add revenue).
+//
+// The threshold families are nested (F grows as the cutoff descends), so
+// candidates are processed in chains that reuse one LpModel and
+// warm-start every solve after the first from the previous optimal basis
+// (Simplex::ResolveFrom). Each chain builds the model up to its largest
+// family once, solves that cold, then sweeps *shrinking-F*: truncate back
+// to each earlier candidate (LpModel::TruncateTo) and resolve warm.
+// Shrinking is the direction that keeps warm starts cheap: dropping
+// Le-rows and pinning dropped price variables to 0 leaves the previous
+// optimum primal feasible, so every resolve is a phase-2 reoptimization
+// from a basis that is already mostly right (the exported basis header
+// keeps each surviving row's basic column).
+//
+// Chains are fixed-size slices of the candidate list and run on the
+// thread pool; the partition and the reduction order depend only on the
+// candidate list — never on num_threads — so prices are bit-identical
+// for every thread count.
 PricingResult RunLpip(const Hypergraph& hypergraph, const Valuations& v,
                       const LpipOptions& options) {
   Stopwatch timer;
@@ -60,10 +87,12 @@ PricingResult RunLpip(const Hypergraph& hypergraph, const Valuations& v,
       hypergraph, options.classes, options.use_compression, storage);
 
   const int m = hypergraph.num_edges();
-  std::vector<int> order(m);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(),
-            [&](int a, int b) { return v[a] > v[b]; });
+  std::vector<int> local_order;
+  if (options.sorted_order == nullptr) {
+    local_order = OrderByDescendingValuation(v);
+  }
+  const std::vector<int>& order =
+      options.sorted_order ? *options.sorted_order : local_order;
 
   // Candidate thresholds: the last index of every run of equal valuations
   // (ties produce identical F sets).
@@ -84,57 +113,117 @@ PricingResult RunLpip(const Hypergraph& hypergraph, const Valuations& v,
     candidates.swap(sampled);
   }
 
-  std::vector<double> best_weights(hypergraph.num_items(), 0.0);
-  double best_revenue = 0.0;
+  const int num_candidates = static_cast<int>(candidates.size());
+  const int chain_length = std::max(1, options.chain_length);
+  const int num_chains = (num_candidates + chain_length - 1) / chain_length;
+  std::vector<ChainResult> chains(std::max(num_chains, 0));
 
-  std::vector<int> class_to_var(classes.num_classes(), -1);
-  for (int cutoff : candidates) {
-    // Collect the classes present in F = order[0..cutoff] and the
-    // objective coefficient of each (= number of F-edges containing it).
-    std::vector<uint32_t> used_classes;
-    std::vector<double> obj_coeff;
-    for (int i = 0; i <= cutoff; ++i) {
-      for (uint32_t cls : classes.edge_classes[order[i]]) {
-        if (class_to_var[cls] < 0) {
-          class_to_var[cls] = static_cast<int>(used_classes.size());
-          used_classes.push_back(cls);
-          obj_coeff.push_back(0.0);
-        }
-        obj_coeff[class_to_var[cls]] += 1.0;
-      }
-    }
+  common::ThreadPool pool(options.num_threads);
+  pool.ParallelFor(num_chains, [&](int ci) {
+    const int begin = ci * chain_length;
+    const int end = std::min(begin + chain_length, num_candidates);
+    ChainResult& out = chains[ci];
 
     lp::LpModel model(lp::ObjectiveSense::kMaximize);
-    for (size_t u = 0; u < used_classes.size(); ++u) {
-      model.AddVariable(0.0, lp::kInf, obj_coeff[u]);
-    }
-    for (int i = 0; i <= cutoff; ++i) {
-      int e = order[i];
-      if (classes.edge_classes[e].empty()) continue;  // empty edge: trivial
-      std::vector<std::pair<int, double>> terms;
-      terms.reserve(classes.edge_classes[e].size());
-      for (uint32_t cls : classes.edge_classes[e]) {
-        terms.emplace_back(class_to_var[cls], 1.0);
-      }
-      model.AddConstraint(lp::ConstraintSense::kLe, v[e], std::move(terms));
-    }
+    lp::Simplex solver(model);
+    lp::Basis basis;
+    std::vector<int> class_to_var(classes.num_classes(), -1);
+    std::vector<double> obj_coeff;  // per model variable
+    std::vector<std::pair<int, int>> dims(end - begin);  // (vars, rows)
+    int built = -1;  // edges order[0..built] are in the model
 
-    lp::LpSolution solution = lp::SolveLp(model);
-    ++result.lps_solved;
-    if (solution.ok()) {
+    auto append_edges_up_to = [&](int cutoff) {
+      for (int i = built + 1; i <= cutoff; ++i) {
+        const int e = order[i];
+        for (uint32_t cls : classes.edge_classes[e]) {
+          int& var = class_to_var[cls];
+          if (var < 0) {
+            var = model.AddVariable(0.0, lp::kInf, 0.0);
+            obj_coeff.push_back(0.0);
+          }
+          obj_coeff[var] += 1.0;
+          model.SetObjectiveCoefficient(var, obj_coeff[var]);
+        }
+        if (classes.edge_classes[e].empty()) continue;  // empty edge: trivial
+        std::vector<std::pair<int, double>> terms;
+        terms.reserve(classes.edge_classes[e].size());
+        for (uint32_t cls : classes.edge_classes[e]) {
+          terms.emplace_back(class_to_var[cls], 1.0);
+        }
+        model.AddConstraint(lp::ConstraintSense::kLe, v[e], std::move(terms));
+      }
+      built = cutoff;
+    };
+
+    auto solve_and_score = [&](int candidate_index) {
+      lp::LpSolution solution = (options.warm_start && !basis.empty())
+                                    ? solver.ResolveFrom(basis)
+                                    : solver.Solve();
+      ++out.lps_solved;
+      if (!solution.ok()) return;
+      if (options.warm_start) basis = std::move(solution.basis);
+
       std::vector<double> class_weights(classes.num_classes(), 0.0);
-      for (size_t u = 0; u < used_classes.size(); ++u) {
-        class_weights[used_classes[u]] = solution.primal[u];
+      for (uint32_t cls = 0; cls < classes.num_classes(); ++cls) {
+        int var = class_to_var[cls];
+        if (var >= 0 && var < static_cast<int>(solution.primal.size())) {
+          class_weights[cls] = solution.primal[var];
+        }
       }
       std::vector<double> weights =
           classes.ExpandClassWeights(class_weights, hypergraph.num_items());
       double revenue = Revenue(ItemPricing(weights), hypergraph, v);
-      if (revenue > best_revenue) {
-        best_revenue = revenue;
-        best_weights = std::move(weights);
+      // "Earliest candidate wins ties", in either sweep direction: the
+      // ascending sweep takes strictly-greater, the descending one takes
+      // greater-or-equal (so an equal, earlier candidate overwrites).
+      bool better = candidate_index == out.best_candidate
+                        ? false
+                        : (candidate_index > out.best_candidate
+                               ? revenue > out.best_revenue
+                               : revenue > 0.0 && revenue >= out.best_revenue);
+      if (better) {
+        out.best_revenue = revenue;
+        out.best_weights = std::move(weights);
+        out.best_candidate = candidate_index;
       }
+    };
+
+    // Shrinking-F sweep: build the chain's largest family, solve cold,
+    // then truncate back to each earlier candidate and resolve warm. With
+    // warm_start off every candidate is an independent cold solve of the
+    // identical truncated model, i.e. the paper's original sweep.
+    for (int c = begin; c < end; ++c) {
+      append_edges_up_to(candidates[c]);
+      dims[c - begin] = {model.num_variables(), model.num_constraints()};
     }
-    for (uint32_t cls : used_classes) class_to_var[cls] = -1;
+    for (int c = end - 1; c >= begin; --c) {
+      if (c < end - 1) {
+        const auto [num_vars, num_rows] = dims[c - begin];
+        for (int i = candidates[c] + 1; i <= candidates[c + 1]; ++i) {
+          for (uint32_t cls : classes.edge_classes[order[i]]) {
+            int var = class_to_var[cls];
+            obj_coeff[var] -= 1.0;
+            if (var < num_vars) {
+              model.SetObjectiveCoefficient(var, obj_coeff[var]);
+            }
+          }
+        }
+        model.TruncateTo(num_vars, num_rows);
+      }
+      solve_and_score(c);
+    }
+  });
+
+  // Index-ordered reduction: identical to the sequential sweep's
+  // "strictly greater wins" rule regardless of how chains were scheduled.
+  std::vector<double> best_weights(hypergraph.num_items(), 0.0);
+  double best_revenue = 0.0;
+  for (ChainResult& chain : chains) {
+    result.lps_solved += chain.lps_solved;
+    if (chain.best_revenue > best_revenue) {
+      best_revenue = chain.best_revenue;
+      best_weights = std::move(chain.best_weights);
+    }
   }
 
   result.pricing = std::make_unique<ItemPricing>(std::move(best_weights));

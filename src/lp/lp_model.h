@@ -53,6 +53,27 @@ class LpModel {
   int AddConstraint(ConstraintSense sense, double rhs,
                     std::vector<std::pair<int, double>> terms);
 
+  /// Replaces variable `j`'s objective coefficient. Incremental model
+  /// edits like this one pair with Simplex::ResolveFrom: LPIP grows the
+  /// coefficients of already-present price variables as the threshold
+  /// family expands.
+  void SetObjectiveCoefficient(int j, double objective) {
+    variables_[j].objective = objective;
+  }
+
+  /// Replaces constraint `i`'s right-hand side (CIP re-solves the welfare
+  /// LP over a capacity grid where only the RHS moves).
+  void SetRhs(int i, double rhs) { constraints_[i].rhs = rhs; }
+
+  /// Drops every variable >= num_variables and constraint >= num_constraints.
+  /// Only valid when the surviving constraints reference surviving variables
+  /// — the natural case for models grown append-only, which LPIP shrinks
+  /// back candidate by candidate while warm-starting the simplex.
+  void TruncateTo(int num_variables, int num_constraints) {
+    variables_.resize(static_cast<size_t>(num_variables));
+    constraints_.resize(static_cast<size_t>(num_constraints));
+  }
+
   ObjectiveSense sense() const { return sense_; }
   int num_variables() const { return static_cast<int>(variables_.size()); }
   int num_constraints() const { return static_cast<int>(constraints_.size()); }

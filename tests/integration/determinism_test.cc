@@ -87,5 +87,68 @@ TEST(DeterminismTest, DifferentSeedsPerturbTheInstance) {
   EXPECT_NE(a.revenues, b.revenues);
 }
 
+// The parallel candidate sweep must be schedule-independent: LPIP and CIP
+// partition work into fixed chains whose contents and reduction order do
+// not depend on the thread count, so every price must be bit-identical
+// between a serial and a multi-threaded run.
+TEST(DeterminismTest, ThreadCountDoesNotChangePrices) {
+  auto workload = workload::MakeSkewedWorkload();
+  ASSERT_TRUE(workload.ok());
+  Rng rng(777);
+  auto support = market::GenerateSupport(*workload->database,
+                                         {.size = 150, .max_retries = 32}, rng);
+  ASSERT_TRUE(support.ok());
+  std::vector<db::BoundQuery> queries;
+  for (size_t i = 0; i < workload->queries.size(); i += 7) {
+    queries.push_back(workload->queries[i]);
+  }
+  market::BuildResult built =
+      market::BuildHypergraph(*workload->database, queries, *support);
+  ASSERT_GT(built.hypergraph.num_edges(), 0);
+  core::Valuations v =
+      core::SampleUniformValuations(built.hypergraph, 100, rng);
+
+  auto run = [&](int num_threads) {
+    core::AlgorithmOptions options;
+    options.lpip.num_threads = num_threads;
+    options.cip.num_threads = num_threads;
+    // Short chains so several run concurrently even on this small instance.
+    options.lpip.chain_length = 2;
+    options.cip.chain_length = 1;
+    struct Out {
+      std::vector<double> lpip_weights;
+      std::vector<double> cip_weights;
+      double lpip_revenue;
+      double cip_revenue;
+      int lpip_lps;
+      int cip_lps;
+    } out;
+    core::SharedPrecompute shared = core::ComputeShared(built.hypergraph, v);
+    core::AlgorithmOptions resolved = core::WithShared(options, shared);
+    core::PricingResult lpip =
+        core::RunLpip(built.hypergraph, v, resolved.lpip);
+    core::PricingResult cip = core::RunCip(built.hypergraph, v, resolved.cip);
+    out.lpip_weights =
+        static_cast<const core::ItemPricing*>(lpip.pricing.get())->weights();
+    out.cip_weights =
+        static_cast<const core::ItemPricing*>(cip.pricing.get())->weights();
+    out.lpip_revenue = lpip.revenue;
+    out.cip_revenue = cip.revenue;
+    out.lpip_lps = lpip.lps_solved;
+    out.cip_lps = cip.lps_solved;
+    return out;
+  };
+
+  auto serial = run(1);
+  auto parallel = run(4);
+  EXPECT_EQ(serial.lpip_lps, parallel.lpip_lps);
+  EXPECT_EQ(serial.cip_lps, parallel.cip_lps);
+  // Exact comparisons on purpose: the thread count must not change a bit.
+  EXPECT_EQ(serial.lpip_revenue, parallel.lpip_revenue);
+  EXPECT_EQ(serial.cip_revenue, parallel.cip_revenue);
+  EXPECT_EQ(serial.lpip_weights, parallel.lpip_weights);
+  EXPECT_EQ(serial.cip_weights, parallel.cip_weights);
+}
+
 }  // namespace
 }  // namespace qp

@@ -1,0 +1,228 @@
+// Warm-start correctness: Simplex::ResolveFrom(basis) must agree with a
+// cold solve of the same (edited) model — same optimal objective, valid
+// duals — across the edit patterns the pricing pipeline performs:
+// RHS-only changes (CIP's capacity grid, the dual-simplex path),
+// objective-only changes, appended constraints/variables (growing
+// threshold families) and truncation (the shrinking-F sweep), plus
+// adversarial garbage bases that must fall back gracefully.
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lp/lp_model.h"
+#include "lp/simplex.h"
+
+namespace qp::lp {
+namespace {
+
+// Random bounded-feasible LP (all variables boxed, constraints anchored on
+// an interior point so the instance is feasible by construction).
+LpModel MakeRandomBoundedLp(Rng& rng, int num_vars, int num_cons) {
+  LpModel model(ObjectiveSense::kMaximize);
+  std::vector<double> point(num_vars);
+  for (int j = 0; j < num_vars; ++j) {
+    double lo = rng.UniformReal(-4, 1);
+    double hi = lo + rng.UniformReal(0.5, 7);
+    model.AddVariable(lo, hi, rng.UniformReal(-3, 3));
+    point[j] = rng.UniformReal(lo, hi);
+  }
+  for (int i = 0; i < num_cons; ++i) {
+    std::vector<std::pair<int, double>> terms;
+    double lhs = 0.0;
+    for (int j = 0; j < num_vars; ++j) {
+      if (rng.NextDouble() < 0.6) {
+        double coeff = rng.UniformReal(-2, 2);
+        if (coeff != 0.0) {
+          terms.emplace_back(j, coeff);
+          lhs += coeff * point[j];
+        }
+      }
+    }
+    double roll = rng.NextDouble();
+    ConstraintSense sense = roll < 0.6   ? ConstraintSense::kLe
+                            : roll < 0.9 ? ConstraintSense::kGe
+                                         : ConstraintSense::kEq;
+    double rhs = sense == ConstraintSense::kLe   ? lhs + rng.UniformReal(0, 3)
+                 : sense == ConstraintSense::kGe ? lhs - rng.UniformReal(0, 3)
+                                                 : lhs;
+    model.AddConstraint(sense, rhs, std::move(terms));
+  }
+  return model;
+}
+
+void ExpectSameOptimum(const LpModel& model, const LpSolution& warm,
+                       const char* what) {
+  LpSolution cold = SolveLp(model);
+  ASSERT_EQ(cold.status, warm.status) << what;
+  if (!cold.ok()) return;
+  double scale = 1.0 + std::abs(cold.objective);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-6 * scale) << what;
+  // Both solutions must be feasible; duals must certify optimality via
+  // strong duality on their own solve (objective equality above pins the
+  // optimum, b'y + bound terms is checked by simplex_property_test).
+  EXPECT_LE(model.MaxInfeasibility(warm.primal), 1e-5) << what;
+  ASSERT_EQ(warm.dual.size(), cold.dual.size()) << what;
+}
+
+TEST(SimplexWarmStartTest, RhsOnlyChangesMatchColdSolves) {
+  Rng rng(2024);
+  int solved = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    int nv = static_cast<int>(rng.UniformInt(2, 8));
+    int nc = static_cast<int>(rng.UniformInt(1, 10));
+    LpModel model = MakeRandomBoundedLp(rng, nv, nc);
+    Simplex solver(model);
+    LpSolution base = solver.Solve();
+    if (!base.ok()) continue;
+    ++solved;
+    // Perturb every RHS (the CIP capacity-grid pattern: dual simplex).
+    for (int i = 0; i < nc; ++i) {
+      model.SetRhs(i, model.constraint(i).rhs + rng.UniformReal(-1.5, 1.5));
+    }
+    LpSolution warm = solver.ResolveFrom(base.basis);
+    LpSolution cold = SolveLp(model);
+    ASSERT_EQ(warm.status, cold.status) << "trial " << trial;
+    if (cold.ok()) {
+      EXPECT_NEAR(warm.objective, cold.objective,
+                  1e-6 * (1.0 + std::abs(cold.objective)))
+          << "trial " << trial;
+      EXPECT_LE(model.MaxInfeasibility(warm.primal), 1e-5);
+    }
+  }
+  EXPECT_GT(solved, 20);  // the generator must actually exercise the path
+}
+
+TEST(SimplexWarmStartTest, ObjectiveOnlyChangesMatchColdSolves) {
+  Rng rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    int nv = static_cast<int>(rng.UniformInt(2, 8));
+    int nc = static_cast<int>(rng.UniformInt(1, 8));
+    LpModel model = MakeRandomBoundedLp(rng, nv, nc);
+    Simplex solver(model);
+    LpSolution base = solver.Solve();
+    if (!base.ok()) continue;
+    for (int j = 0; j < nv; ++j) {
+      model.SetObjectiveCoefficient(j, rng.UniformReal(-3, 3));
+    }
+    LpSolution warm = solver.ResolveFrom(base.basis);
+    ExpectSameOptimum(model, warm, "objective-only");
+  }
+}
+
+TEST(SimplexWarmStartTest, AppendedConstraintsAndVariablesMatchColdSolves) {
+  Rng rng(99);
+  for (int trial = 0; trial < 40; ++trial) {
+    int nv = static_cast<int>(rng.UniformInt(2, 6));
+    int nc = static_cast<int>(rng.UniformInt(1, 6));
+    LpModel model = MakeRandomBoundedLp(rng, nv, nc);
+    Simplex solver(model);
+    LpSolution base = solver.Solve();
+    if (!base.ok()) continue;
+    // Append a variable and a couple of constraints over all variables —
+    // the growing-threshold-family pattern (localized phase-1 repair).
+    int extra = model.AddVariable(0.0, 4.0, rng.UniformReal(0, 2));
+    for (int k = 0; k < 2; ++k) {
+      std::vector<std::pair<int, double>> terms;
+      for (int j = 0; j <= extra; ++j) {
+        if (rng.NextDouble() < 0.7) terms.emplace_back(j, rng.UniformReal(0, 2));
+      }
+      model.AddConstraint(ConstraintSense::kLe, rng.UniformReal(0.5, 6),
+                          std::move(terms));
+    }
+    LpSolution warm = solver.ResolveFrom(base.basis);
+    ExpectSameOptimum(model, warm, "appended");
+  }
+}
+
+TEST(SimplexWarmStartTest, TruncatedModelsMatchColdSolves) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 40; ++trial) {
+    int nv = static_cast<int>(rng.UniformInt(3, 8));
+    int nc = static_cast<int>(rng.UniformInt(3, 10));
+    LpModel model = MakeRandomBoundedLp(rng, nv, nc);
+    Simplex solver(model);
+    LpSolution base = solver.Solve();
+    if (!base.ok()) continue;
+    // Drop trailing constraints (the shrinking-F sweep; variables kept so
+    // surviving rows stay valid).
+    int keep = static_cast<int>(rng.UniformInt(1, nc));
+    model.TruncateTo(nv, keep);
+    LpSolution warm = solver.ResolveFrom(base.basis);
+    ExpectSameOptimum(model, warm, "truncated");
+  }
+}
+
+TEST(SimplexWarmStartTest, InfeasibleAfterRhsChangeIsDetected) {
+  // x <= 5 with x >= 0; tighten to x <= -1: infeasible.
+  LpModel model(ObjectiveSense::kMaximize);
+  int x = model.AddVariable(0, kInf, 1.0);
+  model.AddConstraint(ConstraintSense::kLe, 5, {{x, 1.0}});
+  Simplex solver(model);
+  LpSolution base = solver.Solve();
+  ASSERT_TRUE(base.ok());
+  model.SetRhs(0, -1.0);
+  EXPECT_EQ(solver.ResolveFrom(base.basis).status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexWarmStartTest, GarbageBasisStillSolvesCorrectly) {
+  Rng rng(555);
+  for (int trial = 0; trial < 30; ++trial) {
+    int nv = static_cast<int>(rng.UniformInt(2, 7));
+    int nc = static_cast<int>(rng.UniformInt(1, 8));
+    LpModel model = MakeRandomBoundedLp(rng, nv, nc);
+    // Random (likely inconsistent) basis snapshot.
+    Basis garbage;
+    for (int j = 0; j < nv; ++j) {
+      garbage.variables.push_back(
+          static_cast<BasisStatus>(rng.UniformInt(0, 3)));
+    }
+    for (int i = 0; i < nc; ++i) {
+      garbage.slacks.push_back(static_cast<BasisStatus>(rng.UniformInt(0, 3)));
+      // Random row assignment: structural, slack, or unknown.
+      double roll = rng.NextDouble();
+      garbage.basic_of_row.push_back(
+          roll < 0.4   ? static_cast<int32_t>(rng.UniformInt(0, nv - 1))
+          : roll < 0.8 ? Basis::EncodeSlack(static_cast<int>(
+                             rng.UniformInt(0, nc - 1)))
+                       : Basis::kNoBasic);
+    }
+    Simplex solver(model);
+    LpSolution warm = solver.ResolveFrom(garbage);
+    ExpectSameOptimum(model, warm, "garbage basis");
+  }
+}
+
+TEST(SimplexWarmStartTest, EmptyBasisFallsBackToColdSolve) {
+  LpModel model(ObjectiveSense::kMaximize);
+  int x = model.AddVariable(0, 3, 1.0);
+  model.AddConstraint(ConstraintSense::kLe, 2, {{x, 1.0}});
+  Simplex solver(model);
+  LpSolution warm = solver.ResolveFrom(Basis{});
+  ASSERT_TRUE(warm.ok());
+  EXPECT_NEAR(warm.objective, 2.0, 1e-9);
+}
+
+TEST(SimplexWarmStartTest, OptimalSolutionsExportReusableBases) {
+  // A second ResolveFrom with an unchanged model must terminate at the
+  // same optimum immediately (no pivots beyond the reinstall).
+  Rng rng(31337);
+  for (int trial = 0; trial < 20; ++trial) {
+    LpModel model = MakeRandomBoundedLp(rng, 5, 6);
+    Simplex solver(model);
+    LpSolution base = solver.Solve();
+    if (!base.ok()) continue;
+    ASSERT_EQ(base.basis.variables.size(), 5u);
+    ASSERT_EQ(base.basis.slacks.size(), 6u);
+    ASSERT_EQ(base.basis.basic_of_row.size(), 6u);
+    LpSolution again = solver.ResolveFrom(base.basis);
+    ASSERT_TRUE(again.ok());
+    EXPECT_NEAR(again.objective, base.objective,
+                1e-9 * (1.0 + std::abs(base.objective)));
+  }
+}
+
+}  // namespace
+}  // namespace qp::lp
