@@ -78,8 +78,8 @@ double DefaultScaleFactor(bool paper_scale) {
 
 }  // namespace
 
-WorkloadHypergraph LoadWorkloadHypergraph(const std::string& name,
-                                          const LoadOptions& options) {
+WorkloadMarket LoadWorkloadMarket(const std::string& name,
+                                  const LoadOptions& options) {
   int support_size = options.support > 0
                          ? options.support
                          : DefaultSupport(name, options.paper_scale);
@@ -115,11 +115,21 @@ WorkloadHypergraph LoadWorkloadHypergraph(const std::string& name,
     std::abort();
   }
 
+  WorkloadMarket out;
+  out.instance = std::move(*instance);
+  out.support = std::move(*support);
+  out.support_size = support_size;
+  return out;
+}
+
+WorkloadHypergraph LoadWorkloadHypergraph(const std::string& name,
+                                          const LoadOptions& options) {
+  WorkloadMarket market = LoadWorkloadMarket(name, options);
   WorkloadHypergraph out;
   out.name = name;
-  out.support_size = support_size;
+  out.support_size = market.support_size;
   market::BuildResult built = market::BuildHypergraph(
-      *instance->database, instance->queries, *support);
+      *market.instance.database, market.instance.queries, market.support);
   out.hypergraph = std::move(built.hypergraph);
   out.build_seconds = built.seconds;
   out.classes = core::ItemClasses::Compute(out.hypergraph);

@@ -17,6 +17,7 @@
 #include "common/table_printer.h"
 #include "core/algorithms.h"
 #include "core/hypergraph.h"
+#include "market/support.h"
 #include "workloads/workload.h"
 
 namespace qp::bench {
@@ -54,9 +55,21 @@ struct LoadOptions {
   bool paper_scale = false;
 };
 
-/// Loads "skewed" | "uniform" | "tpch" | "ssb", generates the support and
-/// builds the conflict-set hypergraph. Aborts on generator errors (benches
-/// are applications).
+/// A workload's raw market inputs: the generated database + bound query
+/// set plus the support, *before* conflict-set computation — what the
+/// serving-engine benches feed to serve::PricingEngine query by query.
+struct WorkloadMarket {
+  workload::WorkloadInstance instance;
+  market::SupportSet support;
+  int support_size = 0;
+};
+
+/// Loads "skewed" | "uniform" | "tpch" | "ssb" and generates the support.
+/// Aborts on generator errors (benches are applications).
+WorkloadMarket LoadWorkloadMarket(const std::string& name,
+                                  const LoadOptions& options);
+
+/// Same, then builds the conflict-set hypergraph (one-shot drivers).
 WorkloadHypergraph LoadWorkloadHypergraph(const std::string& name,
                                           const LoadOptions& options);
 

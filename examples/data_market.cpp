@@ -1,7 +1,8 @@
-// End-to-end data market on the world dataset: generate the seller's
-// database, take buyer SQL queries, build the support set and conflict-set
-// hypergraph (the Qirana pipeline), price the queries with LPIP, and quote
-// each buyer a price.
+// End-to-end data market on the world dataset, served by the stateful
+// pricing engine: generate the seller's database, stand up a
+// serve::PricingEngine over a Qirana-style support set, let buyers arrive
+// with SQL queries (posted-price purchases against the published book),
+// then grow the market with a late buyer batch and reprice incrementally.
 //
 //   ./build/examples/data_market
 #include <iostream>
@@ -9,12 +10,10 @@
 #include "common/rng.h"
 #include "common/str_util.h"
 #include "common/table_printer.h"
-#include "core/algorithms.h"
 #include "core/bounds.h"
-#include "core/valuation.h"
-#include "market/hypergraph_builder.h"
-#include "market/support.h"
 #include "db/parser.h"
+#include "market/support.h"
+#include "serve/pricing_engine.h"
 #include "workloads/world.h"
 
 int main() {
@@ -25,8 +24,6 @@ int main() {
   std::cout << "Seller dataset: " << world.database->TotalRows()
             << " rows across " << world.database->num_tables() << " tables\n";
 
-  // Buyers arrive with queries (and private valuations, which the broker
-  // learned through market research).
   struct Buyer {
     const char* sql;
     double valuation;
@@ -44,44 +41,75 @@ int main() {
       {"select distinct GovernmentForm from Country", 6.0},
   };
 
-  std::vector<db::BoundQuery> queries;
-  core::Valuations valuations;
-  for (const Buyer& buyer : buyers) {
-    auto q = db::ParseQuery(buyer.sql, *world.database);
+  auto parse = [&](const char* sql) {
+    auto q = db::ParseQuery(sql, *world.database);
     QP_CHECK_OK(q.status());
-    queries.push_back(*q);
-    valuations.push_back(buyer.valuation);
-  }
+    return *q;
+  };
 
-  // Qirana-style support set: 2000 neighboring databases.
+  // Qirana-style support set: 2000 neighboring databases; the engine owns
+  // the market end-to-end from here.
   Rng rng(7);
   auto support = market::GenerateSupport(
       *world.database, {.size = 2000, .max_retries = 32}, rng);
   QP_CHECK_OK(support.status());
+  serve::PricingEngine engine(world.database.get(), *support, {});
 
-  market::BuildResult built =
-      market::BuildHypergraph(*world.database, queries, *support);
-  std::cout << "Hypergraph: " << built.hypergraph.StatsString() << " (built in "
-            << StrFormat("%.2f", built.seconds) << "s)\n\n";
+  // Act 1: the initial buyer cohort arrives; the broker prices the market
+  // and posts a price book.
+  std::vector<db::BoundQuery> queries;
+  core::Valuations valuations;
+  for (const Buyer& buyer : buyers) {
+    queries.push_back(parse(buyer.sql));
+    valuations.push_back(buyer.valuation);
+  }
+  QP_CHECK_OK(engine.AppendBuyers(queries, valuations));
+  auto book = engine.snapshot();
+  std::cout << "Hypergraph: " << engine.hypergraph().StatsString()
+            << "\nPrice book v" << book->version() << " serves "
+            << book->best().algorithm << " (book revenue "
+            << StrFormat("%.2f", book->best().revenue) << ")\n\n";
 
-  // Price with LPIP (the paper's consistently best algorithm).
-  core::PricingResult pricing =
-      core::RunLpip(built.hypergraph, valuations, {.max_candidates = 32});
-
+  // Act 2: the same buyers purchase at posted prices.
   TablePrinter table({"buyer query", "valuation", "price", "sold"});
-  double revenue = 0.0;
   for (size_t i = 0; i < buyers.size(); ++i) {
-    double price = pricing.pricing->Price(built.hypergraph.edge(i));
-    bool sold = price <= valuations[i] + core::kSellTolerance;
-    if (sold) revenue += price;
+    serve::PurchaseOutcome outcome =
+        engine.Purchase(queries[i], buyers[i].valuation);
     std::string sql = buyers[i].sql;
     if (sql.size() > 48) sql = sql.substr(0, 45) + "...";
-    table.AddRow({sql, StrFormat("%.2f", valuations[i]),
-                  StrFormat("%.2f", price), sold ? "yes" : "no"});
+    table.AddRow({sql, StrFormat("%.2f", buyers[i].valuation),
+                  StrFormat("%.2f", outcome.quote.price),
+                  outcome.accepted ? "yes" : "no"});
   }
   table.Print(std::cout);
-  std::cout << "\nBroker revenue: " << StrFormat("%.2f", revenue) << " / "
-            << StrFormat("%.2f", core::SumOfValuations(valuations))
-            << " (sum of valuations)\n";
+  serve::EngineStats stats = engine.stats();
+  std::cout << "\nBroker revenue: " << StrFormat("%.2f", stats.sale_revenue)
+            << " / " << StrFormat("%.2f", core::SumOfValuations(valuations))
+            << " (sum of valuations), " << stats.purchases_accepted << "/"
+            << stats.purchases << " sales\n\n";
+
+  // Act 3: the market evolves — two bargain hunters arrive, and the
+  // broker repricing incrementally reuses most of the solved book.
+  std::vector<db::BoundQuery> late = {
+      parse("select distinct Continent from Country"),
+      parse("select Name from City where Population > 5000000"),
+  };
+  QP_CHECK_OK(engine.AppendBuyers(late, {2.0, 3.5}));
+  book = engine.snapshot();
+  stats = engine.stats();
+  std::cout << "Two late buyers arrive -> price book v" << book->version()
+            << " republished in "
+            << StrFormat("%.1f ms", 1e3 * stats.last_reprice.seconds) << ": "
+            << stats.last_reprice.lpip_reused << "/"
+            << stats.last_reprice.lpip_candidates
+            << " LPIP thresholds reused, " << stats.last_reprice.lps_solved
+            << " LPs solved\n";
+  for (size_t i = 0; i < late.size(); ++i) {
+    serve::Quote quote = engine.QuoteBundle(
+        engine.hypergraph().edge(static_cast<int>(queries.size() + i)));
+    std::cout << "  late buyer " << i + 1 << " quoted "
+              << StrFormat("%.2f", quote.price) << " (book v" << quote.version
+              << ", " << quote.algorithm << ")\n";
+  }
   return 0;
 }

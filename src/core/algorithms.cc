@@ -88,11 +88,20 @@ std::vector<PricingResult> RunAllAlgorithms(const Hypergraph& hypergraph,
   }
   AlgorithmOptions resolved = WithShared(options, shared);
 
+  return AssembleAllResults(hypergraph, v,
+                            RunLpip(hypergraph, v, resolved.lpip),
+                            RunCip(hypergraph, v, resolved.cip));
+}
+
+std::vector<PricingResult> AssembleAllResults(const Hypergraph& hypergraph,
+                                              const Valuations& v,
+                                              PricingResult lpip,
+                                              PricingResult cip) {
   std::vector<PricingResult> results;
   results.push_back(RunUbp(hypergraph, v));
   results.push_back(RunUip(hypergraph, v));
-  results.push_back(RunLpip(hypergraph, v, resolved.lpip));
-  results.push_back(RunCip(hypergraph, v, resolved.cip));
+  results.push_back(std::move(lpip));
+  results.push_back(std::move(cip));
   results.push_back(RunLayering(hypergraph, v));
   const auto* lpip_pricing =
       static_cast<const ItemPricing*>(results[2].pricing.get());

@@ -33,6 +33,20 @@ struct PricingResult {
   PricingResult() = default;
   PricingResult(PricingResult&&) = default;
   PricingResult& operator=(PricingResult&&) = default;
+
+  /// Deep copy via PricingFunction::Clone, so long-lived holders (the
+  /// serving engine's snapshots, result caches) can retain a result
+  /// without moving it out of caller state. Copy construction stays
+  /// deleted to keep accidental deep copies explicit.
+  PricingResult Clone() const {
+    PricingResult out;
+    out.algorithm = algorithm;
+    out.pricing = pricing ? pricing->Clone() : nullptr;
+    out.revenue = revenue;
+    out.seconds = seconds;
+    out.lps_solved = lps_solved;
+    return out;
+  }
 };
 
 /// UBP: sort bundles by valuation, sweep the uniform price (Section 5.1).
@@ -145,6 +159,16 @@ AlgorithmOptions WithShared(const AlgorithmOptions& options,
 std::vector<PricingResult> RunAllAlgorithms(const Hypergraph& hypergraph,
                                             const Valuations& v,
                                             const AlgorithmOptions& options = {});
+
+/// Assembles the canonical all-algorithms result vector around pre-solved
+/// LPIP and CIP results: UBP, UIP, LPIP, CIP, Layering, then XOS built
+/// from the two components. RunAllAlgorithms and the incremental reprice
+/// path (core/reprice.h) both go through this, so the result order — the
+/// contract every consumer indexes by — lives in exactly one place.
+std::vector<PricingResult> AssembleAllResults(const Hypergraph& hypergraph,
+                                              const Valuations& v,
+                                              PricingResult lpip,
+                                              PricingResult cip);
 
 /// Post-processing step from Section 6.3: given the best uniform bundle
 /// price, solve an LP that maximizes item-pricing revenue subject to

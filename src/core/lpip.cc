@@ -6,6 +6,7 @@
 #include "common/thread_pool.h"
 #include "core/algorithms.h"
 #include "core/class_util.h"
+#include "core/lpip_sweep.h"
 #include "lp/lp_model.h"
 #include "lp/simplex.h"
 
@@ -53,12 +54,38 @@ const ItemClasses& ResolveClasses(const Hypergraph& hypergraph,
   return storage;
 }
 
-// LPIP (Section 5.2): for each candidate threshold edge e, solve
-//   maximize   sum_{e' in F_e} price(e')
-//   subject to price(e') <= v_{e'}  for every e' in F_e,   weights >= 0
-// where F_e = { e' : v_{e'} >= v_e }, and keep the best item pricing by
-// realized revenue. Weights of items outside F_e's edges are set to 0,
-// which weakly dominates any other choice (extra sales only add revenue).
+std::vector<int> LpipCandidatePositions(const Valuations& v,
+                                        const std::vector<int>& order,
+                                        int max_candidates) {
+  const int m = static_cast<int>(order.size());
+  // Candidate thresholds: the last index of every run of equal valuations
+  // (ties produce identical F sets).
+  std::vector<int> candidates;
+  for (int i = 0; i < m; ++i) {
+    if (i + 1 == m || v[order[i + 1]] < v[order[i]]) candidates.push_back(i);
+  }
+  if (max_candidates > 1 &&
+      static_cast<int>(candidates.size()) > max_candidates) {
+    std::vector<int> sampled;
+    int want = max_candidates;
+    for (int s = 0; s < want; ++s) {
+      size_t idx = static_cast<size_t>(
+          (static_cast<double>(s) / (want - 1)) * (candidates.size() - 1));
+      sampled.push_back(candidates[idx]);
+    }
+    sampled.erase(std::unique(sampled.begin(), sampled.end()), sampled.end());
+    candidates.swap(sampled);
+  }
+  return candidates;
+}
+
+// The LPIP chain sweep (Section 5.2): for each candidate threshold
+// position p, solve
+//   maximize   sum_{e' in F_p} price(e')
+//   subject to price(e') <= v_{e'}  for every e' in F_p,   weights >= 0
+// where F_p = { order[0..p] }, and keep the best item pricing by realized
+// revenue. Weights of items outside F_p's edges are set to 0, which
+// weakly dominates any other choice (extra sales only add revenue).
 //
 // The threshold families are nested (F grows as the cutoff descends), so
 // candidates are processed in chains that reuse one LpModel and
@@ -71,52 +98,24 @@ const ItemClasses& ResolveClasses(const Hypergraph& hypergraph,
 // optimum primal feasible, so every resolve is a phase-2 reoptimization
 // from a basis that is already mostly right (the exported basis header
 // keeps each surviving row's basic column).
-//
-// Chains are fixed-size slices of the candidate list and run on the
-// thread pool; the partition and the reduction order depend only on the
-// candidate list — never on num_threads — so prices are bit-identical
-// for every thread count.
-PricingResult RunLpip(const Hypergraph& hypergraph, const Valuations& v,
-                      const LpipOptions& options) {
+PricingResult RunLpipSweep(const Hypergraph& hypergraph, const Valuations& v,
+                           const ItemClasses& classes,
+                           const std::vector<int>& order,
+                           const std::vector<int>& positions,
+                           const LpipOptions& options,
+                           LpipSweepCapture* capture) {
   Stopwatch timer;
   PricingResult result;
   result.algorithm = "LPIP";
 
-  ItemClasses storage;
-  const ItemClasses& classes = ResolveClasses(
-      hypergraph, options.classes, options.use_compression, storage);
-
-  const int m = hypergraph.num_edges();
-  std::vector<int> local_order;
-  if (options.sorted_order == nullptr) {
-    local_order = OrderByDescendingValuation(v);
-  }
-  const std::vector<int>& order =
-      options.sorted_order ? *options.sorted_order : local_order;
-
-  // Candidate thresholds: the last index of every run of equal valuations
-  // (ties produce identical F sets).
-  std::vector<int> candidates;
-  for (int i = 0; i < m; ++i) {
-    if (i + 1 == m || v[order[i + 1]] < v[order[i]]) candidates.push_back(i);
-  }
-  if (options.max_candidates > 1 &&
-      static_cast<int>(candidates.size()) > options.max_candidates) {
-    std::vector<int> sampled;
-    int want = options.max_candidates;
-    for (int s = 0; s < want; ++s) {
-      size_t idx = static_cast<size_t>(
-          (static_cast<double>(s) / (want - 1)) * (candidates.size() - 1));
-      sampled.push_back(candidates[idx]);
-    }
-    sampled.erase(std::unique(sampled.begin(), sampled.end()), sampled.end());
-    candidates.swap(sampled);
-  }
-
-  const int num_candidates = static_cast<int>(candidates.size());
+  const int num_candidates = static_cast<int>(positions.size());
   const int chain_length = std::max(1, options.chain_length);
   const int num_chains = (num_candidates + chain_length - 1) / chain_length;
   std::vector<ChainResult> chains(std::max(num_chains, 0));
+  if (capture != nullptr) {
+    capture->item_weights.assign(static_cast<size_t>(num_candidates), {});
+    capture->revenues.assign(static_cast<size_t>(num_candidates), 0.0);
+  }
 
   common::ThreadPool pool(options.num_threads);
   pool.ParallelFor(num_chains, [&](int ci) {
@@ -173,6 +172,10 @@ PricingResult RunLpip(const Hypergraph& hypergraph, const Valuations& v,
       std::vector<double> weights =
           classes.ExpandClassWeights(class_weights, hypergraph.num_items());
       double revenue = Revenue(ItemPricing(weights), hypergraph, v);
+      if (capture != nullptr) {
+        capture->item_weights[candidate_index] = weights;
+        capture->revenues[candidate_index] = revenue;
+      }
       // "Earliest candidate wins ties", in either sweep direction: the
       // ascending sweep takes strictly-greater, the descending one takes
       // greater-or-equal (so an equal, earlier candidate overwrites).
@@ -193,13 +196,13 @@ PricingResult RunLpip(const Hypergraph& hypergraph, const Valuations& v,
     // warm_start off every candidate is an independent cold solve of the
     // identical truncated model, i.e. the paper's original sweep.
     for (int c = begin; c < end; ++c) {
-      append_edges_up_to(candidates[c]);
+      append_edges_up_to(positions[c]);
       dims[c - begin] = {model.num_variables(), model.num_constraints()};
     }
     for (int c = end - 1; c >= begin; --c) {
       if (c < end - 1) {
         const auto [num_vars, num_rows] = dims[c - begin];
-        for (int i = candidates[c] + 1; i <= candidates[c + 1]; ++i) {
+        for (int i = positions[c] + 1; i <= positions[c + 1]; ++i) {
           for (uint32_t cls : classes.edge_classes[order[i]]) {
             int var = class_to_var[cls];
             obj_coeff[var] -= 1.0;
@@ -228,6 +231,28 @@ PricingResult RunLpip(const Hypergraph& hypergraph, const Valuations& v,
 
   result.pricing = std::make_unique<ItemPricing>(std::move(best_weights));
   result.revenue = Revenue(*result.pricing, hypergraph, v);
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+PricingResult RunLpip(const Hypergraph& hypergraph, const Valuations& v,
+                      const LpipOptions& options) {
+  Stopwatch timer;
+  ItemClasses storage;
+  const ItemClasses& classes = ResolveClasses(
+      hypergraph, options.classes, options.use_compression, storage);
+
+  std::vector<int> local_order;
+  if (options.sorted_order == nullptr) {
+    local_order = OrderByDescendingValuation(v);
+  }
+  const std::vector<int>& order =
+      options.sorted_order ? *options.sorted_order : local_order;
+
+  std::vector<int> positions =
+      LpipCandidatePositions(v, order, options.max_candidates);
+  PricingResult result = RunLpipSweep(hypergraph, v, classes, order,
+                                      positions, options, nullptr);
   result.seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -1,6 +1,6 @@
 #include "market/hypergraph_builder.h"
 
-#include "common/stopwatch.h"
+#include <utility>
 
 namespace qp::market {
 
@@ -8,20 +8,13 @@ BuildResult BuildHypergraph(db::Database& db,
                             const std::vector<db::BoundQuery>& queries,
                             const SupportSet& support,
                             const BuildOptions& options) {
-  Stopwatch timer;
+  IncrementalBuilder builder(&db, support, options);
+  builder.Append(queries);
   BuildResult result;
-  result.hypergraph = core::Hypergraph(static_cast<uint32_t>(support.size()));
-  result.conflict_sets.reserve(queries.size());
-  ConflictSetEngine engine(&db);
-  for (const db::BoundQuery& query : queries) {
-    std::vector<uint32_t> conflicts =
-        options.incremental ? engine.ConflictSet(query, support)
-                            : NaiveConflictSet(db, query, support);
-    result.hypergraph.AddEdge(conflicts);
-    result.conflict_sets.push_back(std::move(conflicts));
-  }
-  result.stats = engine.stats();
-  result.seconds = timer.ElapsedSeconds();
+  result.hypergraph = std::move(builder.mutable_hypergraph());
+  result.conflict_sets = std::move(builder.mutable_conflict_sets());
+  result.stats = builder.stats();
+  result.seconds = builder.seconds();
   return result;
 }
 

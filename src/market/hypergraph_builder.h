@@ -1,4 +1,8 @@
 // Queries + support set -> pricing hypergraph (paper Section 3.3).
+//
+// One-shot convenience over market::IncrementalBuilder — batch drivers
+// and tests that never grow the market keep this entry point; anything
+// long-lived (the serving engine) holds an IncrementalBuilder instead.
 #ifndef QP_MARKET_HYPERGRAPH_BUILDER_H_
 #define QP_MARKET_HYPERGRAPH_BUILDER_H_
 
@@ -8,15 +12,10 @@
 #include "db/database.h"
 #include "db/query.h"
 #include "market/conflict.h"
+#include "market/incremental_builder.h"
 #include "market/support.h"
 
 namespace qp::market {
-
-struct BuildOptions {
-  /// Use the incremental conflict engine (false = naive re-evaluation;
-  /// the equivalence is tested, the naive path is for oracles/debugging).
-  bool incremental = true;
-};
 
 struct BuildResult {
   core::Hypergraph hypergraph{0};

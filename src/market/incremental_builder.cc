@@ -1,0 +1,36 @@
+#include "market/incremental_builder.h"
+
+#include <utility>
+
+#include "common/stopwatch.h"
+
+namespace qp::market {
+
+IncrementalBuilder::IncrementalBuilder(db::Database* db, SupportSet support,
+                                       const BuildOptions& options)
+    : db_(db),
+      support_(std::move(support)),
+      options_(options),
+      engine_(db),
+      hypergraph_(static_cast<uint32_t>(support_.size())) {}
+
+int IncrementalBuilder::Append(const std::vector<db::BoundQuery>& queries) {
+  Stopwatch timer;
+  const int first = hypergraph_.num_edges();
+  conflict_sets_.reserve(conflict_sets_.size() + queries.size());
+  for (const db::BoundQuery& query : queries) {
+    std::vector<uint32_t> conflicts = ConflictSetFor(query);
+    hypergraph_.AddEdge(conflicts);
+    conflict_sets_.push_back(std::move(conflicts));
+  }
+  seconds_ += timer.ElapsedSeconds();
+  return first;
+}
+
+std::vector<uint32_t> IncrementalBuilder::ConflictSetFor(
+    const db::BoundQuery& query) {
+  return options_.incremental ? engine_.ConflictSet(query, support_)
+                              : NaiveConflictSet(*db_, query, support_);
+}
+
+}  // namespace qp::market

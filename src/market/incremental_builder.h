@@ -1,0 +1,75 @@
+// Incremental hypergraph construction for a long-lived market.
+//
+// The one-shot BuildHypergraph computes every query's conflict set and
+// throws the builder state away; a serving broker instead sees queries
+// *arrive* while the support set stays fixed. IncrementalBuilder owns the
+// growing hypergraph (items = support deltas) and extends it with the
+// conflict sets of newly arrived queries — the incidence index and any
+// refined ItemClasses extend by delta (core-side), never rebuild.
+// BuildHypergraph is now a thin wrapper over one Append call.
+#ifndef QP_MARKET_INCREMENTAL_BUILDER_H_
+#define QP_MARKET_INCREMENTAL_BUILDER_H_
+
+#include <vector>
+
+#include "core/hypergraph.h"
+#include "db/database.h"
+#include "db/query.h"
+#include "market/conflict.h"
+#include "market/support.h"
+
+namespace qp::market {
+
+struct BuildOptions {
+  /// Use the incremental conflict engine (false = naive re-evaluation;
+  /// the equivalence is tested, the naive path is for oracles/debugging).
+  bool incremental = true;
+};
+
+class IncrementalBuilder {
+ public:
+  /// The database must outlive the builder. Conflict probing applies and
+  /// reverts support deltas on `db` in place, so concurrent Append /
+  /// ConflictSetFor calls must be serialized by the caller (the engine
+  /// holds its writer lock).
+  IncrementalBuilder(db::Database* db, SupportSet support,
+                     const BuildOptions& options = {});
+
+  /// Computes the conflict sets of `queries` and appends one edge each.
+  /// Returns the index of the first appended edge.
+  int Append(const std::vector<db::BoundQuery>& queries);
+
+  /// Conflict set of a query *without* appending an edge — the engine's
+  /// Purchase path prices exactly the bundle the buyer would receive.
+  std::vector<uint32_t> ConflictSetFor(const db::BoundQuery& query);
+
+  const core::Hypergraph& hypergraph() const { return hypergraph_; }
+  /// Mutable access for callers that move the built state out (the
+  /// one-shot BuildHypergraph wrapper); the builder must not be used for
+  /// further appends afterwards.
+  core::Hypergraph& mutable_hypergraph() { return hypergraph_; }
+  std::vector<std::vector<uint32_t>>& mutable_conflict_sets() {
+    return conflict_sets_;
+  }
+  const SupportSet& support() const { return support_; }
+  /// Per appended query, in arrival order: its conflict set (= its edge).
+  const std::vector<std::vector<uint32_t>>& conflict_sets() const {
+    return conflict_sets_;
+  }
+  /// Cumulative wall-clock seconds spent computing conflict sets.
+  double seconds() const { return seconds_; }
+  const ConflictSetEngine::Stats& stats() const { return engine_.stats(); }
+
+ private:
+  db::Database* db_;
+  SupportSet support_;
+  BuildOptions options_;
+  ConflictSetEngine engine_;
+  core::Hypergraph hypergraph_;
+  std::vector<std::vector<uint32_t>> conflict_sets_;
+  double seconds_ = 0.0;
+};
+
+}  // namespace qp::market
+
+#endif  // QP_MARKET_INCREMENTAL_BUILDER_H_

@@ -1,0 +1,93 @@
+// Immutable price-book snapshots (the read side of the serving engine).
+//
+// A snapshot freezes one pricing generation: every algorithm's
+// PricingResult (deep-copied, so the writer keeps its own working set),
+// the generation number, and the reprice cost that produced it. The
+// engine publishes snapshots behind an atomic shared_ptr swap; readers
+// hold a shared_ptr for as long as they price against it, so a buyer who
+// grabbed generation g keeps getting generation-g prices even while the
+// writer publishes g+1 — the classic RCU shape, with shared_ptr reference
+// counts standing in for the grace period.
+#ifndef QP_SERVE_PRICE_BOOK_H_
+#define QP_SERVE_PRICE_BOOK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "core/reprice.h"
+
+namespace qp::serve {
+
+/// One priced answer, stamped with the generation that produced it.
+struct Quote {
+  double price = 0.0;
+  uint64_t version = 0;
+  std::string algorithm;  // which pricing served this quote
+};
+
+class PriceBookSnapshot {
+ public:
+  /// Deep-copies `results` (PricingResult::Clone) so the caller — the
+  /// engine's writer, a bench harness — retains its own results.
+  PriceBookSnapshot(uint64_t version,
+                    const std::vector<core::PricingResult>& results,
+                    const core::RepriceStats& reprice_stats,
+                    uint32_t num_items, int num_edges)
+      : version_(version),
+        num_items_(num_items),
+        num_edges_(num_edges),
+        reprice_stats_(reprice_stats) {
+    results_.reserve(results.size());
+    for (const core::PricingResult& r : results) results_.push_back(r.Clone());
+    for (size_t i = 0; i < results_.size(); ++i) {
+      if (best_ < 0 ||
+          results_[i].revenue > results_[static_cast<size_t>(best_)].revenue) {
+        best_ = static_cast<int>(i);
+      }
+    }
+  }
+
+  uint64_t version() const { return version_; }
+  uint32_t num_items() const { return num_items_; }
+  int num_edges() const { return num_edges_; }
+  /// What the generation cost (lps solved, thresholds reused, seconds).
+  const core::RepriceStats& reprice_stats() const { return reprice_stats_; }
+
+  const std::vector<core::PricingResult>& results() const { return results_; }
+
+  /// Result of a named algorithm ("LPIP", "XOS", ...); nullptr if absent.
+  const core::PricingResult* Find(const std::string& algorithm) const {
+    for (const core::PricingResult& r : results_) {
+      if (r.algorithm == algorithm) return &r;
+    }
+    return nullptr;
+  }
+
+  /// The revenue-maximal result (first wins ties, in RunAllAlgorithms
+  /// order); never null for a snapshot published by the engine.
+  const core::PricingResult& best() const {
+    return results_[static_cast<size_t>(best_ < 0 ? 0 : best_)];
+  }
+
+  /// Price of an arbitrary bundle of items under the serving (= best)
+  /// pricing. Const, touches only immutable state: safe from any thread.
+  Quote QuoteBundle(const std::vector<uint32_t>& bundle) const {
+    const core::PricingResult& serving = best();
+    return Quote{serving.pricing->Price(bundle), version_, serving.algorithm};
+  }
+
+ private:
+  uint64_t version_;
+  uint32_t num_items_;
+  int num_edges_;
+  core::RepriceStats reprice_stats_;
+  std::vector<core::PricingResult> results_;
+  int best_ = -1;
+};
+
+}  // namespace qp::serve
+
+#endif  // QP_SERVE_PRICE_BOOK_H_

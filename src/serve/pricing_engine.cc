@@ -1,0 +1,97 @@
+#include "serve/pricing_engine.h"
+
+#include <utility>
+
+namespace qp::serve {
+
+PricingEngine::PricingEngine(db::Database* db, market::SupportSet support,
+                             EngineOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      builder_(db, std::move(support), options_.build) {
+  // Never let the algorithm layer see stale caller-side precompute: the
+  // reprice state owns classes and valuation order for this instance.
+  options_.algorithms.lpip.classes = nullptr;
+  options_.algorithms.cip.classes = nullptr;
+  options_.algorithms.sorted_order = nullptr;
+  options_.algorithms.lpip.sorted_order = nullptr;
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  RepriceAndPublish(/*first_new_edge=*/0);
+}
+
+Status PricingEngine::AppendBuyers(const std::vector<db::BoundQuery>& queries,
+                                   const core::Valuations& valuations) {
+  if (queries.size() != valuations.size()) {
+    return Status::InvalidArgument(
+        "AppendBuyers: one valuation per query required");
+  }
+  if (queries.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  int first_new_edge = builder_.Append(queries);
+  valuations_.insert(valuations_.end(), valuations.begin(), valuations.end());
+  RepriceAndPublish(first_new_edge);
+  return Status::OK();
+}
+
+void PricingEngine::RepriceAndPublish(int first_new_edge) {
+  const core::Hypergraph& hypergraph = builder_.hypergraph();
+  std::vector<core::PricingResult> results;
+  if (options_.incremental_reprice && reprice_.seeded()) {
+    results = core::RepriceAfterAppend(hypergraph, valuations_, first_new_edge,
+                                       options_.algorithms, reprice_);
+  } else {
+    results = core::SolveAllWithState(hypergraph, valuations_,
+                                      options_.algorithms, reprice_);
+  }
+  total_lps_solved_ += reprice_.last.lps_solved;
+  ++version_;
+  auto next = std::make_shared<const PriceBookSnapshot>(
+      version_, results, reprice_.last, hypergraph.num_items(),
+      hypergraph.num_edges());
+  snapshot_.store(std::move(next), std::memory_order_release);
+}
+
+Quote PricingEngine::QuoteBundle(const std::vector<uint32_t>& bundle) const {
+  std::shared_ptr<const PriceBookSnapshot> book =
+      snapshot_.load(std::memory_order_acquire);
+  quotes_served_.fetch_add(1, std::memory_order_relaxed);
+  return book->QuoteBundle(bundle);
+}
+
+PurchaseOutcome PricingEngine::Purchase(const db::BoundQuery& query,
+                                        double valuation) {
+  PurchaseOutcome outcome;
+  outcome.valuation = valuation;
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  outcome.bundle = builder_.ConflictSetFor(query);
+  std::shared_ptr<const PriceBookSnapshot> book =
+      snapshot_.load(std::memory_order_acquire);
+  outcome.quote = book->QuoteBundle(outcome.bundle);
+  quotes_served_.fetch_add(1, std::memory_order_relaxed);
+  outcome.accepted = outcome.quote.price <= valuation + core::kSellTolerance;
+  ++purchases_;
+  if (outcome.accepted) {
+    ++purchases_accepted_;
+    sale_revenue_ += outcome.quote.price;
+  }
+  return outcome;
+}
+
+EngineStats PricingEngine::stats() const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  EngineStats out;
+  out.version = version_;
+  out.num_items = builder_.hypergraph().num_items();
+  out.num_edges = builder_.hypergraph().num_edges();
+  out.quotes_served = quotes_served_.load(std::memory_order_relaxed);
+  out.purchases = purchases_;
+  out.purchases_accepted = purchases_accepted_;
+  out.sale_revenue = sale_revenue_;
+  out.total_lps_solved = total_lps_solved_;
+  out.last_reprice = reprice_.last;
+  out.build_seconds = builder_.seconds();
+  out.incidence = builder_.hypergraph().incidence_maintenance();
+  return out;
+}
+
+}  // namespace qp::serve

@@ -1,0 +1,148 @@
+// Stateful pricing engine: the broker as a long-lived service.
+//
+// The engine owns one market instance end-to-end — the seller's database
+// (borrowed), the support set, the growing conflict-set hypergraph, buyer
+// valuations, and the solved price book — and splits its API along the
+// single-writer / many-readers seam:
+//
+//  * Readers (any thread, lock-free): snapshot() atomically loads the
+//    current immutable PriceBookSnapshot; QuoteBundle prices against it.
+//    Readers pin the generation they loaded via shared_ptr, so a
+//    concurrent publish never invalidates prices mid-quote.
+//  * The writer (serialized on an internal mutex): AppendBuyers extends
+//    the hypergraph through market::IncrementalBuilder, repriced either
+//    incrementally (core::RepriceAfterAppend — refined classes, reused
+//    LPIP thresholds, warm-started CIP bases) or from scratch, then
+//    publishes a fresh snapshot with one atomic swap. Purchase also
+//    serializes, because probing a query's conflict set applies/reverts
+//    support deltas on the shared database in place.
+//
+// This is the architectural seam later scaling work builds on: sharding
+// replicates engines per support partition, batching coalesces
+// AppendBuyers calls, and multi-instance serving load-balances the
+// read side — none of which touch the algorithm layers again.
+#ifndef QP_SERVE_PRICING_ENGINE_H_
+#define QP_SERVE_PRICING_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "core/algorithms.h"
+#include "core/hypergraph.h"
+#include "core/reprice.h"
+#include "db/database.h"
+#include "db/query.h"
+#include "market/incremental_builder.h"
+#include "market/support.h"
+#include "serve/price_book.h"
+
+namespace qp::serve {
+
+struct EngineOptions {
+  /// Forwarded to the pricing layer. classes / sorted_order fields are
+  /// ignored (the reprice state owns the shared precompute).
+  core::AlgorithmOptions algorithms;
+  /// Conflict-set engine selection for hypergraph construction.
+  market::BuildOptions build;
+  /// false = every AppendBuyers runs a full cold solve (the baseline the
+  /// engine_throughput bench compares against).
+  bool incremental_reprice = true;
+};
+
+/// Outcome of a posted-price interaction: the buyer saw `quote` for the
+/// conflict set `bundle` and accepted iff price <= valuation (+ the
+/// global sell tolerance).
+struct PurchaseOutcome {
+  Quote quote;
+  bool accepted = false;
+  double valuation = 0.0;
+  std::vector<uint32_t> bundle;
+};
+
+struct EngineStats {
+  uint64_t version = 0;
+  uint32_t num_items = 0;
+  int num_edges = 0;
+  uint64_t quotes_served = 0;
+  uint64_t purchases = 0;
+  uint64_t purchases_accepted = 0;
+  double sale_revenue = 0.0;
+  /// Cumulative LPs across all generations, and the last generation's
+  /// detailed reprice accounting.
+  int total_lps_solved = 0;
+  core::RepriceStats last_reprice;
+  /// Cumulative conflict-set computation seconds (hypergraph build).
+  double build_seconds = 0.0;
+  core::Hypergraph::IncidenceMaintenance incidence;
+};
+
+class PricingEngine {
+ public:
+  /// `db` must outlive the engine; the engine applies and reverts support
+  /// deltas on it while probing conflict sets (always restored). The
+  /// constructor publishes an empty generation-1 book so readers can
+  /// quote immediately.
+  PricingEngine(db::Database* db, market::SupportSet support,
+                EngineOptions options = {});
+
+  /// Writer path: appends one edge (conflict set) + valuation per buyer
+  /// query, reprices, and atomically publishes the next snapshot.
+  /// Serialized internally; safe to call while readers quote.
+  Status AppendBuyers(const std::vector<db::BoundQuery>& queries,
+                      const core::Valuations& valuations);
+
+  /// Current book; lock-free. Hold the returned pointer to keep pricing
+  /// against one consistent generation.
+  std::shared_ptr<const PriceBookSnapshot> snapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
+  /// Price an explicit bundle of items (support-delta indices) against
+  /// the current book; lock-free.
+  Quote QuoteBundle(const std::vector<uint32_t>& bundle) const;
+
+  /// Posted-price interaction for a buyer query: computes its conflict
+  /// set (serialized — the probe mutates the shared database in place),
+  /// quotes it, and records the sale if the buyer accepts. Does *not*
+  /// grow the market; feed accepted buyers to AppendBuyers when their
+  /// valuations should shape future prices.
+  PurchaseOutcome Purchase(const db::BoundQuery& query, double valuation);
+
+  EngineStats stats() const;
+
+  /// Writer-side views; do not call concurrently with AppendBuyers.
+  const core::Hypergraph& hypergraph() const {
+    return builder_.hypergraph();
+  }
+  const core::Valuations& valuations() const { return valuations_; }
+  const core::RepriceState& reprice_state() const { return reprice_; }
+
+ private:
+  /// Reprices [first_new_edge, num_edges) and publishes. Caller holds
+  /// writer_mutex_.
+  void RepriceAndPublish(int first_new_edge);
+
+  db::Database* db_;
+  EngineOptions options_;
+
+  mutable std::mutex writer_mutex_;
+  market::IncrementalBuilder builder_;
+  core::Valuations valuations_;
+  core::RepriceState reprice_;
+  uint64_t version_ = 0;
+  int total_lps_solved_ = 0;
+  uint64_t purchases_ = 0;
+  uint64_t purchases_accepted_ = 0;
+  double sale_revenue_ = 0.0;
+
+  std::atomic<std::shared_ptr<const PriceBookSnapshot>> snapshot_;
+  mutable std::atomic<uint64_t> quotes_served_{0};
+};
+
+}  // namespace qp::serve
+
+#endif  // QP_SERVE_PRICING_ENGINE_H_

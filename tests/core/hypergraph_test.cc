@@ -1,6 +1,11 @@
 #include "core/hypergraph.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/testing/random_instances.h"
 
 namespace qp::core {
 namespace {
@@ -109,6 +114,124 @@ TEST(ItemClassesTest, ExpandClassWeightsSplitsEvenly) {
   EXPECT_DOUBLE_EQ(weights[2], 5.0);
   EXPECT_DOUBLE_EQ(weights[3], 0.0);
   // Edge prices are preserved: edge {0,1} costs 6, edge {0,1,2} costs 11.
+}
+
+TEST(HypergraphTest, IncidenceMergesAppendedEdges) {
+  Hypergraph h(5);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2, 3});
+  const ItemIncidence& first = h.incidence();  // cold build
+  EXPECT_EQ(first.degree(1), 2);
+  EXPECT_EQ(h.incidence_maintenance().full_builds, 1);
+
+  h.AddEdge({0, 3});
+  h.AddEdge({});
+  h.AddEdge({2, 4});
+  const ItemIncidence& merged = h.incidence();  // merge, not rebuild
+  EXPECT_EQ(h.incidence_maintenance().full_builds, 1);
+  EXPECT_EQ(h.incidence_maintenance().merges, 1);
+
+  // The merged index must equal a from-scratch build of the same graph.
+  Hypergraph fresh(5);
+  for (int e = 0; e < h.num_edges(); ++e) fresh.AddEdge(h.edge(e));
+  const ItemIncidence& rebuilt = fresh.incidence();
+  EXPECT_EQ(merged.start, rebuilt.start);
+  EXPECT_EQ(merged.edge, rebuilt.edge);
+  // And within every item, edge ids stay ascending.
+  for (uint32_t j = 0; j < 5; ++j) {
+    EXPECT_TRUE(std::is_sorted(merged.begin(j), merged.end(j))) << j;
+  }
+}
+
+TEST(HypergraphTest, IncidenceMergeIsRepeatable) {
+  Rng rng(77);
+  Hypergraph h = qp::testing::RandomHypergraph(rng, 20, 15, 5);
+  h.incidence();
+  for (int round = 0; round < 3; ++round) {
+    for (int t = 0; t < 4; ++t) {
+      std::vector<uint32_t> items;
+      int size = static_cast<int>(rng.UniformInt(0, 4));  // empties too
+      for (int s = 0; s < size; ++s) {
+        items.push_back(static_cast<uint32_t>(rng.UniformInt(0, 19)));
+      }
+      h.AddEdge(std::move(items));
+    }
+    const ItemIncidence& merged = h.incidence();
+    Hypergraph fresh(20);
+    for (int e = 0; e < h.num_edges(); ++e) fresh.AddEdge(h.edge(e));
+    const ItemIncidence& rebuilt = fresh.incidence();
+    ASSERT_EQ(merged.start, rebuilt.start) << "round " << round;
+    ASSERT_EQ(merged.edge, rebuilt.edge) << "round " << round;
+  }
+  EXPECT_EQ(h.incidence_maintenance().full_builds, 1);
+  EXPECT_EQ(h.incidence_maintenance().merges, 3);
+}
+
+void ExpectClassesEqual(const ItemClasses& a, const ItemClasses& b) {
+  EXPECT_EQ(a.class_of_item, b.class_of_item);
+  EXPECT_EQ(a.class_size, b.class_size);
+  EXPECT_EQ(a.class_rep, b.class_rep);
+  EXPECT_EQ(a.edge_classes, b.edge_classes);
+}
+
+TEST(ItemClassesTest, RefineMatchesComputeOnSplit) {
+  // Items 0 and 1 share every edge until a new edge separates them.
+  Hypergraph h(4);
+  h.AddEdge({0, 1});
+  h.AddEdge({0, 1, 2});
+  ItemClasses refined = ItemClasses::Compute(h);
+  ASSERT_EQ(refined.num_classes(), 2u);
+
+  int first_new = h.num_edges();
+  h.AddEdge({1, 3});  // splits {0,1}; first appearance of 3
+  refined.Refine(h, first_new);
+  ExpectClassesEqual(refined, ItemClasses::Compute(h));
+  EXPECT_EQ(refined.num_classes(), 4u);  // {0}, {1}, {2}, {3}
+}
+
+TEST(ItemClassesTest, RefineHandlesWholeClassAndEmptyEdges) {
+  Hypergraph h(5);
+  h.AddEdge({0, 1});
+  h.AddEdge({2, 3});
+  ItemClasses refined = ItemClasses::Compute(h);
+
+  int first_new = h.num_edges();
+  h.AddEdge({0, 1});  // whole class {0,1} extends, no split
+  h.AddEdge({});      // empty edge
+  refined.Refine(h, first_new);
+  ExpectClassesEqual(refined, ItemClasses::Compute(h));
+
+  first_new = h.num_edges();
+  h.AddEdge({});  // append of only empty edges
+  refined.Refine(h, first_new);
+  ExpectClassesEqual(refined, ItemClasses::Compute(h));
+}
+
+TEST(ItemClassesTest, RefineMatchesComputeOnRandomAppends) {
+  for (uint64_t seed : {1u, 8u, 31u}) {
+    Rng rng(seed);
+    Hypergraph h = qp::testing::RandomHypergraph(rng, 24, 20, 5);
+    ItemClasses refined = ItemClasses::Compute(h);
+    for (int round = 0; round < 4; ++round) {
+      int first_new = h.num_edges();
+      int extra = static_cast<int>(rng.UniformInt(1, 5));
+      for (int t = 0; t < extra; ++t) {
+        std::vector<uint32_t> items;
+        int size = static_cast<int>(rng.UniformInt(0, 5));
+        for (int s = 0; s < size; ++s) {
+          items.push_back(static_cast<uint32_t>(rng.UniformInt(0, 23)));
+        }
+        h.AddEdge(std::move(items));
+      }
+      refined.Refine(h, first_new);
+      ItemClasses fresh = ItemClasses::Compute(h);
+      ASSERT_EQ(refined.class_of_item, fresh.class_of_item)
+          << "seed " << seed << " round " << round;
+      ASSERT_EQ(refined.class_size, fresh.class_size);
+      ASSERT_EQ(refined.class_rep, fresh.class_rep);
+      ASSERT_EQ(refined.edge_classes, fresh.edge_classes);
+    }
+  }
 }
 
 TEST(ItemClassesTest, CompressionPreservesEdgePrices) {

@@ -1,6 +1,13 @@
 #include "core/pricing.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/algorithms.h"
+#include "lp/simplex.h"
+#include "tests/testing/random_instances.h"
 
 namespace qp::core {
 namespace {
@@ -85,6 +92,47 @@ TEST(RevenueTest, EdgePricesMatchesPricingFunction) {
   EXPECT_DOUBLE_EQ(prices[1], 3.0);
   EXPECT_DOUBLE_EQ(RevenueFromPrices(prices, {3.0, 3.0}), 6.0);
   EXPECT_DOUBLE_EQ(RevenueFromPrices(prices, {2.9, 3.0}), 3.0);
+}
+
+TEST(SellToleranceTest, SitsAboveTheSolverFeasibilityTolerance) {
+  // The contract documented at kSellTolerance: LP-derived prices respect
+  // p(e) <= v_e only up to the simplex feasibility tolerance, so the sell
+  // test must keep at least an order of magnitude of headroom over the
+  // solver default. This pins the two constants against each other so a
+  // future solver-tolerance change cannot silently break the "an LP
+  // constrained to sell e actually sells e" guarantee.
+  EXPECT_GE(kSellTolerance, 10.0 * lp::SimplexOptions{}.feasibility_tol);
+}
+
+TEST(SellToleranceTest, LpDerivedPricesStillSell) {
+  // End-to-end regression on the same contract: every edge inside the
+  // best LPIP threshold family is LP-constrained to sell; with the
+  // documented tolerance its realized price must pass the sell test, and
+  // the realized revenue can therefore never drop below the single best
+  // bundle sale (which the LP family always contains).
+  for (uint64_t seed : {2u, 19u, 53u}) {
+    Rng rng(seed);
+    Hypergraph h = qp::testing::RandomHypergraph(rng, 12, 18, 4);
+    Valuations v = qp::testing::RandomValuations(rng, 18, 1.0, 16.0);
+    PricingResult lpip = RunLpip(h, v);
+    ASSERT_NE(lpip.pricing, nullptr);
+    int sold = 0;
+    double sold_revenue = 0.0;
+    for (int e = 0; e < h.num_edges(); ++e) {
+      double price = lpip.pricing->Price(h.edge(e));
+      if (price <= v[e] + kSellTolerance) {
+        ++sold;
+        sold_revenue += price;
+      }
+    }
+    EXPECT_GT(sold, 0) << "seed " << seed;
+    // Revenue() must agree with an explicit sweep using kSellTolerance —
+    // the sell rule lives in exactly one place.
+    EXPECT_DOUBLE_EQ(lpip.revenue, sold_revenue) << "seed " << seed;
+    double best_single = 0.0;
+    for (double value : v) best_single = std::max(best_single, value);
+    EXPECT_GE(lpip.revenue + 1e-12, best_single) << "seed " << seed;
+  }
 }
 
 TEST(PricingCloneTest, ClonesAreIndependentAndEqual) {

@@ -1,0 +1,279 @@
+// PricingEngine acceptance tests: (a) concurrent quoting against
+// atomically swapped snapshots is safe while the writer republishes,
+// (b) incremental repricing after a buyer append matches a cold
+// RunAllAlgorithms on the grown instance within 1e-9, and (c) the
+// incremental path solves strictly fewer LPs than full recompute.
+#include "serve/pricing_engine.h"
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/algorithms.h"
+#include "db/parser.h"
+#include "market/support.h"
+#include "tests/testing/test_db.h"
+
+namespace qp::serve {
+namespace {
+
+struct Buyer {
+  const char* sql;
+  double valuation;
+};
+
+const std::vector<Buyer>& InitialBuyers() {
+  static const std::vector<Buyer> buyers = {
+      {"select * from Country", 90.0},
+      {"select Name from Country where Continent = 'Europe'", 12.0},
+      {"select count(*) from City", 6.0},
+      {"select max(Population) from Country", 8.0},
+      {"select CountryCode, sum(Population) from City group by CountryCode",
+       35.0},
+  };
+  return buyers;
+}
+
+// Late arrivals with valuations *below* every initial threshold, the
+// regime where LPIP's retained book answers most candidates.
+const std::vector<Buyer>& LateBuyers() {
+  static const std::vector<Buyer> buyers = {
+      {"select distinct Continent from Country", 1.5},
+      {"select Name from City where Population > 10000000", 2.5},
+      {"select min(LifeExpectancy) from Country", 0.75},
+  };
+  return buyers;
+}
+
+struct Market {
+  std::unique_ptr<db::Database> db;
+  market::SupportSet support;
+  std::vector<db::BoundQuery> initial_queries, late_queries;
+  core::Valuations initial_valuations, late_valuations;
+};
+
+Market MakeMarket(int support_size = 150) {
+  Market m;
+  m.db = db::testing::MakeTestDatabase();
+  Rng rng(7);
+  auto support = market::GenerateSupport(
+      *m.db, {.size = support_size, .max_retries = 32}, rng);
+  QP_CHECK_OK(support.status());
+  m.support = *support;
+  for (const Buyer& buyer : InitialBuyers()) {
+    auto q = db::ParseQuery(buyer.sql, *m.db);
+    QP_CHECK_OK(q.status());
+    m.initial_queries.push_back(*q);
+    m.initial_valuations.push_back(buyer.valuation);
+  }
+  for (const Buyer& buyer : LateBuyers()) {
+    auto q = db::ParseQuery(buyer.sql, *m.db);
+    QP_CHECK_OK(q.status());
+    m.late_queries.push_back(*q);
+    m.late_valuations.push_back(buyer.valuation);
+  }
+  return m;
+}
+
+// Replay-identical geometry: every LPIP threshold, solved standalone
+// (see core/reprice.h).
+EngineOptions MatchedOptions(bool incremental) {
+  EngineOptions options;
+  options.algorithms.lpip.max_candidates = 0;
+  options.algorithms.lpip.chain_length = 1;
+  options.incremental_reprice = incremental;
+  return options;
+}
+
+TEST(PricingEngineTest, PublishesBooksAndServesQuotes) {
+  Market m = MakeMarket();
+  PricingEngine engine(m.db.get(), m.support, MatchedOptions(true));
+
+  // The constructor publishes an (empty) generation so readers can quote
+  // immediately.
+  auto empty_book = engine.snapshot();
+  ASSERT_NE(empty_book, nullptr);
+  EXPECT_EQ(empty_book->version(), 1u);
+  EXPECT_EQ(empty_book->num_edges(), 0);
+  EXPECT_DOUBLE_EQ(engine.QuoteBundle({0, 1, 2}).price, 0.0);
+
+  QP_CHECK_OK(engine.AppendBuyers(m.initial_queries, m.initial_valuations));
+  auto book = engine.snapshot();
+  EXPECT_EQ(book->version(), 2u);
+  EXPECT_EQ(book->num_edges(), 5);
+  EXPECT_EQ(book->results().size(), 6u);
+  EXPECT_GT(book->best().revenue, 0.0);
+  EXPECT_NE(book->Find("LPIP"), nullptr);
+  EXPECT_EQ(book->Find("nope"), nullptr);
+
+  // A quote for a real conflict set carries the serving algorithm and the
+  // published generation.
+  Quote quote = engine.QuoteBundle(engine.hypergraph().edge(0));
+  EXPECT_EQ(quote.version, 2u);
+  EXPECT_EQ(quote.algorithm, book->best().algorithm);
+  EXPECT_GE(quote.price, 0.0);
+
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.version, 2u);
+  EXPECT_EQ(stats.num_edges, 5);
+  EXPECT_GE(stats.quotes_served, 2u);
+  EXPECT_GT(stats.total_lps_solved, 0);
+}
+
+TEST(PricingEngineTest, RepriceAfterAppendMatchesColdRunAllAlgorithms) {
+  Market m = MakeMarket();
+  PricingEngine engine(m.db.get(), m.support, MatchedOptions(true));
+  QP_CHECK_OK(engine.AppendBuyers(m.initial_queries, m.initial_valuations));
+  QP_CHECK_OK(engine.AppendBuyers(m.late_queries, m.late_valuations));
+
+  // Cold reference: RunAllAlgorithms from scratch on the grown instance
+  // under the same options.
+  core::AlgorithmOptions options = MatchedOptions(true).algorithms;
+  std::vector<core::PricingResult> cold = core::RunAllAlgorithms(
+      engine.hypergraph(), engine.valuations(), options);
+
+  auto book = engine.snapshot();
+  ASSERT_EQ(book->results().size(), cold.size());
+  for (size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(cold[i].algorithm, book->results()[i].algorithm);
+    EXPECT_NEAR(cold[i].revenue, book->results()[i].revenue,
+                1e-9 * (1.0 + std::abs(cold[i].revenue)))
+        << cold[i].algorithm;
+  }
+  // CIP replays the cold trajectory on bit-equal refined classes.
+  EXPECT_DOUBLE_EQ(cold[3].revenue, book->results()[3].revenue);
+}
+
+TEST(PricingEngineTest, IncrementalRepriceSolvesStrictlyFewerLps) {
+  Market m = MakeMarket();
+  PricingEngine incremental(m.db.get(), m.support, MatchedOptions(true));
+  PricingEngine full(m.db.get(), m.support, MatchedOptions(false));
+
+  QP_CHECK_OK(
+      incremental.AppendBuyers(m.initial_queries, m.initial_valuations));
+  QP_CHECK_OK(full.AppendBuyers(m.initial_queries, m.initial_valuations));
+  QP_CHECK_OK(incremental.AppendBuyers(m.late_queries, m.late_valuations));
+  QP_CHECK_OK(full.AppendBuyers(m.late_queries, m.late_valuations));
+
+  core::RepriceStats inc_stats = incremental.stats().last_reprice;
+  core::RepriceStats full_stats = full.stats().last_reprice;
+  EXPECT_LT(inc_stats.lps_solved, full_stats.lps_solved);
+  EXPECT_GT(inc_stats.lpip_reused, 0);
+  EXPECT_EQ(full_stats.lpip_reused, 0);
+
+  // Same books regardless of the path taken.
+  auto inc_book = incremental.snapshot();
+  auto full_book = full.snapshot();
+  for (size_t i = 0; i < inc_book->results().size(); ++i) {
+    EXPECT_NEAR(inc_book->results()[i].revenue, full_book->results()[i].revenue,
+                1e-9 * (1.0 + std::abs(full_book->results()[i].revenue)))
+        << inc_book->results()[i].algorithm;
+  }
+
+  // The appends took the incidence merge path, not full rebuilds.
+  EXPECT_GT(incremental.stats().incidence.merges, 0);
+}
+
+TEST(PricingEngineTest, PurchaseQuotesTheConflictSetAndRecordsSales) {
+  Market m = MakeMarket();
+  PricingEngine engine(m.db.get(), m.support, MatchedOptions(true));
+  QP_CHECK_OK(engine.AppendBuyers(m.initial_queries, m.initial_valuations));
+
+  db::BoundQuery query = m.late_queries[0];
+  PurchaseOutcome rich = engine.Purchase(query, 1e9);
+  EXPECT_TRUE(rich.accepted);
+  EXPECT_FALSE(rich.bundle.empty());
+  EXPECT_GE(rich.quote.price, 0.0);
+
+  PurchaseOutcome broke = engine.Purchase(query, -1.0);
+  EXPECT_FALSE(broke.accepted);
+  EXPECT_EQ(broke.bundle, rich.bundle);  // same query, same conflict set
+  EXPECT_DOUBLE_EQ(broke.quote.price, rich.quote.price);
+
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.purchases, 2u);
+  EXPECT_EQ(stats.purchases_accepted, 1u);
+  EXPECT_DOUBLE_EQ(stats.sale_revenue, rich.quote.price);
+}
+
+TEST(PricingEngineTest, SnapshotsAreImmutableAcrossPublishes) {
+  Market m = MakeMarket();
+  PricingEngine engine(m.db.get(), m.support, MatchedOptions(true));
+  QP_CHECK_OK(engine.AppendBuyers(m.initial_queries, m.initial_valuations));
+
+  auto pinned = engine.snapshot();
+  std::vector<uint32_t> bundle = engine.hypergraph().edge(0);
+  Quote before = pinned->QuoteBundle(bundle);
+
+  QP_CHECK_OK(engine.AppendBuyers(m.late_queries, m.late_valuations));
+  EXPECT_EQ(engine.snapshot()->version(), pinned->version() + 1);
+
+  // The pinned generation still answers, unchanged — readers holding it
+  // keep a consistent book while the writer moves on.
+  Quote after = pinned->QuoteBundle(bundle);
+  EXPECT_EQ(after.version, before.version);
+  EXPECT_DOUBLE_EQ(after.price, before.price);
+}
+
+TEST(PricingEngineTest, ConcurrentQuotesAreRaceFreeWhileWriterPublishes) {
+  Market m = MakeMarket(/*support_size=*/100);
+  PricingEngine engine(m.db.get(), m.support, MatchedOptions(true));
+  QP_CHECK_OK(engine.AppendBuyers(m.initial_queries, m.initial_valuations));
+
+  // Bundles to hammer, captured before the readers start (the writer-side
+  // hypergraph is not safe to read concurrently with appends).
+  std::vector<std::vector<uint32_t>> bundles;
+  for (int e = 0; e < engine.hypergraph().num_edges(); ++e) {
+    bundles.push_back(engine.hypergraph().edge(e));
+  }
+  bundles.push_back({0, 1, 2, 3});
+  bundles.push_back({});
+
+  constexpr int kReaders = 4;
+  constexpr int kIterations = 400;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r]() {
+      uint64_t last_version = 0;
+      for (int i = 0; i < kIterations; ++i) {
+        const std::vector<uint32_t>& bundle =
+            bundles[static_cast<size_t>(r + i) % bundles.size()];
+        auto book = engine.snapshot();
+        Quote direct = engine.QuoteBundle(bundle);
+        Quote via_book = book->QuoteBundle(bundle);
+        // Versions only move forward, and a held snapshot is internally
+        // consistent: same bundle, same price, every time.
+        if (book->version() < last_version ||
+            via_book.price != book->QuoteBundle(bundle).price ||
+            !std::isfinite(direct.price) || direct.price < 0.0) {
+          failed.store(true);
+          return;
+        }
+        last_version = book->version();
+      }
+    });
+  }
+
+  // Writer: keep publishing generations while the readers quote.
+  for (size_t b = 0; b < m.late_queries.size(); ++b) {
+    QP_CHECK_OK(engine.AppendBuyers({m.late_queries[b]},
+                                    {m.late_valuations[b]}));
+  }
+  for (std::thread& t : readers) t.join();
+  EXPECT_FALSE(failed.load());
+
+  EngineStats stats = engine.stats();
+  EXPECT_GE(stats.quotes_served,
+            static_cast<uint64_t>(kReaders) * kIterations);
+  EXPECT_EQ(stats.version, 2u + m.late_queries.size());
+}
+
+}  // namespace
+}  // namespace qp::serve
