@@ -57,6 +57,7 @@ LoadOptions LoadOptionsFromFlags(const Flags& flags) {
   options.sf = flags.GetDouble("sf", 0.0);
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
   options.paper_scale = flags.paper();
+  options.build_threads = flags.GetInt("threads", 1);
   return options;
 }
 
@@ -129,7 +130,8 @@ WorkloadHypergraph LoadWorkloadHypergraph(const std::string& name,
   out.name = name;
   out.support_size = market.support_size;
   market::BuildResult built = market::BuildHypergraph(
-      *market.instance.database, market.instance.queries, market.support);
+      *market.instance.database, market.instance.queries, market.support,
+      {.incremental = true, .num_threads = options.build_threads});
   out.hypergraph = std::move(built.hypergraph);
   out.build_seconds = built.seconds;
   out.classes = core::ItemClasses::Compute(out.hypergraph);

@@ -53,6 +53,9 @@ struct LoadOptions {
   double sf = 0.0;      // 0 = default (0.005; paper-scale 1.0 via --paper)
   uint64_t seed = 7;
   bool paper_scale = false;
+  // Hypergraph-build (conflict set) parallelism, --threads; conflict
+  // sets are bit-identical for every value.
+  int build_threads = 1;
 };
 
 /// A workload's raw market inputs: the generated database + bound query

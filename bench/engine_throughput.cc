@@ -1,18 +1,30 @@
-// Serving-engine bench: concurrent quote throughput against a published
-// PriceBookSnapshot, and incremental reprice latency after buyer-batch
-// arrivals versus full recompute.
+// Serving-engine bench: concurrent quote/purchase throughput against a
+// published PriceBookSnapshot, and incremental reprice latency after
+// buyer-batch arrivals versus full recompute.
 //
 //   ./build/bench/engine_throughput
 //   ./build/bench/engine_throughput --workload=skewed --support=1200
-//       --initial=300 --batches=4 --batch=25 --quotes=200000 --json=out.json
+//       --initial=300 --batches=4 --batch=25 --quotes=200000
+//       --purchases=600 --pthreads=8 --threads=2 --json=out.json
 //
 // JSON records (one per phase, regression-gated like Table 4):
-//   solve-initial       seed the engine with the initial buyer set
-//   quotes              serve --quotes bundle quotes (seconds = wall time)
-//   reprice-incremental total reprice latency across the arrival batches
-//   reprice-cold        the same batches re-priced by cold RunAllAlgorithms
+//   solve-initial        seed the engine with the initial buyer set
+//                        (--threads > 1 parallelizes the hypergraph build)
+//   quotes               serve --quotes bundle quotes (seconds = wall time)
+//   quote-batch          the same quotes through QuoteBatch (--qbatch per
+//                        call: one snapshot pin + stats update per batch)
+//   purchases-serial     --purchases posted-price interactions, 1 thread
+//   purchases-concurrent the same purchases on --pthreads threads — the
+//                        read-only overlay probe path; versus the PR 3
+//                        engine these no longer serialize on the writer
+//                        mutex (lps_solved records accepted sales, which
+//                        are deterministic; revenue reports the book)
+//   reprice-incremental  total reprice latency across the arrival batches
+//   reprice-cold         the same batches re-priced by cold RunAllAlgorithms
 #include <algorithm>
+#include <atomic>
 #include <iostream>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -34,6 +46,9 @@ int Main(int argc, char** argv) {
   int batch = flags.GetInt("batch", 25);
   int quotes = flags.GetInt("quotes", 200000);
   int quote_threads = flags.GetInt("qthreads", 2);
+  int quote_batch = flags.GetInt("qbatch", 64);
+  int purchases = flags.GetInt("purchases", 600);
+  int purchase_threads = flags.GetInt("pthreads", 8);
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
   std::string json = flags.GetString("json", "");
 
@@ -59,6 +74,10 @@ int Main(int argc, char** argv) {
   engine_options.algorithms.lpip.num_threads = flags.GetInt("threads", 1);
   engine_options.algorithms.cip.num_threads =
       engine_options.algorithms.lpip.num_threads;
+  // --threads also fans out hypergraph (conflict set) construction;
+  // conflict sets — and therefore revenues — are bit-identical for every
+  // value.
+  engine_options.build.num_threads = engine_options.algorithms.lpip.num_threads;
 
   BenchRecorder recorder;
   const std::string instance_name = "engine-" + workload;
@@ -102,6 +121,70 @@ int Main(int argc, char** argv) {
   std::cout << StrFormat("quotes: %d on %d thread(s) in %.3fs (%.0f/s)\n",
                          quotes, quote_threads, quote_seconds,
                          quote_seconds > 0 ? quotes / quote_seconds : 0.0);
+
+  // Phase 2b: the same quote volume through QuoteBatch — one snapshot pin
+  // and one stats update per --qbatch bundles.
+  double batch_seconds = 0.0;
+  if (!bundles.empty() && quotes > 0 && quote_batch > 0) {
+    std::vector<std::vector<uint32_t>> batch;
+    batch.reserve(quote_batch);
+    for (int i = 0; i < quote_batch; ++i) {
+      batch.push_back(bundles[static_cast<size_t>(i) % bundles.size()]);
+    }
+    const int calls = (quotes + quote_batch - 1) / quote_batch;
+    common::ThreadPool pool(quote_threads);
+    Stopwatch timer;
+    pool.ParallelFor(calls, [&](int) { engine.QuoteBatch(batch); });
+    batch_seconds = timer.ElapsedSeconds();
+  }
+  recorder.Add(instance_name, "quote-batch", batch_seconds, 0,
+               seeded->best().revenue);
+  std::cout << StrFormat(
+      "quote-batch: %d quotes in batches of %d in %.3fs (%.0f/s, %.2fx "
+      "unbatched)\n",
+      quotes, quote_batch, batch_seconds,
+      batch_seconds > 0 ? quotes / batch_seconds : 0.0,
+      batch_seconds > 0 ? quote_seconds / batch_seconds : 0.0);
+
+  // Phase 2c: posted-price purchases — the full reader path (overlay
+  // conflict probe + quote + atomic sale accounting), serial then
+  // concurrent. Purchases do not grow the market, so the later reprice
+  // phases see the same instance either way. Valuations are drawn once;
+  // accepted counts are deterministic because every purchase prices
+  // against the same pinned generation.
+  const int num_queries = static_cast<int>(queries.size());
+  core::Valuations purchase_v;
+  for (int i = 0; i < purchases; ++i) {
+    purchase_v.push_back(rng.UniformReal(0.5, 60.0));
+  }
+  auto run_purchases = [&](int threads) {
+    common::ThreadPool pool(threads);
+    std::atomic<int64_t> accepted{0};
+    Stopwatch timer;
+    pool.ParallelFor(purchases, [&](int i) {
+      serve::PurchaseOutcome outcome = engine.Purchase(
+          queries[static_cast<size_t>(i) % num_queries], purchase_v[i]);
+      if (outcome.accepted) accepted.fetch_add(1, std::memory_order_relaxed);
+    });
+    return std::pair<double, int64_t>(timer.ElapsedSeconds(), accepted.load());
+  };
+  auto [serial_seconds, serial_accepted] = run_purchases(1);
+  recorder.Add(instance_name, "purchases-serial", serial_seconds,
+               static_cast<int>(serial_accepted), seeded->best().revenue);
+  std::cout << StrFormat("purchases: %d serial in %.3fs (%.0f/s, %d accepted)\n",
+                         purchases, serial_seconds,
+                         serial_seconds > 0 ? purchases / serial_seconds : 0.0,
+                         static_cast<int>(serial_accepted));
+  auto [conc_seconds, conc_accepted] = run_purchases(purchase_threads);
+  recorder.Add(instance_name, "purchases-concurrent", conc_seconds,
+               static_cast<int>(conc_accepted), seeded->best().revenue);
+  std::cout << StrFormat(
+      "purchases: %d on %d thread(s) in %.3fs (%.0f/s, %.2fx serial, %d "
+      "accepted)\n",
+      purchases, purchase_threads, conc_seconds,
+      conc_seconds > 0 ? purchases / conc_seconds : 0.0,
+      conc_seconds > 0 ? serial_seconds / conc_seconds : 0.0,
+      static_cast<int>(conc_accepted));
 
   // Phase 3: buyer-batch arrivals, repriced incrementally.
   double reprice_seconds = 0.0;
@@ -167,6 +250,13 @@ int Main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.quotes_served),
       stats.total_lps_solved, stats.incidence.merges,
       stats.incidence.full_builds);
+  std::cout << StrFormat(
+      "engine: %llu purchases (%llu accepted, %.2f revenue), %lld probes / "
+      "%lld pruned across build+purchase\n",
+      static_cast<unsigned long long>(stats.purchases),
+      static_cast<unsigned long long>(stats.purchases_accepted),
+      stats.sale_revenue, static_cast<long long>(stats.conflict.probes),
+      static_cast<long long>(stats.conflict.pruned));
 
   if (!recorder.WriteJson(json)) return 1;
   return 0;

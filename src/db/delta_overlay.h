@@ -1,0 +1,106 @@
+// Sparse cell overlay: a read-only "database D with a few cells
+// overwritten" view.
+//
+// Conflict probing asks what Q(D') is for a neighboring instance D' that
+// differs from the seller's D in a single cell. Historically that was
+// answered by mutating D in place (apply / evaluate / revert), which
+// forced every prober to serialize on the one shared database. A
+// DeltaOverlay instead carries the patched cells *next to* a const
+// Database: readers consult the overlay first and fall through to the
+// base table, so any number of probes can run concurrently against one
+// immutable D. The evaluator (db/eval.h) accepts an overlay for full
+// re-evaluation; the incremental conflict engine patches rows through
+// PatchedRow for its per-row contribution updates.
+#ifndef QP_DB_DELTA_OVERLAY_H_
+#define QP_DB_DELTA_OVERLAY_H_
+
+#include <vector>
+
+#include "db/database.h"
+#include "db/table.h"
+#include "db/value.h"
+
+namespace qp::db {
+
+class DeltaOverlay {
+ public:
+  struct Entry {
+    int table = 0;
+    int row = 0;
+    int column = 0;
+    Value value;
+  };
+
+  DeltaOverlay() = default;
+
+  /// Convenience: an overlay of exactly one patched cell (the common
+  /// conflict-probe shape).
+  DeltaOverlay(int table, int row, int column, Value value) {
+    Set(table, row, column, std::move(value));
+  }
+
+  /// Adds or replaces one patched cell.
+  void Set(int table, int row, int column, Value value) {
+    for (Entry& e : entries_) {
+      if (e.table == table && e.row == row && e.column == column) {
+        e.value = std::move(value);
+        return;
+      }
+    }
+    entries_.push_back(Entry{table, row, column, std::move(value)});
+  }
+
+  bool empty() const { return entries_.empty(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// The patched value of a cell, or nullptr when the base table's value
+  /// is in effect.
+  const Value* Find(int table, int row, int column) const {
+    for (const Entry& e : entries_) {
+      if (e.table == table && e.row == row && e.column == column) {
+        return &e.value;
+      }
+    }
+    return nullptr;
+  }
+
+  bool TouchesTable(int table) const {
+    for (const Entry& e : entries_) {
+      if (e.table == table) return true;
+    }
+    return false;
+  }
+
+  bool TouchesRow(int table, int row) const {
+    for (const Entry& e : entries_) {
+      if (e.table == table && e.row == row) return true;
+    }
+    return false;
+  }
+
+  /// Overlay-aware cell read.
+  const Value& Cell(const Database& db, int table, int row, int column) const {
+    const Value* patched = Find(table, row, column);
+    return patched != nullptr ? *patched : db.table(table).cell(row, column);
+  }
+
+  /// A copy of the row with every patch for (table, row) applied.
+  Row PatchedRow(const Database& db, int table, int row) const {
+    Row out = db.table(table).row(row);
+    for (const Entry& e : entries_) {
+      if (e.table == table && e.row == row) {
+        out[static_cast<size_t>(e.column)] = e.value;
+      }
+    }
+    return out;
+  }
+
+ private:
+  // Linear scans: overlays hold one (occasionally a handful of) entries,
+  // so a flat vector beats any hashed container.
+  std::vector<Entry> entries_;
+};
+
+}  // namespace qp::db
+
+#endif  // QP_DB_DELTA_OVERLAY_H_

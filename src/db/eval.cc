@@ -58,39 +58,93 @@ std::string ResultTable::ToString(int max_rows) const {
   return out;
 }
 
-std::vector<Row> GatherInputRows(const BoundQuery& query, const Database& db) {
+namespace {
+
+// Overlay-aware row reads for one table slot. `row(r)` hands back a
+// reference into the base table for untouched rows and a reference to a
+// local patched copy for rows the overlay rewrites; the reference is
+// valid until the next row(r) call on the same source.
+class RowSource {
+ public:
+  RowSource(const Database& db, int table_idx, const DeltaOverlay* overlay)
+      : db_(db),
+        table_(db.table(table_idx)),
+        table_idx_(table_idx),
+        patched_(overlay != nullptr && overlay->TouchesTable(table_idx)
+                     ? overlay
+                     : nullptr) {}
+
+  int num_rows() const { return table_.num_rows(); }
+
+  const Row& row(int r) {
+    if (patched_ == nullptr || !patched_->TouchesRow(table_idx_, r)) {
+      return table_.row(r);
+    }
+    scratch_ = patched_->PatchedRow(db_, table_idx_, r);
+    return scratch_;
+  }
+
+  const Value& cell(int r, int c) {
+    if (patched_ == nullptr) return table_.cell(r, c);
+    return patched_->Cell(db_, table_idx_, r, c);
+  }
+
+ private:
+  const Database& db_;
+  const Table& table_;
+  int table_idx_;
+  const DeltaOverlay* patched_;
+  Row scratch_;
+};
+
+std::vector<Row> GatherInputRowsImpl(const BoundQuery& query,
+                                     const Database& db,
+                                     const DeltaOverlay* overlay) {
   std::vector<Row> input;
-  const Table& t0 = db.table(query.table_indices[0]);
+  RowSource src0(db, query.table_indices[0], overlay);
   if (query.table_indices.size() == 1) {
-    for (int r = 0; r < t0.num_rows(); ++r) {
-      const Row& row = t0.row(r);
+    for (int r = 0; r < src0.num_rows(); ++r) {
+      const Row& row = src0.row(r);
       if (query.predicate && !query.predicate->EvaluateBool(row)) continue;
       input.push_back(row);
     }
     return input;
   }
   // Hash equi-join; output ordered by (left row index, right row index).
-  const Table& t1 = db.table(query.table_indices[1]);
+  // Self-joins are rejected by BoundQuery::Validate, so the two sources
+  // never alias one scratch row.
+  RowSource src1(db, query.table_indices[1], overlay);
   int right_col = query.join_right - query.column_offsets[1];
   std::unordered_map<uint64_t, std::vector<int>> right_index;
-  for (int r = 0; r < t1.num_rows(); ++r) {
-    right_index[t1.cell(r, right_col).Hash()].push_back(r);
+  for (int r = 0; r < src1.num_rows(); ++r) {
+    right_index[src1.cell(r, right_col).Hash()].push_back(r);
   }
-  for (int l = 0; l < t0.num_rows(); ++l) {
-    const Value& key = t0.cell(l, query.join_left);
+  for (int l = 0; l < src0.num_rows(); ++l) {
+    const Value& key = src0.cell(l, query.join_left);
     auto it = right_index.find(key.Hash());
     if (it == right_index.end()) continue;
     for (int r : it->second) {
       // Hash buckets can collide; confirm real equality.
-      if (key.Compare(t1.cell(r, right_col)) != 0) continue;
-      Row joined = t0.row(l);
-      const Row& rrow = t1.row(r);
+      if (key.Compare(src1.cell(r, right_col)) != 0) continue;
+      Row joined = src0.row(l);
+      const Row& rrow = src1.row(r);
       joined.insert(joined.end(), rrow.begin(), rrow.end());
       if (query.predicate && !query.predicate->EvaluateBool(joined)) continue;
       input.push_back(std::move(joined));
     }
   }
   return input;
+}
+
+}  // namespace
+
+std::vector<Row> GatherInputRows(const BoundQuery& query, const Database& db) {
+  return GatherInputRowsImpl(query, db, nullptr);
+}
+
+std::vector<Row> GatherInputRows(const BoundQuery& query, const Database& db,
+                                 const DeltaOverlay& overlay) {
+  return GatherInputRowsImpl(query, db, &overlay);
 }
 
 Value ComputeAggregate(AggFunc func, int arg_col,
@@ -188,10 +242,7 @@ struct GroupKeyLess {
   }
 };
 
-}  // namespace
-
-ResultTable Evaluate(const BoundQuery& query, const Database& db) {
-  std::vector<Row> input = GatherInputRows(query, db);
+ResultTable EvaluateRows(const BoundQuery& query, std::vector<Row> input) {
   ResultTable result;
 
   bool grouped = query.has_aggregates() || !query.group_by.empty();
@@ -249,6 +300,17 @@ ResultTable Evaluate(const BoundQuery& query, const Database& db) {
     result.rows.resize(query.limit);
   }
   return result;
+}
+
+}  // namespace
+
+ResultTable Evaluate(const BoundQuery& query, const Database& db) {
+  return EvaluateRows(query, GatherInputRows(query, db));
+}
+
+ResultTable Evaluate(const BoundQuery& query, const Database& db,
+                     const DeltaOverlay& overlay) {
+  return EvaluateRows(query, GatherInputRows(query, db, overlay));
 }
 
 }  // namespace qp::db

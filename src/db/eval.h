@@ -15,6 +15,7 @@
 
 #include "common/hash.h"
 #include "db/database.h"
+#include "db/delta_overlay.h"
 #include "db/query.h"
 
 namespace qp::db {
@@ -40,6 +41,13 @@ struct ResultTable {
 /// Evaluates a bound query. The query must Validate() against `db`.
 ResultTable Evaluate(const BoundQuery& query, const Database& db);
 
+/// Evaluates a bound query against `db` with `overlay`'s patched cells in
+/// effect — bit-identical to mutating the cells in place, evaluating, and
+/// reverting, but without ever writing to `db`. This is the read path
+/// conflict probing uses to stay const over the shared database.
+ResultTable Evaluate(const BoundQuery& query, const Database& db,
+                     const DeltaOverlay& overlay);
+
 /// Computes one aggregate over `rows` (pointers into the joined input),
 /// visiting rows in the given order. Exposed so the incremental engine
 /// reproduces identical values (including double accumulation order).
@@ -50,6 +58,11 @@ Value ComputeAggregate(AggFunc func, int arg_col,
 /// grouping, in deterministic order (left row index, then right row
 /// index). Exposed for the incremental engine's initial state build.
 std::vector<Row> GatherInputRows(const BoundQuery& query, const Database& db);
+
+/// Overlay-aware variant: gathers the input rows of the query against
+/// `db` with `overlay`'s patched cells in effect.
+std::vector<Row> GatherInputRows(const BoundQuery& query, const Database& db,
+                                 const DeltaOverlay& overlay);
 
 /// Projects one input row through the query's select list (aggregate items
 /// yield NULL; only meaningful for non-aggregate queries). Exposed so the

@@ -4,19 +4,27 @@
 #include <map>
 #include <unordered_map>
 
+#include "db/delta_overlay.h"
 #include "db/eval.h"
 
 namespace qp::market {
 
-std::vector<uint32_t> NaiveConflictSet(db::Database& db,
+namespace {
+
+db::DeltaOverlay OverlayOf(const CellDelta& delta) {
+  return db::DeltaOverlay(delta.table, delta.row, delta.column,
+                          delta.new_value);
+}
+
+}  // namespace
+
+std::vector<uint32_t> NaiveConflictSet(const db::Database& db,
                                        const db::BoundQuery& query,
                                        const SupportSet& support) {
   db::ResultTable base = db::Evaluate(query, db);
   std::vector<uint32_t> conflicts;
   for (uint32_t i = 0; i < support.size(); ++i) {
-    db::Value saved = ApplyDelta(db, support[i]);
-    db::ResultTable perturbed = db::Evaluate(query, db);
-    UndoDelta(db, support[i], saved);
+    db::ResultTable perturbed = db::Evaluate(query, db, OverlayOf(support[i]));
     if (!perturbed.Equals(base)) conflicts.push_back(i);
   }
   return conflicts;
@@ -49,13 +57,21 @@ struct GroupState {
   std::vector<AggState> aggs;
 };
 
-class PreparedQuery {
+using GroupMap = std::map<db::Row, GroupState, RowLess>;
+
+}  // namespace
+
+// All prepared state is written during construction and only read by
+// Probe, which keeps every per-probe intermediate (patched rows, affected
+// group copies) on its own stack — the concurrency contract of
+// PreparedConflictQuery reduces to "construction happens-before probing".
+class PreparedConflictQuery::Impl {
  public:
-  PreparedQuery(db::Database* db, const db::BoundQuery& query)
+  Impl(const db::Database& db, const db::BoundQuery& query)
       : db_(db), query_(query) {
     Classify();
     if (fallback_) {
-      base_result_ = db::Evaluate(query_, *db_);
+      base_result_ = db::Evaluate(query_, db_);
       return;
     }
     BuildSensitivity();
@@ -69,12 +85,10 @@ class PreparedQuery {
 
   bool is_fallback() const { return fallback_; }
 
-  bool Probe(const CellDelta& delta, ConflictSetEngine::Stats& stats) {
+  bool Probe(const CellDelta& delta, ConflictStats& stats) const {
     if (fallback_) {
       ++stats.probes;
-      db::Value saved = ApplyDelta(*db_, delta);
-      db::ResultTable perturbed = db::Evaluate(query_, *db_);
-      UndoDelta(*db_, delta, saved);
+      db::ResultTable perturbed = db::Evaluate(query_, db_, OverlayOf(delta));
       return !perturbed.Equals(base_result_);
     }
     int slot = SlotOfTable(delta.table);
@@ -97,7 +111,7 @@ class PreparedQuery {
       if ((item.agg == db::AggFunc::kSum || item.agg == db::AggFunc::kAvg) &&
           item.column >= 0) {
         auto [table, col] = query_.FlatToTableColumn(item.column);
-        if (db_->table(table).schema().column(col).type ==
+        if (db_.table(table).schema().column(col).type ==
             db::ValueType::kDouble) {
           fallback_ = true;  // float accumulation: use the reference engine
         }
@@ -118,20 +132,23 @@ class PreparedQuery {
 
   void BuildSensitivity() {
     sensitive_[0].assign(
-        db_->table(query_.table_indices[0]).schema().num_columns(), 0);
+        db_.table(query_.table_indices[0]).schema().num_columns(), 0);
     if (two_tables_) {
       sensitive_[1].assign(
-          db_->table(query_.table_indices[1]).schema().num_columns(), 0);
+          db_.table(query_.table_indices[1]).schema().num_columns(), 0);
     }
     for (auto [table, col] : query_.SensitiveColumns()) {
       int slot = SlotOfTable(table);
       sensitive_[slot][col] = 1;
+      needed_[slot].push_back(col);
     }
+    std::sort(needed_[0].begin(), needed_[0].end());
+    std::sort(needed_[1].begin(), needed_[1].end());
   }
 
   // --- shared row machinery ----------------------------------------------
   const db::Table& TableOfSlot(int slot) const {
-    return db_->table(query_.table_indices[slot]);
+    return db_.table(query_.table_indices[slot]);
   }
 
   void BuildJoinIndexes() {
@@ -147,21 +164,38 @@ class PreparedQuery {
     }
   }
 
+  // The probed row of slot `slot`, with `delta` patched in when given.
+  // Self-joins are rejected at validation, so a delta patches exactly one
+  // slot and join partners always read from the untouched base table.
+  // Only the query's sensitive columns are copied — the full set the
+  // predicate / projection / grouping / join machinery can read — so a
+  // probe on a wide table costs O(columns the query touches), not
+  // O(table width); the rest stay NULL and are never inspected.
+  db::Row ProbedRow(int row, int slot, const CellDelta* delta) const {
+    const db::Row& base = TableOfSlot(slot).row(row);
+    db::Row r(base.size());
+    for (int c : needed_[slot]) r[static_cast<size_t>(c)] = base[c];
+    if (delta != nullptr) r[static_cast<size_t>(delta->column)] = delta->new_value;
+    return r;
+  }
+
   // Joined + filtered input rows involving row `row` of table `slot`,
-  // evaluated against the database's *current* state.
-  std::vector<db::Row> AffectedInputRows(int row, int slot) const {
+  // evaluated against the base database with `delta` (when non-null)
+  // overlaid on that row. Purely functional: no shared state is touched.
+  std::vector<db::Row> AffectedInputRows(int row, int slot,
+                                         const CellDelta* delta) const {
     std::vector<db::Row> inputs;
     if (!two_tables_) {
-      const db::Row& r = TableOfSlot(0).row(row);
+      db::Row r = ProbedRow(row, /*slot=*/0, delta);
       if (query_.predicate == nullptr || query_.predicate->EvaluateBool(r)) {
-        inputs.push_back(r);
+        inputs.push_back(std::move(r));
       }
       return inputs;
     }
     const db::Table& t0 = TableOfSlot(0);
     const db::Table& t1 = TableOfSlot(1);
     if (slot == 0) {
-      const db::Row& left = t0.row(row);
+      db::Row left = ProbedRow(row, 0, delta);
       const db::Value& key = left[join_col0_];
       auto it = index1_.find(key.Hash());
       if (it == index1_.end()) return inputs;
@@ -176,7 +210,7 @@ class PreparedQuery {
         }
       }
     } else {
-      const db::Row& right = t1.row(row);
+      db::Row right = ProbedRow(row, 1, delta);
       const db::Value& key = right[join_col1_];
       auto it = index0_.find(key.Hash());
       if (it == index0_.end()) return inputs;
@@ -213,35 +247,32 @@ class PreparedQuery {
       return;
     }
     if (query_.distinct) {
-      for (const db::Row& input : db::GatherInputRows(query_, *db_)) {
+      for (const db::Row& input : db::GatherInputRows(query_, db_)) {
         tuple_counts_[db::ResultTable::RowHash(
             db::ProjectInputRow(query_, input))]++;
       }
     }
   }
 
-  bool ProbeProjection(const CellDelta& delta, int slot) {
+  bool ProbeProjection(const CellDelta& delta, int slot) const {
     if (!two_tables_) {
       bool old_present = row_present_[delta.row];
       uint64_t old_hash = row_hash_[delta.row];
-      db::Value saved = ApplyDelta(*db_, delta);
-      const db::Row& row = TableOfSlot(0).row(delta.row);
+      db::Row patched = ProbedRow(delta.row, 0, &delta);
       bool new_present = query_.predicate == nullptr ||
-                         query_.predicate->EvaluateBool(row);
+                         query_.predicate->EvaluateBool(patched);
       uint64_t new_hash =
           new_present
-              ? db::ResultTable::RowHash(db::ProjectInputRow(query_, row))
+              ? db::ResultTable::RowHash(db::ProjectInputRow(query_, patched))
               : 0;
-      UndoDelta(*db_, delta, saved);
       std::vector<uint64_t> removed, added;
       if (old_present) removed.push_back(old_hash);
       if (new_present) added.push_back(new_hash);
       return ContributionsDiffer(removed, added);
     }
-    std::vector<db::Row> old_inputs = AffectedInputRows(delta.row, slot);
-    db::Value saved = ApplyDelta(*db_, delta);
-    std::vector<db::Row> new_inputs = AffectedInputRows(delta.row, slot);
-    UndoDelta(*db_, delta, saved);
+    std::vector<db::Row> old_inputs =
+        AffectedInputRows(delta.row, slot, nullptr);
+    std::vector<db::Row> new_inputs = AffectedInputRows(delta.row, slot, &delta);
     std::vector<uint64_t> removed, added;
     removed.reserve(old_inputs.size());
     added.reserve(new_inputs.size());
@@ -297,26 +328,24 @@ class PreparedQuery {
       }
     }
     if (query_.group_by.empty()) {
-      GroupFor(db::Row{});  // the global group exists even when empty
+      GroupFor(groups_, db::Row{});  // the global group exists even when empty
     }
-    for (const db::Row& input : db::GatherInputRows(query_, *db_)) {
-      AddInput(input);
+    for (const db::Row& input : db::GatherInputRows(query_, db_)) {
+      UpdateGroup(groups_, input, +1);
     }
   }
 
-  GroupState& GroupFor(const db::Row& key) {
-    GroupState& g = groups_[key];
+  GroupState& GroupFor(GroupMap& groups, const db::Row& key) const {
+    GroupState& g = groups[key];
     if (g.aggs.empty() && !agg_items_.empty()) {
       g.aggs.resize(agg_items_.size());
     }
     return g;
   }
 
-  void AddInput(const db::Row& input) { UpdateGroup(input, +1); }
-  void RemoveInput(const db::Row& input) { UpdateGroup(input, -1); }
-
-  void UpdateGroup(const db::Row& input, int64_t direction) {
-    GroupState& g = GroupFor(GroupKeyOf(input));
+  void UpdateGroup(GroupMap& groups, const db::Row& input,
+                   int64_t direction) const {
+    GroupState& g = GroupFor(groups, GroupKeyOf(input));
     g.row_count += direction;
     for (size_t a = 0; a < agg_items_.size(); ++a) {
       const db::SelectItem& item = query_.select[agg_items_[a]];
@@ -399,12 +428,14 @@ class PreparedQuery {
     return out;
   }
 
-  // Visible outputs of the groups with the given keys, as a sorted multiset.
-  std::vector<db::Row> SnapshotOutputs(const std::vector<db::Row>& keys) const {
+  // Visible outputs of the groups with the given keys, as a sorted
+  // multiset, read from `groups`.
+  std::vector<db::Row> SnapshotOutputs(const GroupMap& groups,
+                                       const std::vector<db::Row>& keys) const {
     std::vector<db::Row> outputs;
     for (const db::Row& key : keys) {
-      auto it = groups_.find(key);
-      if (it == groups_.end()) continue;
+      auto it = groups.find(key);
+      if (it == groups.end()) continue;
       // Grouped queries drop empty groups; the global group never drops.
       if (!query_.group_by.empty() && it->second.row_count <= 0) continue;
       outputs.push_back(GroupOutput(key, it->second));
@@ -413,11 +444,10 @@ class PreparedQuery {
     return outputs;
   }
 
-  bool ProbeGrouped(const CellDelta& delta, int slot) {
-    std::vector<db::Row> old_inputs = AffectedInputRows(delta.row, slot);
-    db::Value saved = ApplyDelta(*db_, delta);
-    std::vector<db::Row> new_inputs = AffectedInputRows(delta.row, slot);
-    UndoDelta(*db_, delta, saved);
+  bool ProbeGrouped(const CellDelta& delta, int slot) const {
+    std::vector<db::Row> old_inputs =
+        AffectedInputRows(delta.row, slot, nullptr);
+    std::vector<db::Row> new_inputs = AffectedInputRows(delta.row, slot, &delta);
     if (old_inputs == new_inputs) return false;
 
     std::vector<db::Row> keys;
@@ -426,17 +456,21 @@ class PreparedQuery {
     std::sort(keys.begin(), keys.end(), RowLess());
     keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
 
-    std::vector<db::Row> before = SnapshotOutputs(keys);
-    for (const db::Row& r : old_inputs) RemoveInput(r);
-    for (const db::Row& r : new_inputs) AddInput(r);
-    std::vector<db::Row> after = SnapshotOutputs(keys);
-    // Revert the tentative state change.
-    for (const db::Row& r : new_inputs) RemoveInput(r);
-    for (const db::Row& r : old_inputs) AddInput(r);
+    std::vector<db::Row> before = SnapshotOutputs(groups_, keys);
+    // Apply the swap to a local copy of just the affected groups; the
+    // shared prepared state stays untouched (and therefore thread-safe).
+    GroupMap scratch;
+    for (const db::Row& key : keys) {
+      auto it = groups_.find(key);
+      if (it != groups_.end()) scratch.insert(*it);
+    }
+    for (const db::Row& r : old_inputs) UpdateGroup(scratch, r, -1);
+    for (const db::Row& r : new_inputs) UpdateGroup(scratch, r, +1);
+    std::vector<db::Row> after = SnapshotOutputs(scratch, keys);
     return before != after;
   }
 
-  db::Database* db_;
+  const db::Database& db_;
   const db::BoundQuery& query_;
 
   bool two_tables_ = false;
@@ -444,6 +478,7 @@ class PreparedQuery {
   bool fallback_ = false;
 
   std::vector<char> sensitive_[2];
+  std::vector<int> needed_[2];  // sensitive column indices, ascending
   db::ResultTable base_result_;
 
   std::unordered_map<uint64_t, std::vector<int>> index0_, index1_;
@@ -453,21 +488,45 @@ class PreparedQuery {
   std::vector<uint64_t> row_hash_;
   std::unordered_map<uint64_t, int64_t> tuple_counts_;
 
-  std::map<db::Row, GroupState, RowLess> groups_;
+  GroupMap groups_;
   std::vector<int> agg_items_;
   std::vector<int> select_key_index_;
 };
 
-}  // namespace
+PreparedConflictQuery::PreparedConflictQuery(const db::Database& db,
+                                             const db::BoundQuery& query)
+    : impl_(std::make_unique<const Impl>(db, query)) {}
+
+PreparedConflictQuery::~PreparedConflictQuery() = default;
+
+bool PreparedConflictQuery::is_fallback() const { return impl_->is_fallback(); }
+
+bool PreparedConflictQuery::Probe(const CellDelta& delta,
+                                  ConflictStats& stats) const {
+  return impl_->Probe(delta, stats);
+}
 
 std::vector<uint32_t> ConflictSetEngine::ConflictSet(
-    const db::BoundQuery& query, const SupportSet& support) {
-  PreparedQuery prepared(db_, query);
-  if (prepared.is_fallback()) ++stats_.fallback_queries;
+    const db::BoundQuery& query, const SupportSet& support) const {
+  Stats ignored;
+  return ConflictSet(query, support, ignored);
+}
+
+std::vector<uint32_t> ConflictSetEngine::ConflictSet(
+    const db::BoundQuery& query, const SupportSet& support,
+    Stats& stats) const {
+  PreparedConflictQuery prepared(*db_, query);
+  Stats local;
+  if (prepared.is_fallback()) ++local.fallback_queries;
   std::vector<uint32_t> conflicts;
   for (uint32_t i = 0; i < support.size(); ++i) {
-    if (prepared.Probe(support[i], stats_)) conflicts.push_back(i);
+    if (prepared.Probe(support[i], local)) conflicts.push_back(i);
   }
+  stats.Merge(local);
+  probes_.fetch_add(local.probes, std::memory_order_relaxed);
+  pruned_.fetch_add(local.pruned, std::memory_order_relaxed);
+  fallback_queries_.fetch_add(local.fallback_queries,
+                              std::memory_order_relaxed);
   return conflicts;
 }
 

@@ -1,25 +1,33 @@
 // Conflict-set computation: C_S(Q, D) = { D' in S : Q(D) != Q(D') }.
 //
-// Two engines with identical semantics:
+// Probing is *read-only with respect to the database*: a support delta is
+// viewed through a db::DeltaOverlay (patched-cell reads over the const
+// base tables) instead of being applied in place, so any number of
+// probes — across queries, across threads — can run concurrently against
+// one shared db::Database. Two implementations with identical semantics:
 //
-//  * NaiveConflictSet — applies each delta, re-evaluates the query with the
-//    reference evaluator, compares canonical results, reverts. O(|S| *
+//  * NaiveConflictSet — re-evaluates the query under each delta's overlay
+//    with the reference evaluator and compares canonical results. O(|S| *
 //    eval(Q)) per query; the correctness oracle.
 //
-//  * ConflictSetEngine — prepares per-query state once (per-row
-//    contribution hashes, group aggregate states with exact integer
-//    accumulators, join-key indexes) and answers each delta in O(1)-ish:
-//    recompute only the modified row's (or its join partners')
-//    contribution, tentatively update the affected groups, compare the
-//    visible output, revert. Falls back to naive re-evaluation for LIMIT
-//    queries and SUM/AVG over double columns (where incremental float
-//    accumulation could drift from the reference evaluator).
+//  * ConflictSetEngine / PreparedConflictQuery — prepares per-query state
+//    once (per-row contribution hashes, group aggregate states with exact
+//    integer accumulators, join-key indexes) and answers each delta in
+//    O(1)-ish: recompute only the patched row's (or its join partners')
+//    contribution, apply the affected groups' updates to a local copy,
+//    compare the visible output. Falls back to full overlay re-evaluation
+//    for LIMIT queries and SUM/AVG over double columns (where incremental
+//    float accumulation could drift from the reference evaluator).
+//    Prepared state is immutable after construction, so one
+//    PreparedConflictQuery may be probed from many threads at once.
 //
-// tests/market/conflict_test.cc checks the two engines produce identical
-// conflict sets over randomized queries, datasets and supports.
+// tests/market/conflict_test.cc checks that both engines match each other
+// *and* the pre-overlay apply/evaluate/revert semantics bit-for-bit over
+// randomized queries, datasets and supports, including concurrent probes.
 #ifndef QP_MARKET_CONFLICT_H_
 #define QP_MARKET_CONFLICT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -30,31 +38,92 @@
 
 namespace qp::market {
 
-/// Reference implementation (apply / re-evaluate / compare / revert).
-std::vector<uint32_t> NaiveConflictSet(db::Database& db,
+/// Reference implementation (overlay / re-evaluate / compare). Read-only:
+/// `db` is never modified.
+std::vector<uint32_t> NaiveConflictSet(const db::Database& db,
                                        const db::BoundQuery& query,
                                        const SupportSet& support);
 
-class ConflictSetEngine {
+/// Probe accounting. Plain integers: accumulate per thread (or per call)
+/// and Merge for exact, lost-update-free totals.
+struct ConflictStats {
+  int64_t probes = 0;            // sensitive deltas actually probed
+  int64_t pruned = 0;            // deltas skipped by column sensitivity
+  int64_t fallback_queries = 0;  // queries handled by full re-evaluation
+
+  ConflictStats& Merge(const ConflictStats& other) {
+    probes += other.probes;
+    pruned += other.pruned;
+    fallback_queries += other.fallback_queries;
+    return *this;
+  }
+};
+
+/// Per-query prepared probing state (contribution hashes, group
+/// accumulators, join indexes), built once against the database's current
+/// contents. Immutable after construction: Probe is const and touches no
+/// shared mutable state, so one prepared query can serve concurrent
+/// probes from many threads.
+class PreparedConflictQuery {
  public:
-  /// The database must outlive the engine. Deltas are applied and reverted
-  /// in place during probing; the database is always restored.
-  explicit ConflictSetEngine(db::Database* db) : db_(db) {}
+  /// `db` and `query` must outlive the prepared state; the database's
+  /// contents must not change while probes are in flight.
+  PreparedConflictQuery(const db::Database& db, const db::BoundQuery& query);
+  ~PreparedConflictQuery();
 
-  /// Conflict set of `query` as sorted indices into `support`.
-  std::vector<uint32_t> ConflictSet(const db::BoundQuery& query,
-                                    const SupportSet& support);
+  PreparedConflictQuery(const PreparedConflictQuery&) = delete;
+  PreparedConflictQuery& operator=(const PreparedConflictQuery&) = delete;
 
-  struct Stats {
-    int64_t probes = 0;          // sensitive deltas actually probed
-    int64_t pruned = 0;          // deltas skipped by column sensitivity
-    int64_t fallback_queries = 0;  // queries handled by full re-evaluation
-  };
-  const Stats& stats() const { return stats_; }
+  /// True when the query is answered by full overlay re-evaluation
+  /// (LIMIT, double SUM/AVG).
+  bool is_fallback() const;
+
+  /// Whether applying `delta` changes the query's visible result.
+  /// Read-only and thread-safe; `stats` receives this probe's accounting.
+  bool Probe(const CellDelta& delta, ConflictStats& stats) const;
 
  private:
-  db::Database* db_;
-  Stats stats_;
+  class Impl;
+  std::unique_ptr<const Impl> impl_;
+};
+
+class ConflictSetEngine {
+ public:
+  using Stats = ConflictStats;
+
+  /// The database must outlive the engine. Probing never writes to it —
+  /// deltas are viewed through per-probe overlays — so concurrent
+  /// ConflictSet calls from any number of threads are safe.
+  explicit ConflictSetEngine(const db::Database* db) : db_(db) {}
+
+  /// Conflict set of `query` as sorted indices into `support`.
+  /// Thread-safe; accounting lands in the engine totals (stats()).
+  std::vector<uint32_t> ConflictSet(const db::BoundQuery& query,
+                                    const SupportSet& support) const;
+
+  /// Same, additionally reporting this call's share of the accounting in
+  /// `stats` (the engine totals still include it). Callers that fan
+  /// queries across threads collect per-slot stats through this overload
+  /// and Merge them in index order for deterministic attribution.
+  std::vector<uint32_t> ConflictSet(const db::BoundQuery& query,
+                                    const SupportSet& support,
+                                    Stats& stats) const;
+
+  /// Exact snapshot of the totals across every probe through this engine
+  /// (atomic accumulation: no lost updates under concurrency).
+  Stats stats() const {
+    Stats out;
+    out.probes = probes_.load(std::memory_order_relaxed);
+    out.pruned = pruned_.load(std::memory_order_relaxed);
+    out.fallback_queries = fallback_queries_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+ private:
+  const db::Database* db_;
+  mutable std::atomic<int64_t> probes_{0};
+  mutable std::atomic<int64_t> pruned_{0};
+  mutable std::atomic<int64_t> fallback_queries_{0};
 };
 
 }  // namespace qp::market

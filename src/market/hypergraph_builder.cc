@@ -4,7 +4,7 @@
 
 namespace qp::market {
 
-BuildResult BuildHypergraph(db::Database& db,
+BuildResult BuildHypergraph(const db::Database& db,
                             const std::vector<db::BoundQuery>& queries,
                             const SupportSet& support,
                             const BuildOptions& options) {
@@ -13,7 +13,7 @@ BuildResult BuildHypergraph(db::Database& db,
   BuildResult result;
   result.hypergraph = std::move(builder.mutable_hypergraph());
   result.conflict_sets = std::move(builder.mutable_conflict_sets());
-  result.stats = builder.stats();
+  result.stats = builder.build_stats();
   result.seconds = builder.seconds();
   return result;
 }

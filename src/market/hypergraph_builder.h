@@ -28,8 +28,10 @@ struct BuildResult {
 };
 
 /// Builds the hypergraph whose items are support deltas and whose edges are
-/// the queries' conflict sets.
-BuildResult BuildHypergraph(db::Database& db,
+/// the queries' conflict sets. Read-only over `db` (overlay-based
+/// probing); conflict sets are bit-identical for every
+/// `options.num_threads`.
+BuildResult BuildHypergraph(const db::Database& db,
                             const std::vector<db::BoundQuery>& queries,
                             const SupportSet& support,
                             const BuildOptions& options = {});

@@ -3,10 +3,12 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace qp::market {
 
-IncrementalBuilder::IncrementalBuilder(db::Database* db, SupportSet support,
+IncrementalBuilder::IncrementalBuilder(const db::Database* db,
+                                       SupportSet support,
                                        const BuildOptions& options)
     : db_(db),
       support_(std::move(support)),
@@ -17,18 +19,36 @@ IncrementalBuilder::IncrementalBuilder(db::Database* db, SupportSet support,
 int IncrementalBuilder::Append(const std::vector<db::BoundQuery>& queries) {
   Stopwatch timer;
   const int first = hypergraph_.num_edges();
+  const int count = static_cast<int>(queries.size());
+
+  // Fan the queries out into per-index slots; probing is read-only over
+  // the shared database, so the workers share it without synchronization.
+  std::vector<std::vector<uint32_t>> edges(count);
+  std::vector<ConflictSetEngine::Stats> slot_stats(count);
+  common::ThreadPool pool(options_.num_threads);
+  pool.ParallelFor(count, [&](int i) {
+    if (options_.incremental) {
+      edges[i] = engine_.ConflictSet(queries[i], support_, slot_stats[i]);
+    } else {
+      edges[i] = NaiveConflictSet(*db_, queries[i], support_);
+    }
+  });
+
+  // Index-ordered reduction: edges append in arrival order and stats
+  // merge in the same order, so the result is identical for every
+  // thread count.
   conflict_sets_.reserve(conflict_sets_.size() + queries.size());
-  for (const db::BoundQuery& query : queries) {
-    std::vector<uint32_t> conflicts = ConflictSetFor(query);
-    hypergraph_.AddEdge(conflicts);
-    conflict_sets_.push_back(std::move(conflicts));
+  for (int i = 0; i < count; ++i) {
+    hypergraph_.AddEdge(edges[i]);
+    conflict_sets_.push_back(std::move(edges[i]));
+    build_stats_.Merge(slot_stats[i]);
   }
   seconds_ += timer.ElapsedSeconds();
   return first;
 }
 
 std::vector<uint32_t> IncrementalBuilder::ConflictSetFor(
-    const db::BoundQuery& query) {
+    const db::BoundQuery& query) const {
   return options_.incremental ? engine_.ConflictSet(query, support_)
                               : NaiveConflictSet(*db_, query, support_);
 }

@@ -7,6 +7,13 @@
 // conflict sets of newly arrived queries — the incidence index and any
 // refined ItemClasses extend by delta (core-side), never rebuild.
 // BuildHypergraph is now a thin wrapper over one Append call.
+//
+// Conflict probing is read-only over the database (per-probe overlays,
+// see market/conflict.h), which splits the builder the same way as the
+// serving engine: Append / mutable accessors are writer-side and must be
+// externally serialized, while ConflictSetFor is const, touches only
+// immutable state, and may be called from any number of threads — even
+// while a (single) writer appends.
 #ifndef QP_MARKET_INCREMENTAL_BUILDER_H_
 #define QP_MARKET_INCREMENTAL_BUILDER_H_
 
@@ -24,24 +31,29 @@ struct BuildOptions {
   /// Use the incremental conflict engine (false = naive re-evaluation;
   /// the equivalence is tested, the naive path is for oracles/debugging).
   bool incremental = true;
+  /// Threads for edge construction in Append (<= 1 = inline). Queries are
+  /// fanned out over qp::common::ThreadPool into per-query slots and
+  /// reduced in index order, so the hypergraph — and the merged per-query
+  /// stats — are bit-identical for every thread count.
+  int num_threads = 1;
 };
 
 class IncrementalBuilder {
  public:
-  /// The database must outlive the builder. Conflict probing applies and
-  /// reverts support deltas on `db` in place, so concurrent Append /
-  /// ConflictSetFor calls must be serialized by the caller (the engine
-  /// holds its writer lock).
-  IncrementalBuilder(db::Database* db, SupportSet support,
+  /// The database must outlive the builder and must not change contents
+  /// while it is in use; probing never writes to it.
+  IncrementalBuilder(const db::Database* db, SupportSet support,
                      const BuildOptions& options = {});
 
-  /// Computes the conflict sets of `queries` and appends one edge each.
-  /// Returns the index of the first appended edge.
+  /// Computes the conflict sets of `queries` (in parallel when
+  /// options.num_threads > 1) and appends one edge each, in query order.
+  /// Returns the index of the first appended edge. Writer-side.
   int Append(const std::vector<db::BoundQuery>& queries);
 
   /// Conflict set of a query *without* appending an edge — the engine's
   /// Purchase path prices exactly the bundle the buyer would receive.
-  std::vector<uint32_t> ConflictSetFor(const db::BoundQuery& query);
+  /// Read-only and thread-safe, including concurrently with one Append.
+  std::vector<uint32_t> ConflictSetFor(const db::BoundQuery& query) const;
 
   const core::Hypergraph& hypergraph() const { return hypergraph_; }
   /// Mutable access for callers that move the built state out (the
@@ -56,17 +68,24 @@ class IncrementalBuilder {
   const std::vector<std::vector<uint32_t>>& conflict_sets() const {
     return conflict_sets_;
   }
-  /// Cumulative wall-clock seconds spent computing conflict sets.
+  /// Cumulative wall-clock seconds spent computing conflict sets in
+  /// Append (writer-side, exact: probes run inside the timed region).
   double seconds() const { return seconds_; }
-  const ConflictSetEngine::Stats& stats() const { return engine_.stats(); }
+  /// Build-side probe accounting: per-query stats merged in query order
+  /// (deterministic for every num_threads). Excludes ConflictSetFor.
+  const ConflictSetEngine::Stats& build_stats() const { return build_stats_; }
+  /// Totals across every probe through this builder — Append *and*
+  /// ConflictSetFor — accumulated atomically (exact under concurrency).
+  ConflictSetEngine::Stats stats() const { return engine_.stats(); }
 
  private:
-  db::Database* db_;
+  const db::Database* db_;
   SupportSet support_;
   BuildOptions options_;
   ConflictSetEngine engine_;
   core::Hypergraph hypergraph_;
   std::vector<std::vector<uint32_t>> conflict_sets_;
+  ConflictSetEngine::Stats build_stats_;
   double seconds_ = 0.0;
 };
 

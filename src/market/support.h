@@ -2,8 +2,9 @@
 //
 // Following Qirana, the support S consists of "neighboring" databases:
 // instances that differ from the seller's D in a single cell. Each support
-// element is stored succinctly as a CellDelta; the conflict engine applies
-// and reverts deltas in place instead of materializing database copies.
+// element is stored succinctly as a CellDelta; the conflict engine views a
+// delta through a read-only db::DeltaOverlay instead of materializing
+// database copies (or mutating D), so probing is concurrency-safe.
 #ifndef QP_MARKET_SUPPORT_H_
 #define QP_MARKET_SUPPORT_H_
 
@@ -41,6 +42,9 @@ Result<SupportSet> GenerateSupport(const db::Database& db,
                                    const SupportOptions& options, Rng& rng);
 
 /// Applies the delta, returning the previous cell value (for undo).
+/// Conflict probing no longer uses this (probes read through overlays);
+/// it remains for the *seller* actually changing data, and for tests that
+/// cross-check overlay reads against in-place mutation.
 db::Value ApplyDelta(db::Database& db, const CellDelta& delta);
 
 /// Restores a previously applied delta.

@@ -54,7 +54,7 @@ CellDelta RandomSensitiveDelta(const db::Database& db,
 }  // namespace
 
 SupportSelectionResult AugmentSupportWithUniqueItems(
-    db::Database& db, const std::vector<db::BoundQuery>& queries,
+    const db::Database& db, const std::vector<db::BoundQuery>& queries,
     const SupportSet& base_support, const SupportSelectionOptions& options,
     Rng& rng) {
   SupportSelectionResult out;

@@ -34,8 +34,9 @@ struct SupportSelectionResult {
 
 /// Appends, for each query without a private (degree-1) item under
 /// `base_support`, one delta that conflicts with that query alone.
+/// Read-only over `db` (candidate deltas are probed through overlays).
 SupportSelectionResult AugmentSupportWithUniqueItems(
-    db::Database& db, const std::vector<db::BoundQuery>& queries,
+    const db::Database& db, const std::vector<db::BoundQuery>& queries,
     const SupportSet& base_support, const SupportSelectionOptions& options,
     Rng& rng);
 

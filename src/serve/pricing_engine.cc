@@ -4,7 +4,8 @@
 
 namespace qp::serve {
 
-PricingEngine::PricingEngine(db::Database* db, market::SupportSet support,
+PricingEngine::PricingEngine(const db::Database* db,
+                             market::SupportSet support,
                              EngineOptions options)
     : db_(db),
       options_(std::move(options)),
@@ -58,21 +59,38 @@ Quote PricingEngine::QuoteBundle(const std::vector<uint32_t>& bundle) const {
   return book->QuoteBundle(bundle);
 }
 
+std::vector<Quote> PricingEngine::QuoteBatch(
+    std::span<const std::vector<uint32_t>> bundles) const {
+  // One snapshot pin + one stats update for the whole batch: every quote
+  // prices against the same generation no matter what the writer does.
+  std::shared_ptr<const PriceBookSnapshot> book =
+      snapshot_.load(std::memory_order_acquire);
+  quotes_served_.fetch_add(bundles.size(), std::memory_order_relaxed);
+  std::vector<Quote> quotes;
+  quotes.reserve(bundles.size());
+  for (const std::vector<uint32_t>& bundle : bundles) {
+    quotes.push_back(book->QuoteBundle(bundle));
+  }
+  return quotes;
+}
+
 PurchaseOutcome PricingEngine::Purchase(const db::BoundQuery& query,
                                         double valuation) {
   PurchaseOutcome outcome;
   outcome.valuation = valuation;
-  std::lock_guard<std::mutex> lock(writer_mutex_);
+  // Reader side, end to end: the probe reads the const database through
+  // per-delta overlays, the quote pins the currently published book, and
+  // the sale lands in atomic counters — no writer mutex anywhere.
   outcome.bundle = builder_.ConflictSetFor(query);
   std::shared_ptr<const PriceBookSnapshot> book =
       snapshot_.load(std::memory_order_acquire);
   outcome.quote = book->QuoteBundle(outcome.bundle);
   quotes_served_.fetch_add(1, std::memory_order_relaxed);
   outcome.accepted = outcome.quote.price <= valuation + core::kSellTolerance;
-  ++purchases_;
+  purchases_.fetch_add(1, std::memory_order_relaxed);
   if (outcome.accepted) {
-    ++purchases_accepted_;
-    sale_revenue_ += outcome.quote.price;
+    purchases_accepted_.fetch_add(1, std::memory_order_relaxed);
+    sale_revenue_.fetch_add(outcome.quote.price, std::memory_order_relaxed);
   }
   return outcome;
 }
@@ -84,12 +102,13 @@ EngineStats PricingEngine::stats() const {
   out.num_items = builder_.hypergraph().num_items();
   out.num_edges = builder_.hypergraph().num_edges();
   out.quotes_served = quotes_served_.load(std::memory_order_relaxed);
-  out.purchases = purchases_;
-  out.purchases_accepted = purchases_accepted_;
-  out.sale_revenue = sale_revenue_;
+  out.purchases = purchases_.load(std::memory_order_relaxed);
+  out.purchases_accepted = purchases_accepted_.load(std::memory_order_relaxed);
+  out.sale_revenue = sale_revenue_.load(std::memory_order_relaxed);
   out.total_lps_solved = total_lps_solved_;
   out.last_reprice = reprice_.last;
   out.build_seconds = builder_.seconds();
+  out.conflict = builder_.stats();
   out.incidence = builder_.hypergraph().incidence_maintenance();
   return out;
 }

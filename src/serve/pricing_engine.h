@@ -1,21 +1,25 @@
 // Stateful pricing engine: the broker as a long-lived service.
 //
 // The engine owns one market instance end-to-end — the seller's database
-// (borrowed), the support set, the growing conflict-set hypergraph, buyer
-// valuations, and the solved price book — and splits its API along the
-// single-writer / many-readers seam:
+// (borrowed, read-only), the support set, the growing conflict-set
+// hypergraph, buyer valuations, and the solved price book — and splits
+// its API along the single-writer / many-readers seam:
 //
 //  * Readers (any thread, lock-free): snapshot() atomically loads the
-//    current immutable PriceBookSnapshot; QuoteBundle prices against it.
-//    Readers pin the generation they loaded via shared_ptr, so a
-//    concurrent publish never invalidates prices mid-quote.
+//    current immutable PriceBookSnapshot; QuoteBundle / QuoteBatch price
+//    against it. Purchase is a reader too: conflict probing views support
+//    deltas through read-only overlays (market/conflict.h), so computing
+//    a buyer's bundle never touches the shared database, and sale
+//    accounting lands in atomic counters. Readers pin the generation they
+//    loaded via shared_ptr, so a concurrent publish never invalidates
+//    prices mid-quote.
 //  * The writer (serialized on an internal mutex): AppendBuyers extends
-//    the hypergraph through market::IncrementalBuilder, repriced either
-//    incrementally (core::RepriceAfterAppend — refined classes, reused
-//    LPIP thresholds, warm-started CIP bases) or from scratch, then
-//    publishes a fresh snapshot with one atomic swap. Purchase also
-//    serializes, because probing a query's conflict set applies/reverts
-//    support deltas on the shared database in place.
+//    the hypergraph through market::IncrementalBuilder (edge construction
+//    fans out over BuildOptions::num_threads; conflict sets are
+//    bit-identical for every thread count), repriced either incrementally
+//    (core::RepriceAfterAppend — refined classes, reused LPIP thresholds,
+//    warm-started CIP bases) or from scratch, then publishes a fresh
+//    snapshot with one atomic swap.
 //
 // This is the architectural seam later scaling work builds on: sharding
 // replicates engines per support partition, batching coalesces
@@ -28,6 +32,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -46,7 +51,8 @@ struct EngineOptions {
   /// Forwarded to the pricing layer. classes / sorted_order fields are
   /// ignored (the reprice state owns the shared precompute).
   core::AlgorithmOptions algorithms;
-  /// Conflict-set engine selection for hypergraph construction.
+  /// Conflict-set engine selection + build parallelism for hypergraph
+  /// construction.
   market::BuildOptions build;
   /// false = every AppendBuyers runs a full cold solve (the baseline the
   /// engine_throughput bench compares against).
@@ -75,23 +81,28 @@ struct EngineStats {
   /// detailed reprice accounting.
   int total_lps_solved = 0;
   core::RepriceStats last_reprice;
-  /// Cumulative conflict-set computation seconds (hypergraph build).
+  /// Cumulative conflict-set computation seconds (hypergraph build; the
+  /// append path's wall clock, exact — probes run inside the timed
+  /// region regardless of build thread count).
   double build_seconds = 0.0;
+  /// Probe totals across builds *and* purchases (atomic accumulation:
+  /// exact under concurrent Purchase traffic).
+  market::ConflictSetEngine::Stats conflict;
   core::Hypergraph::IncidenceMaintenance incidence;
 };
 
 class PricingEngine {
  public:
-  /// `db` must outlive the engine; the engine applies and reverts support
-  /// deltas on it while probing conflict sets (always restored). The
+  /// `db` must outlive the engine and is never written to — conflict
+  /// probing reads support deltas through per-probe overlays. The
   /// constructor publishes an empty generation-1 book so readers can
   /// quote immediately.
-  PricingEngine(db::Database* db, market::SupportSet support,
+  PricingEngine(const db::Database* db, market::SupportSet support,
                 EngineOptions options = {});
 
   /// Writer path: appends one edge (conflict set) + valuation per buyer
   /// query, reprices, and atomically publishes the next snapshot.
-  /// Serialized internally; safe to call while readers quote.
+  /// Serialized internally; safe to call while readers quote/purchase.
   Status AppendBuyers(const std::vector<db::BoundQuery>& queries,
                       const core::Valuations& valuations);
 
@@ -105,10 +116,17 @@ class PricingEngine {
   /// the current book; lock-free.
   Quote QuoteBundle(const std::vector<uint32_t>& bundle) const;
 
+  /// Price many bundles against *one* pinned snapshot: a single atomic
+  /// book load and a single stats update amortized across the batch, and
+  /// every quote carries the same generation. Lock-free.
+  std::vector<Quote> QuoteBatch(
+      std::span<const std::vector<uint32_t>> bundles) const;
+
   /// Posted-price interaction for a buyer query: computes its conflict
-  /// set (serialized — the probe mutates the shared database in place),
-  /// quotes it, and records the sale if the buyer accepts. Does *not*
-  /// grow the market; feed accepted buyers to AppendBuyers when their
+  /// set (read-only overlay probes against the const database — no lock,
+  /// any number of threads), quotes it against the current book, and
+  /// records the sale atomically if the buyer accepts. Does *not* grow
+  /// the market; feed accepted buyers to AppendBuyers when their
   /// valuations should shape future prices.
   PurchaseOutcome Purchase(const db::BoundQuery& query, double valuation);
 
@@ -126,7 +144,7 @@ class PricingEngine {
   /// writer_mutex_.
   void RepriceAndPublish(int first_new_edge);
 
-  db::Database* db_;
+  const db::Database* db_;
   EngineOptions options_;
 
   mutable std::mutex writer_mutex_;
@@ -135,12 +153,15 @@ class PricingEngine {
   core::RepriceState reprice_;
   uint64_t version_ = 0;
   int total_lps_solved_ = 0;
-  uint64_t purchases_ = 0;
-  uint64_t purchases_accepted_ = 0;
-  double sale_revenue_ = 0.0;
 
   std::atomic<std::shared_ptr<const PriceBookSnapshot>> snapshot_;
   mutable std::atomic<uint64_t> quotes_served_{0};
+  // Reader-side sale accounting: Purchase runs without the writer mutex,
+  // so these accumulate atomically (relaxed — they are totals, not
+  // synchronization).
+  std::atomic<uint64_t> purchases_{0};
+  std::atomic<uint64_t> purchases_accepted_{0};
+  std::atomic<double> sale_revenue_{0.0};
 };
 
 }  // namespace qp::serve

@@ -234,5 +234,120 @@ TEST_F(EvalTest, AvgOfDoubles) {
   EXPECT_DOUBLE_EQ(r.rows[0][1 - 1].as_double(), (82.5 + 81.0) / 2.0);
 }
 
+// --- DeltaOverlay read path ------------------------------------------------
+//
+// Evaluate(query, db, overlay) must be bit-identical to mutating the
+// overlaid cells in place, evaluating, and reverting — without ever
+// writing to the database.
+
+class OverlayEvalTest : public EvalTest {
+ protected:
+  // Reference semantics: apply the patch in place, evaluate, revert.
+  ResultTable EvaluateInPlace(const BoundQuery& q, int table, int row,
+                              int col, const Value& value) {
+    Table& t = db_->table(table);
+    Value saved = t.cell(row, col);
+    t.SetCell(row, col, value);
+    ResultTable result = Evaluate(q, *db_);
+    t.SetCell(row, col, std::move(saved));
+    return result;
+  }
+
+  void CheckOverlayMatchesInPlace(const std::string& sql, int table, int row,
+                                  int col, Value value) {
+    auto q = ParseQuery(sql, *db_);
+    ASSERT_TRUE(q.ok()) << sql << " -> " << q.status();
+    ResultTable in_place = EvaluateInPlace(*q, table, row, col, value);
+    DeltaOverlay overlay(table, row, col, value);
+    ResultTable overlaid = Evaluate(*q, *db_, overlay);
+    EXPECT_TRUE(overlaid.Equals(in_place))
+        << sql << " patch t" << table << " r" << row << " c" << col << " -> "
+        << value.ToString() << "\noverlay:\n" << overlaid.ToString()
+        << "in-place:\n" << in_place.ToString();
+  }
+};
+
+TEST_F(OverlayEvalTest, LookupPrecedence) {
+  DeltaOverlay overlay;
+  EXPECT_TRUE(overlay.empty());
+  overlay.Set(0, 1, 2, Value::Str("Asia"));
+  EXPECT_FALSE(overlay.empty());
+  // Patched cell reads the overlay; everything else falls through.
+  EXPECT_EQ(overlay.Cell(*db_, 0, 1, 2).as_string(), "Asia");
+  EXPECT_EQ(overlay.Cell(*db_, 0, 1, 1).as_string(), "France");
+  EXPECT_EQ(overlay.Cell(*db_, 0, 2, 2).as_string(), "Europe");
+  ASSERT_NE(overlay.Find(0, 1, 2), nullptr);
+  EXPECT_EQ(overlay.Find(0, 1, 3), nullptr);
+  EXPECT_TRUE(overlay.TouchesRow(0, 1));
+  EXPECT_FALSE(overlay.TouchesRow(0, 2));
+  EXPECT_TRUE(overlay.TouchesTable(0));
+  EXPECT_FALSE(overlay.TouchesTable(1));
+  // Set on the same cell replaces, never duplicates.
+  overlay.Set(0, 1, 2, Value::Str("Oceania"));
+  ASSERT_EQ(overlay.entries().size(), 1u);
+  EXPECT_EQ(overlay.Cell(*db_, 0, 1, 2).as_string(), "Oceania");
+  // The base database was never written.
+  EXPECT_EQ(db_->table(0).cell(1, 2).as_string(), "Europe");
+}
+
+TEST_F(OverlayEvalTest, PatchedRowAppliesEveryEntryForTheRow) {
+  DeltaOverlay overlay;
+  overlay.Set(0, 3, 2, Value::Str("Oceania"));
+  overlay.Set(0, 3, 3, Value::Int(1));
+  overlay.Set(0, 0, 3, Value::Int(7));  // different row: not applied
+  Row patched = overlay.PatchedRow(*db_, 0, 3);
+  EXPECT_EQ(patched[2].as_string(), "Oceania");
+  EXPECT_EQ(patched[3].as_int(), 1);
+  EXPECT_EQ(patched[1].as_string(), "Japan");
+}
+
+TEST_F(OverlayEvalTest, MatchesInPlaceAcrossQueryShapes) {
+  const char* queries[] = {
+      "select * from Country",
+      "select Name from Country where Continent = \'Europe\'",
+      "select distinct Continent from Country",
+      "select count(Name) from Country where Continent = \'Asia\'",
+      "select Continent, count(Code) from Country group by Continent",
+      "select CountryCode, sum(Population) from City group by CountryCode",
+      "select avg(LifeExpectancy) from Country",  // double accumulation
+      "select Name from City limit 3",            // LIMIT after canonical sort
+      "select Name from Country, CountryLanguage where Code = CountryCode "
+      "and Language = \'English\'",
+  };
+  struct Patch {
+    int table, row, col;
+    Value value;
+  };
+  const Patch patches[] = {
+      {0, 1, 2, Value::Str("Asia")},        // France -> Asia
+      {0, 3, 3, Value::Int(1)},             // Japan population
+      {0, 0, 4, Value::Real(11.25)},        // USA life expectancy
+      {1, 4, 3, Value::Int(99)},            // Tokyo population
+      {2, 0, 0, Value::Str("FRA")},         // join key repoint
+      {2, 6, 1, Value::Str("Tamil")},       // language rename
+  };
+  for (const char* sql : queries) {
+    for (const Patch& p : patches) {
+      CheckOverlayMatchesInPlace(sql, p.table, p.row, p.col, p.value);
+    }
+  }
+}
+
+TEST_F(OverlayEvalTest, GatherInputRowsSeesPatchedJoinKeys) {
+  auto q = ParseQuery(
+      "select Name from Country, CountryLanguage where Code = CountryCode "
+      "and Language = \'English\'",
+      *db_);
+  ASSERT_TRUE(q.ok());
+  // Repoint (USA, English) to FRA: France gains an English match.
+  DeltaOverlay overlay(2, 0, 0, Value::Str("FRA"));
+  std::vector<Row> base = GatherInputRows(*q, *db_);
+  std::vector<Row> patched = GatherInputRows(*q, *db_, overlay);
+  EXPECT_EQ(base.size(), patched.size());
+  bool fra = false;
+  for (const Row& r : patched) fra = fra || r[0].as_string() == "FRA";
+  EXPECT_TRUE(fra);
+}
+
 }  // namespace
 }  // namespace qp::db

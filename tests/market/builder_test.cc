@@ -1,5 +1,8 @@
 #include "market/hypergraph_builder.h"
 
+#include <atomic>
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "db/parser.h"
@@ -66,6 +69,66 @@ TEST(HypergraphBuilderTest, DeterministicAcrossRuns) {
   for (int e = 0; e < a.hypergraph.num_edges(); ++e) {
     EXPECT_EQ(a.conflict_sets[e], b.conflict_sets[e]);
   }
+}
+
+TEST(HypergraphBuilderTest, ParallelBuildIsThreadCountIndependent) {
+  // Edge construction fans out over the thread pool into per-query slots
+  // with an index-ordered reduction: edges AND merged build stats must be
+  // bit-identical for every thread count.
+  auto db = db::testing::MakeTestDatabase();
+  Rng rng(74);
+  auto support = GenerateSupport(*db, {.size = 120, .max_retries = 32}, rng);
+  ASSERT_TRUE(support.ok());
+  auto queries = TestQueries(*db);
+  BuildResult serial = BuildHypergraph(*db, queries, *support,
+                                       {.incremental = true, .num_threads = 1});
+  for (int threads : {2, 4, 7}) {
+    BuildResult parallel = BuildHypergraph(
+        *db, queries, *support, {.incremental = true, .num_threads = threads});
+    ASSERT_EQ(parallel.hypergraph.num_edges(), serial.hypergraph.num_edges())
+        << threads << " threads";
+    for (int e = 0; e < serial.hypergraph.num_edges(); ++e) {
+      EXPECT_EQ(parallel.conflict_sets[e], serial.conflict_sets[e])
+          << threads << " threads, edge " << e;
+      EXPECT_EQ(parallel.hypergraph.edge(e), serial.hypergraph.edge(e));
+    }
+    EXPECT_EQ(parallel.stats.probes, serial.stats.probes);
+    EXPECT_EQ(parallel.stats.pruned, serial.stats.pruned);
+    EXPECT_EQ(parallel.stats.fallback_queries, serial.stats.fallback_queries);
+  }
+}
+
+TEST(IncrementalBuilderTest, ConflictSetForIsSafeDuringAppend) {
+  // The builder's read side: ConflictSetFor runs concurrently with one
+  // writer appending batches, and always returns the same (support-only
+  // dependent) conflict set.
+  auto db = db::testing::MakeTestDatabase();
+  Rng rng(75);
+  auto support = GenerateSupport(*db, {.size = 80, .max_retries = 32}, rng);
+  ASSERT_TRUE(support.ok());
+  auto queries = TestQueries(*db);
+
+  IncrementalBuilder builder(db.get(), *support, {.num_threads = 2});
+  const std::vector<uint32_t> expected = builder.ConflictSetFor(queries[0]);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::thread reader([&]() {
+    while (!stop.load(std::memory_order_acquire)) {
+      if (builder.ConflictSetFor(queries[0]) != expected) {
+        mismatches.fetch_add(1);
+      }
+    }
+  });
+  for (int round = 0; round < 8; ++round) builder.Append(queries);
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(builder.hypergraph().num_edges(),
+            8 * static_cast<int>(queries.size()));
+  // Build-side stats merged per query slot; totals also cover the
+  // reader's probes (atomic accumulation, so nothing was lost).
+  EXPECT_GE(builder.stats().probes, builder.build_stats().probes);
 }
 
 }  // namespace

@@ -1,7 +1,12 @@
 #include "market/conflict.h"
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
+#include "db/eval.h"
 #include "db/parser.h"
 #include "tests/testing/test_db.h"
 
@@ -65,9 +70,27 @@ const char* kQueries[] = {
     "select Continent, avg(LifeExpectancy) from Country group by Continent",
 };
 
+// The pre-overlay reference semantics: apply the delta in place,
+// re-evaluate, compare, revert. The overlay engines must reproduce this
+// bit-for-bit — it is the definition C_S(Q, D) was implemented against
+// before probing became read-only.
+std::vector<uint32_t> InPlaceConflictSet(db::Database& db,
+                                         const db::BoundQuery& query,
+                                         const SupportSet& support) {
+  db::ResultTable base = db::Evaluate(query, db);
+  std::vector<uint32_t> conflicts;
+  for (uint32_t i = 0; i < support.size(); ++i) {
+    db::Value saved = ApplyDelta(db, support[i]);
+    db::ResultTable perturbed = db::Evaluate(query, db);
+    UndoDelta(db, support[i], saved);
+    if (!perturbed.Equals(base)) conflicts.push_back(i);
+  }
+  return conflicts;
+}
+
 class ConflictEquivalenceTest : public ::testing::TestWithParam<int> {};
 
-TEST_P(ConflictEquivalenceTest, IncrementalMatchesNaive) {
+TEST_P(ConflictEquivalenceTest, OverlayEnginesMatchInPlaceSemantics) {
   auto db = db::testing::MakeTestDatabase();
   Rng rng(500 + GetParam());
   auto support = GenerateSupport(*db, {.size = 120, .max_retries = 32}, rng);
@@ -76,25 +99,35 @@ TEST_P(ConflictEquivalenceTest, IncrementalMatchesNaive) {
   for (const char* sql : kQueries) {
     auto query = db::ParseQuery(sql, *db);
     ASSERT_TRUE(query.ok()) << sql << ": " << query.status();
+    auto in_place = InPlaceConflictSet(*db, *query, *support);
     auto naive = NaiveConflictSet(*db, *query, *support);
     auto fast = engine.ConflictSet(*query, *support);
-    EXPECT_EQ(fast, naive) << sql;
+    EXPECT_EQ(naive, in_place) << sql;
+    EXPECT_EQ(fast, in_place) << sql;
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConflictEquivalenceTest, ::testing::Range(0, 5));
 
-TEST(ConflictSetTest, DatabaseRestoredAfterProbing) {
+TEST(ConflictSetTest, DatabaseNeverModifiedDuringProbing) {
+  // Probing is read-only: the engine takes a const database (a
+  // compile-time guarantee) and the contents stay bit-identical to an
+  // untouched reference copy — including for fallback (LIMIT) queries,
+  // which re-evaluate through overlays.
   auto db = db::testing::MakeTestDatabase();
   auto reference = db::testing::MakeTestDatabase();
   Rng rng(21);
   auto support = GenerateSupport(*db, {.size = 80, .max_retries = 32}, rng);
   ASSERT_TRUE(support.ok());
-  ConflictSetEngine engine(db.get());
-  auto query = db::ParseQuery(
-      "select Continent, count(Code) from Country group by Continent", *db);
-  ASSERT_TRUE(query.ok());
-  engine.ConflictSet(*query, *support);
+  const db::Database& const_db = *db;
+  ConflictSetEngine engine(&const_db);
+  for (const char* sql :
+       {"select Continent, count(Code) from Country group by Continent",
+        "select Name from City limit 3"}) {
+    auto query = db::ParseQuery(sql, *db);
+    ASSERT_TRUE(query.ok());
+    engine.ConflictSet(*query, *support);
+  }
   for (int t = 0; t < db->num_tables(); ++t) {
     for (int r = 0; r < db->table(t).num_rows(); ++r) {
       for (int c = 0; c < db->table(t).schema().num_columns(); ++c) {
@@ -104,6 +137,101 @@ TEST(ConflictSetTest, DatabaseRestoredAfterProbing) {
       }
     }
   }
+}
+
+TEST(ConflictSetTest, ManyConcurrentProbesAgainstOneDatabase) {
+  // One const database, one engine, many threads computing conflict sets
+  // for the full query battery at once. Every thread must reproduce the
+  // single-threaded answer, and the shared engine totals must aggregate
+  // exactly (no lost updates).
+  auto db = db::testing::MakeTestDatabase();
+  Rng rng(97);
+  auto support = GenerateSupport(*db, {.size = 60, .max_retries = 32}, rng);
+  ASSERT_TRUE(support.ok());
+
+  std::vector<db::BoundQuery> queries;
+  for (const char* sql : kQueries) {
+    auto query = db::ParseQuery(sql, *db);
+    ASSERT_TRUE(query.ok()) << sql;
+    queries.push_back(*query);
+  }
+
+  ConflictSetEngine reference_engine(db.get());
+  ConflictStats reference_stats;
+  std::vector<std::vector<uint32_t>> expected;
+  for (const db::BoundQuery& q : queries) {
+    expected.push_back(
+        reference_engine.ConflictSet(q, *support, reference_stats));
+  }
+
+  constexpr int kThreads = 8;
+  ConflictSetEngine shared_engine(db.get());
+  std::vector<ConflictStats> per_thread(kThreads);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (size_t q = 0; q < queries.size(); ++q) {
+        auto conflicts =
+            shared_engine.ConflictSet(queries[q], *support, per_thread[t]);
+        if (conflicts != expected[q]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Index-ordered merge of the per-thread stats equals the engine totals
+  // equals kThreads * the single-threaded run.
+  ConflictStats merged;
+  for (const ConflictStats& s : per_thread) merged.Merge(s);
+  ConflictStats totals = shared_engine.stats();
+  EXPECT_EQ(merged.probes, totals.probes);
+  EXPECT_EQ(merged.pruned, totals.pruned);
+  EXPECT_EQ(merged.fallback_queries, totals.fallback_queries);
+  EXPECT_EQ(totals.probes, kThreads * reference_stats.probes);
+  EXPECT_EQ(totals.pruned, kThreads * reference_stats.pruned);
+  EXPECT_EQ(totals.fallback_queries,
+            kThreads * reference_stats.fallback_queries);
+}
+
+TEST(ConflictSetTest, PreparedQueryIsShareableAcrossThreads) {
+  // One PreparedConflictQuery probed concurrently: per-query prepared
+  // state is immutable after construction, so threads share it without
+  // synchronization and agree with the serial answer (join-partner
+  // machinery included).
+  auto db = db::testing::MakeTestDatabase();
+  Rng rng(131);
+  auto support = GenerateSupport(*db, {.size = 100, .max_retries = 32}, rng);
+  ASSERT_TRUE(support.ok());
+  auto query = db::ParseQuery(
+      "select Continent, sum(City.Population) from Country, City where "
+      "Code = CountryCode group by Continent",
+      *db);
+  ASSERT_TRUE(query.ok());
+
+  PreparedConflictQuery prepared(*db, *query);
+  ConflictStats serial_stats;
+  std::vector<char> expected;
+  for (const CellDelta& delta : *support) {
+    expected.push_back(prepared.Probe(delta, serial_stats) ? 1 : 0);
+  }
+
+  constexpr int kThreads = 6;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      ConflictStats local;
+      for (size_t i = 0; i < support->size(); ++i) {
+        bool hit = prepared.Probe((*support)[i], local);
+        if (hit != (expected[i] != 0)) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 TEST(ConflictSetTest, InsensitiveColumnsArePruned) {
@@ -169,6 +297,15 @@ TEST(ConflictSetTest, EmptyConflictSetForIrrelevantQuery) {
   // Cell deltas never change row counts: bare COUNT(*) has no conflicts.
   ConflictSetEngine engine(db.get());
   EXPECT_TRUE(engine.ConflictSet(*query, *support).empty());
+}
+
+TEST(ConflictSetTest, StatsMergeIsExact) {
+  ConflictStats a{.probes = 3, .pruned = 10, .fallback_queries = 1};
+  ConflictStats b{.probes = 4, .pruned = 0, .fallback_queries = 2};
+  a.Merge(b);
+  EXPECT_EQ(a.probes, 7);
+  EXPECT_EQ(a.pruned, 10);
+  EXPECT_EQ(a.fallback_queries, 3);
 }
 
 TEST(ConflictSetTest, StatsAccumulateAcrossQueries) {

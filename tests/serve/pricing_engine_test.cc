@@ -275,5 +275,132 @@ TEST(PricingEngineTest, ConcurrentQuotesAreRaceFreeWhileWriterPublishes) {
   EXPECT_EQ(stats.version, 2u + m.late_queries.size());
 }
 
+TEST(PricingEngineTest, QuoteBatchPinsOneGenerationAndCountsExactly) {
+  Market m = MakeMarket();
+  PricingEngine engine(m.db.get(), m.support, MatchedOptions(true));
+  QP_CHECK_OK(engine.AppendBuyers(m.initial_queries, m.initial_valuations));
+
+  std::vector<std::vector<uint32_t>> bundles;
+  for (int e = 0; e < engine.hypergraph().num_edges(); ++e) {
+    bundles.push_back(engine.hypergraph().edge(e));
+  }
+  bundles.push_back({});
+
+  uint64_t before = engine.stats().quotes_served;
+  std::vector<Quote> batch = engine.QuoteBatch(bundles);
+  ASSERT_EQ(batch.size(), bundles.size());
+  // One snapshot pin: every quote carries the same generation and agrees
+  // with the per-bundle path.
+  for (size_t i = 0; i < bundles.size(); ++i) {
+    EXPECT_EQ(batch[i].version, batch[0].version);
+    EXPECT_DOUBLE_EQ(batch[i].price, engine.QuoteBundle(bundles[i]).price);
+  }
+  // The batch counts once per bundle (plus the QuoteBundle calls above).
+  EXPECT_EQ(engine.stats().quotes_served,
+            before + 2 * static_cast<uint64_t>(bundles.size()));
+}
+
+TEST(PricingEngineTest, ConcurrentPurchasesRaceAppendBuyersPublishes) {
+  // Purchase is reader-side now: buyers purchase from many threads while
+  // the writer keeps appending and publishing. Every outcome must be
+  // internally consistent (bundle priced under some published
+  // generation), the database must stay untouched, and the atomic sale
+  // accounting must aggregate exactly.
+  Market m = MakeMarket(/*support_size=*/100);
+  auto reference_db = db::testing::MakeTestDatabase();
+  PricingEngine engine(m.db.get(), m.support, MatchedOptions(true));
+  QP_CHECK_OK(engine.AppendBuyers(m.initial_queries, m.initial_valuations));
+
+  constexpr int kBuyers = 4;
+  constexpr int kPurchases = 60;
+  std::atomic<int> failures{0};
+  std::atomic<int64_t> accepted{0};
+  std::vector<double> spent(kBuyers, 0.0);
+  std::vector<std::thread> buyers;
+  buyers.reserve(kBuyers);
+  for (int b = 0; b < kBuyers; ++b) {
+    buyers.emplace_back([&, b]() {
+      for (int i = 0; i < kPurchases; ++i) {
+        const db::BoundQuery& query =
+            m.late_queries[static_cast<size_t>(b + i) % m.late_queries.size()];
+        double valuation = (b + i) % 3 == 0 ? 1e9 : 1e-9;
+        PurchaseOutcome outcome = engine.Purchase(query, valuation);
+        if (!std::isfinite(outcome.quote.price) || outcome.quote.price < 0.0 ||
+            outcome.quote.version == 0) {
+          failures.fetch_add(1);
+          return;
+        }
+        if (outcome.accepted) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+          spent[b] += outcome.quote.price;
+        }
+      }
+    });
+  }
+
+  // Writer: publish a new generation per late buyer while purchases run.
+  for (size_t i = 0; i < m.late_queries.size(); ++i) {
+    QP_CHECK_OK(
+        engine.AppendBuyers({m.late_queries[i]}, {m.late_valuations[i]}));
+  }
+  for (std::thread& t : buyers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.purchases, static_cast<uint64_t>(kBuyers) * kPurchases);
+  EXPECT_EQ(stats.purchases_accepted, static_cast<uint64_t>(accepted.load()));
+  double spent_total = 0.0;
+  for (double d : spent) spent_total += d;
+  // Same multiset of prices, possibly summed in a different order.
+  EXPECT_NEAR(stats.sale_revenue, spent_total,
+              1e-9 * (1.0 + std::abs(spent_total)));
+
+  // The shared database saw reader traffic only: still bit-identical to
+  // an untouched copy.
+  for (int t = 0; t < m.db->num_tables(); ++t) {
+    for (int r = 0; r < m.db->table(t).num_rows(); ++r) {
+      for (int c = 0; c < m.db->table(t).schema().num_columns(); ++c) {
+        ASSERT_EQ(m.db->table(t).cell(r, c).Compare(
+                      reference_db->table(t).cell(r, c)),
+                  0);
+      }
+    }
+  }
+}
+
+TEST(PricingEngineTest, ParallelBuildMatchesSerialBooks) {
+  // AppendBuyers with build parallelism: conflict sets are bit-identical
+  // for every thread count, so the published books match the serial
+  // engine's exactly (same edges -> same LPs -> same prices).
+  Market m = MakeMarket();
+  EngineOptions serial_options = MatchedOptions(true);
+  EngineOptions parallel_options = serial_options;
+  parallel_options.build.num_threads = 4;
+  PricingEngine serial(m.db.get(), m.support, serial_options);
+  PricingEngine parallel(m.db.get(), m.support, parallel_options);
+  QP_CHECK_OK(serial.AppendBuyers(m.initial_queries, m.initial_valuations));
+  QP_CHECK_OK(parallel.AppendBuyers(m.initial_queries, m.initial_valuations));
+  QP_CHECK_OK(serial.AppendBuyers(m.late_queries, m.late_valuations));
+  QP_CHECK_OK(parallel.AppendBuyers(m.late_queries, m.late_valuations));
+
+  ASSERT_EQ(parallel.hypergraph().num_edges(), serial.hypergraph().num_edges());
+  for (int e = 0; e < serial.hypergraph().num_edges(); ++e) {
+    EXPECT_EQ(parallel.hypergraph().edge(e), serial.hypergraph().edge(e));
+  }
+  auto serial_book = serial.snapshot();
+  auto parallel_book = parallel.snapshot();
+  ASSERT_EQ(parallel_book->results().size(), serial_book->results().size());
+  for (size_t i = 0; i < serial_book->results().size(); ++i) {
+    EXPECT_DOUBLE_EQ(parallel_book->results()[i].revenue,
+                     serial_book->results()[i].revenue)
+        << serial_book->results()[i].algorithm;
+  }
+  // Per-query stats merged in index order: identical accounting too.
+  EngineStats ss = serial.stats(), ps = parallel.stats();
+  EXPECT_EQ(ps.conflict.probes, ss.conflict.probes);
+  EXPECT_EQ(ps.conflict.pruned, ss.conflict.pruned);
+  EXPECT_EQ(ps.conflict.fallback_queries, ss.conflict.fallback_queries);
+}
+
 }  // namespace
 }  // namespace qp::serve
