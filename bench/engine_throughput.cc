@@ -21,6 +21,19 @@
 //                        are deterministic; revenue reports the book)
 //   reprice-incremental  total reprice latency across the arrival batches
 //   reprice-cold         the same batches re-priced by cold RunAllAlgorithms
+//   solve-sharded        the initial buyer set through the sharded router
+//                        (--shards engines over a support partition seeded
+//                        with the corpus's conflict sets; --sthreads fans
+//                        appends/solves across shards, default = --shards)
+//   purchases-sharded    the purchase stream against the sharded router on
+//                        --pthreads threads (accepted sales as lps_solved)
+//   reprice-sharded      the arrival batches through the router — shard-
+//                        local incremental reprices running in parallel
+//
+// Sharded revenues are the merged (sum of per-shard best) book revenue;
+// they are deterministic and pinned, but deliberately NOT compared to the
+// monolithic rows — per-shard optimization is allowed to beat the single
+// global book.
 #include <algorithm>
 #include <atomic>
 #include <iostream>
@@ -31,7 +44,9 @@
 #include "common/stopwatch.h"
 #include "common/str_util.h"
 #include "common/thread_pool.h"
+#include "market/support_partitioner.h"
 #include "serve/pricing_engine.h"
+#include "serve/sharded_engine.h"
 
 namespace qp::bench {
 namespace {
@@ -49,6 +64,8 @@ int Main(int argc, char** argv) {
   int quote_batch = flags.GetInt("qbatch", 64);
   int purchases = flags.GetInt("purchases", 600);
   int purchase_threads = flags.GetInt("pthreads", 8);
+  int shards = flags.GetInt("shards", 4);
+  int shard_threads = flags.GetInt("sthreads", shards);
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
   std::string json = flags.GetString("json", "");
 
@@ -241,6 +258,105 @@ int Main(int argc, char** argv) {
       "latency)\n",
       batches, cold_seconds, cold_lps,
       reprice_seconds > 0 ? cold_seconds / reprice_seconds : 0.0);
+
+  // Phase 5: the same market through the sharded router. The partition
+  // is seeded with the full corpus's conflict sets (the grown monolithic
+  // engine's edges), so every query — initial and arrival — is
+  // partition-respecting and routing never clips an edge.
+  if (shards > 1) {
+    std::vector<std::vector<uint32_t>> seed_edges;
+    seed_edges.reserve(static_cast<size_t>(engine.hypergraph().num_edges()));
+    for (int e = 0; e < engine.hypergraph().num_edges(); ++e) {
+      seed_edges.push_back(engine.hypergraph().edge(e));
+    }
+    market::SupportPartition partition =
+        market::SupportPartitioner::Partition(market.support, seed_edges,
+                                              {.num_shards = shards});
+    serve::ShardedEngineOptions sharded_options;
+    sharded_options.engine = engine_options;
+    sharded_options.num_threads = shard_threads;
+
+    serve::ShardedPricingEngine sharded(market.instance.database.get(),
+                                        partition, sharded_options);
+    // The monolithic solve/reprice rows report pure pricing seconds
+    // (conflict probing excluded); subtract the probe/build delta from
+    // the wall clock so the sharded rows measure the same thing —
+    // routing + shard-parallel pricing latency. Probe work is identical
+    // on both sides (one global probe per query).
+    double probe_mark = sharded.stats().merged.build_seconds;
+    double ssolve_seconds = 0.0;
+    {
+      std::vector<db::BoundQuery> q(queries.begin(),
+                                    queries.begin() + initial);
+      Stopwatch timer;
+      QP_CHECK_OK(sharded.AppendBuyers(q, initial_v));
+      ssolve_seconds = timer.ElapsedSeconds();
+    }
+    serve::ShardedEngineStats sstats = sharded.stats();
+    ssolve_seconds =
+        std::max(0.0, ssolve_seconds -
+                          (sstats.merged.build_seconds - probe_mark));
+    int ssolve_lps = sstats.merged.total_lps_solved;
+    double sbook_revenue = sharded.snapshot().best_revenue();
+    recorder.Add(instance_name, "solve-sharded", ssolve_seconds, ssolve_lps,
+                 sbook_revenue);
+    std::cout << StrFormat(
+        "sharded solve: %d shards on %d thread(s) in %.3fs (%.2fx "
+        "monolithic), %d LPs, merged revenue %.2f\n",
+        shards, shard_threads, ssolve_seconds,
+        ssolve_seconds > 0 ? seed_stats.seconds / ssolve_seconds : 0.0,
+        ssolve_lps, sbook_revenue);
+
+    double spurchase_seconds = 0.0;
+    int64_t spurchase_accepted = 0;
+    {
+      common::ThreadPool pool(purchase_threads);
+      std::atomic<int64_t> accepted{0};
+      Stopwatch timer;
+      pool.ParallelFor(purchases, [&](int i) {
+        serve::PurchaseOutcome outcome = sharded.Purchase(
+            queries[static_cast<size_t>(i) % num_queries], purchase_v[i]);
+        if (outcome.accepted) accepted.fetch_add(1, std::memory_order_relaxed);
+      });
+      spurchase_seconds = timer.ElapsedSeconds();
+      spurchase_accepted = accepted.load();
+    }
+    recorder.Add(instance_name, "purchases-sharded", spurchase_seconds,
+                 static_cast<int>(spurchase_accepted), sbook_revenue);
+    std::cout << StrFormat(
+        "sharded purchases: %d on %d thread(s) in %.3fs (%.0f/s, %d "
+        "accepted)\n",
+        purchases, purchase_threads, spurchase_seconds,
+        spurchase_seconds > 0 ? purchases / spurchase_seconds : 0.0,
+        static_cast<int>(spurchase_accepted));
+
+    double sreprice_seconds = 0.0;
+    probe_mark = sharded.stats().merged.build_seconds;
+    for (int b = 0; b < batches; ++b) {
+      int begin = initial + b * batch;
+      int end = std::min(initial + arrivals, begin + batch);
+      std::vector<db::BoundQuery> q(queries.begin() + begin,
+                                    queries.begin() + end);
+      core::Valuations v(arrival_v.begin() + (begin - initial),
+                         arrival_v.begin() + (end - initial));
+      Stopwatch timer;
+      QP_CHECK_OK(sharded.AppendBuyers(q, v));
+      sreprice_seconds += timer.ElapsedSeconds();
+    }
+    sstats = sharded.stats();
+    sreprice_seconds =
+        std::max(0.0, sreprice_seconds -
+                          (sstats.merged.build_seconds - probe_mark));
+    int sreprice_lps = sstats.merged.total_lps_solved - ssolve_lps;
+    recorder.Add(instance_name, "reprice-sharded", sreprice_seconds,
+                 sreprice_lps, sharded.snapshot().best_revenue());
+    std::cout << StrFormat(
+        "sharded reprice: %d batches in %.3fs, %d LPs (%.2fx monolithic "
+        "reprice latency; %llu cross-shard appends)\n",
+        batches, sreprice_seconds, sreprice_lps,
+        sreprice_seconds > 0 ? reprice_seconds / sreprice_seconds : 0.0,
+        static_cast<unsigned long long>(sstats.cross_shard_appends));
+  }
 
   serve::EngineStats stats = engine.stats();
   std::cout << StrFormat(

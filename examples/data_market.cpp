@@ -1,8 +1,11 @@
-// End-to-end data market on the world dataset, served by the stateful
-// pricing engine: generate the seller's database, stand up a
-// serve::PricingEngine over a Qirana-style support set, let buyers arrive
-// with SQL queries (posted-price purchases against the published book),
-// then grow the market with a late buyer batch and reprice incrementally.
+// End-to-end data market on the world dataset, served by the SHARDED
+// pricing stack: generate the seller's database, partition a Qirana-style
+// support set into item-disjoint shards seeded with the expected buyer
+// workload (market::SupportPartitioner), stand up a
+// serve::ShardedPricingEngine — N PricingEngine shards behind a merging
+// router, all sharing one const database — let buyers arrive with SQL
+// queries (posted-price purchases against the merged book), then grow the
+// market with a late buyer batch repriced shard-locally in parallel.
 //
 //   ./build/examples/data_market
 #include <iostream>
@@ -13,7 +16,8 @@
 #include "core/bounds.h"
 #include "db/parser.h"
 #include "market/support.h"
-#include "serve/pricing_engine.h"
+#include "market/support_partitioner.h"
+#include "serve/sharded_engine.h"
 #include "workloads/world.h"
 
 int main() {
@@ -47,30 +51,67 @@ int main() {
     return *q;
   };
 
-  // Qirana-style support set: 2000 neighboring databases; the engine owns
-  // the market end-to-end from here.
-  Rng rng(7);
-  auto support = market::GenerateSupport(
-      *world.database, {.size = 2000, .max_retries = 32}, rng);
-  QP_CHECK_OK(support.status());
-  serve::PricingEngine engine(world.database.get(), *support, {});
-
-  // Act 1: the initial buyer cohort arrives; the broker prices the market
-  // and posts a price book.
   std::vector<db::BoundQuery> queries;
   core::Valuations valuations;
   for (const Buyer& buyer : buyers) {
     queries.push_back(parse(buyer.sql));
     valuations.push_back(buyer.valuation);
   }
-  QP_CHECK_OK(engine.AppendBuyers(queries, valuations));
-  auto book = engine.snapshot();
-  std::cout << "Hypergraph: " << engine.hypergraph().StatsString()
-            << "\nPrice book v" << book->version() << " serves "
-            << book->best().algorithm << " (book revenue "
-            << StrFormat("%.2f", book->best().revenue) << ")\n\n";
+  std::vector<db::BoundQuery> late = {
+      parse("select distinct Continent from Country"),
+      parse("select Name from City where Population > 5000000"),
+  };
 
-  // Act 2: the same buyers purchase at posted prices.
+  // Qirana-style support set: 2000 neighboring databases, partitioned
+  // into item-disjoint shards. Seeding the partitioner with the expected
+  // workload (initial + late queries) keeps every conflict set inside
+  // one shard, so shard books compose into the global book exactly.
+  Rng rng(7);
+  auto support = market::GenerateSupport(
+      *world.database, {.size = 2000, .max_retries = 32}, rng);
+  QP_CHECK_OK(support.status());
+  std::vector<db::BoundQuery> corpus = queries;
+  corpus.insert(corpus.end(), late.begin(), late.end());
+  market::SupportPartition partition = market::SupportPartitioner::FromQueries(
+      world.database.get(), *support, corpus, {.num_threads = 2},
+      {.num_shards = 3});
+  std::cout << "Support: " << partition.num_items() << " deltas over "
+            << partition.num_shards << " shards (";
+  for (int s = 0; s < partition.num_shards; ++s) {
+    std::cout << (s ? "/" : "") << partition.shard_items[s].size();
+  }
+  std::cout << " items)\n";
+
+  // Partitioning already probed every corpus query's conflict set
+  // (partition.seed_edges) — probing is the dominant cost, so the
+  // appends below reuse those edges instead of re-probing.
+  std::vector<std::vector<uint32_t>> initial_edges(
+      partition.seed_edges.begin(),
+      partition.seed_edges.begin() + static_cast<long>(queries.size()));
+  std::vector<std::vector<uint32_t>> late_edges(
+      partition.seed_edges.begin() + static_cast<long>(queries.size()),
+      partition.seed_edges.end());
+
+  serve::ShardedEngineOptions options;
+  options.num_threads = 3;  // appends/solves fan across the shards
+  serve::ShardedPricingEngine engine(world.database.get(), partition, options);
+
+  // Act 1: the initial buyer cohort arrives; every shard prices its
+  // sub-market in parallel and the router serves the merged book.
+  QP_CHECK_OK(engine.AppendBuyersPrecomputed(initial_edges, valuations));
+  serve::MergedBookView book = engine.snapshot();
+  serve::ShardedEngineStats stats = engine.stats();
+  std::cout << "Merged book v" << book.version() << " (merged revenue "
+            << StrFormat("%.2f", book.best_revenue()) << "; per shard:";
+  for (int s = 0; s < engine.num_shards(); ++s) {
+    std::cout << " " << book.shard(s).best().algorithm << " "
+              << StrFormat("%.2f", book.shard(s).best().revenue);
+  }
+  std::cout << ")\n\n";
+
+  // Act 2: the same buyers purchase at posted prices (global conflict
+  // probe through the router's prepared-query cache, additive quote
+  // across owning shards, atomic sale accounting).
   TablePrinter table({"buyer query", "valuation", "price", "sold"});
   for (size_t i = 0; i < buyers.size(); ++i) {
     serve::PurchaseOutcome outcome =
@@ -82,34 +123,42 @@ int main() {
                   outcome.accepted ? "yes" : "no"});
   }
   table.Print(std::cout);
-  serve::EngineStats stats = engine.stats();
-  std::cout << "\nBroker revenue: " << StrFormat("%.2f", stats.sale_revenue)
-            << " / " << StrFormat("%.2f", core::SumOfValuations(valuations))
-            << " (sum of valuations), " << stats.purchases_accepted << "/"
-            << stats.purchases << " sales\n\n";
+  stats = engine.stats();
+  std::cout << "\nBroker revenue: "
+            << StrFormat("%.2f", stats.merged.sale_revenue) << " / "
+            << StrFormat("%.2f", core::SumOfValuations(valuations))
+            << " (sum of valuations), " << stats.merged.purchases_accepted
+            << "/" << stats.merged.purchases << " sales, "
+            << stats.cross_shard_quotes << " cross-shard quotes\n";
 
-  // Act 3: the market evolves — two bargain hunters arrive, and the
-  // broker repricing incrementally reuses most of the solved book.
-  std::vector<db::BoundQuery> late = {
-      parse("select distinct Continent from Country"),
-      parse("select Name from City where Population > 5000000"),
-  };
-  QP_CHECK_OK(engine.AppendBuyers(late, {2.0, 3.5}));
+  // A returning buyer re-prices the same SQL: the probe reuses the
+  // router's prepared-query state instead of re-preparing.
+  engine.Purchase(queries[0], buyers[0].valuation);
+  stats = engine.stats();
+  std::cout << "Returning buyer re-quoted; prepared-query cache: "
+            << stats.merged.prepared.hits << " hit(s) / "
+            << stats.merged.prepared.misses << " misses\n\n";
+
+  // Act 3: the market evolves — two bargain hunters arrive (their
+  // conflict sets were probed during partitioning too). Only the shards
+  // owning them reprice (incrementally); the rest keep serving their
+  // generation untouched.
+  QP_CHECK_OK(engine.AppendBuyersPrecomputed(late_edges, {2.0, 3.5}));
   book = engine.snapshot();
   stats = engine.stats();
-  std::cout << "Two late buyers arrive -> price book v" << book->version()
-            << " republished in "
-            << StrFormat("%.1f ms", 1e3 * stats.last_reprice.seconds) << ": "
-            << stats.last_reprice.lpip_reused << "/"
-            << stats.last_reprice.lpip_candidates
-            << " LPIP thresholds reused, " << stats.last_reprice.lps_solved
-            << " LPs solved\n";
+  std::cout << "Two late buyers arrive -> merged book v" << book.version()
+            << " (" << stats.cross_shard_appends << " cross-shard appends; "
+            << "last generations: "
+            << stats.merged.last_reprice.lpip_reused << "/"
+            << stats.merged.last_reprice.lpip_candidates
+            << " LPIP thresholds reused, " << stats.merged.last_reprice.lps_solved
+            << " LPs solved across shards)\n";
   for (size_t i = 0; i < late.size(); ++i) {
-    serve::Quote quote = engine.QuoteBundle(
-        engine.hypergraph().edge(static_cast<int>(queries.size() + i)));
+    serve::PurchaseOutcome outcome = engine.Purchase(late[i], 1e9);
     std::cout << "  late buyer " << i + 1 << " quoted "
-              << StrFormat("%.2f", quote.price) << " (book v" << quote.version
-              << ", " << quote.algorithm << ")\n";
+              << StrFormat("%.2f", outcome.quote.price) << " (merged book v"
+              << outcome.quote.version << ", " << outcome.quote.algorithm
+              << ")\n";
   }
   return 0;
 }

@@ -1,0 +1,32 @@
+#include "core/book_merge.h"
+
+#include <algorithm>
+
+namespace qp::core {
+
+double AdditivePrice(const std::vector<double>& shard_prices) {
+  double total = 0.0;
+  for (double price : shard_prices) total += price;
+  return total;
+}
+
+std::string MergeAlgorithmLabels(const std::vector<std::string>& labels) {
+  std::string merged;
+  std::vector<const std::string*> seen;
+  for (const std::string& label : labels) {
+    bool duplicate = false;
+    for (const std::string* s : seen) {
+      if (*s == label) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    seen.push_back(&label);
+    if (!merged.empty()) merged += '+';
+    merged += label;
+  }
+  return merged;
+}
+
+}  // namespace qp::core

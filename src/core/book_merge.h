@@ -1,0 +1,34 @@
+// Book-merge helpers for sharded serving (serve::ShardedPricingEngine).
+//
+// Conflict-set hypergraphs over item-disjoint support shards never share
+// edges, so per-shard price books compose into the global book: a bundle
+// that spans shards is priced *additively* — the sum of each owning
+// shard's price for its local sub-bundle. Each shard pricing is monotone
+// and subadditive (paper Theorem 1), and both properties are closed under
+// the disjoint additive composition, so the merged pricing stays
+// arbitrage-free. These helpers pin the merge arithmetic the router
+// depends on: sums in ascending shard order (bit-deterministic regardless
+// of which thread produced which part) and a canonical serving-algorithm
+// label for cross-shard quotes.
+#ifndef QP_CORE_BOOK_MERGE_H_
+#define QP_CORE_BOOK_MERGE_H_
+
+#include <string>
+#include <vector>
+
+namespace qp::core {
+
+/// Sum of per-shard bundle prices, accumulated in index (= ascending
+/// shard) order. The fixed order is the determinism contract: the same
+/// parts always produce the same bits, independent of thread schedule.
+double AdditivePrice(const std::vector<double>& shard_prices);
+
+/// Canonical label for a quote assembled from several shards' serving
+/// algorithms: the shared name when every part agrees ("LPIP"), otherwise
+/// the distinct names joined with '+' in first-appearance (= shard)
+/// order ("LPIP+CIP"). Empty input yields "".
+std::string MergeAlgorithmLabels(const std::vector<std::string>& labels);
+
+}  // namespace qp::core
+
+#endif  // QP_CORE_BOOK_MERGE_H_

@@ -61,6 +61,19 @@ struct RepriceStats {
   /// CIP capacity-grid size (every capacity re-solves; see header note).
   int cip_capacities = 0;
   double seconds = 0.0;
+
+  /// Field-wise sum, used by the sharded router to report one generation's
+  /// cost across shards (seconds add up even when shards solved in
+  /// parallel wall-clock — this is total work, not latency).
+  RepriceStats& Merge(const RepriceStats& other) {
+    lps_solved += other.lps_solved;
+    lpip_candidates += other.lpip_candidates;
+    lpip_reused += other.lpip_reused;
+    lpip_winner_refreshes += other.lpip_winner_refreshes;
+    cip_capacities += other.cip_capacities;
+    seconds += other.seconds;
+    return *this;
+  }
 };
 
 /// Cross-generation state retained between pricing calls. Owned by one

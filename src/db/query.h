@@ -56,7 +56,11 @@ struct SelectItem {
 /// two-table queries must have an equi-join pair (join_left from table 0,
 /// join_right from table 1, both as flat indices).
 struct BoundQuery {
-  std::string text;  // original SQL when parsed; informational
+  /// Original SQL when parsed; empty for programmatically built queries.
+  /// Also the prepared-probe cache key (market::PreparedQueryCache): when
+  /// non-empty it must uniquely identify the query's structure, so clear
+  /// it if you mutate a parsed query's fields.
+  std::string text;
 
   std::vector<int> table_indices;
   std::vector<int> column_offsets;  // flat offset of each table's columns

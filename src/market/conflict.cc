@@ -516,6 +516,12 @@ std::vector<uint32_t> ConflictSetEngine::ConflictSet(
     const db::BoundQuery& query, const SupportSet& support,
     Stats& stats) const {
   PreparedConflictQuery prepared(*db_, query);
+  return ConflictSet(prepared, support, stats);
+}
+
+std::vector<uint32_t> ConflictSetEngine::ConflictSet(
+    const PreparedConflictQuery& prepared, const SupportSet& support,
+    Stats& stats) const {
   Stats local;
   if (prepared.is_fallback()) ++local.fallback_queries;
   std::vector<uint32_t> conflicts;

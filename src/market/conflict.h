@@ -109,6 +109,15 @@ class ConflictSetEngine {
                                     const SupportSet& support,
                                     Stats& stats) const;
 
+  /// Same, probing through caller-supplied prepared state (e.g. from a
+  /// PreparedQueryCache) instead of preparing per call. Bit-identical to
+  /// the preparing overloads — prepared state is a pure function of
+  /// (db, query) — including the accounting: fallback_queries counts once
+  /// per answered query, cached or not.
+  std::vector<uint32_t> ConflictSet(const PreparedConflictQuery& prepared,
+                                    const SupportSet& support,
+                                    Stats& stats) const;
+
   /// Exact snapshot of the totals across every probe through this engine
   /// (atomic accumulation: no lost updates under concurrency).
   Stats stats() const {

@@ -1,5 +1,6 @@
 #include "market/incremental_builder.h"
 
+#include <memory>
 #include <utility>
 
 #include "common/stopwatch.h"
@@ -14,34 +15,51 @@ IncrementalBuilder::IncrementalBuilder(const db::Database* db,
       support_(std::move(support)),
       options_(options),
       engine_(db),
+      prepared_cache_(db),
       hypergraph_(static_cast<uint32_t>(support_.size())) {}
 
 int IncrementalBuilder::Append(const std::vector<db::BoundQuery>& queries) {
+  return AppendEdges(ComputeConflictSets(queries));
+}
+
+std::vector<std::vector<uint32_t>> IncrementalBuilder::ComputeConflictSets(
+    const std::vector<db::BoundQuery>& queries) {
   Stopwatch timer;
-  const int first = hypergraph_.num_edges();
   const int count = static_cast<int>(queries.size());
 
   // Fan the queries out into per-index slots; probing is read-only over
   // the shared database, so the workers share it without synchronization.
-  std::vector<std::vector<uint32_t>> edges(count);
-  std::vector<ConflictSetEngine::Stats> slot_stats(count);
+  // Index-ordered stats reduction after the join keeps the merged
+  // accounting identical for every thread count.
+  std::vector<std::vector<uint32_t>> edges(static_cast<size_t>(count));
+  std::vector<ConflictSetEngine::Stats> slot_stats(static_cast<size_t>(count));
   common::ThreadPool pool(options_.num_threads);
   pool.ParallelFor(count, [&](int i) {
     if (options_.incremental) {
-      edges[i] = engine_.ConflictSet(queries[i], support_, slot_stats[i]);
+      std::shared_ptr<const PreparedConflictQuery> prepared =
+          prepared_cache_.GetOrPrepare(queries[static_cast<size_t>(i)]);
+      edges[static_cast<size_t>(i)] =
+          engine_.ConflictSet(*prepared, support_,
+                              slot_stats[static_cast<size_t>(i)]);
     } else {
-      edges[i] = NaiveConflictSet(*db_, queries[i], support_);
+      edges[static_cast<size_t>(i)] =
+          NaiveConflictSet(*db_, queries[static_cast<size_t>(i)], support_);
     }
   });
-
-  // Index-ordered reduction: edges append in arrival order and stats
-  // merge in the same order, so the result is identical for every
-  // thread count.
-  conflict_sets_.reserve(conflict_sets_.size() + queries.size());
   for (int i = 0; i < count; ++i) {
-    hypergraph_.AddEdge(edges[i]);
-    conflict_sets_.push_back(std::move(edges[i]));
-    build_stats_.Merge(slot_stats[i]);
+    build_stats_.Merge(slot_stats[static_cast<size_t>(i)]);
+  }
+  seconds_ += timer.ElapsedSeconds();
+  return edges;
+}
+
+int IncrementalBuilder::AppendEdges(std::vector<std::vector<uint32_t>> edges) {
+  Stopwatch timer;
+  const int first = hypergraph_.num_edges();
+  conflict_sets_.reserve(conflict_sets_.size() + edges.size());
+  for (std::vector<uint32_t>& edge : edges) {
+    hypergraph_.AddEdge(edge);
+    conflict_sets_.push_back(std::move(edge));
   }
   seconds_ += timer.ElapsedSeconds();
   return first;
@@ -49,8 +67,11 @@ int IncrementalBuilder::Append(const std::vector<db::BoundQuery>& queries) {
 
 std::vector<uint32_t> IncrementalBuilder::ConflictSetFor(
     const db::BoundQuery& query) const {
-  return options_.incremental ? engine_.ConflictSet(query, support_)
-                              : NaiveConflictSet(*db_, query, support_);
+  if (!options_.incremental) return NaiveConflictSet(*db_, query, support_);
+  std::shared_ptr<const PreparedConflictQuery> prepared =
+      prepared_cache_.GetOrPrepare(query);
+  ConflictSetEngine::Stats ignored;
+  return engine_.ConflictSet(*prepared, support_, ignored);
 }
 
 }  // namespace qp::market

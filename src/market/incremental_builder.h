@@ -23,6 +23,7 @@
 #include "db/database.h"
 #include "db/query.h"
 #include "market/conflict.h"
+#include "market/prepared_cache.h"
 #include "market/support.h"
 
 namespace qp::market {
@@ -50,10 +51,37 @@ class IncrementalBuilder {
   /// Returns the index of the first appended edge. Writer-side.
   int Append(const std::vector<db::BoundQuery>& queries);
 
+  /// Probe half of Append: the conflict sets of `queries`, in query
+  /// order, fanned out over options.num_threads with an index-ordered
+  /// stats reduction — without growing the hypergraph. The sharded router
+  /// probes once against the *global* support through this and routes the
+  /// resulting edges to shard-local builders. Writer-side (accumulates
+  /// build stats and seconds).
+  std::vector<std::vector<uint32_t>> ComputeConflictSets(
+      const std::vector<db::BoundQuery>& queries);
+
+  /// Append half: adds one pre-computed edge per entry, in order (items
+  /// are indices into this builder's support). Returns the index of the
+  /// first appended edge. Writer-side.
+  int AppendEdges(std::vector<std::vector<uint32_t>> edges);
+
   /// Conflict set of a query *without* appending an edge — the engine's
   /// Purchase path prices exactly the bundle the buyer would receive.
   /// Read-only and thread-safe, including concurrently with one Append.
+  /// Repeat queries (by SQL text) share prepared probing state through
+  /// the builder's PreparedQueryCache.
   std::vector<uint32_t> ConflictSetFor(const db::BoundQuery& query) const;
+
+  /// Drops cached prepared probing state; required after the seller
+  /// actually edits data (market::ApplyDelta), since prepared state bakes
+  /// in row contents. Safe concurrently with readers; do not call while
+  /// the database contents are mid-edit under active probes.
+  void InvalidatePreparedQueries() { prepared_cache_.Invalidate(); }
+
+  /// Hit/miss/invalidation counters of the prepared-query cache.
+  PreparedQueryCache::Stats prepared_stats() const {
+    return prepared_cache_.stats();
+  }
 
   const core::Hypergraph& hypergraph() const { return hypergraph_; }
   /// Mutable access for callers that move the built state out (the
@@ -83,6 +111,7 @@ class IncrementalBuilder {
   SupportSet support_;
   BuildOptions options_;
   ConflictSetEngine engine_;
+  PreparedQueryCache prepared_cache_;
   core::Hypergraph hypergraph_;
   std::vector<std::vector<uint32_t>> conflict_sets_;
   ConflictSetEngine::Stats build_stats_;

@@ -1,0 +1,48 @@
+#include "market/prepared_cache.h"
+
+#include <mutex>
+#include <utility>
+
+namespace qp::market {
+
+std::shared_ptr<const PreparedConflictQuery> PreparedQueryCache::GetOrPrepare(
+    const db::BoundQuery& query) const {
+  // The caller sees only the prepared state; the aliasing shared_ptr
+  // keeps the whole entry — including the query copy the prepared state
+  // references — alive for as long as any probe holds it (even across a
+  // concurrent Invalidate).
+  auto view = [](std::shared_ptr<const Entry> entry) {
+    const PreparedConflictQuery* prepared = &entry->prepared;
+    return std::shared_ptr<const PreparedConflictQuery>(std::move(entry),
+                                                        prepared);
+  };
+  if (query.text.empty()) {
+    // Uncacheable (no stable key): prepare fresh, count the miss so the
+    // engine's stats still show what a cache key would have saved.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return view(std::make_shared<const Entry>(*db_, query));
+  }
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = entries_.find(query.text);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return view(it->second);
+    }
+  }
+  // Prepare outside any lock (construction is the expensive part), then
+  // race to insert; the first writer wins and everyone shares its entry.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  auto entry = std::make_shared<const Entry>(*db_, query);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto [it, inserted] = entries_.emplace(query.text, std::move(entry));
+  return view(it->second);
+}
+
+void PreparedQueryCache::Invalidate() {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  entries_.clear();
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace qp::market

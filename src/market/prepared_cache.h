@@ -1,0 +1,107 @@
+// Keyed cache of prepared conflict-probing state (ROADMAP: "Prepared-query
+// cache for Purchase").
+//
+// Every conflict-set computation starts by building a
+// PreparedConflictQuery — per-row contribution hashes, group aggregate
+// states, join indexes — against the database's current contents. That
+// state is immutable and thread-safe to probe, so repeat queries (the
+// serving engine's Purchase traffic is dominated by them) can share one
+// prepared instance instead of re-preparing per call. The cache key is
+// the query's SQL text (db::BoundQuery::text); programmatically built
+// queries with empty text are prepared fresh every time and counted as
+// misses, never inserted.
+//
+// KEY CONTRACT: a non-empty text must uniquely identify the query's
+// structure. Parser-produced queries satisfy this (text is the SQL that
+// produced them); a caller that mutates a parsed BoundQuery (predicate,
+// limit, select list, ...) MUST clear `text`, or the mutated query will
+// silently reuse the original's prepared state. The same rule is
+// documented at db::BoundQuery::text.
+//
+// Concurrency: lookups take a shared lock, inserts an exclusive lock, and
+// the counters are atomic — safe from any number of prober threads.
+// Invalidate() drops every entry; call it when the seller actually edits
+// data (market::ApplyDelta), since prepared state bakes in row contents.
+// Cached probes are bit-identical to fresh ones (the prepared state is a
+// pure function of (db, query)), so hit/miss behavior never changes
+// conflict sets or probe accounting.
+#ifndef QP_MARKET_PREPARED_CACHE_H_
+#define QP_MARKET_PREPARED_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "db/database.h"
+#include "db/query.h"
+#include "market/conflict.h"
+
+namespace qp::market {
+
+class PreparedQueryCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;
+
+    Stats& Merge(const Stats& other) {
+      hits += other.hits;
+      misses += other.misses;
+      invalidations += other.invalidations;
+      return *this;
+    }
+  };
+
+  /// `db` must outlive the cache; its contents must not change between
+  /// Invalidate() calls.
+  explicit PreparedQueryCache(const db::Database* db) : db_(db) {}
+
+  /// Returns the cached prepared state for `query` (keyed by its SQL
+  /// text), preparing and inserting on miss. Thread-safe. When two
+  /// threads miss the same key at once, the first insert wins and both
+  /// share it afterwards. PreparedConflictQuery only *references* the
+  /// query it was built from, so each entry owns a copy of the query and
+  /// the returned pointer keeps that copy alive (aliasing shared_ptr) —
+  /// callers may drop their BoundQuery immediately.
+  std::shared_ptr<const PreparedConflictQuery> GetOrPrepare(
+      const db::BoundQuery& query) const;
+
+  /// Drops every cached entry (seller data edit). Thread-safe; in-flight
+  /// probes holding a shared_ptr finish against the state they pinned.
+  void Invalidate();
+
+  Stats stats() const {
+    Stats out;
+    out.hits = hits_.load(std::memory_order_relaxed);
+    out.misses = misses_.load(std::memory_order_relaxed);
+    out.invalidations = invalidations_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+ private:
+  /// Query copy + prepared state with matching lifetime: `prepared`
+  /// holds a reference to `query`, so the pair lives and dies together.
+  struct Entry {
+    db::BoundQuery query;
+    PreparedConflictQuery prepared;
+
+    Entry(const db::Database& db, const db::BoundQuery& q)
+        : query(q), prepared(db, query) {}
+  };
+
+  const db::Database* db_;
+  mutable std::shared_mutex mutex_;
+  mutable std::unordered_map<std::string, std::shared_ptr<const Entry>>
+      entries_;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> invalidations_{0};
+};
+
+}  // namespace qp::market
+
+#endif  // QP_MARKET_PREPARED_CACHE_H_

@@ -34,6 +34,43 @@ Status PricingEngine::AppendBuyers(const std::vector<db::BoundQuery>& queries,
   return Status::OK();
 }
 
+Status PricingEngine::AppendBuyersPrecomputed(
+    std::vector<std::vector<uint32_t>> conflict_sets,
+    const core::Valuations& valuations) {
+  if (conflict_sets.size() != valuations.size()) {
+    return Status::InvalidArgument(
+        "AppendBuyersPrecomputed: one valuation per conflict set required");
+  }
+  const uint32_t num_items = builder_.hypergraph().num_items();
+  for (const std::vector<uint32_t>& edge : conflict_sets) {
+    for (uint32_t item : edge) {
+      if (item >= num_items) {
+        return Status::InvalidArgument(
+            "AppendBuyersPrecomputed: item index outside this engine's "
+            "support");
+      }
+    }
+  }
+  if (conflict_sets.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  int first_new_edge = builder_.AppendEdges(std::move(conflict_sets));
+  valuations_.insert(valuations_.end(), valuations.begin(), valuations.end());
+  RepriceAndPublish(first_new_edge);
+  return Status::OK();
+}
+
+Status PricingEngine::ApplySellerDelta(db::Database& db,
+                                       const market::CellDelta& delta) {
+  if (&db != db_) {
+    return Status::InvalidArgument(
+        "ApplySellerDelta: database is not this engine's database");
+  }
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  market::ApplyDelta(db, delta);
+  builder_.InvalidatePreparedQueries();
+  return Status::OK();
+}
+
 void PricingEngine::RepriceAndPublish(int first_new_edge) {
   const core::Hypergraph& hypergraph = builder_.hypergraph();
   std::vector<core::PricingResult> results;
@@ -110,6 +147,7 @@ EngineStats PricingEngine::stats() const {
   out.build_seconds = builder_.seconds();
   out.conflict = builder_.stats();
   out.incidence = builder_.hypergraph().incidence_maintenance();
+  out.prepared = builder_.prepared_stats();
   return out;
 }
 

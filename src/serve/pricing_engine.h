@@ -89,6 +89,9 @@ struct EngineStats {
   /// exact under concurrent Purchase traffic).
   market::ConflictSetEngine::Stats conflict;
   core::Hypergraph::IncidenceMaintenance incidence;
+  /// Prepared-query cache counters (repeat Purchase/append queries share
+  /// prepared probing state; invalidated by ApplySellerDelta).
+  market::PreparedQueryCache::Stats prepared;
 };
 
 class PricingEngine {
@@ -105,6 +108,17 @@ class PricingEngine {
   /// Serialized internally; safe to call while readers quote/purchase.
   Status AppendBuyers(const std::vector<db::BoundQuery>& queries,
                       const core::Valuations& valuations);
+
+  /// Writer path for callers that already hold the buyers' conflict sets
+  /// (items are indices into this engine's support): appends one edge +
+  /// valuation per buyer without probing, reprices, and publishes. The
+  /// sharded router probes once against the global support and feeds each
+  /// shard its local sub-edges through this — conflict sets are a pure
+  /// function of (db, query, support), so a shard fed precomputed edges
+  /// publishes exactly the book it would publish probing them itself.
+  Status AppendBuyersPrecomputed(
+      std::vector<std::vector<uint32_t>> conflict_sets,
+      const core::Valuations& valuations);
 
   /// Current book; lock-free. Hold the returned pointer to keep pricing
   /// against one consistent generation.
@@ -129,6 +143,20 @@ class PricingEngine {
   /// the market; feed accepted buyers to AppendBuyers when their
   /// valuations should shape future prices.
   PurchaseOutcome Purchase(const db::BoundQuery& query, double valuation);
+
+  /// The seller edits one cell. `db` must be the engine's own database
+  /// (mutable access stays with the owner; the engine only checks
+  /// identity). Applies the delta and invalidates the prepared-query
+  /// cache — prepared probing state bakes in row contents. The caller
+  /// must quiesce probes (Purchase, AppendBuyers) around the edit: data
+  /// changes race in-flight probes by nature. Published books and stored
+  /// conflict sets still describe the pre-edit market; rebuilding them is
+  /// the persistence/rebuild follow-on tracked in ROADMAP.md.
+  Status ApplySellerDelta(db::Database& db, const market::CellDelta& delta);
+
+  /// Drops cached prepared probing state without editing data (e.g. the
+  /// seller edited the database out of band).
+  void InvalidatePreparedQueries() { builder_.InvalidatePreparedQueries(); }
 
   EngineStats stats() const;
 

@@ -1,0 +1,278 @@
+#include "serve/sharded_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "core/book_merge.h"
+#include "core/pricing.h"
+
+namespace qp::serve {
+
+uint64_t MergedBookView::version() const {
+  uint64_t total = 0;
+  for (const auto& book : books_) total += book->version();
+  return total;
+}
+
+double MergedBookView::best_revenue() const {
+  std::vector<double> parts;
+  parts.reserve(books_.size());
+  for (const auto& book : books_) {
+    parts.push_back(book->num_edges() > 0 ? book->best().revenue : 0.0);
+  }
+  return core::AdditivePrice(parts);
+}
+
+Quote MergedBookView::QuoteBundle(const std::vector<uint32_t>& bundle,
+                                  int* touched_shards) const {
+  std::vector<std::vector<uint32_t>> parts = partition_->SplitBundle(bundle);
+  std::vector<double> prices;
+  std::vector<std::string> labels;
+  for (size_t s = 0; s < books_.size(); ++s) {
+    if (parts[s].empty()) continue;
+    Quote part = books_[s]->QuoteBundle(parts[s]);
+    prices.push_back(part.price);
+    labels.push_back(std::move(part.algorithm));
+  }
+  if (touched_shards != nullptr) {
+    *touched_shards = static_cast<int>(prices.size());
+  }
+  if (labels.empty()) {
+    // Nothing touched (empty bundle): report the serving algorithms of
+    // every shard so a one-shard router matches the monolithic engine's
+    // empty-bundle quote exactly.
+    for (const auto& book : books_) labels.push_back(book->best().algorithm);
+  }
+  Quote quote;
+  quote.price = core::AdditivePrice(prices);
+  quote.version = version();
+  quote.algorithm = core::MergeAlgorithmLabels(labels);
+  return quote;
+}
+
+ShardedPricingEngine::ShardedPricingEngine(const db::Database* db,
+                                           market::SupportPartition partition,
+                                           ShardedEngineOptions options)
+    : db_(db),
+      partition_(std::move(partition)),
+      options_(std::move(options)),
+      prober_(db, partition_.support,
+              [&] {
+                // The router's probe fan-out width is the router's thread
+                // budget, not the per-shard build width.
+                market::BuildOptions build = options_.engine.build;
+                build.num_threads = options_.num_threads;
+                return build;
+              }()) {
+  shards_.reserve(static_cast<size_t>(partition_.num_shards));
+  for (int s = 0; s < partition_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<PricingEngine>(
+        db_, partition_.shard_support[static_cast<size_t>(s)],
+        options_.engine));
+  }
+  shard_edge_counts_.assign(shards_.size(), 0);
+}
+
+Status ShardedPricingEngine::AppendBuyers(
+    const std::vector<db::BoundQuery>& queries,
+    const core::Valuations& valuations) {
+  if (queries.size() != valuations.size()) {
+    return Status::InvalidArgument(
+        "AppendBuyers: one valuation per query required");
+  }
+  if (queries.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  // One probe per query against the GLOBAL support — the same probe work
+  // the monolithic engine would do — fanned over the router's threads.
+  return AppendRouted(prober_.ComputeConflictSets(queries), valuations);
+}
+
+Status ShardedPricingEngine::AppendBuyersPrecomputed(
+    std::vector<std::vector<uint32_t>> conflict_sets,
+    const core::Valuations& valuations) {
+  if (conflict_sets.size() != valuations.size()) {
+    return Status::InvalidArgument(
+        "AppendBuyersPrecomputed: one valuation per conflict set required");
+  }
+  const uint32_t num_items = partition_.num_items();
+  for (const std::vector<uint32_t>& edge : conflict_sets) {
+    for (uint32_t item : edge) {
+      if (item >= num_items) {
+        return Status::InvalidArgument(
+            "AppendBuyersPrecomputed: item index outside the partitioned "
+            "support");
+      }
+    }
+  }
+  if (conflict_sets.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return AppendRouted(std::move(conflict_sets), valuations);
+}
+
+Status ShardedPricingEngine::AppendRouted(
+    std::vector<std::vector<uint32_t>> conflict_sets,
+    const core::Valuations& valuations) {
+  const size_t num_shards = shards_.size();
+  // Route serially in arrival order (the deterministic part), then fan
+  // the per-shard appends out (each shard's work is independent and
+  // internally thread-count-invariant).
+  std::vector<std::vector<std::vector<uint32_t>>> shard_edges(num_shards);
+  std::vector<core::Valuations> shard_valuations(num_shards);
+  for (size_t i = 0; i < conflict_sets.size(); ++i) {
+    std::vector<std::vector<uint32_t>> parts =
+        partition_.SplitBundle(conflict_sets[i]);
+    int touched = 0;
+    size_t owner = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (parts[s].empty()) continue;
+      ++touched;
+      if (parts[s].size() > parts[owner].size() || parts[owner].empty()) {
+        owner = s;
+      }
+    }
+    if (touched == 0) {
+      // Empty conflict set: place on the shard with the fewest edges so
+      // far (ties to the lowest id) so empty edges spread evenly.
+      for (size_t s = 1; s < num_shards; ++s) {
+        if (shard_edge_counts_[s] < shard_edge_counts_[owner]) owner = s;
+      }
+    } else if (touched > 1) {
+      cross_shard_appends_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard_edges[owner].push_back(std::move(parts[owner]));
+    shard_valuations[owner].push_back(valuations[i]);
+    ++shard_edge_counts_[owner];
+  }
+
+  std::vector<Status> statuses(num_shards, Status::OK());
+  common::ThreadPool pool(options_.num_threads);
+  pool.ParallelFor(static_cast<int>(num_shards), [&](int s) {
+    auto us = static_cast<size_t>(s);
+    if (shard_edges[us].empty()) return;
+    statuses[us] = shards_[us]->AppendBuyersPrecomputed(
+        std::move(shard_edges[us]), shard_valuations[us]);
+  });
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+MergedBookView ShardedPricingEngine::snapshot() const {
+  std::vector<std::shared_ptr<const PriceBookSnapshot>> books;
+  books.reserve(shards_.size());
+  for (const auto& shard : shards_) books.push_back(shard->snapshot());
+  return MergedBookView(std::move(books), &partition_);
+}
+
+Quote ShardedPricingEngine::QuoteBundle(
+    const std::vector<uint32_t>& bundle) const {
+  MergedBookView view = snapshot();
+  quotes_served_.fetch_add(1, std::memory_order_relaxed);
+  int touched = 0;
+  Quote quote = view.QuoteBundle(bundle, &touched);
+  if (touched > 1) {
+    cross_shard_quotes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return quote;
+}
+
+std::vector<Quote> ShardedPricingEngine::QuoteBatch(
+    std::span<const std::vector<uint32_t>> bundles) const {
+  // One view pin (one snapshot load per shard) + one stats update for the
+  // whole batch; every quote carries the same merged generation.
+  MergedBookView view = snapshot();
+  quotes_served_.fetch_add(bundles.size(), std::memory_order_relaxed);
+  std::vector<Quote> quotes;
+  quotes.reserve(bundles.size());
+  uint64_t crossing = 0;
+  for (const std::vector<uint32_t>& bundle : bundles) {
+    int touched = 0;
+    quotes.push_back(view.QuoteBundle(bundle, &touched));
+    if (touched > 1) ++crossing;
+  }
+  if (crossing > 0) {
+    cross_shard_quotes_.fetch_add(crossing, std::memory_order_relaxed);
+  }
+  return quotes;
+}
+
+PurchaseOutcome ShardedPricingEngine::Purchase(const db::BoundQuery& query,
+                                               double valuation) {
+  PurchaseOutcome outcome;
+  outcome.valuation = valuation;
+  // Reader side end to end, like the monolithic engine: the global probe
+  // reads the const database through overlays (prepared state shared via
+  // the router's cache), the quote pins one view, and the sale lands in
+  // atomic counters.
+  outcome.bundle = prober_.ConflictSetFor(query);
+  MergedBookView view = snapshot();
+  int touched = 0;
+  outcome.quote = view.QuoteBundle(outcome.bundle, &touched);
+  if (touched > 1) {
+    cross_shard_quotes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  quotes_served_.fetch_add(1, std::memory_order_relaxed);
+  outcome.accepted = outcome.quote.price <= valuation + core::kSellTolerance;
+  purchases_.fetch_add(1, std::memory_order_relaxed);
+  if (outcome.accepted) {
+    purchases_accepted_.fetch_add(1, std::memory_order_relaxed);
+    sale_revenue_.fetch_add(outcome.quote.price, std::memory_order_relaxed);
+  }
+  return outcome;
+}
+
+Status ShardedPricingEngine::ApplySellerDelta(db::Database& db,
+                                              const market::CellDelta& delta) {
+  if (&db != db_) {
+    return Status::InvalidArgument(
+        "ApplySellerDelta: database is not this engine's database");
+  }
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  market::ApplyDelta(db, delta);
+  prober_.InvalidatePreparedQueries();
+  for (const auto& shard : shards_) shard->InvalidatePreparedQueries();
+  return Status::OK();
+}
+
+ShardedEngineStats ShardedPricingEngine::stats() const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  ShardedEngineStats out;
+  out.num_shards = num_shards();
+  out.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    EngineStats es = shard->stats();
+    out.merged.version += es.version;
+    out.merged.num_items += es.num_items;
+    out.merged.num_edges += es.num_edges;
+    out.merged.quotes_served += es.quotes_served;
+    out.merged.purchases += es.purchases;
+    out.merged.purchases_accepted += es.purchases_accepted;
+    out.merged.sale_revenue += es.sale_revenue;
+    out.merged.total_lps_solved += es.total_lps_solved;
+    out.merged.last_reprice.Merge(es.last_reprice);
+    out.merged.build_seconds += es.build_seconds;
+    out.merged.conflict.Merge(es.conflict);
+    out.merged.incidence.full_builds += es.incidence.full_builds;
+    out.merged.incidence.merges += es.incidence.merges;
+    out.merged.prepared.Merge(es.prepared);
+    out.shards.push_back(std::move(es));
+  }
+  // Router-side: the global prober's probe work and cache, plus the
+  // reader counters (shard engines never see router quotes/purchases).
+  out.merged.build_seconds += prober_.seconds();
+  out.merged.conflict.Merge(prober_.stats());
+  out.merged.prepared.Merge(prober_.prepared_stats());
+  out.merged.quotes_served += quotes_served_.load(std::memory_order_relaxed);
+  out.merged.purchases += purchases_.load(std::memory_order_relaxed);
+  out.merged.purchases_accepted +=
+      purchases_accepted_.load(std::memory_order_relaxed);
+  out.merged.sale_revenue += sale_revenue_.load(std::memory_order_relaxed);
+  out.cross_shard_appends =
+      cross_shard_appends_.load(std::memory_order_relaxed);
+  out.cross_shard_quotes = cross_shard_quotes_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace qp::serve

@@ -1,0 +1,215 @@
+// Sharded pricing engines behind a merging router.
+//
+// A ShardedPricingEngine owns N serve::PricingEngine shards, one per
+// support partition (market::SupportPartitioner). The shards share one
+// const db::Database — conflict probing is read-only, so no per-shard
+// copies — and each owns a shard-scoped support, hypergraph, valuations
+// and price book. Because the partition keeps every conflict edge inside
+// one shard, per-shard books compose into the global book additively
+// (core/book_merge.h), and the router stays thin:
+//
+//  * AppendBuyers probes every buyer query ONCE against the global
+//    support (the probe cost is identical to the monolithic engine's),
+//    routes each conflict set to its owning shard as local item ids, and
+//    fans the per-shard appends — conflict-set bookkeeping, incremental
+//    reprice, snapshot publish — across shards on common::ThreadPool.
+//    Routing is decided serially in arrival order before the fan-out, so
+//    published books are bit-identical for every thread count.
+//  * Readers pin a MergedBookView: one PriceBookSnapshot per shard, all
+//    loaded lock-free. A bundle of global item ids splits into per-shard
+//    local bundles; its price is the sum of the owning shards' quotes in
+//    ascending shard order (the additive cross-shard contract — each
+//    shard pricing is monotone subadditive, and the disjoint additive
+//    composition preserves both, so the merged pricing stays
+//    arbitrage-free). The view's version is the sum of shard versions,
+//    which is monotone across any shard's publish.
+//  * Purchase is reader-side end to end, exactly like the monolithic
+//    engine: global overlay probe (through the router's prepared-query
+//    cache), additive quote against a pinned view, atomic sale counters.
+//
+// Routing policy for conflict sets the partition does not respect (only
+// possible for queries outside the partitioner's seed corpus): the edge
+// is appended to the shard owning the most of its items (ties to the
+// lowest shard id) as that shard's local sub-edge, and
+// ShardedEngineStats::cross_shard_appends counts it. Quotes and
+// purchases always price the buyer's FULL global conflict set — pricing
+// never drops items; only the appended edge (which shapes future books)
+// is clipped to the primary shard. Empty conflict sets go to the shard
+// with the fewest edges so far (ties to the lowest id).
+//
+// Parity contract (tests/serve/sharded_engine_test.cc): with one shard
+// the router is bit-identical to the monolithic PricingEngine; with many
+// shards each shard is bit-identical to a monolithic engine running on
+// that shard's sub-instance, for every thread count. Against a single
+// monolithic engine on the full instance, per-algorithm revenue sums
+// agree within 1e-9 on instances whose per-shard optima align (e.g.
+// symmetric copies); in general per-shard optimization can only help, so
+// the merged serving book's revenue is >= the monolithic best.
+#ifndef QP_SERVE_SHARDED_ENGINE_H_
+#define QP_SERVE_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "market/incremental_builder.h"
+#include "market/support_partitioner.h"
+#include "serve/price_book.h"
+#include "serve/pricing_engine.h"
+
+namespace qp::serve {
+
+struct ShardedEngineOptions {
+  /// Forwarded to every shard (algorithm options, incremental reprice,
+  /// per-shard build options).
+  EngineOptions engine;
+  /// Threads for the router's own fan-outs: the global probe over buyer
+  /// queries in AppendBuyers and the per-shard append/solve/reprice fan.
+  /// Books are bit-identical for every value. <= 1 runs inline.
+  int num_threads = 1;
+};
+
+struct ShardedEngineStats {
+  int num_shards = 0;
+  /// Sums across shards plus the router's reader-side counters: version
+  /// is the sum of shard versions (the merged view's version),
+  /// quotes/purchases/sales are router-level, last_reprice is the
+  /// field-wise merge of every shard's last generation, conflict/prepared
+  /// fold the router's global prober into the shard totals.
+  EngineStats merged;
+  /// Per-shard engine stats, in shard order.
+  std::vector<EngineStats> shards;
+  /// Appends whose conflict set crossed shards (clipped to the primary
+  /// shard) and quotes priced across more than one shard.
+  uint64_t cross_shard_appends = 0;
+  uint64_t cross_shard_quotes = 0;
+};
+
+/// An immutable view over one pinned PriceBookSnapshot per shard.
+/// Holding the view keeps every shard's generation alive (the same RCU
+/// shape as a single snapshot); `partition` must outlive the view (it
+/// lives in the router). Lock-free to obtain and use.
+class MergedBookView {
+ public:
+  MergedBookView(std::vector<std::shared_ptr<const PriceBookSnapshot>> books,
+                 const market::SupportPartition* partition)
+      : books_(std::move(books)), partition_(partition) {}
+
+  int num_shards() const { return static_cast<int>(books_.size()); }
+  const PriceBookSnapshot& shard(int s) const {
+    return *books_[static_cast<size_t>(s)];
+  }
+
+  /// Sum of shard versions; monotone across any shard's publish.
+  uint64_t version() const;
+
+  /// Sum of per-shard best revenues, in shard order — the revenue of the
+  /// serving (merged) book.
+  double best_revenue() const;
+
+  /// Prices a bundle of *global* item ids additively across the owning
+  /// shards (ascending shard order). The quote's algorithm is the owning
+  /// shards' serving algorithms merged via core::MergeAlgorithmLabels
+  /// (all shards' labels when the bundle touches none). `touched_shards`,
+  /// when non-null, receives the number of shards the bundle hit.
+  Quote QuoteBundle(const std::vector<uint32_t>& bundle,
+                    int* touched_shards = nullptr) const;
+
+ private:
+  std::vector<std::shared_ptr<const PriceBookSnapshot>> books_;
+  const market::SupportPartition* partition_;
+};
+
+class ShardedPricingEngine {
+ public:
+  /// `db` must outlive the engine and is never written to (every shard
+  /// and the router's prober share it read-only). The partition fixes the
+  /// shard layout for the engine's lifetime; rebalancing is a ROADMAP
+  /// follow-on. Each shard publishes an empty generation immediately, so
+  /// readers can quote from construction.
+  ShardedPricingEngine(const db::Database* db,
+                       market::SupportPartition partition,
+                       ShardedEngineOptions options = {});
+
+  /// Writer path: one global probe per query, deterministic routing,
+  /// shard-parallel append + reprice + publish. Serialized internally;
+  /// safe to call while readers quote/purchase. On a shard failure the
+  /// first error in shard order is returned (other shards may have
+  /// published).
+  Status AppendBuyers(const std::vector<db::BoundQuery>& queries,
+                      const core::Valuations& valuations);
+
+  /// Same, for callers that already hold the buyers' conflict sets as
+  /// GLOBAL item ids (tests, replay): skips the probe, routes and fans
+  /// out identically.
+  Status AppendBuyersPrecomputed(
+      std::vector<std::vector<uint32_t>> conflict_sets,
+      const core::Valuations& valuations);
+
+  /// Pins one snapshot per shard; lock-free.
+  MergedBookView snapshot() const;
+
+  /// Prices a bundle of global item ids against a freshly pinned view;
+  /// lock-free.
+  Quote QuoteBundle(const std::vector<uint32_t>& bundle) const;
+
+  /// Prices many global bundles against ONE pinned view (a single
+  /// generation across the whole batch); lock-free.
+  std::vector<Quote> QuoteBatch(
+      std::span<const std::vector<uint32_t>> bundles) const;
+
+  /// Posted-price interaction: global conflict set (read-only overlay
+  /// probes through the router's prepared-query cache), additive quote,
+  /// atomic sale accounting. The outcome's bundle holds GLOBAL item ids —
+  /// identical to the monolithic engine's Purchase for the same query.
+  PurchaseOutcome Purchase(const db::BoundQuery& query, double valuation);
+
+  /// Seller edit: applies the delta (db must be the engine's database)
+  /// and invalidates the router's and every shard's prepared-query
+  /// cache. Same quiescence contract as PricingEngine::ApplySellerDelta.
+  Status ApplySellerDelta(db::Database& db, const market::CellDelta& delta);
+
+  ShardedEngineStats stats() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// Writer-side views; do not call concurrently with AppendBuyers.
+  PricingEngine& shard(int s) { return *shards_[static_cast<size_t>(s)]; }
+  const PricingEngine& shard(int s) const {
+    return *shards_[static_cast<size_t>(s)];
+  }
+  const market::SupportPartition& partition() const { return partition_; }
+
+ private:
+  /// Routes global conflict sets to shards and fans the appends out.
+  /// Caller holds writer_mutex_.
+  Status AppendRouted(std::vector<std::vector<uint32_t>> conflict_sets,
+                      const core::Valuations& valuations);
+
+  const db::Database* db_;
+  market::SupportPartition partition_;
+  ShardedEngineOptions options_;
+
+  mutable std::mutex writer_mutex_;
+  /// Global-support prober (never appends edges): AppendBuyers' probe
+  /// half and Purchase's conflict sets, with the prepared-query cache.
+  market::IncrementalBuilder prober_;
+  std::vector<std::unique_ptr<PricingEngine>> shards_;
+  /// Edges routed to each shard so far (guarded by writer_mutex_); the
+  /// deterministic tie-break for empty conflict sets.
+  std::vector<int> shard_edge_counts_;
+
+  mutable std::atomic<uint64_t> quotes_served_{0};
+  std::atomic<uint64_t> purchases_{0};
+  std::atomic<uint64_t> purchases_accepted_{0};
+  std::atomic<double> sale_revenue_{0.0};
+  std::atomic<uint64_t> cross_shard_appends_{0};
+  mutable std::atomic<uint64_t> cross_shard_quotes_{0};
+};
+
+}  // namespace qp::serve
+
+#endif  // QP_SERVE_SHARDED_ENGINE_H_

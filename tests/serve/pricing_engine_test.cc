@@ -368,6 +368,64 @@ TEST(PricingEngineTest, ConcurrentPurchasesRaceAppendBuyersPublishes) {
   }
 }
 
+TEST(PricingEngineTest, PreparedQueryCacheHitsOnRepeatPurchases) {
+  Market m = MakeMarket();
+  PricingEngine engine(m.db.get(), m.support, MatchedOptions(true));
+  QP_CHECK_OK(engine.AppendBuyers(m.initial_queries, m.initial_valuations));
+  // The append prepared each (distinct) initial query once.
+  market::PreparedQueryCache::Stats seeded = engine.stats().prepared;
+  EXPECT_EQ(seeded.misses, m.initial_queries.size());
+  EXPECT_EQ(seeded.hits, 0u);
+
+  // First purchase of a new query misses; repeats hit, and the cached
+  // probes return the identical conflict set.
+  PurchaseOutcome first = engine.Purchase(m.late_queries[0], 1e9);
+  EXPECT_EQ(engine.stats().prepared.misses, seeded.misses + 1);
+  PurchaseOutcome second = engine.Purchase(m.late_queries[0], 1e9);
+  EXPECT_EQ(engine.stats().prepared.misses, seeded.misses + 1);
+  EXPECT_EQ(engine.stats().prepared.hits, 1u);
+  EXPECT_EQ(second.bundle, first.bundle);
+  EXPECT_DOUBLE_EQ(second.quote.price, first.quote.price);
+
+  // Re-appending a known query hits too (same SQL text).
+  QP_CHECK_OK(engine.AppendBuyers({m.initial_queries[0]}, {4.0}));
+  EXPECT_EQ(engine.stats().prepared.hits, 2u);
+
+  // Explicit invalidation flushes: the next purchase re-prepares.
+  engine.InvalidatePreparedQueries();
+  EXPECT_EQ(engine.stats().prepared.invalidations, 1u);
+  engine.Purchase(m.late_queries[0], 1e9);
+  EXPECT_EQ(engine.stats().prepared.misses, seeded.misses + 2);
+}
+
+TEST(PricingEngineTest, ApplySellerDeltaEditsDataAndInvalidatesCache) {
+  Market m = MakeMarket();
+  PricingEngine engine(m.db.get(), m.support, MatchedOptions(true));
+  QP_CHECK_OK(engine.AppendBuyers(m.initial_queries, m.initial_valuations));
+  engine.Purchase(m.late_queries[0], 1e9);
+  uint64_t misses = engine.stats().prepared.misses;
+
+  // A foreign database is rejected; nothing is invalidated.
+  auto other = db::testing::MakeTestDatabase();
+  market::CellDelta delta = m.support[0];
+  EXPECT_FALSE(engine.ApplySellerDelta(*other, delta).ok());
+  EXPECT_EQ(engine.stats().prepared.invalidations, 0u);
+
+  // The seller edit applies the delta and flushes prepared state.
+  db::Value before = m.db->table(delta.table).cell(delta.row, delta.column);
+  QP_CHECK_OK(engine.ApplySellerDelta(*m.db, delta));
+  EXPECT_EQ(engine.stats().prepared.invalidations, 1u);
+  EXPECT_EQ(
+      m.db->table(delta.table).cell(delta.row, delta.column).Compare(
+          delta.new_value),
+      0);
+  // The next purchase re-prepares against the edited contents.
+  engine.Purchase(m.late_queries[0], 1e9);
+  EXPECT_EQ(engine.stats().prepared.misses, misses + 1);
+  // Restore for hygiene (other tests build their own markets anyway).
+  market::UndoDelta(*m.db, delta, before);
+}
+
 TEST(PricingEngineTest, ParallelBuildMatchesSerialBooks) {
   // AppendBuyers with build parallelism: conflict sets are bit-identical
   // for every thread count, so the published books match the serial
