@@ -1,5 +1,6 @@
 #include "bench/bench_util.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -168,7 +169,11 @@ core::AlgorithmOptions AlgorithmOptionsFor(const WorkloadHypergraph& wh,
 void BenchRecorder::Add(const std::string& instance,
                         const std::string& algorithm, double seconds,
                         int lps_solved, double revenue) {
-  records_.push_back({instance, algorithm, seconds, lps_solved, revenue});
+  // Derived timings (wall minus overlapping-probe delta) can dip below
+  // zero on fast runs; a negative baseline entry poisons the regression
+  // gate's medians, and the gate rejects such files outright.
+  records_.push_back({instance, algorithm, std::max(0.0, seconds), lps_solved,
+                      revenue});
 }
 
 void BenchRecorder::AddAll(const std::string& instance,

@@ -95,6 +95,11 @@ int Main(int argc, char** argv) {
   // conflict sets — and therefore revenues — are bit-identical for every
   // value.
   engine_options.build.num_threads = engine_options.algorithms.lpip.num_threads;
+  // Prepared-query cache bound (0 = unbounded); eviction counts land in
+  // the prepared stats printed with the purchase phases.
+  engine_options.build.prepared_cache_entries = static_cast<size_t>(
+      flags.GetInt("cache-entries",
+                   static_cast<int>(engine_options.build.prepared_cache_entries)));
 
   BenchRecorder recorder;
   const std::string instance_name = "engine-" + workload;
@@ -202,6 +207,14 @@ int Main(int argc, char** argv) {
       conc_seconds > 0 ? purchases / conc_seconds : 0.0,
       conc_seconds > 0 ? serial_seconds / conc_seconds : 0.0,
       static_cast<int>(conc_accepted));
+  market::PreparedQueryCache::Stats prepared = engine.stats().prepared;
+  std::cout << StrFormat(
+      "prepared cache: %d hits, %d misses, %d evictions, %d entries "
+      "(cap %d)\n",
+      static_cast<int>(prepared.hits), static_cast<int>(prepared.misses),
+      static_cast<int>(prepared.evictions),
+      static_cast<int>(prepared.entries),
+      static_cast<int>(engine_options.build.prepared_cache_entries));
 
   // Phase 3: buyer-batch arrivals, repriced incrementally.
   double reprice_seconds = 0.0;

@@ -1,0 +1,338 @@
+// RPC front-end bench: quote/purchase throughput and latency through the
+// epoll serving layer (serve/rpc/) against an in-process baseline.
+//
+//   ./build/bench/rpc_throughput
+//   ./build/bench/rpc_throughput --workload=skewed --support=1200
+//       --initial=300 --clients=4 --requests=2500 --window=32
+//       --purchases=600 --shards=2 --json=out.json
+//
+// Two load shapes, both over real loopback sockets:
+//
+//   closed loop  --clients threads, one blocking Quote at a time each;
+//                measures the un-pipelined round-trip floor.
+//   open loop    the same threads keep --window requests outstanding
+//                (pipelined sends, replies matched by request id) — the
+//                regime that exercises the server's tick auto-batching:
+//                every quote decoded in one event-loop tick prices
+//                through a single engine QuoteBatch call.
+//
+// Every wire quote is checked bit-identical to the in-process quote for
+// the same bundle (price, version, per-shard version vector, algorithm);
+// any mismatch aborts the bench.
+//
+// JSON records (regression-gated like the engine bench):
+//   quotes-closed   wall seconds for clients*requests blocking quotes
+//   quotes-open     the same volume pipelined (window per client)
+//   purchases-wire  posted-price purchases over the wire (lps_solved =
+//                   accepted sales, deterministic against a static book)
+//   p50/p99 rows    per-shape latency percentiles, in seconds — pinned
+//                   for trend tracking; they sit under the CI gate's
+//                   --min-seconds floor, so only their revenue bits gate
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "common/str_util.h"
+#include "db/parser.h"
+#include "market/support_partitioner.h"
+#include "serve/rpc/client.h"
+#include "serve/rpc/server.h"
+#include "serve/sharded_engine.h"
+
+namespace qp::bench {
+namespace {
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+bool QuotesEqual(const serve::Quote& a, const serve::Quote& b) {
+  return a.price == b.price && a.version == b.version &&
+         a.shard_versions == b.shard_versions && a.algorithm == b.algorithm;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  std::string workload = flags.GetString("workload", "skewed");
+  LoadOptions load = LoadOptionsFromFlags(flags);
+  if (load.support == 0) load.support = 1200;
+  int initial = flags.GetInt("initial", 300);
+  int clients = flags.GetInt("clients", 4);
+  int requests = flags.GetInt("requests", 2500);
+  int window = flags.GetInt("window", 32);
+  int purchases = flags.GetInt("purchases", 600);
+  int shards = flags.GetInt("shards", 2);
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  std::string json = flags.GetString("json", "");
+
+  WorkloadMarket market = LoadWorkloadMarket(workload, load);
+  const auto& queries = market.instance.queries;
+  initial = std::min<int>(initial, static_cast<int>(queries.size()));
+
+  Rng rng(Mix64(seed ^ 0xe17eULL));
+  core::Valuations initial_v;
+  for (int i = 0; i < initial; ++i) initial_v.push_back(rng.UniformReal(1, 20));
+
+  // Same matched-replay engine options as the engine bench.
+  serve::ShardedEngineOptions sharded_options;
+  sharded_options.engine.algorithms.lpip.max_candidates = 0;
+  sharded_options.num_threads = shards;
+
+  std::vector<db::BoundQuery> initial_q(queries.begin(),
+                                        queries.begin() + initial);
+  market::SupportPartition partition = market::SupportPartitioner::FromQueries(
+      market.instance.database.get(), market.support, initial_q, {},
+      {.num_shards = shards});
+  serve::ShardedPricingEngine engine(market.instance.database.get(), partition,
+                                     sharded_options);
+  QP_CHECK_OK(engine.AppendBuyers(initial_q, initial_v));
+  double book_revenue = engine.snapshot().best_revenue();
+
+  serve::rpc::RpcServer server(&engine, market.instance.database.get());
+  QP_CHECK_OK(server.Start());
+
+  BenchRecorder recorder;
+  const std::string instance_name = "rpc-" + workload;
+  std::cout << "=== RPC front-end: " << workload << " support="
+            << market.support_size << " initial=" << initial << " shards="
+            << shards << " port=" << server.port() << " ===\n";
+
+  // Quote-able bundles: every shard edge, mapped back to global ids.
+  std::vector<std::vector<uint32_t>> bundles;
+  for (int s = 0; s < engine.num_shards(); ++s) {
+    const auto& items = partition.shard_items[static_cast<size_t>(s)];
+    const core::Hypergraph& graph = engine.shard(s).hypergraph();
+    for (int e = 0; e < graph.num_edges(); ++e) {
+      std::vector<uint32_t> bundle;
+      for (uint32_t local : graph.edge(e)) bundle.push_back(items[local]);
+      bundles.push_back(std::move(bundle));
+    }
+  }
+  QP_CHECK_OK(bundles.empty()
+                  ? Status::FailedPrecondition("no bundles to quote")
+                  : Status::OK());
+
+  // In-process reference answers: the book is static for the whole quote
+  // phase, so every wire quote must match these bit for bit.
+  std::vector<serve::Quote> reference;
+  reference.reserve(bundles.size());
+  for (const auto& bundle : bundles) {
+    reference.push_back(engine.QuoteBundle(bundle));
+  }
+
+  const uint16_t port = server.port();
+  std::atomic<bool> mismatch{false};
+
+  // --- closed loop: one blocking round trip at a time per client -------
+  std::vector<double> closed_latencies;
+  double closed_seconds = 0.0;
+  {
+    std::vector<std::vector<double>> per_client(
+        static_cast<size_t>(clients));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(clients));
+    Stopwatch wall;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c]() {
+        serve::rpc::RpcClient client;
+        QP_CHECK_OK(client.Connect("127.0.0.1", port));
+        std::vector<double>& latencies =
+            per_client[static_cast<size_t>(c)];
+        latencies.reserve(static_cast<size_t>(requests));
+        for (int i = 0; i < requests; ++i) {
+          size_t idx = static_cast<size_t>(c * 31 + i) % bundles.size();
+          serve::rpc::RpcReply reply;
+          Stopwatch timer;
+          QP_CHECK_OK(client.Quote(bundles[idx], &reply));
+          latencies.push_back(timer.ElapsedSeconds());
+          if (!reply.ok() || !QuotesEqual(reply.quote, reference[idx])) {
+            mismatch.store(true);
+            return;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    closed_seconds = wall.ElapsedSeconds();
+    for (auto& v : per_client) {
+      closed_latencies.insert(closed_latencies.end(), v.begin(), v.end());
+    }
+  }
+  QP_CHECK_OK(mismatch.load() ? Status::Internal(
+                                    "wire quote diverged from in-process")
+                              : Status::OK());
+  std::sort(closed_latencies.begin(), closed_latencies.end());
+  const int total_quotes = clients * requests;
+  double closed_p50 = Percentile(closed_latencies, 0.50);
+  double closed_p99 = Percentile(closed_latencies, 0.99);
+  recorder.Add(instance_name, "quotes-closed", closed_seconds, total_quotes,
+               book_revenue);
+  recorder.Add(instance_name, "quotes-closed-p50", closed_p50, 0,
+               book_revenue);
+  recorder.Add(instance_name, "quotes-closed-p99", closed_p99, 0,
+               book_revenue);
+  std::cout << StrFormat(
+      "closed loop: %d quotes x %d clients in %.3fs (%.0f/s, p50 %.0fus, "
+      "p99 %.0fus)\n",
+      requests, clients, closed_seconds,
+      closed_seconds > 0 ? total_quotes / closed_seconds : 0.0,
+      closed_p50 * 1e6, closed_p99 * 1e6);
+
+  // --- open loop: --window outstanding per client, pipelined -----------
+  std::vector<double> open_latencies;
+  double open_seconds = 0.0;
+  {
+    std::vector<std::vector<double>> per_client(
+        static_cast<size_t>(clients));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(clients));
+    Stopwatch wall;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c]() {
+        serve::rpc::RpcClient client;
+        QP_CHECK_OK(client.Connect("127.0.0.1", port));
+        std::vector<double>& latencies =
+            per_client[static_cast<size_t>(c)];
+        latencies.reserve(static_cast<size_t>(requests));
+        // id -> (bundle index, send time); replies arrive in server
+        // order, which interleaves across the window.
+        std::unordered_map<uint64_t, std::pair<size_t, Stopwatch>> inflight;
+        int sent = 0, received = 0;
+        while (received < requests) {
+          while (sent < requests &&
+                 inflight.size() < static_cast<size_t>(window)) {
+            size_t idx =
+                static_cast<size_t>(c * 37 + sent) % bundles.size();
+            auto id = client.SendQuote(bundles[idx]);
+            QP_CHECK_OK(id.status());
+            inflight.emplace(*id, std::make_pair(idx, Stopwatch()));
+            ++sent;
+          }
+          serve::rpc::RpcReply reply;
+          QP_CHECK_OK(client.Receive(&reply));
+          auto it = inflight.find(reply.request_id);
+          if (it == inflight.end() || !reply.ok() ||
+              !QuotesEqual(reply.quote, reference[it->second.first])) {
+            mismatch.store(true);
+            return;
+          }
+          latencies.push_back(it->second.second.ElapsedSeconds());
+          inflight.erase(it);
+          ++received;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    open_seconds = wall.ElapsedSeconds();
+    for (auto& v : per_client) {
+      open_latencies.insert(open_latencies.end(), v.begin(), v.end());
+    }
+  }
+  QP_CHECK_OK(mismatch.load() ? Status::Internal(
+                                    "wire quote diverged from in-process")
+                              : Status::OK());
+  std::sort(open_latencies.begin(), open_latencies.end());
+  double open_p50 = Percentile(open_latencies, 0.50);
+  double open_p99 = Percentile(open_latencies, 0.99);
+  recorder.Add(instance_name, "quotes-open", open_seconds, total_quotes,
+               book_revenue);
+  recorder.Add(instance_name, "quotes-open-p50", open_p50, 0, book_revenue);
+  recorder.Add(instance_name, "quotes-open-p99", open_p99, 0, book_revenue);
+  serve::rpc::RpcServerStats mid_stats = server.stats();
+  std::cout << StrFormat(
+      "open loop: %d quotes x %d clients (window %d) in %.3fs (%.0f/s, "
+      "%.2fx closed, p50 %.0fus, p99 %.0fus)\n",
+      requests, clients, window, open_seconds,
+      open_seconds > 0 ? total_quotes / open_seconds : 0.0,
+      open_seconds > 0 ? closed_seconds / open_seconds : 0.0, open_p50 * 1e6,
+      open_p99 * 1e6);
+  std::cout << StrFormat(
+      "auto-batching: %llu quotes over %llu ticks (%.1f per engine "
+      "QuoteBatch call)\n",
+      static_cast<unsigned long long>(mid_stats.batched_quotes),
+      static_cast<unsigned long long>(mid_stats.quote_ticks),
+      mid_stats.quote_ticks > 0
+          ? static_cast<double>(mid_stats.batched_quotes) /
+                static_cast<double>(mid_stats.quote_ticks)
+          : 0.0);
+
+  // --- posted-price purchases over the wire ----------------------------
+  // Valuations drawn once; acceptance is deterministic against the
+  // static book, so the accepted count is gate-checkable.
+  const int num_queries = static_cast<int>(queries.size());
+  core::Valuations purchase_v;
+  for (int i = 0; i < purchases; ++i) {
+    purchase_v.push_back(rng.UniformReal(0.5, 60.0));
+  }
+  double purchase_seconds = 0.0;
+  std::atomic<int64_t> accepted{0};
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(clients));
+    std::atomic<int> next{0};
+    Stopwatch wall;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&]() {
+        serve::rpc::RpcClient client;
+        QP_CHECK_OK(client.Connect("127.0.0.1", port));
+        for (;;) {
+          int i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= purchases) return;
+          const db::BoundQuery& query =
+              queries[static_cast<size_t>(i) % num_queries];
+          serve::rpc::RpcReply reply;
+          QP_CHECK_OK(client.Purchase(query.text, purchase_v[i], &reply));
+          if (!reply.ok()) {
+            mismatch.store(true);
+            return;
+          }
+          if (reply.purchase.accepted) {
+            accepted.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    purchase_seconds = wall.ElapsedSeconds();
+  }
+  QP_CHECK_OK(mismatch.load()
+                  ? Status::Internal("wire purchase failed")
+                  : Status::OK());
+  recorder.Add(instance_name, "purchases-wire", purchase_seconds,
+               static_cast<int>(accepted.load()), book_revenue);
+  std::cout << StrFormat(
+      "purchases: %d over the wire on %d client(s) in %.3fs (%.0f/s, %d "
+      "accepted)\n",
+      purchases, clients, purchase_seconds,
+      purchase_seconds > 0 ? purchases / purchase_seconds : 0.0,
+      static_cast<int>(accepted.load()));
+
+  serve::rpc::RpcServerStats stats = server.stats();
+  std::cout << StrFormat(
+      "server: %llu frames, %llu connections, %llu protocol errors, %llu "
+      "writer rejections\n",
+      static_cast<unsigned long long>(stats.frames_received),
+      static_cast<unsigned long long>(stats.connections_accepted),
+      static_cast<unsigned long long>(stats.protocol_errors),
+      static_cast<unsigned long long>(stats.writer_rejected));
+  server.Stop();
+
+  if (!recorder.WriteJson(json)) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace qp::bench
+
+int main(int argc, char** argv) { return qp::bench::Main(argc, argv); }

@@ -15,7 +15,7 @@ IncrementalBuilder::IncrementalBuilder(const db::Database* db,
       support_(std::move(support)),
       options_(options),
       engine_(db),
-      prepared_cache_(db),
+      prepared_cache_(db, options.prepared_cache_entries),
       hypergraph_(static_cast<uint32_t>(support_.size())) {}
 
 int IncrementalBuilder::Append(const std::vector<db::BoundQuery>& queries) {

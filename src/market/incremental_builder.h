@@ -37,6 +37,12 @@ struct BuildOptions {
   /// reduced in index order, so the hypergraph — and the merged per-query
   /// stats — are bit-identical for every thread count.
   int num_threads = 1;
+  /// Cap on the prepared-query cache (0 = unbounded); overflowing
+  /// inserts evict approximately-LRU entries. Serving stacks that accept
+  /// queries from the wire produce unbounded distinct texts and must keep
+  /// a cap; eviction never changes conflict sets (prepared state is a
+  /// pure function of (db, query)).
+  size_t prepared_cache_entries = 4096;
 };
 
 class IncrementalBuilder {

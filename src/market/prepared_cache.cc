@@ -1,5 +1,6 @@
 #include "market/prepared_cache.h"
 
+#include <iterator>
 #include <mutex>
 #include <utility>
 
@@ -27,6 +28,9 @@ std::shared_ptr<const PreparedConflictQuery> PreparedQueryCache::GetOrPrepare(
     auto it = entries_.find(query.text);
     if (it != entries_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      it->second->last_used.store(
+          use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
       return view(it->second);
     }
   }
@@ -34,9 +38,33 @@ std::shared_ptr<const PreparedConflictQuery> PreparedQueryCache::GetOrPrepare(
   // race to insert; the first writer wins and everyone shares its entry.
   misses_.fetch_add(1, std::memory_order_relaxed);
   auto entry = std::make_shared<const Entry>(*db_, query);
+  entry->last_used.store(use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
   std::unique_lock<std::shared_mutex> lock(mutex_);
   auto [it, inserted] = entries_.emplace(query.text, std::move(entry));
-  return view(it->second);
+  std::shared_ptr<const PreparedConflictQuery> prepared = view(it->second);
+  if (inserted) EvictOverflowLocked();
+  return prepared;
+}
+
+void PreparedQueryCache::EvictOverflowLocked() const {
+  if (max_entries_ == 0) return;
+  while (entries_.size() > max_entries_) {
+    // O(n) min-scan under the exclusive lock the insert already holds:
+    // caps are modest, overflow is the rare path, and the scan keeps hits
+    // shared-locked (a linked LRU list would need every hit exclusive).
+    auto victim = entries_.begin();
+    uint64_t oldest = victim->second->last_used.load(std::memory_order_relaxed);
+    for (auto it = std::next(entries_.begin()); it != entries_.end(); ++it) {
+      uint64_t used = it->second->last_used.load(std::memory_order_relaxed);
+      if (used < oldest) {
+        oldest = used;
+        victim = it;
+      }
+    }
+    entries_.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void PreparedQueryCache::Invalidate() {

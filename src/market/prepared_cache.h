@@ -23,8 +23,18 @@
 // Invalidate() drops every entry; call it when the seller actually edits
 // data (market::ApplyDelta), since prepared state bakes in row contents.
 // Cached probes are bit-identical to fresh ones (the prepared state is a
-// pure function of (db, query)), so hit/miss behavior never changes
-// conflict sets or probe accounting.
+// pure function of (db, query)), so hit/miss — and eviction — behavior
+// never changes conflict sets or probe accounting.
+//
+// Capacity: the cache holds at most `max_entries` entries (0 =
+// unbounded). Eviction is least-recently-used, approximated so lookups
+// stay shared-locked: every hit stamps the entry with a global use tick
+// (relaxed atomic), and an insert that overflows the cap evicts the
+// entry with the smallest stamp under the exclusive lock it already
+// holds. Probes holding an evicted entry's shared_ptr finish against the
+// state they pinned — eviction only drops the map reference, exactly
+// like Invalidate(). Wire front-ends produce unbounded distinct query
+// texts, so serving engines must run with a cap.
 #ifndef QP_MARKET_PREPARED_CACHE_H_
 #define QP_MARKET_PREPARED_CACHE_H_
 
@@ -47,18 +57,28 @@ class PreparedQueryCache {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t invalidations = 0;
+    /// Entries dropped by the LRU cap (Invalidate() drops are counted in
+    /// invalidations, not here).
+    uint64_t evictions = 0;
+    /// Current number of cached entries (a gauge; merging sums the
+    /// per-cache gauges).
+    uint64_t entries = 0;
 
     Stats& Merge(const Stats& other) {
       hits += other.hits;
       misses += other.misses;
       invalidations += other.invalidations;
+      evictions += other.evictions;
+      entries += other.entries;
       return *this;
     }
   };
 
   /// `db` must outlive the cache; its contents must not change between
-  /// Invalidate() calls.
-  explicit PreparedQueryCache(const db::Database* db) : db_(db) {}
+  /// Invalidate() calls. `max_entries` bounds the cache (0 = unbounded);
+  /// overflowing inserts evict approximately-LRU entries.
+  explicit PreparedQueryCache(const db::Database* db, size_t max_entries = 0)
+      : db_(db), max_entries_(max_entries) {}
 
   /// Returns the cached prepared state for `query` (keyed by its SQL
   /// text), preparing and inserting on miss. Thread-safe. When two
@@ -79,27 +99,44 @@ class PreparedQueryCache {
     out.hits = hits_.load(std::memory_order_relaxed);
     out.misses = misses_.load(std::memory_order_relaxed);
     out.invalidations = invalidations_.load(std::memory_order_relaxed);
+    out.evictions = evictions_.load(std::memory_order_relaxed);
+    {
+      std::shared_lock<std::shared_mutex> lock(mutex_);
+      out.entries = entries_.size();
+    }
     return out;
   }
+
+  size_t max_entries() const { return max_entries_; }
 
  private:
   /// Query copy + prepared state with matching lifetime: `prepared`
   /// holds a reference to `query`, so the pair lives and dies together.
+  /// `last_used` is the approximate-LRU stamp: written on every hit under
+  /// the shared lock (hence atomic, and mutable so const entries age).
   struct Entry {
     db::BoundQuery query;
     PreparedConflictQuery prepared;
+    mutable std::atomic<uint64_t> last_used{0};
 
     Entry(const db::Database& db, const db::BoundQuery& q)
         : query(q), prepared(db, query) {}
   };
 
+  /// Drops approximately-least-recently-used entries until the cap
+  /// holds. Caller holds mutex_ exclusively.
+  void EvictOverflowLocked() const;
+
   const db::Database* db_;
+  const size_t max_entries_;
   mutable std::shared_mutex mutex_;
   mutable std::unordered_map<std::string, std::shared_ptr<const Entry>>
       entries_;
+  mutable std::atomic<uint64_t> use_clock_{0};
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> invalidations_{0};
+  mutable std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace qp::market

@@ -24,7 +24,17 @@ namespace qp::serve {
 /// One priced answer, stamped with the generation that produced it.
 struct Quote {
   double price = 0.0;
+  /// The producing generation. For a single engine this is the snapshot
+  /// version; for a merged (sharded) quote it is the SUM of shard
+  /// versions — monotone across any shard's publish but NOT collision
+  /// free (shard A +1 / shard B -1 sums the same). Version-polling
+  /// clients must compare `shard_versions`, which distinct shard
+  /// generations can never alias.
   uint64_t version = 0;
+  /// Per-shard snapshot versions in ascending shard order; empty for
+  /// quotes served by a single (unsharded) engine. The RPC layer stamps
+  /// wire responses with this vector.
+  std::vector<uint64_t> shard_versions;
   std::string algorithm;  // which pricing served this quote
 };
 
@@ -76,7 +86,11 @@ class PriceBookSnapshot {
   /// pricing. Const, touches only immutable state: safe from any thread.
   Quote QuoteBundle(const std::vector<uint32_t>& bundle) const {
     const core::PricingResult& serving = best();
-    return Quote{serving.pricing->Price(bundle), version_, serving.algorithm};
+    Quote quote;
+    quote.price = serving.pricing->Price(bundle);
+    quote.version = version_;
+    quote.algorithm = serving.algorithm;
+    return quote;
   }
 
  private:

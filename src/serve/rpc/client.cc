@@ -1,0 +1,222 @@
+#include "serve/rpc/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace qp::serve::rpc {
+
+RpcClient::~RpcClient() { Disconnect(); }
+
+Status RpcClient::Connect(const std::string& address, uint16_t port) {
+  if (fd_ >= 0) return Status::FailedPrecondition("RpcClient already connected");
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad address: " + address);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return Status::Internal("connect() failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  in_.clear();
+  parked_.clear();
+  return Status::OK();
+}
+
+void RpcClient::Disconnect() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+  in_.clear();
+  parked_.clear();
+}
+
+Status RpcClient::SendFrame(const std::vector<uint8_t>& frame) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t n = send(fd_, frame.data() + sent, frame.size() - sent,
+                     MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Disconnect();
+      return Status::Internal("send() failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status RpcClient::ReceiveFrame(RpcReply* out) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  for (;;) {
+    Frame frame;
+    size_t consumed = 0;
+    ExtractResult result =
+        ExtractFrame(in_.data(), in_.size(), &consumed, &frame);
+    if (result == ExtractResult::kError) {
+      Disconnect();
+      return Status::Internal("malformed frame from server");
+    }
+    if (result == ExtractResult::kFrame) {
+      out->request_id = frame.request_id;
+      out->type = frame.type;
+      out->code = WireCode::kOk;
+      out->message.clear();
+      bool ok = false;
+      switch (frame.type) {
+        case MsgType::kQuoteReply:
+          ok = DecodeQuoteReply(frame.body, &out->quote);
+          break;
+        case MsgType::kQuoteBatchReply:
+          ok = DecodeQuoteBatchReply(frame.body, &out->quotes);
+          break;
+        case MsgType::kPurchaseReply:
+          ok = DecodePurchaseReply(frame.body, &out->purchase);
+          break;
+        case MsgType::kAppendReply:
+          ok = DecodeAppendReply(frame.body, &out->append);
+          if (ok) {
+            out->code = out->append.code;
+            out->message = out->append.message;
+          }
+          break;
+        case MsgType::kStatsReply:
+          ok = DecodeStatsReply(frame.body, &out->stats);
+          break;
+        case MsgType::kErrorReply:
+          ok = DecodeErrorReply(frame.body, &out->code, &out->message);
+          break;
+        default:
+          ok = false;
+          break;
+      }
+      in_.erase(in_.begin(), in_.begin() + static_cast<ptrdiff_t>(consumed));
+      if (!ok) {
+        Disconnect();
+        return Status::Internal("undecodable reply from server");
+      }
+      return Status::OK();
+    }
+    // kNeedMore: block for more bytes.
+    uint8_t buf[64 * 1024];
+    ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      Disconnect();
+      return Status::Internal("server closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Disconnect();
+      return Status::Internal("recv() failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    in_.insert(in_.end(), buf, buf + n);
+  }
+}
+
+Status RpcClient::WaitFor(uint64_t id, RpcReply* out) {
+  auto parked = parked_.find(id);
+  if (parked != parked_.end()) {
+    *out = std::move(parked->second);
+    parked_.erase(parked);
+    return Status::OK();
+  }
+  for (;;) {
+    RpcReply reply;
+    QP_RETURN_IF_ERROR(ReceiveFrame(&reply));
+    if (reply.request_id == id) {
+      *out = std::move(reply);
+      return Status::OK();
+    }
+    parked_[reply.request_id] = std::move(reply);
+  }
+}
+
+Status RpcClient::Receive(RpcReply* out) {
+  if (!parked_.empty()) {
+    auto it = parked_.begin();
+    *out = std::move(it->second);
+    parked_.erase(it);
+    return Status::OK();
+  }
+  return ReceiveFrame(out);
+}
+
+Result<uint64_t> RpcClient::SendQuote(const std::vector<uint32_t>& bundle) {
+  uint64_t id = NextId();
+  QP_RETURN_IF_ERROR(SendFrame(EncodeQuoteRequest(id, bundle)));
+  return id;
+}
+
+Result<uint64_t> RpcClient::SendQuoteBatch(
+    const std::vector<std::vector<uint32_t>>& bundles) {
+  uint64_t id = NextId();
+  QP_RETURN_IF_ERROR(SendFrame(EncodeQuoteBatchRequest(id, bundles)));
+  return id;
+}
+
+Result<uint64_t> RpcClient::SendPurchase(const std::string& sql,
+                                         double valuation) {
+  uint64_t id = NextId();
+  QP_RETURN_IF_ERROR(SendFrame(EncodePurchaseRequest(id, sql, valuation)));
+  return id;
+}
+
+Result<uint64_t> RpcClient::SendAppendBuyers(
+    const std::vector<WireBuyer>& buyers) {
+  uint64_t id = NextId();
+  QP_RETURN_IF_ERROR(SendFrame(EncodeAppendRequest(id, buyers)));
+  return id;
+}
+
+Result<uint64_t> RpcClient::SendStats() {
+  uint64_t id = NextId();
+  QP_RETURN_IF_ERROR(SendFrame(EncodeStatsRequest(id)));
+  return id;
+}
+
+Status RpcClient::Quote(const std::vector<uint32_t>& bundle, RpcReply* out) {
+  QP_ASSIGN_OR_RETURN(uint64_t id, SendQuote(bundle));
+  return WaitFor(id, out);
+}
+
+Status RpcClient::QuoteBatch(const std::vector<std::vector<uint32_t>>& bundles,
+                             RpcReply* out) {
+  QP_ASSIGN_OR_RETURN(uint64_t id, SendQuoteBatch(bundles));
+  return WaitFor(id, out);
+}
+
+Status RpcClient::Purchase(const std::string& sql, double valuation,
+                           RpcReply* out) {
+  QP_ASSIGN_OR_RETURN(uint64_t id, SendPurchase(sql, valuation));
+  return WaitFor(id, out);
+}
+
+Status RpcClient::AppendBuyers(const std::vector<WireBuyer>& buyers,
+                               RpcReply* out) {
+  QP_ASSIGN_OR_RETURN(uint64_t id, SendAppendBuyers(buyers));
+  return WaitFor(id, out);
+}
+
+Status RpcClient::Stats(RpcReply* out) {
+  QP_ASSIGN_OR_RETURN(uint64_t id, SendStats());
+  return WaitFor(id, out);
+}
+
+}  // namespace qp::serve::rpc

@@ -1,0 +1,120 @@
+// Blocking client for the RPC serving front-end (serve/rpc/server.h).
+//
+// One TCP connection per client; NOT thread safe — use one RpcClient
+// per thread (the server multiplexes any number of connections onto its
+// single loop). Two usage shapes:
+//
+//  * Call(): one request, block for ITS reply. Replies can interleave
+//    across request ids (the server answers writer completions and
+//    batched quotes in its own order), so Call() parks frames that
+//    answer other outstanding ids and hands them to a later Receive().
+//  * Send() + Receive(): pipelined. Send any number of requests without
+//    waiting, then Receive() replies as they arrive (in server order,
+//    matched to your ids). This is how the open-loop bench drives the
+//    server hard enough to exercise tick auto-batching.
+//
+// Backpressure is a first-class result, not an error: a kBackpressure
+// ErrorReply surfaces as RpcResult::code == WireCode::kBackpressure with
+// ok() == false, distinguishable from transport failure (Status).
+#ifndef QP_SERVE_RPC_CLIENT_H_
+#define QP_SERVE_RPC_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/price_book.h"
+#include "serve/rpc/wire.h"
+
+namespace qp::serve::rpc {
+
+/// One decoded reply. `type` tells which payload field is set; an
+/// ErrorReply fills `code` + `message` only.
+struct RpcReply {
+  uint64_t request_id = 0;
+  MsgType type = MsgType::kErrorReply;
+  WireCode code = WireCode::kOk;
+  std::string message;
+
+  Quote quote;                 // kQuoteReply
+  std::vector<Quote> quotes;   // kQuoteBatchReply
+  WirePurchase purchase;       // kPurchaseReply
+  WireAppendResult append;     // kAppendReply
+  WireStats stats;             // kStatsReply
+
+  bool ok() const { return code == WireCode::kOk; }
+  bool backpressure() const { return code == WireCode::kBackpressure; }
+};
+
+class RpcClient {
+ public:
+  RpcClient() = default;
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+  RpcClient(RpcClient&& other) noexcept { *this = std::move(other); }
+  RpcClient& operator=(RpcClient&& other) noexcept {
+    if (this != &other) {
+      Disconnect();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+      next_id_ = other.next_id_;
+      in_ = std::move(other.in_);
+      parked_ = std::move(other.parked_);
+    }
+    return *this;
+  }
+
+  /// Connects (blocking) to the server. Fails if already connected.
+  Status Connect(const std::string& address, uint16_t port);
+  void Disconnect();
+  bool connected() const { return fd_ >= 0; }
+
+  // --- blocking per-op calls -------------------------------------------
+  // Each returns the transport status; the reply lands in `out`.
+  // Application-level failures (kBadRequest, kBackpressure, ...) are an
+  // OK transport status with !out->ok().
+
+  Status Quote(const std::vector<uint32_t>& bundle, RpcReply* out);
+  Status QuoteBatch(const std::vector<std::vector<uint32_t>>& bundles,
+                    RpcReply* out);
+  Status Purchase(const std::string& sql, double valuation, RpcReply* out);
+  Status AppendBuyers(const std::vector<WireBuyer>& buyers, RpcReply* out);
+  Status Stats(RpcReply* out);
+
+  // --- pipelined interface ---------------------------------------------
+
+  /// Sends one request without waiting; returns the request id to match
+  /// against Receive()d replies, or an error on transport failure.
+  Result<uint64_t> SendQuote(const std::vector<uint32_t>& bundle);
+  Result<uint64_t> SendQuoteBatch(
+      const std::vector<std::vector<uint32_t>>& bundles);
+  Result<uint64_t> SendPurchase(const std::string& sql, double valuation);
+  Result<uint64_t> SendAppendBuyers(const std::vector<WireBuyer>& buyers);
+  Result<uint64_t> SendStats();
+
+  /// Blocks for the next reply in server order (parked replies first).
+  Status Receive(RpcReply* out);
+
+ private:
+  Status SendFrame(const std::vector<uint8_t>& frame);
+  /// Blocks until a full frame is available and decodes it.
+  Status ReceiveFrame(RpcReply* out);
+  /// Blocks until the reply for `id` arrives, parking any others.
+  Status WaitFor(uint64_t id, RpcReply* out);
+  uint64_t NextId() { return next_id_++; }
+
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+  std::vector<uint8_t> in_;
+  /// Replies received while waiting for a different id.
+  std::unordered_map<uint64_t, RpcReply> parked_;
+};
+
+}  // namespace qp::serve::rpc
+
+#endif  // QP_SERVE_RPC_CLIENT_H_

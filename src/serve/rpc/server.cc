@@ -1,0 +1,605 @@
+#include "serve/rpc/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "db/parser.h"
+#include "serve/rpc/wire.h"
+
+namespace qp::serve::rpc {
+namespace {
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+struct RpcServer::Impl {
+  // --- connection state (loop-thread-private) ---------------------------
+  struct Connection {
+    int fd = -1;
+    std::vector<uint8_t> in;            // partial-frame receive buffer
+    std::deque<std::vector<uint8_t>> out;  // pending response frames
+    size_t out_offset = 0;              // sent bytes of out.front()
+    bool epollout_armed = false;
+  };
+
+  /// One quote-shaped request captured during a tick, answered by the
+  /// tick's single engine QuoteBatch call.
+  struct PendingQuote {
+    uint64_t conn_id = 0;
+    uint64_t request_id = 0;
+    bool is_batch = false;
+    std::vector<std::vector<uint32_t>> bundles;
+  };
+
+  // --- writer queue (shared: loop thread -> writer thread) --------------
+  struct WriterJob {
+    uint64_t conn_id = 0;
+    uint64_t request_id = 0;
+    std::vector<WireBuyer> buyers;
+  };
+  struct WriterDone {
+    uint64_t conn_id = 0;
+    uint64_t request_id = 0;
+    WireAppendResult result;
+  };
+
+  ShardedPricingEngine* engine;
+  const db::Database* db;
+  RpcServerOptions options;
+
+  int listen_fd = -1;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  uint16_t bound_port = 0;
+  bool started = false;
+
+  std::thread loop_thread;
+  std::thread writer_thread;
+  std::atomic<bool> stopping{false};
+
+  std::unordered_map<uint64_t, Connection> conns;
+  uint64_t next_conn_id = 2;  // 0 = listen socket, 1 = wake eventfd
+
+  std::mutex writer_mutex;
+  std::condition_variable writer_cv;
+  std::deque<WriterJob> writer_queue;
+  std::deque<WriterDone> writer_done;  // guarded by writer_mutex too
+
+  // Counters: loop-thread writes dominate, but stats() reads from any
+  // thread and the writer thread bumps writer-side ones, so all atomic.
+  std::atomic<uint64_t> connections_accepted{0}, connections_closed{0},
+      frames_received{0}, quote_requests{0}, quote_batch_requests{0},
+      purchase_requests{0}, append_requests{0}, stats_requests{0},
+      quote_ticks{0}, batched_quotes{0}, writer_enqueued{0},
+      writer_rejected{0}, protocol_errors{0};
+
+  ~Impl() { CloseFds(); }
+
+  void CloseFds() {
+    if (listen_fd >= 0) close(listen_fd);
+    if (epoll_fd >= 0) close(epoll_fd);
+    if (wake_fd >= 0) close(wake_fd);
+    listen_fd = epoll_fd = wake_fd = -1;
+  }
+
+  Status Start() {
+    if (started) return Status::FailedPrecondition("RpcServer already started");
+    listen_fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (listen_fd < 0) return Status::Internal("socket() failed");
+    int one = 1;
+    setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options.port);
+    if (inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) != 1) {
+      CloseFds();
+      return Status::InvalidArgument("bad bind address: " +
+                                     options.bind_address);
+    }
+    if (bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      CloseFds();
+      return Status::Internal("bind() failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    if (listen(listen_fd, options.listen_backlog) != 0) {
+      CloseFds();
+      return Status::Internal("listen() failed");
+    }
+    socklen_t len = sizeof(addr);
+    getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    bound_port = ntohs(addr.sin_port);
+
+    epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (epoll_fd < 0 || wake_fd < 0) {
+      CloseFds();
+      return Status::Internal("epoll/eventfd setup failed");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = 0;
+    epoll_ctl(epoll_fd, EPOLL_CTL_ADD, listen_fd, &ev);
+    ev.data.u64 = 1;
+    epoll_ctl(epoll_fd, EPOLL_CTL_ADD, wake_fd, &ev);
+
+    started = true;
+    loop_thread = std::thread([this] { LoopThread(); });
+    writer_thread = std::thread([this] { WriterThread(); });
+    return Status::OK();
+  }
+
+  void Stop() {
+    if (!started || stopping.load()) {
+      // Not started or a second Stop(): just make sure threads are gone.
+      if (writer_thread.joinable()) writer_thread.join();
+      if (loop_thread.joinable()) loop_thread.join();
+      return;
+    }
+    stopping.store(true);
+    // Writer first: it finishes the in-flight job, fails the rest with
+    // kShuttingDown, and its completions land in writer_done for the
+    // loop's final tick.
+    writer_cv.notify_all();
+    writer_thread.join();
+    Wake();
+    loop_thread.join();
+    CloseFds();
+  }
+
+  void Wake() {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = write(wake_fd, &one, sizeof(one));
+  }
+
+  // --- writer thread ----------------------------------------------------
+  void WriterThread() {
+    for (;;) {
+      WriterJob job;
+      {
+        std::unique_lock<std::mutex> lock(writer_mutex);
+        writer_cv.wait(lock, [this] {
+          return stopping.load() || !writer_queue.empty();
+        });
+        if (writer_queue.empty()) return;  // stopping, queue drained
+        if (stopping.load()) {
+          // Fail everything still queued; the loop's final tick delivers
+          // the replies it can.
+          while (!writer_queue.empty()) {
+            WriterJob dropped = std::move(writer_queue.front());
+            writer_queue.pop_front();
+            writer_done.push_back(
+                {dropped.conn_id, dropped.request_id,
+                 {WireCode::kShuttingDown, "server stopping", 0}});
+          }
+          Wake();
+          return;
+        }
+        job = std::move(writer_queue.front());
+        writer_queue.pop_front();
+      }
+      WriterDone done{job.conn_id, job.request_id, ExecuteAppend(job)};
+      {
+        std::lock_guard<std::mutex> lock(writer_mutex);
+        writer_done.push_back(std::move(done));
+      }
+      Wake();
+    }
+  }
+
+  WireAppendResult ExecuteAppend(const WriterJob& job) {
+    std::vector<db::BoundQuery> queries;
+    core::Valuations valuations;
+    queries.reserve(job.buyers.size());
+    for (const WireBuyer& buyer : job.buyers) {
+      auto parsed = db::ParseQuery(buyer.sql, *db);
+      if (!parsed.ok()) {
+        // All-or-nothing: a bad buyer fails the whole request before the
+        // engine sees any of it.
+        return {WireCode::kBadRequest,
+                "AppendBuyers: " + parsed.status().ToString(), 0};
+      }
+      queries.push_back(std::move(*parsed));
+      valuations.push_back(buyer.valuation);
+    }
+    Status status = engine->AppendBuyers(queries, valuations);
+    if (!status.ok()) return {WireCode::kInternal, status.ToString(), 0};
+    return {WireCode::kOk, "", engine->snapshot().version()};
+  }
+
+  // --- event loop -------------------------------------------------------
+  void LoopThread() {
+    constexpr int kMaxEvents = 64;
+    epoll_event events[kMaxEvents];
+    std::vector<PendingQuote> tick_quotes;
+    for (;;) {
+      int n = epoll_wait(epoll_fd, events, kMaxEvents, -1);
+      if (n < 0 && errno != EINTR) break;
+      tick_quotes.clear();
+      for (int i = 0; i < n; ++i) {
+        uint64_t id = events[i].data.u64;
+        uint32_t mask = events[i].events;
+        if (id == 0) {
+          AcceptAll();
+        } else if (id == 1) {
+          uint64_t drained;
+          while (read(wake_fd, &drained, sizeof(drained)) > 0) {
+          }
+        } else {
+          auto it = conns.find(id);
+          if (it == conns.end()) continue;
+          if (mask & (EPOLLHUP | EPOLLERR)) {
+            CloseConn(id);
+            continue;
+          }
+          if (mask & EPOLLIN) {
+            if (!ReadConn(id, it->second, &tick_quotes)) continue;
+          }
+          if (mask & EPOLLOUT) {
+            auto again = conns.find(id);
+            if (again != conns.end()) FlushWrites(id, again->second);
+          }
+        }
+      }
+      DeliverWriterCompletions();
+      ServeQuoteTick(tick_quotes);
+      if (stopping.load()) break;
+    }
+    // Final flush: deliver whatever responses are already queued without
+    // blocking, then drop the connections.
+    DeliverWriterCompletions();
+    std::vector<uint64_t> ids;
+    ids.reserve(conns.size());
+    for (auto& [id, conn] : conns) {
+      FlushWrites(id, conn);
+      ids.push_back(id);
+    }
+    for (uint64_t id : ids) CloseConn(id);
+  }
+
+  void AcceptAll() {
+    for (;;) {
+      int fd = accept4(listen_fd, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) return;
+      SetNoDelay(fd);
+      uint64_t id = next_conn_id++;
+      Connection& conn = conns[id];
+      conn.fd = fd;
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.u64 = id;
+      epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev);
+      connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void CloseConn(uint64_t id) {
+    auto it = conns.find(id);
+    if (it == conns.end()) return;
+    epoll_ctl(epoll_fd, EPOLL_CTL_DEL, it->second.fd, nullptr);
+    close(it->second.fd);
+    conns.erase(it);
+    connections_closed.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Reads everything available, extracting and dispatching complete
+  /// frames. Returns false if the connection was closed.
+  bool ReadConn(uint64_t id, Connection& conn,
+                std::vector<PendingQuote>* tick_quotes) {
+    char buf[64 * 1024];
+    for (;;) {
+      ssize_t n = read(conn.fd, buf, sizeof(buf));
+      if (n > 0) {
+        conn.in.insert(conn.in.end(), buf, buf + n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      // Peer closed (possibly mid-frame) or hard error: any buffered
+      // partial frame dies with the connection.
+      CloseConn(id);
+      return false;
+    }
+    size_t pos = 0;
+    while (pos < conn.in.size()) {
+      Frame frame;
+      size_t consumed = 0;
+      ExtractResult result =
+          ExtractFrame(conn.in.data() + pos, conn.in.size() - pos, &consumed,
+                       &frame, options.max_frame_bytes);
+      if (result == ExtractResult::kNeedMore) break;
+      if (result == ExtractResult::kError) {
+        // A bad length prefix desynchronizes the stream; nothing after
+        // it can be trusted, so drop the connection.
+        protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        CloseConn(id);
+        return false;
+      }
+      frames_received.fetch_add(1, std::memory_order_relaxed);
+      if (!Dispatch(id, frame, tick_quotes)) {
+        // Dispatch closed the connection.
+        return false;
+      }
+      pos += consumed;
+      // Dispatch may have queued writes, but never touches conn.in.
+    }
+    if (pos > 0) {
+      conn.in.erase(conn.in.begin(),
+                    conn.in.begin() + static_cast<ptrdiff_t>(pos));
+    }
+    return true;
+  }
+
+  /// Handles one decoded frame. Returns false if the connection was
+  /// closed during dispatch.
+  bool Dispatch(uint64_t id, const Frame& frame,
+                std::vector<PendingQuote>* tick_quotes) {
+    switch (frame.type) {
+      case MsgType::kQuote: {
+        quote_requests.fetch_add(1, std::memory_order_relaxed);
+        PendingQuote pending;
+        pending.conn_id = id;
+        pending.request_id = frame.request_id;
+        pending.is_batch = false;
+        std::vector<uint32_t> bundle;
+        if (!DecodeQuoteRequest(frame.body, &bundle)) {
+          return BadRequest(id, frame.request_id, "malformed Quote body");
+        }
+        pending.bundles.push_back(std::move(bundle));
+        tick_quotes->push_back(std::move(pending));
+        return true;
+      }
+      case MsgType::kQuoteBatch: {
+        quote_batch_requests.fetch_add(1, std::memory_order_relaxed);
+        PendingQuote pending;
+        pending.conn_id = id;
+        pending.request_id = frame.request_id;
+        pending.is_batch = true;
+        if (!DecodeQuoteBatchRequest(frame.body, &pending.bundles)) {
+          return BadRequest(id, frame.request_id, "malformed QuoteBatch body");
+        }
+        tick_quotes->push_back(std::move(pending));
+        return true;
+      }
+      case MsgType::kPurchase: {
+        purchase_requests.fetch_add(1, std::memory_order_relaxed);
+        std::string sql;
+        double valuation = 0.0;
+        if (!DecodePurchaseRequest(frame.body, &sql, &valuation)) {
+          return BadRequest(id, frame.request_id, "malformed Purchase body");
+        }
+        auto parsed = db::ParseQuery(sql, *db);
+        if (!parsed.ok()) {
+          return BadRequest(id, frame.request_id,
+                            "Purchase: " + parsed.status().ToString());
+        }
+        // Reader-side end to end (overlay probe + snapshot pin + atomic
+        // sale counters): never blocks behind the engine's writer.
+        PurchaseOutcome outcome = engine->Purchase(*parsed, valuation);
+        WirePurchase reply;
+        reply.accepted = outcome.accepted;
+        reply.valuation = outcome.valuation;
+        reply.quote = std::move(outcome.quote);
+        reply.bundle = std::move(outcome.bundle);
+        return QueueWrite(id, EncodePurchaseReply(frame.request_id, reply));
+      }
+      case MsgType::kAppendBuyers: {
+        append_requests.fetch_add(1, std::memory_order_relaxed);
+        WriterJob job;
+        job.conn_id = id;
+        job.request_id = frame.request_id;
+        if (!DecodeAppendRequest(frame.body, &job.buyers)) {
+          return BadRequest(id, frame.request_id,
+                            "malformed AppendBuyers body");
+        }
+        {
+          std::lock_guard<std::mutex> lock(writer_mutex);
+          if (writer_queue.size() >= options.writer_queue_depth) {
+            writer_rejected.fetch_add(1, std::memory_order_relaxed);
+            return QueueWrite(
+                id, EncodeErrorReply(frame.request_id, WireCode::kBackpressure,
+                                     "writer queue full; retry later"));
+          }
+          writer_queue.push_back(std::move(job));
+          writer_enqueued.fetch_add(1, std::memory_order_relaxed);
+        }
+        writer_cv.notify_one();
+        return true;
+      }
+      case MsgType::kStats: {
+        stats_requests.fetch_add(1, std::memory_order_relaxed);
+        return QueueWrite(id, EncodeStatsReply(frame.request_id, BuildStats()));
+      }
+      default:
+        protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        return QueueWrite(
+            id, EncodeErrorReply(frame.request_id, WireCode::kBadRequest,
+                                 "unknown message type"));
+    }
+  }
+
+  bool BadRequest(uint64_t id, uint64_t request_id, const std::string& msg) {
+    protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    return QueueWrite(id,
+                      EncodeErrorReply(request_id, WireCode::kBadRequest, msg));
+  }
+
+  /// Everything here is lock-free against the engine's writer: merged
+  /// view for versions/edges, reader_stats() for the counters.
+  WireStats BuildStats() {
+    WireStats out;
+    MergedBookView view = engine->snapshot();
+    out.num_shards = static_cast<uint32_t>(view.num_shards());
+    out.shard_versions = view.version_vector();
+    out.version = view.version();
+    for (int s = 0; s < view.num_shards(); ++s) {
+      out.num_edges += static_cast<uint64_t>(view.shard(s).num_edges());
+    }
+    ShardedPricingEngine::ReaderStats reader = engine->reader_stats();
+    out.quotes_served = reader.quotes_served;
+    out.purchases = reader.purchases;
+    out.purchases_accepted = reader.purchases_accepted;
+    out.sale_revenue = reader.sale_revenue;
+    out.prepared_hits = reader.prepared.hits;
+    out.prepared_misses = reader.prepared.misses;
+    out.prepared_evictions = reader.prepared.evictions;
+    out.prepared_entries = reader.prepared.entries;
+    out.quote_ticks = quote_ticks.load(std::memory_order_relaxed);
+    out.batched_quotes = batched_quotes.load(std::memory_order_relaxed);
+    out.writer_rejected = writer_rejected.load(std::memory_order_relaxed);
+    out.protocol_errors = protocol_errors.load(std::memory_order_relaxed);
+    out.connections_accepted =
+        connections_accepted.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  /// The auto-batching heart: every quote-shaped request the tick
+  /// decoded — across all connections — prices through ONE QuoteBatch
+  /// call (one snapshot pin per shard for the whole tick), then the
+  /// results fan back out to their requests in arrival order.
+  void ServeQuoteTick(const std::vector<PendingQuote>& tick_quotes) {
+    if (tick_quotes.empty()) return;
+    std::vector<std::vector<uint32_t>> flat;
+    for (const PendingQuote& pending : tick_quotes) {
+      for (const std::vector<uint32_t>& bundle : pending.bundles) {
+        flat.push_back(bundle);
+      }
+    }
+    std::vector<Quote> quotes = engine->QuoteBatch(flat);
+    quote_ticks.fetch_add(1, std::memory_order_relaxed);
+    batched_quotes.fetch_add(flat.size(), std::memory_order_relaxed);
+    size_t next = 0;
+    for (const PendingQuote& pending : tick_quotes) {
+      if (pending.is_batch) {
+        std::span<const Quote> slice(quotes.data() + next,
+                                     pending.bundles.size());
+        QueueWrite(pending.conn_id,
+                   EncodeQuoteBatchReply(pending.request_id, slice));
+      } else {
+        QueueWrite(pending.conn_id,
+                   EncodeQuoteReply(pending.request_id, quotes[next]));
+      }
+      next += pending.bundles.size();
+    }
+  }
+
+  void DeliverWriterCompletions() {
+    std::deque<WriterDone> done;
+    {
+      std::lock_guard<std::mutex> lock(writer_mutex);
+      done.swap(writer_done);
+    }
+    for (WriterDone& completion : done) {
+      if (completion.result.code == WireCode::kOk) {
+        QueueWrite(completion.conn_id,
+                   EncodeAppendReply(completion.request_id, completion.result));
+      } else {
+        QueueWrite(completion.conn_id,
+                   EncodeErrorReply(completion.request_id,
+                                    completion.result.code,
+                                    completion.result.message));
+      }
+    }
+  }
+
+  /// Queues a response frame and flushes as much as the socket accepts.
+  /// Returns false if the connection is gone (response dropped).
+  bool QueueWrite(uint64_t id, std::vector<uint8_t> frame) {
+    auto it = conns.find(id);
+    if (it == conns.end()) return false;
+    it->second.out.push_back(std::move(frame));
+    FlushWrites(id, it->second);
+    return conns.find(id) != conns.end();
+  }
+
+  void FlushWrites(uint64_t id, Connection& conn) {
+    while (!conn.out.empty()) {
+      const std::vector<uint8_t>& front = conn.out.front();
+      ssize_t n = write(conn.fd, front.data() + conn.out_offset,
+                        front.size() - conn.out_offset);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        CloseConn(id);
+        return;
+      }
+      conn.out_offset += static_cast<size_t>(n);
+      if (conn.out_offset == front.size()) {
+        conn.out.pop_front();
+        conn.out_offset = 0;
+      }
+    }
+    bool want_out = !conn.out.empty();
+    if (want_out != conn.epollout_armed) {
+      epoll_event ev{};
+      ev.events = EPOLLIN | (want_out ? EPOLLOUT : 0u);
+      ev.data.u64 = id;
+      epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
+      conn.epollout_armed = want_out;
+    }
+  }
+};
+
+RpcServer::RpcServer(ShardedPricingEngine* engine, const db::Database* db,
+                     RpcServerOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->engine = engine;
+  impl_->db = db;
+  impl_->options = std::move(options);
+  if (impl_->options.max_frame_bytes > kMaxFrameBytes) {
+    impl_->options.max_frame_bytes = kMaxFrameBytes;
+  }
+}
+
+RpcServer::~RpcServer() { Stop(); }
+
+Status RpcServer::Start() { return impl_->Start(); }
+
+void RpcServer::Stop() { impl_->Stop(); }
+
+uint16_t RpcServer::port() const { return impl_->bound_port; }
+
+RpcServerStats RpcServer::stats() const {
+  RpcServerStats out;
+  out.connections_accepted =
+      impl_->connections_accepted.load(std::memory_order_relaxed);
+  out.connections_closed =
+      impl_->connections_closed.load(std::memory_order_relaxed);
+  out.frames_received = impl_->frames_received.load(std::memory_order_relaxed);
+  out.quote_requests = impl_->quote_requests.load(std::memory_order_relaxed);
+  out.quote_batch_requests =
+      impl_->quote_batch_requests.load(std::memory_order_relaxed);
+  out.purchase_requests =
+      impl_->purchase_requests.load(std::memory_order_relaxed);
+  out.append_requests = impl_->append_requests.load(std::memory_order_relaxed);
+  out.stats_requests = impl_->stats_requests.load(std::memory_order_relaxed);
+  out.quote_ticks = impl_->quote_ticks.load(std::memory_order_relaxed);
+  out.batched_quotes = impl_->batched_quotes.load(std::memory_order_relaxed);
+  out.writer_enqueued = impl_->writer_enqueued.load(std::memory_order_relaxed);
+  out.writer_rejected = impl_->writer_rejected.load(std::memory_order_relaxed);
+  out.protocol_errors = impl_->protocol_errors.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace qp::serve::rpc

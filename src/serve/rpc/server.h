@@ -1,0 +1,112 @@
+// Async RPC serving front-end over ShardedPricingEngine.
+//
+// One epoll event-loop thread owns every connection: non-blocking
+// accept/read/write, length-prefixed frames (serve/rpc/wire.h), per-
+// connection writer queues — the logcabin OpaqueServer shape, without
+// the monitor locking because all connection state is loop-thread-
+// private. The design splits the engine's reader/writer seam across
+// threads:
+//
+//  * Read requests (Quote, QuoteBatch) arriving within one event-loop
+//    tick auto-batch: the loop collects every decoded bundle while
+//    draining the tick's readable sockets, then prices them through ONE
+//    ShardedPricingEngine::QuoteBatch call — one snapshot pin per tick
+//    across all connections (exactly what the batch API amortizes), and
+//    every quote in the tick carries the same merged generation.
+//    Purchase and Stats are served inline on the loop thread; both are
+//    lock-free against the engine's writer, so a slow append never
+//    stalls the read path.
+//  * Writer ops (AppendBuyers) enter a bounded admission queue consumed
+//    by a dedicated writer thread (the engine serializes writers anyway,
+//    so one thread loses nothing). A full queue rejects the request
+//    immediately with WireCode::kBackpressure — the request was NOT
+//    applied, and the client owns the retry. Completions post back to
+//    the loop through an eventfd and are answered in completion order.
+//
+// Responses may therefore interleave arbitrarily with request order on
+// one connection; clients match on request_id (see wire.h).
+//
+// Shutdown (Stop(), also run by the destructor): the writer thread
+// finishes the job it is executing, fails the rest of its queue with
+// kShuttingDown, and exits; the loop thread serves its final tick —
+// including the batched quotes and writer completions — flushes what it
+// can without blocking, and closes every connection.
+#ifndef QP_SERVE_RPC_SERVER_H_
+#define QP_SERVE_RPC_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "db/database.h"
+#include "serve/sharded_engine.h"
+
+namespace qp::serve::rpc {
+
+struct RpcServerOptions {
+  /// IPv4 address to bind; loopback by default.
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back via port() after Start().
+  uint16_t port = 0;
+  int listen_backlog = 128;
+  /// Frames with a larger payload are a protocol error (connection
+  /// closed). Bounded by wire::kMaxFrameBytes.
+  uint32_t max_frame_bytes = 1u << 20;
+  /// Admission-control depth for writer ops (AppendBuyers): requests
+  /// beyond this many queued get an immediate kBackpressure reply.
+  size_t writer_queue_depth = 16;
+};
+
+struct RpcServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t frames_received = 0;
+  uint64_t quote_requests = 0;
+  uint64_t quote_batch_requests = 0;
+  uint64_t purchase_requests = 0;
+  uint64_t append_requests = 0;
+  uint64_t stats_requests = 0;
+  /// Ticks that served at least one quote request, and the bundles they
+  /// coalesced into single engine QuoteBatch calls. batched_quotes /
+  /// quote_ticks is the realized auto-batching factor.
+  uint64_t quote_ticks = 0;
+  uint64_t batched_quotes = 0;
+  uint64_t writer_enqueued = 0;
+  /// Writer ops rejected with kBackpressure (queue full).
+  uint64_t writer_rejected = 0;
+  uint64_t protocol_errors = 0;
+};
+
+class RpcServer {
+ public:
+  /// `engine` and `db` must outlive the server; `db` is the database the
+  /// engine serves (used to parse Purchase/AppendBuyers SQL) and is
+  /// never written to.
+  RpcServer(ShardedPricingEngine* engine, const db::Database* db,
+            RpcServerOptions options = {});
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Binds, listens, and spawns the loop + writer threads. Fails if the
+  /// address is unavailable or the server already started.
+  Status Start();
+
+  /// Graceful shutdown; idempotent. See the class comment.
+  void Stop();
+
+  /// The bound port (after Start()).
+  uint16_t port() const;
+
+  RpcServerStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace qp::serve::rpc
+
+#endif  // QP_SERVE_RPC_SERVER_H_

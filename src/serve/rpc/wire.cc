@@ -1,0 +1,289 @@
+#include "serve/rpc/wire.h"
+
+namespace qp::serve::rpc {
+
+const char* WireCodeToString(WireCode code) {
+  switch (code) {
+    case WireCode::kOk:
+      return "Ok";
+    case WireCode::kBadRequest:
+      return "BadRequest";
+    case WireCode::kBackpressure:
+      return "Backpressure";
+    case WireCode::kShuttingDown:
+      return "ShuttingDown";
+    case WireCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+ExtractResult ExtractFrame(const uint8_t* data, size_t size, size_t* consumed,
+                           Frame* out, uint32_t max_frame) {
+  if (size < kFrameHeaderBytes) return ExtractResult::kNeedMore;
+  uint32_t payload = 0;
+  for (int i = 0; i < 4; ++i) payload |= uint32_t(data[size_t(i)]) << (8 * i);
+  // Validate the length BEFORE waiting for (or allocating) the payload:
+  // the prefix is attacker-controlled.
+  if (payload < kMessageHeaderBytes || payload > max_frame) {
+    return ExtractResult::kError;
+  }
+  if (size < kFrameHeaderBytes + payload) return ExtractResult::kNeedMore;
+  WireReader reader(data + kFrameHeaderBytes, kMessageHeaderBytes);
+  out->type = static_cast<MsgType>(reader.U8());
+  out->request_id = reader.U64();
+  out->body = std::span<const uint8_t>(
+      data + kFrameHeaderBytes + kMessageHeaderBytes,
+      payload - kMessageHeaderBytes);
+  *consumed = kFrameHeaderBytes + payload;
+  return ExtractResult::kFrame;
+}
+
+std::vector<uint8_t> BuildFrame(MsgType type, uint64_t request_id,
+                                const std::vector<uint8_t>& body) {
+  std::vector<uint8_t> frame;
+  frame.reserve(kFrameHeaderBytes + kMessageHeaderBytes + body.size());
+  WireWriter w(&frame);
+  w.U32(static_cast<uint32_t>(kMessageHeaderBytes + body.size()));
+  w.U8(static_cast<uint8_t>(type));
+  w.U64(request_id);
+  frame.insert(frame.end(), body.begin(), body.end());
+  return frame;
+}
+
+namespace {
+
+void WriteQuote(WireWriter& w, const Quote& quote) {
+  w.F64(quote.price);
+  w.U64(quote.version);
+  w.U64Vec(quote.shard_versions);
+  w.String(quote.algorithm);
+}
+
+bool ReadQuote(WireReader& r, Quote* quote) {
+  quote->price = r.F64();
+  quote->version = r.U64();
+  quote->shard_versions = r.U64Vec();
+  quote->algorithm = r.String();
+  return r.ok();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeQuoteRequest(uint64_t id,
+                                        const std::vector<uint32_t>& bundle) {
+  std::vector<uint8_t> body;
+  WireWriter w(&body);
+  w.U32Vec(bundle);
+  return BuildFrame(MsgType::kQuote, id, body);
+}
+
+std::vector<uint8_t> EncodeQuoteBatchRequest(
+    uint64_t id, std::span<const std::vector<uint32_t>> bundles) {
+  std::vector<uint8_t> body;
+  WireWriter w(&body);
+  w.U32(static_cast<uint32_t>(bundles.size()));
+  for (const std::vector<uint32_t>& bundle : bundles) w.U32Vec(bundle);
+  return BuildFrame(MsgType::kQuoteBatch, id, body);
+}
+
+std::vector<uint8_t> EncodePurchaseRequest(uint64_t id, const std::string& sql,
+                                           double valuation) {
+  std::vector<uint8_t> body;
+  WireWriter w(&body);
+  w.String(sql);
+  w.F64(valuation);
+  return BuildFrame(MsgType::kPurchase, id, body);
+}
+
+std::vector<uint8_t> EncodeAppendRequest(uint64_t id,
+                                         std::span<const WireBuyer> buyers) {
+  std::vector<uint8_t> body;
+  WireWriter w(&body);
+  w.U32(static_cast<uint32_t>(buyers.size()));
+  for (const WireBuyer& buyer : buyers) {
+    w.String(buyer.sql);
+    w.F64(buyer.valuation);
+  }
+  return BuildFrame(MsgType::kAppendBuyers, id, body);
+}
+
+std::vector<uint8_t> EncodeStatsRequest(uint64_t id) {
+  return BuildFrame(MsgType::kStats, id, {});
+}
+
+bool DecodeQuoteRequest(std::span<const uint8_t> body,
+                        std::vector<uint32_t>* bundle) {
+  WireReader r(body);
+  *bundle = r.U32Vec();
+  return r.AtEnd();
+}
+
+bool DecodeQuoteBatchRequest(std::span<const uint8_t> body,
+                             std::vector<std::vector<uint32_t>>* bundles) {
+  WireReader r(body);
+  uint32_t n = r.U32();
+  bundles->clear();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) bundles->push_back(r.U32Vec());
+  return r.AtEnd();
+}
+
+bool DecodePurchaseRequest(std::span<const uint8_t> body, std::string* sql,
+                           double* valuation) {
+  WireReader r(body);
+  *sql = r.String();
+  *valuation = r.F64();
+  return r.AtEnd();
+}
+
+bool DecodeAppendRequest(std::span<const uint8_t> body,
+                         std::vector<WireBuyer>* buyers) {
+  WireReader r(body);
+  uint32_t n = r.U32();
+  buyers->clear();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    WireBuyer buyer;
+    buyer.sql = r.String();
+    buyer.valuation = r.F64();
+    buyers->push_back(std::move(buyer));
+  }
+  return r.AtEnd();
+}
+
+std::vector<uint8_t> EncodeQuoteReply(uint64_t id, const Quote& quote) {
+  std::vector<uint8_t> body;
+  WireWriter w(&body);
+  WriteQuote(w, quote);
+  return BuildFrame(MsgType::kQuoteReply, id, body);
+}
+
+std::vector<uint8_t> EncodeQuoteBatchReply(uint64_t id,
+                                           std::span<const Quote> quotes) {
+  std::vector<uint8_t> body;
+  WireWriter w(&body);
+  w.U32(static_cast<uint32_t>(quotes.size()));
+  for (const Quote& quote : quotes) WriteQuote(w, quote);
+  return BuildFrame(MsgType::kQuoteBatchReply, id, body);
+}
+
+std::vector<uint8_t> EncodePurchaseReply(uint64_t id,
+                                         const WirePurchase& purchase) {
+  std::vector<uint8_t> body;
+  WireWriter w(&body);
+  w.U8(purchase.accepted ? 1 : 0);
+  w.F64(purchase.valuation);
+  WriteQuote(w, purchase.quote);
+  w.U32Vec(purchase.bundle);
+  return BuildFrame(MsgType::kPurchaseReply, id, body);
+}
+
+std::vector<uint8_t> EncodeAppendReply(uint64_t id,
+                                       const WireAppendResult& result) {
+  std::vector<uint8_t> body;
+  WireWriter w(&body);
+  w.U8(static_cast<uint8_t>(result.code));
+  w.String(result.message);
+  w.U64(result.version);
+  return BuildFrame(MsgType::kAppendReply, id, body);
+}
+
+std::vector<uint8_t> EncodeStatsReply(uint64_t id, const WireStats& stats) {
+  std::vector<uint8_t> body;
+  WireWriter w(&body);
+  w.U32(stats.num_shards);
+  w.U64(stats.version);
+  w.U64Vec(stats.shard_versions);
+  w.U64(stats.num_edges);
+  w.U64(stats.quotes_served);
+  w.U64(stats.purchases);
+  w.U64(stats.purchases_accepted);
+  w.F64(stats.sale_revenue);
+  w.U64(stats.prepared_hits);
+  w.U64(stats.prepared_misses);
+  w.U64(stats.prepared_evictions);
+  w.U64(stats.prepared_entries);
+  w.U64(stats.quote_ticks);
+  w.U64(stats.batched_quotes);
+  w.U64(stats.writer_rejected);
+  w.U64(stats.protocol_errors);
+  w.U64(stats.connections_accepted);
+  return BuildFrame(MsgType::kStatsReply, id, body);
+}
+
+std::vector<uint8_t> EncodeErrorReply(uint64_t id, WireCode code,
+                                      const std::string& message) {
+  std::vector<uint8_t> body;
+  WireWriter w(&body);
+  w.U8(static_cast<uint8_t>(code));
+  w.String(message);
+  return BuildFrame(MsgType::kErrorReply, id, body);
+}
+
+bool DecodeQuoteReply(std::span<const uint8_t> body, Quote* quote) {
+  WireReader r(body);
+  return ReadQuote(r, quote) && r.AtEnd();
+}
+
+bool DecodeQuoteBatchReply(std::span<const uint8_t> body,
+                           std::vector<Quote>* quotes) {
+  WireReader r(body);
+  uint32_t n = r.U32();
+  quotes->clear();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    Quote quote;
+    if (!ReadQuote(r, &quote)) break;
+    quotes->push_back(std::move(quote));
+  }
+  return r.AtEnd();
+}
+
+bool DecodePurchaseReply(std::span<const uint8_t> body,
+                         WirePurchase* purchase) {
+  WireReader r(body);
+  purchase->accepted = r.U8() != 0;
+  purchase->valuation = r.F64();
+  if (!ReadQuote(r, &purchase->quote)) return false;
+  purchase->bundle = r.U32Vec();
+  return r.AtEnd();
+}
+
+bool DecodeAppendReply(std::span<const uint8_t> body,
+                       WireAppendResult* result) {
+  WireReader r(body);
+  result->code = static_cast<WireCode>(r.U8());
+  result->message = r.String();
+  result->version = r.U64();
+  return r.AtEnd();
+}
+
+bool DecodeStatsReply(std::span<const uint8_t> body, WireStats* stats) {
+  WireReader r(body);
+  stats->num_shards = r.U32();
+  stats->version = r.U64();
+  stats->shard_versions = r.U64Vec();
+  stats->num_edges = r.U64();
+  stats->quotes_served = r.U64();
+  stats->purchases = r.U64();
+  stats->purchases_accepted = r.U64();
+  stats->sale_revenue = r.F64();
+  stats->prepared_hits = r.U64();
+  stats->prepared_misses = r.U64();
+  stats->prepared_evictions = r.U64();
+  stats->prepared_entries = r.U64();
+  stats->quote_ticks = r.U64();
+  stats->batched_quotes = r.U64();
+  stats->writer_rejected = r.U64();
+  stats->protocol_errors = r.U64();
+  stats->connections_accepted = r.U64();
+  return r.AtEnd();
+}
+
+bool DecodeErrorReply(std::span<const uint8_t> body, WireCode* code,
+                      std::string* message) {
+  WireReader r(body);
+  *code = static_cast<WireCode>(r.U8());
+  *message = r.String();
+  return r.AtEnd();
+}
+
+}  // namespace qp::serve::rpc

@@ -1,0 +1,315 @@
+// Wire protocol for the serving front-end (serve/rpc/server.h).
+//
+// Framing: every message travels as one length-prefixed frame —
+//
+//   [u32 payload_len (LE)] [u8 msg_type] [u64 request_id (LE)] [body]
+//
+// payload_len counts everything after the 4-byte prefix and must be in
+// [kMessageHeaderBytes, kMaxFrameBytes]; anything else is a protocol
+// error and the peer closes the connection (an attacker-controlled
+// length must never size an allocation). request_id is chosen by the
+// client and echoed verbatim on the response, so clients may pipeline
+// any number of requests per connection and match replies out of order
+// (the server replies in its own completion order: quotes per batching
+// tick, writer ops when the writer thread finishes them).
+//
+// Body encoding is flat little-endian primitives: u8/u32/u64, f64 as the
+// IEEE-754 bit pattern in a u64, strings and vectors as a u32 count
+// followed by elements. Decoders bound every read against the frame —
+// a malformed body yields a kBadRequest ErrorReply, never a crash or
+// over-read.
+//
+// Request → response pairs (all responses may instead be ErrorReply):
+//   Quote        {bundle: u32[]}            → QuoteReply {price, version,
+//                                              shard_versions: u64[], algo}
+//   QuoteBatch   {bundles: u32[][]}         → QuoteBatchReply {quotes[]}
+//   Purchase     {sql, valuation}           → PurchaseReply {accepted,
+//                                              quote, bundle}
+//   AppendBuyers {buyers: {sql, val}[]}     → AppendReply {code, message,
+//                                              version}
+//   Stats        {}                         → StatsReply
+//
+// Quote responses carry the per-shard version vector (Quote::
+// shard_versions): the scalar `version` is the shards' sum, which is
+// monotone but can alias distinct generations — clients that poll for
+// book changes must compare the vector.
+#ifndef QP_SERVE_RPC_WIRE_H_
+#define QP_SERVE_RPC_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/price_book.h"
+
+namespace qp::serve::rpc {
+
+/// Hard cap on one frame's payload (requests and responses). Large
+/// enough for a ~1M-item bundle quote; small enough that a hostile
+/// length prefix cannot balloon a connection buffer.
+inline constexpr uint32_t kMaxFrameBytes = 8u << 20;
+/// The u32 length prefix.
+inline constexpr size_t kFrameHeaderBytes = 4;
+/// u8 msg_type + u64 request_id, the fixed head of every payload.
+inline constexpr size_t kMessageHeaderBytes = 9;
+
+enum class MsgType : uint8_t {
+  kQuote = 1,
+  kQuoteBatch = 2,
+  kPurchase = 3,
+  kAppendBuyers = 4,
+  kStats = 5,
+  kQuoteReply = 129,
+  kQuoteBatchReply = 130,
+  kPurchaseReply = 131,
+  kAppendReply = 132,
+  kStatsReply = 133,
+  kErrorReply = 255,
+};
+
+/// Application status on the wire (ErrorReply / AppendReply).
+enum class WireCode : uint8_t {
+  kOk = 0,
+  /// Malformed body, unknown message type, or invalid SQL.
+  kBadRequest = 1,
+  /// The writer admission queue is full: the request was NOT applied;
+  /// retry after backing off. The explicit backpressure contract.
+  kBackpressure = 2,
+  /// Server is stopping; the request was not applied.
+  kShuttingDown = 3,
+  kInternal = 4,
+};
+
+const char* WireCodeToString(WireCode code);
+
+/// One buyer in an AppendBuyers request.
+struct WireBuyer {
+  std::string sql;
+  double valuation = 0.0;
+};
+
+struct WirePurchase {
+  bool accepted = false;
+  double valuation = 0.0;
+  Quote quote;
+  std::vector<uint32_t> bundle;
+};
+
+struct WireAppendResult {
+  WireCode code = WireCode::kOk;
+  std::string message;
+  /// Merged book version after the append (sum of shard versions).
+  uint64_t version = 0;
+};
+
+/// Server-side counters over the wire (StatsReply).
+struct WireStats {
+  uint32_t num_shards = 0;
+  uint64_t version = 0;
+  std::vector<uint64_t> shard_versions;
+  uint64_t num_edges = 0;
+  uint64_t quotes_served = 0;
+  uint64_t purchases = 0;
+  uint64_t purchases_accepted = 0;
+  double sale_revenue = 0.0;
+  uint64_t prepared_hits = 0;
+  uint64_t prepared_misses = 0;
+  uint64_t prepared_evictions = 0;
+  uint64_t prepared_entries = 0;
+  /// Event-loop ticks that served at least one quote, and the quotes
+  /// they coalesced into single QuoteBatch calls.
+  uint64_t quote_ticks = 0;
+  uint64_t batched_quotes = 0;
+  uint64_t writer_rejected = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t connections_accepted = 0;
+};
+
+/// Appends little-endian primitives to a byte buffer.
+class WireWriter {
+ public:
+  explicit WireWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(v); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_->push_back(uint8_t(v >> (8 * i)));
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_->push_back(uint8_t(v >> (8 * i)));
+  }
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void String(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    for (char c : s) out_->push_back(static_cast<uint8_t>(c));
+  }
+  void U32Vec(const std::vector<uint32_t>& v) {
+    U32(static_cast<uint32_t>(v.size()));
+    for (uint32_t x : v) U32(x);
+  }
+  void U64Vec(const std::vector<uint64_t>& v) {
+    U32(static_cast<uint32_t>(v.size()));
+    for (uint64_t x : v) U64(x);
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+/// Bounds-checked reads over one frame's body. Every accessor returns a
+/// value (zero/default past the end) and latches failure; callers check
+/// ok() once after decoding. Element counts are validated against the
+/// bytes actually remaining, so a hostile count cannot drive a large
+/// allocation.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit WireReader(std::span<const uint8_t> body)
+      : WireReader(body.data(), body.size()) {}
+
+  bool ok() const { return ok_; }
+  /// True when the body was consumed exactly (trailing garbage is a
+  /// protocol error).
+  bool AtEnd() const { return ok_ && pos_ == size_; }
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return data_[pos_++];
+  }
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= uint32_t(data_[pos_ + size_t(i)]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= uint64_t(data_[pos_ + size_t(i)]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  double F64() {
+    uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string String() {
+    uint32_t n = U32();
+    if (!Need(n)) return {};
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  std::vector<uint32_t> U32Vec() {
+    uint32_t n = U32();
+    if (!ok_ || size_ - pos_ < size_t(n) * 4) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<uint32_t> v;
+    v.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) v.push_back(U32());
+    return v;
+  }
+  std::vector<uint64_t> U64Vec() {
+    uint32_t n = U32();
+    if (!ok_ || size_ - pos_ < size_t(n) * 8) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<uint64_t> v;
+    v.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) v.push_back(U64());
+    return v;
+  }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// One parsed frame; `body` aliases the caller's buffer.
+struct Frame {
+  MsgType type = MsgType::kErrorReply;
+  uint64_t request_id = 0;
+  std::span<const uint8_t> body;
+};
+
+enum class ExtractResult {
+  kFrame,     // *out holds the next frame; *consumed bytes were used
+  kNeedMore,  // the buffer holds a partial frame; read more bytes
+  kError,     // unrecoverable framing error (bad length); close the peer
+};
+
+/// Pulls the next frame out of a receive buffer. On kFrame, `out->body`
+/// points into `data` and `*consumed` is the total frame size (prefix
+/// included); the caller erases those bytes after handling the frame.
+ExtractResult ExtractFrame(const uint8_t* data, size_t size, size_t* consumed,
+                           Frame* out, uint32_t max_frame = kMaxFrameBytes);
+
+/// Builds a complete frame (length prefix + message header + body).
+std::vector<uint8_t> BuildFrame(MsgType type, uint64_t request_id,
+                                const std::vector<uint8_t>& body);
+
+// --- request encoders (client) / decoders (server) ----------------------
+std::vector<uint8_t> EncodeQuoteRequest(uint64_t id,
+                                        const std::vector<uint32_t>& bundle);
+std::vector<uint8_t> EncodeQuoteBatchRequest(
+    uint64_t id, std::span<const std::vector<uint32_t>> bundles);
+std::vector<uint8_t> EncodePurchaseRequest(uint64_t id, const std::string& sql,
+                                           double valuation);
+std::vector<uint8_t> EncodeAppendRequest(uint64_t id,
+                                         std::span<const WireBuyer> buyers);
+std::vector<uint8_t> EncodeStatsRequest(uint64_t id);
+
+bool DecodeQuoteRequest(std::span<const uint8_t> body,
+                        std::vector<uint32_t>* bundle);
+bool DecodeQuoteBatchRequest(std::span<const uint8_t> body,
+                             std::vector<std::vector<uint32_t>>* bundles);
+bool DecodePurchaseRequest(std::span<const uint8_t> body, std::string* sql,
+                           double* valuation);
+bool DecodeAppendRequest(std::span<const uint8_t> body,
+                         std::vector<WireBuyer>* buyers);
+
+// --- response encoders (server) / decoders (client) ---------------------
+std::vector<uint8_t> EncodeQuoteReply(uint64_t id, const Quote& quote);
+std::vector<uint8_t> EncodeQuoteBatchReply(uint64_t id,
+                                           std::span<const Quote> quotes);
+std::vector<uint8_t> EncodePurchaseReply(uint64_t id,
+                                         const WirePurchase& purchase);
+std::vector<uint8_t> EncodeAppendReply(uint64_t id,
+                                       const WireAppendResult& result);
+std::vector<uint8_t> EncodeStatsReply(uint64_t id, const WireStats& stats);
+std::vector<uint8_t> EncodeErrorReply(uint64_t id, WireCode code,
+                                      const std::string& message);
+
+bool DecodeQuoteReply(std::span<const uint8_t> body, Quote* quote);
+bool DecodeQuoteBatchReply(std::span<const uint8_t> body,
+                           std::vector<Quote>* quotes);
+bool DecodePurchaseReply(std::span<const uint8_t> body, WirePurchase* purchase);
+bool DecodeAppendReply(std::span<const uint8_t> body, WireAppendResult* result);
+bool DecodeStatsReply(std::span<const uint8_t> body, WireStats* stats);
+bool DecodeErrorReply(std::span<const uint8_t> body, WireCode* code,
+                      std::string* message);
+
+}  // namespace qp::serve::rpc
+
+#endif  // QP_SERVE_RPC_WIRE_H_

@@ -15,6 +15,13 @@ uint64_t MergedBookView::version() const {
   return total;
 }
 
+std::vector<uint64_t> MergedBookView::version_vector() const {
+  std::vector<uint64_t> versions;
+  versions.reserve(books_.size());
+  for (const auto& book : books_) versions.push_back(book->version());
+  return versions;
+}
+
 double MergedBookView::best_revenue() const {
   std::vector<double> parts;
   parts.reserve(books_.size());
@@ -47,6 +54,9 @@ Quote MergedBookView::QuoteBundle(const std::vector<uint32_t>& bundle,
   Quote quote;
   quote.price = core::AdditivePrice(prices);
   quote.version = version();
+  // The scalar version is monotone but collidable across shard-version
+  // vectors; the vector is the collision-free stamp (see version()).
+  quote.shard_versions = version_vector();
   quote.algorithm = core::MergeAlgorithmLabels(labels);
   return quote;
 }
@@ -234,6 +244,16 @@ Status ShardedPricingEngine::ApplySellerDelta(db::Database& db,
   prober_.InvalidatePreparedQueries();
   for (const auto& shard : shards_) shard->InvalidatePreparedQueries();
   return Status::OK();
+}
+
+ShardedPricingEngine::ReaderStats ShardedPricingEngine::reader_stats() const {
+  ReaderStats out;
+  out.quotes_served = quotes_served_.load(std::memory_order_relaxed);
+  out.purchases = purchases_.load(std::memory_order_relaxed);
+  out.purchases_accepted = purchases_accepted_.load(std::memory_order_relaxed);
+  out.sale_revenue = sale_revenue_.load(std::memory_order_relaxed);
+  out.prepared = prober_.prepared_stats();
+  return out;
 }
 
 ShardedEngineStats ShardedPricingEngine::stats() const {

@@ -104,8 +104,17 @@ class MergedBookView {
     return *books_[static_cast<size_t>(s)];
   }
 
-  /// Sum of shard versions; monotone across any shard's publish.
+  /// Sum of shard versions; monotone across any shard's publish, but NOT
+  /// collision free: distinct shard-version vectors can sum identically
+  /// (shard A +1 / shard B -0 vs B +1), so a client polling this scalar
+  /// can miss a generation change. Poll version_vector() instead when a
+  /// missed change matters (the RPC layer stamps responses with it).
   uint64_t version() const;
+
+  /// Per-shard snapshot versions in ascending shard order. Two views over
+  /// different shard generations always differ here — the collision-free
+  /// form of version().
+  std::vector<uint64_t> version_vector() const;
 
   /// Sum of per-shard best revenues, in shard order — the revenue of the
   /// serving (merged) book.
@@ -174,6 +183,20 @@ class ShardedPricingEngine {
   Status ApplySellerDelta(db::Database& db, const market::CellDelta& delta);
 
   ShardedEngineStats stats() const;
+
+  /// Router-side reader counters plus the global prober's prepared-cache
+  /// stats, gathered WITHOUT the writer mutex — safe from serving paths
+  /// that must not block behind an in-flight append (the RPC front-end's
+  /// Stats handler). Excludes per-shard engine internals; stats() has
+  /// the full merge.
+  struct ReaderStats {
+    uint64_t quotes_served = 0;
+    uint64_t purchases = 0;
+    uint64_t purchases_accepted = 0;
+    double sale_revenue = 0.0;
+    market::PreparedQueryCache::Stats prepared;
+  };
+  ReaderStats reader_stats() const;
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
   /// Writer-side views; do not call concurrently with AppendBuyers.

@@ -1,0 +1,457 @@
+// RPC front-end integration suite. The contracts pinned here:
+//  (a) wire quotes are bit-identical to in-process QuoteBundle/QuoteBatch
+//      against the same snapshot, per-shard version vector included;
+//  (b) concurrent multi-client quote storms stay bit-identical to the
+//      in-process answers while nothing writes;
+//  (c) AppendBuyers over the wire lands exactly like an in-process
+//      append, and a full writer queue rejects with kBackpressure
+//      WITHOUT applying the request;
+//  (d) framing abuse over a real socket — drip-fed bytes, malformed
+//      bodies, bad length prefixes, mid-message disconnects — never takes
+//      the server down for other clients;
+//  (e) Stop() with in-flight requests shuts down cleanly (the TSan job
+//      runs this file).
+#include "serve/rpc/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "db/parser.h"
+#include "market/support.h"
+#include "market/support_partitioner.h"
+#include "serve/rpc/client.h"
+#include "serve/sharded_engine.h"
+#include "tests/testing/test_db.h"
+
+namespace qp::serve::rpc {
+namespace {
+
+struct Buyer {
+  const char* sql;
+  double valuation;
+};
+
+const std::vector<Buyer>& InitialBuyers() {
+  static const std::vector<Buyer> buyers = {
+      {"select * from Country", 90.0},
+      {"select Name from Country where Continent = 'Europe'", 12.0},
+      {"select count(*) from City", 6.0},
+      {"select max(Population) from Country", 8.0},
+      {"select CountryCode, sum(Population) from City group by CountryCode",
+       35.0},
+  };
+  return buyers;
+}
+
+/// Engine + server on an ephemeral loopback port, seeded with the
+/// initial buyers.
+struct Harness {
+  std::unique_ptr<db::Database> db;
+  market::SupportSet support;
+  std::unique_ptr<ShardedPricingEngine> engine;
+  std::unique_ptr<RpcServer> server;
+
+  explicit Harness(int num_shards = 2, RpcServerOptions options = {}) {
+    db = db::testing::MakeTestDatabase();
+    Rng rng(7);
+    auto generated = market::GenerateSupport(
+        *db, {.size = 120, .max_retries = 32}, rng);
+    QP_CHECK_OK(generated.status());
+    support = *generated;
+
+    std::vector<db::BoundQuery> queries;
+    core::Valuations valuations;
+    for (const Buyer& buyer : InitialBuyers()) {
+      auto q = db::ParseQuery(buyer.sql, *db);
+      QP_CHECK_OK(q.status());
+      queries.push_back(*q);
+      valuations.push_back(buyer.valuation);
+    }
+    market::SupportPartition partition =
+        market::SupportPartitioner::FromQueries(db.get(), support, queries, {},
+                                                {.num_shards = num_shards});
+    engine = std::make_unique<ShardedPricingEngine>(db.get(),
+                                                    std::move(partition));
+    QP_CHECK_OK(engine->AppendBuyers(queries, valuations));
+
+    server = std::make_unique<RpcServer>(engine.get(), db.get(), options);
+    QP_CHECK_OK(server->Start());
+  }
+
+  RpcClient Connect() {
+    RpcClient client;
+    QP_CHECK_OK(client.Connect("127.0.0.1", server->port()));
+    return client;
+  }
+
+  std::vector<std::vector<uint32_t>> SampleBundles() const {
+    std::vector<std::vector<uint32_t>> bundles;
+    bundles.push_back({});
+    const market::SupportPartition& partition = engine->partition();
+    std::vector<uint32_t> crossing;
+    for (int s = 0; s < partition.num_shards; ++s) {
+      const auto& items = partition.shard_items[static_cast<size_t>(s)];
+      for (size_t k = 0; k < std::min<size_t>(2, items.size()); ++k) {
+        crossing.push_back(items[k]);
+      }
+    }
+    bundles.push_back(std::move(crossing));
+    for (uint32_t i = 0; i < std::min<uint32_t>(6, partition.num_items());
+         ++i) {
+      bundles.push_back({i, (i + 3) % partition.num_items()});
+    }
+    return bundles;
+  }
+};
+
+void ExpectQuoteEq(const Quote& wire, const Quote& local) {
+  EXPECT_EQ(wire.price, local.price);
+  EXPECT_EQ(wire.version, local.version);
+  EXPECT_EQ(wire.shard_versions, local.shard_versions);
+  EXPECT_EQ(wire.algorithm, local.algorithm);
+}
+
+TEST(RpcServerTest, WireQuotesMatchInProcessBitForBit) {
+  Harness h;
+  RpcClient client = h.Connect();
+  // Nothing writes during this test, so the snapshot is stable and wire
+  // answers must equal in-process answers exactly.
+  for (const std::vector<uint32_t>& bundle : h.SampleBundles()) {
+    Quote local = h.engine->QuoteBundle(bundle);
+    RpcReply reply;
+    QP_CHECK_OK(client.Quote(bundle, &reply));
+    ASSERT_TRUE(reply.ok()) << reply.message;
+    ASSERT_EQ(reply.type, MsgType::kQuoteReply);
+    ExpectQuoteEq(reply.quote, local);
+    // The wire quote carries the collision-free per-shard stamp.
+    EXPECT_EQ(reply.quote.shard_versions.size(),
+              static_cast<size_t>(h.engine->num_shards()));
+  }
+}
+
+TEST(RpcServerTest, WireQuoteBatchMatchesInProcessBatch) {
+  Harness h;
+  RpcClient client = h.Connect();
+  std::vector<std::vector<uint32_t>> bundles = h.SampleBundles();
+  std::vector<Quote> local = h.engine->QuoteBatch(bundles);
+  RpcReply reply;
+  QP_CHECK_OK(client.QuoteBatch(bundles, &reply));
+  ASSERT_TRUE(reply.ok()) << reply.message;
+  ASSERT_EQ(reply.quotes.size(), local.size());
+  for (size_t i = 0; i < local.size(); ++i) {
+    ExpectQuoteEq(reply.quotes[i], local[i]);
+  }
+}
+
+TEST(RpcServerTest, PipelinedQuotesAutoBatchAndStillMatch) {
+  Harness h;
+  RpcClient client = h.Connect();
+  std::vector<std::vector<uint32_t>> bundles = h.SampleBundles();
+  // Fire the whole set without waiting: requests that land in one event-
+  // loop tick coalesce into a single engine QuoteBatch. Replies still
+  // match per-request ids and in-process answers.
+  std::vector<uint64_t> ids;
+  for (const std::vector<uint32_t>& bundle : bundles) {
+    auto id = client.SendQuote(bundle);
+    QP_CHECK_OK(id.status());
+    ids.push_back(*id);
+  }
+  std::vector<Quote> local = h.engine->QuoteBatch(bundles);
+  size_t received = 0;
+  std::vector<bool> seen(bundles.size(), false);
+  while (received < bundles.size()) {
+    RpcReply reply;
+    QP_CHECK_OK(client.Receive(&reply));
+    ASSERT_TRUE(reply.ok()) << reply.message;
+    size_t idx = bundles.size();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] == reply.request_id) idx = i;
+    }
+    ASSERT_LT(idx, bundles.size());
+    ASSERT_FALSE(seen[idx]);
+    seen[idx] = true;
+    ExpectQuoteEq(reply.quote, local[idx]);
+    ++received;
+  }
+  // The server observed at least one multi-quote tick... or at minimum
+  // every quote was answered through the tick path.
+  RpcServerStats stats = h.server->stats();
+  EXPECT_EQ(stats.batched_quotes, bundles.size());
+  EXPECT_GE(stats.quote_ticks, 1u);
+  EXPECT_LE(stats.quote_ticks, stats.batched_quotes);
+}
+
+TEST(RpcServerTest, ConcurrentClientsStayBitIdentical) {
+  Harness h;
+  std::vector<std::vector<uint32_t>> bundles = h.SampleBundles();
+  std::vector<Quote> local = h.engine->QuoteBatch(bundles);
+
+  constexpr int kClients = 4;
+  constexpr int kIterations = 40;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c]() {
+      RpcClient client;
+      if (!client.Connect("127.0.0.1", h.server->port()).ok()) {
+        failed.store(true);
+        return;
+      }
+      for (int i = 0; i < kIterations; ++i) {
+        size_t idx = static_cast<size_t>(c + i) % bundles.size();
+        RpcReply reply;
+        if (!client.Quote(bundles[idx], &reply).ok() || !reply.ok() ||
+            reply.quote.price != local[idx].price ||
+            reply.quote.version != local[idx].version ||
+            reply.quote.shard_versions != local[idx].shard_versions ||
+            reply.quote.algorithm != local[idx].algorithm) {
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+}
+
+TEST(RpcServerTest, PurchaseAndAppendWorkOverTheWire) {
+  Harness h;
+  RpcClient client = h.Connect();
+
+  // Purchase: same bundle and acceptance as the in-process call.
+  auto query = db::ParseQuery("select distinct Continent from Country", *h.db);
+  QP_CHECK_OK(query.status());
+  std::vector<uint32_t> expected_bundle =
+      h.engine->Purchase(*query, 1e-12).bundle;  // rejected: price > epsilon
+  RpcReply purchase;
+  QP_CHECK_OK(client.Purchase("select distinct Continent from Country", 1e9,
+                              &purchase));
+  ASSERT_TRUE(purchase.ok()) << purchase.message;
+  EXPECT_TRUE(purchase.purchase.accepted);
+  EXPECT_EQ(purchase.purchase.bundle, expected_bundle);
+
+  // Append: the merged version advances and subsequent quotes see it.
+  uint64_t version_before = h.engine->snapshot().version();
+  RpcReply append;
+  QP_CHECK_OK(client.AppendBuyers(
+      {{"select min(LifeExpectancy) from Country", 0.75}}, &append));
+  ASSERT_TRUE(append.ok()) << append.message;
+  EXPECT_GT(append.append.version, version_before);
+  EXPECT_EQ(append.append.version, h.engine->snapshot().version());
+
+  RpcReply quote;
+  QP_CHECK_OK(client.Quote({}, &quote));
+  EXPECT_EQ(quote.quote.version, append.append.version);
+
+  // Bad SQL is a kBadRequest, not a partial append.
+  uint64_t version_mid = h.engine->snapshot().version();
+  RpcReply bad;
+  QP_CHECK_OK(client.AppendBuyers({{"select Name from Country", 1.0},
+                                   {"select nonsense from Nowhere", 1.0}},
+                                  &bad));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code, WireCode::kBadRequest);
+  EXPECT_EQ(h.engine->snapshot().version(), version_mid);
+
+  // Stats reflect the traffic.
+  RpcReply stats;
+  QP_CHECK_OK(client.Stats(&stats));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.stats.num_shards,
+            static_cast<uint32_t>(h.engine->num_shards()));
+  EXPECT_EQ(stats.stats.version, h.engine->snapshot().version());
+  EXPECT_EQ(stats.stats.shard_versions,
+            h.engine->snapshot().version_vector());
+  EXPECT_GE(stats.stats.purchases, 1u);
+}
+
+TEST(RpcServerTest, FullWriterQueueRejectsWithBackpressure) {
+  // Depth 0: every writer op rejects immediately — deterministic, and
+  // pins the contract that a rejected request is NOT applied.
+  RpcServerOptions options;
+  options.writer_queue_depth = 0;
+  Harness h(/*num_shards=*/2, options);
+  RpcClient client = h.Connect();
+  uint64_t version_before = h.engine->snapshot().version();
+
+  RpcReply reply;
+  QP_CHECK_OK(
+      client.AppendBuyers({{"select Name from Country", 1.0}}, &reply));
+  EXPECT_FALSE(reply.ok());
+  EXPECT_TRUE(reply.backpressure());
+  EXPECT_EQ(h.engine->snapshot().version(), version_before);
+  EXPECT_GE(h.server->stats().writer_rejected, 1u);
+
+  // The connection survives rejection: reads still work.
+  RpcReply quote;
+  QP_CHECK_OK(client.Quote({}, &quote));
+  EXPECT_TRUE(quote.ok());
+}
+
+TEST(RpcServerTest, DripFedFramesDecodeAcrossPartialReads) {
+  Harness h;
+  // Raw socket, one byte per send: the server must reassemble.
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(h.server->port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  std::vector<uint8_t> frame = EncodeQuoteRequest(77, {0, 1});
+  for (uint8_t byte : frame) {
+    ASSERT_EQ(send(fd, &byte, 1, 0), 1);
+  }
+  // Collect the reply (blocking socket).
+  std::vector<uint8_t> in;
+  Frame reply;
+  for (;;) {
+    uint8_t buf[4096];
+    ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0);
+    in.insert(in.end(), buf, buf + n);
+    size_t consumed = 0;
+    ExtractResult result =
+        ExtractFrame(in.data(), in.size(), &consumed, &reply);
+    ASSERT_NE(result, ExtractResult::kError);
+    if (result == ExtractResult::kFrame) break;
+  }
+  EXPECT_EQ(reply.type, MsgType::kQuoteReply);
+  EXPECT_EQ(reply.request_id, 77u);
+  Quote quote;
+  EXPECT_TRUE(DecodeQuoteReply(reply.body, &quote));
+  ExpectQuoteEq(quote, h.engine->QuoteBundle({0, 1}));
+  close(fd);
+}
+
+TEST(RpcServerTest, AbuseDoesNotTakeTheServerDown) {
+  Harness h;
+  auto raw_connect = [&]() {
+    int fd = socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(h.server->port());
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    return fd;
+  };
+
+  // (1) Mid-message disconnect: half a frame, then gone.
+  {
+    int fd = raw_connect();
+    std::vector<uint8_t> frame = EncodePurchaseRequest(1, "select 1", 1.0);
+    ASSERT_EQ(send(fd, frame.data(), frame.size() / 2, 0),
+              static_cast<ssize_t>(frame.size() / 2));
+    close(fd);
+  }
+  // (2) Hostile length prefix: the server closes the connection.
+  {
+    int fd = raw_connect();
+    uint8_t huge[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+    ASSERT_EQ(send(fd, huge, sizeof(huge), 0), 4);
+    uint8_t buf[64];
+    EXPECT_EQ(recv(fd, buf, sizeof(buf), 0), 0);  // orderly close
+    close(fd);
+  }
+  // (3) Malformed body on a known type: kBadRequest, connection lives.
+  {
+    RpcClient client = h.Connect();
+    int fd = raw_connect();
+    std::vector<uint8_t> truncated_body = {0x05, 0x00, 0x00, 0x00};  // 5 items, none present
+    std::vector<uint8_t> frame =
+        BuildFrame(MsgType::kQuote, 9, truncated_body);
+    ASSERT_EQ(send(fd, frame.data(), frame.size(), 0),
+              static_cast<ssize_t>(frame.size()));
+    std::vector<uint8_t> in;
+    Frame reply;
+    for (;;) {
+      uint8_t buf[4096];
+      ssize_t n = recv(fd, buf, sizeof(buf), 0);
+      ASSERT_GT(n, 0);
+      in.insert(in.end(), buf, buf + n);
+      size_t consumed = 0;
+      if (ExtractFrame(in.data(), in.size(), &consumed, &reply) ==
+          ExtractResult::kFrame) {
+        break;
+      }
+    }
+    EXPECT_EQ(reply.type, MsgType::kErrorReply);
+    WireCode code;
+    std::string message;
+    EXPECT_TRUE(DecodeErrorReply(reply.body, &code, &message));
+    EXPECT_EQ(code, WireCode::kBadRequest);
+    close(fd);
+  }
+  // (4) Unknown message type: error reply, server up.
+  {
+    int fd = raw_connect();
+    std::vector<uint8_t> frame = BuildFrame(static_cast<MsgType>(42), 3, {});
+    ASSERT_EQ(send(fd, frame.data(), frame.size(), 0),
+              static_cast<ssize_t>(frame.size()));
+    close(fd);
+  }
+
+  // After all of it, a well-behaved client still gets exact answers.
+  RpcClient client = h.Connect();
+  RpcReply reply;
+  QP_CHECK_OK(client.Quote({}, &reply));
+  ASSERT_TRUE(reply.ok());
+  ExpectQuoteEq(reply.quote, h.engine->QuoteBundle({}));
+  EXPECT_GE(h.server->stats().protocol_errors, 2u);
+}
+
+TEST(RpcServerTest, StopWithInFlightRequestsShutsDownCleanly) {
+  for (int round = 0; round < 3; ++round) {
+    Harness h;
+    std::atomic<bool> go{false};
+    constexpr int kClients = 3;
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c]() {
+        RpcClient client;
+        if (!client.Connect("127.0.0.1", h.server->port()).ok()) return;
+        while (!go.load()) {
+        }
+        // Hammer quotes and appends until the server goes away. Every
+        // outcome is legal — a reply, kShuttingDown, or a transport
+        // error once the connection is closed — as long as nothing
+        // crashes, deadlocks, or trips TSan.
+        for (int i = 0; i < 200; ++i) {
+          RpcReply reply;
+          Status status =
+              (c == 0 && i % 10 == 0)
+                  ? client.AppendBuyers(
+                        {{"select count(*) from City", 0.5}}, &reply)
+                  : client.Quote({}, &reply);
+          if (!status.ok()) return;
+        }
+      });
+    }
+    go.store(true);
+    h.server->Stop();
+    for (std::thread& t : threads) t.join();
+    // Stop() is idempotent and the destructor may run it again.
+    h.server->Stop();
+  }
+}
+
+}  // namespace
+}  // namespace qp::serve::rpc

@@ -1,0 +1,297 @@
+// Wire-protocol hardening: every encode/decode pair roundtrips, and no
+// hostile input — truncated frames, oversized or undersized length
+// prefixes, corrupt counts, trailing garbage, byte-by-byte delivery —
+// crashes, over-reads, or decodes successfully.
+#include "serve/rpc/wire.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qp::serve::rpc {
+namespace {
+
+Quote MakeQuote() {
+  Quote quote;
+  quote.price = 12.5;
+  quote.version = 7;
+  quote.shard_versions = {3, 4};
+  quote.algorithm = "LPIP+XOS";
+  return quote;
+}
+
+void ExpectQuoteEq(const Quote& a, const Quote& b) {
+  EXPECT_EQ(a.price, b.price);
+  EXPECT_EQ(a.version, b.version);
+  EXPECT_EQ(a.shard_versions, b.shard_versions);
+  EXPECT_EQ(a.algorithm, b.algorithm);
+}
+
+// Extracts the single frame an encoder produced. `bytes` must outlive
+// the returned frame (its body aliases the buffer).
+Frame MustExtract(const std::vector<uint8_t>& bytes) {
+  Frame frame;
+  size_t consumed = 0;
+  EXPECT_EQ(ExtractFrame(bytes.data(), bytes.size(), &consumed, &frame),
+            ExtractResult::kFrame);
+  EXPECT_EQ(consumed, bytes.size());
+  return frame;
+}
+
+TEST(RpcWireTest, FramesNeedEveryByte) {
+  std::vector<uint8_t> frame = EncodeQuoteRequest(42, {1, 2, 3});
+  // Every strict prefix is kNeedMore — never an error, never a frame.
+  for (size_t n = 0; n < frame.size(); ++n) {
+    Frame out;
+    size_t consumed = 0;
+    EXPECT_EQ(ExtractFrame(frame.data(), n, &consumed, &out),
+              ExtractResult::kNeedMore)
+        << "prefix " << n;
+  }
+  Frame out = MustExtract(frame);
+  EXPECT_EQ(out.type, MsgType::kQuote);
+  EXPECT_EQ(out.request_id, 42u);
+  std::vector<uint32_t> bundle;
+  EXPECT_TRUE(DecodeQuoteRequest(out.body, &bundle));
+  EXPECT_EQ(bundle, (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(RpcWireTest, BadLengthPrefixesAreFramingErrors) {
+  auto with_length = [](uint32_t payload) {
+    std::vector<uint8_t> bytes;
+    WireWriter w(&bytes);
+    w.U32(payload);
+    return bytes;
+  };
+  Frame out;
+  size_t consumed = 0;
+  // Too small to hold the message header.
+  for (uint32_t bad : {0u, 1u, uint32_t(kMessageHeaderBytes) - 1}) {
+    std::vector<uint8_t> bytes = with_length(bad);
+    EXPECT_EQ(ExtractFrame(bytes.data(), bytes.size(), &consumed, &out),
+              ExtractResult::kError)
+        << bad;
+  }
+  // Oversized: rejected from the 4-byte prefix alone, before any payload
+  // arrives (a hostile length must never size a buffer).
+  std::vector<uint8_t> huge = with_length(kMaxFrameBytes + 1);
+  EXPECT_EQ(ExtractFrame(huge.data(), huge.size(), &consumed, &out),
+            ExtractResult::kError);
+  std::vector<uint8_t> max32 = with_length(0xFFFFFFFFu);
+  EXPECT_EQ(ExtractFrame(max32.data(), max32.size(), &consumed, &out),
+            ExtractResult::kError);
+  // A tighter per-connection cap applies even below the global bound.
+  std::vector<uint8_t> frame = EncodeQuoteRequest(1, std::vector<uint32_t>(64));
+  EXPECT_EQ(ExtractFrame(frame.data(), frame.size(), &consumed, &out,
+                         /*max_frame=*/16),
+            ExtractResult::kError);
+}
+
+TEST(RpcWireTest, BackToBackFramesExtractInOrder) {
+  std::vector<uint8_t> stream = EncodeQuoteRequest(1, {5});
+  std::vector<uint8_t> second = EncodeStatsRequest(2);
+  stream.insert(stream.end(), second.begin(), second.end());
+  Frame out;
+  size_t consumed = 0;
+  ASSERT_EQ(ExtractFrame(stream.data(), stream.size(), &consumed, &out),
+            ExtractResult::kFrame);
+  EXPECT_EQ(out.request_id, 1u);
+  size_t first_size = consumed;
+  ASSERT_EQ(ExtractFrame(stream.data() + first_size,
+                         stream.size() - first_size, &consumed, &out),
+            ExtractResult::kFrame);
+  EXPECT_EQ(out.type, MsgType::kStats);
+  EXPECT_EQ(out.request_id, 2u);
+  EXPECT_EQ(first_size + consumed, stream.size());
+}
+
+TEST(RpcWireTest, RequestsRoundTrip) {
+  {
+    std::vector<std::vector<uint32_t>> bundles = {{1, 2}, {}, {9}};
+    std::vector<uint8_t> bytes = EncodeQuoteBatchRequest(7, bundles);
+    Frame f = MustExtract(bytes);
+    std::vector<std::vector<uint32_t>> out;
+    EXPECT_TRUE(DecodeQuoteBatchRequest(f.body, &out));
+    EXPECT_EQ(out, bundles);
+  }
+  {
+    std::vector<uint8_t> bytes =
+        EncodePurchaseRequest(8, "select * from T", 3.5);
+    Frame f = MustExtract(bytes);
+    std::string sql;
+    double valuation = 0.0;
+    EXPECT_TRUE(DecodePurchaseRequest(f.body, &sql, &valuation));
+    EXPECT_EQ(sql, "select * from T");
+    EXPECT_EQ(valuation, 3.5);
+  }
+  {
+    std::vector<WireBuyer> buyers = {{"select A from T", 1.0},
+                                     {"select B from T", 2.0}};
+    std::vector<uint8_t> bytes = EncodeAppendRequest(9, buyers);
+    Frame f = MustExtract(bytes);
+    std::vector<WireBuyer> out;
+    EXPECT_TRUE(DecodeAppendRequest(f.body, &out));
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].sql, buyers[0].sql);
+    EXPECT_EQ(out[1].valuation, buyers[1].valuation);
+  }
+}
+
+TEST(RpcWireTest, RepliesRoundTrip) {
+  {
+    std::vector<uint8_t> bytes = EncodeQuoteReply(1, MakeQuote());
+    Frame f = MustExtract(bytes);
+    Quote out;
+    EXPECT_TRUE(DecodeQuoteReply(f.body, &out));
+    ExpectQuoteEq(out, MakeQuote());
+  }
+  {
+    std::vector<Quote> quotes = {MakeQuote(), MakeQuote()};
+    quotes[1].price = 99.0;
+    quotes[1].shard_versions.clear();
+    std::vector<uint8_t> bytes = EncodeQuoteBatchReply(2, quotes);
+    Frame f = MustExtract(bytes);
+    std::vector<Quote> out;
+    EXPECT_TRUE(DecodeQuoteBatchReply(f.body, &out));
+    ASSERT_EQ(out.size(), 2u);
+    ExpectQuoteEq(out[0], quotes[0]);
+    ExpectQuoteEq(out[1], quotes[1]);
+  }
+  {
+    WirePurchase purchase;
+    purchase.accepted = true;
+    purchase.valuation = 5.0;
+    purchase.quote = MakeQuote();
+    purchase.bundle = {0, 3, 8};
+    std::vector<uint8_t> bytes = EncodePurchaseReply(3, purchase);
+    Frame f = MustExtract(bytes);
+    WirePurchase out;
+    EXPECT_TRUE(DecodePurchaseReply(f.body, &out));
+    EXPECT_EQ(out.accepted, true);
+    EXPECT_EQ(out.bundle, purchase.bundle);
+    ExpectQuoteEq(out.quote, purchase.quote);
+  }
+  {
+    WireAppendResult result{WireCode::kOk, "", 11};
+    std::vector<uint8_t> bytes = EncodeAppendReply(4, result);
+    Frame f = MustExtract(bytes);
+    WireAppendResult out;
+    EXPECT_TRUE(DecodeAppendReply(f.body, &out));
+    EXPECT_EQ(out.code, WireCode::kOk);
+    EXPECT_EQ(out.version, 11u);
+  }
+  {
+    WireStats stats;
+    stats.num_shards = 2;
+    stats.version = 5;
+    stats.shard_versions = {2, 3};
+    stats.quotes_served = 100;
+    stats.sale_revenue = 12.25;
+    stats.batched_quotes = 60;
+    std::vector<uint8_t> bytes = EncodeStatsReply(5, stats);
+    Frame f = MustExtract(bytes);
+    WireStats out;
+    EXPECT_TRUE(DecodeStatsReply(f.body, &out));
+    EXPECT_EQ(out.num_shards, 2u);
+    EXPECT_EQ(out.shard_versions, stats.shard_versions);
+    EXPECT_EQ(out.sale_revenue, 12.25);
+    EXPECT_EQ(out.batched_quotes, 60u);
+  }
+  {
+    std::vector<uint8_t> bytes =
+        EncodeErrorReply(6, WireCode::kBackpressure, "full");
+    Frame f = MustExtract(bytes);
+    WireCode code = WireCode::kOk;
+    std::string message;
+    EXPECT_TRUE(DecodeErrorReply(f.body, &code, &message));
+    EXPECT_EQ(code, WireCode::kBackpressure);
+    EXPECT_EQ(message, "full");
+  }
+}
+
+TEST(RpcWireTest, TruncatedBodiesNeverDecode) {
+  // Chop every well-formed body at every length: no prefix may decode
+  // successfully (or crash). Exhaustive over the interesting encoders.
+  std::vector<std::vector<uint8_t>> frames = {
+      EncodeQuoteRequest(1, {1, 2, 3}),
+      EncodeQuoteBatchRequest(2, std::vector<std::vector<uint32_t>>{{1}, {}}),
+      EncodePurchaseRequest(3, "select * from T", 1.0),
+      EncodeAppendRequest(4, std::vector<WireBuyer>{{"select A from T", 2.0}}),
+      EncodeQuoteReply(5, MakeQuote()),
+  };
+  for (const std::vector<uint8_t>& bytes : frames) {
+    Frame frame = MustExtract(bytes);
+    for (size_t n = 0; n < frame.body.size(); ++n) {
+      std::span<const uint8_t> cut = frame.body.subspan(0, n);
+      std::vector<uint32_t> bundle;
+      std::vector<std::vector<uint32_t>> bundles;
+      std::string sql;
+      double valuation;
+      std::vector<WireBuyer> buyers;
+      Quote quote;
+      switch (frame.type) {
+        case MsgType::kQuote:
+          EXPECT_FALSE(DecodeQuoteRequest(cut, &bundle));
+          break;
+        case MsgType::kQuoteBatch:
+          EXPECT_FALSE(DecodeQuoteBatchRequest(cut, &bundles));
+          break;
+        case MsgType::kPurchase:
+          EXPECT_FALSE(DecodePurchaseRequest(cut, &sql, &valuation));
+          break;
+        case MsgType::kAppendBuyers:
+          EXPECT_FALSE(DecodeAppendRequest(cut, &buyers));
+          break;
+        case MsgType::kQuoteReply:
+          EXPECT_FALSE(DecodeQuoteReply(cut, &quote));
+          break;
+        default:
+          break;
+      }
+    }
+  }
+}
+
+TEST(RpcWireTest, TrailingGarbageIsRejected) {
+  std::vector<uint8_t> frame = EncodeQuoteRequest(1, {1});
+  // Grow the payload by one byte and patch the length prefix to match:
+  // the decoder must reject the now-oversized body.
+  frame.push_back(0xAB);
+  uint32_t payload = static_cast<uint32_t>(frame.size() - kFrameHeaderBytes);
+  for (int i = 0; i < 4; ++i) {
+    frame[static_cast<size_t>(i)] = static_cast<uint8_t>(payload >> (8 * i));
+  }
+  Frame out = MustExtract(frame);
+  std::vector<uint32_t> bundle;
+  EXPECT_FALSE(DecodeQuoteRequest(out.body, &bundle));
+}
+
+TEST(RpcWireTest, HostileCountsCannotDriveAllocation) {
+  // A count claiming ~4 billion elements inside a tiny body must fail
+  // before any reserve() sees it.
+  std::vector<uint8_t> body;
+  WireWriter w(&body);
+  w.U32(0xFFFFFFFFu);
+  WireReader r32(body.data(), body.size());
+  EXPECT_TRUE(r32.U32Vec().empty());
+  EXPECT_FALSE(r32.ok());
+  WireReader r64(body.data(), body.size());
+  EXPECT_TRUE(r64.U64Vec().empty());
+  EXPECT_FALSE(r64.ok());
+  WireReader rs(body.data(), body.size());
+  EXPECT_TRUE(rs.String().empty());
+  EXPECT_FALSE(rs.ok());
+  // Nested flavor: a QuoteBatch whose inner vector lies about its size.
+  std::vector<uint8_t> batch;
+  WireWriter wb(&batch);
+  wb.U32(2);            // two bundles...
+  wb.U32(0xFFFFFF00u);  // ...the first claiming 4 billion items
+  std::vector<std::vector<uint32_t>> bundles;
+  EXPECT_FALSE(DecodeQuoteBatchRequest(
+      std::span<const uint8_t>(batch.data(), batch.size()), &bundles));
+}
+
+}  // namespace
+}  // namespace qp::serve::rpc

@@ -413,6 +413,41 @@ TEST(ShardedEngineTest, SymmetricCopiesMatchMonolithicWithinTolerance) {
   }
 }
 
+TEST(ShardedEngineTest, VersionVectorDisambiguatesAliasedScalarVersions) {
+  Market m = MakeMarket();
+  market::SupportPartition partition = PartitionFor(m, 3);
+  ShardedPricingEngine sharded(m.db.get(), partition,
+                               MatchedShardedOptions());
+  QP_CHECK_OK(sharded.AppendBuyers(m.initial_queries, m.initial_valuations));
+
+  MergedBookView before = sharded.snapshot();
+  std::vector<uint64_t> vector_before = before.version_vector();
+  ASSERT_EQ(vector_before.size(), 3u);
+  uint64_t sum = 0;
+  for (uint64_t v : vector_before) sum += v;
+  EXPECT_EQ(before.version(), sum);
+
+  // One more append bumps SOME shard's version. The scalar version is
+  // only monotone — two different vectors can share a sum — but the
+  // vector itself must change whenever any shard publishes.
+  QP_CHECK_OK(sharded.AppendBuyers({m.late_queries[0]},
+                                   {m.late_valuations[0]}));
+  MergedBookView after = sharded.snapshot();
+  std::vector<uint64_t> vector_after = after.version_vector();
+  EXPECT_NE(vector_after, vector_before);
+  EXPECT_GE(after.version(), before.version());
+  for (size_t s = 0; s < vector_after.size(); ++s) {
+    EXPECT_GE(vector_after[s], vector_before[s]) << "shard " << s;
+  }
+
+  // Quotes from a merged view carry the vector; single-engine quotes
+  // leave it empty (the monolithic scalar version cannot alias).
+  Quote merged_quote = sharded.QuoteBundle({});
+  EXPECT_EQ(merged_quote.shard_versions, vector_after);
+  PricingEngine mono(m.db.get(), m.support, MatchedEngineOptions());
+  EXPECT_TRUE(mono.QuoteBundle({}).shard_versions.empty());
+}
+
 TEST(ShardedEngineTest, PurchaseMatchesMonolithicBundlesAndCountsSales) {
   Market m = MakeMarket();
   PricingEngine mono(m.db.get(), m.support, MatchedEngineOptions());

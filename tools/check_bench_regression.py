@@ -40,6 +40,15 @@ def load(path):
     except (OSError, ValueError) as e:
         print(f"error: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+    for r in records:
+        # Negative seconds (e.g. a wall-minus-probe-delta phase that went
+        # below zero before the benches clamped) poison the median
+        # machine-speed normalization; refuse the file outright.
+        if not (r["seconds"] >= 0.0):
+            print(f"error: {path} record ({r['instance']!r},"
+                  f" {r['algorithm']!r}) has invalid seconds"
+                  f" {r['seconds']!r} (negative or NaN)", file=sys.stderr)
+            sys.exit(2)
     return {(r["instance"], r["algorithm"]): r for r in records}
 
 
