@@ -22,6 +22,11 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  /// The target exists but cannot serve right now (a shard still warming
+  /// after restore, a refused connection); retrying later may succeed.
+  kUnavailable,
+  /// A caller-supplied deadline elapsed before the operation finished.
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -57,6 +62,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

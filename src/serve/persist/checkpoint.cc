@@ -1,0 +1,474 @@
+#include "serve/persist/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "serve/persist/format.h"
+#include "serve/rpc/wire.h"
+
+namespace qp::serve::persist {
+namespace {
+
+namespace fs = std::filesystem;
+
+using rpc::WireReader;
+using rpc::WireWriter;
+
+/// Hard cap on one journal record (an append op carries every conflict
+/// set of one AppendBuyers call). Larger means a corrupt length prefix,
+/// not a real record.
+constexpr uint32_t kMaxRecordBytes = 64u << 20;
+/// u8 type + u64 op_id: the smallest valid record body.
+constexpr uint32_t kMinRecordBytes = 9;
+
+uint32_t ReadU32At(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+void PutAppendPayload(WireWriter& w,
+                      const std::vector<std::vector<uint32_t>>& conflict_sets,
+                      const core::Valuations& valuations) {
+  w.U32(static_cast<uint32_t>(conflict_sets.size()));
+  for (const std::vector<uint32_t>& edge : conflict_sets) w.U32Vec(edge);
+  for (double v : valuations) w.F64(v);
+}
+
+/// [u32 len][body][u32 crc(body)] around an encoded record body.
+std::vector<uint8_t> WrapRecord(const std::vector<uint8_t>& body) {
+  std::vector<uint8_t> out;
+  out.reserve(body.size() + 8);
+  WireWriter w(&out);
+  w.U32(static_cast<uint32_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  w.U32(Crc32(body));
+  return out;
+}
+
+std::string CheckpointDir(const std::string& dir, uint64_t seq) {
+  return (fs::path(dir) / ("checkpoint-" + std::to_string(seq))).string();
+}
+
+std::string JournalPath(const std::string& dir, uint64_t seq) {
+  return (fs::path(dir) / ("journal-" + std::to_string(seq) + ".log"))
+      .string();
+}
+
+bool ParseSeq(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+/// Ascending sequence numbers of "<prefix><seq><suffix>"-named entries.
+std::vector<uint64_t> ListSeqs(const std::string& dir,
+                               const std::string& prefix,
+                               const std::string& suffix) {
+  std::vector<uint64_t> seqs;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    std::string name = entry.path().filename().string();
+    if (name.size() <= prefix.size() + suffix.size()) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+        0) {
+      continue;
+    }
+    uint64_t seq = 0;
+    if (ParseSeq(name.substr(prefix.size(),
+                             name.size() - prefix.size() - suffix.size()),
+                 &seq)) {
+      seqs.push_back(seq);
+    }
+  }
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+/// Loads checkpoint `seq` in full: manifest, then every shard file
+/// validated against the manifest's whole-file CRCs. Any failure means
+/// "this checkpoint is not usable" — the caller falls back.
+Status TryLoadCheckpoint(const std::string& dir, uint64_t seq,
+                         Manifest* manifest, std::vector<ShardState>* shards) {
+  const std::string ckdir = CheckpointDir(dir, seq);
+  QP_ASSIGN_OR_RETURN(std::vector<uint8_t> manifest_bytes,
+                      ReadFile((fs::path(ckdir) / "MANIFEST").string()));
+  QP_ASSIGN_OR_RETURN(*manifest, DeserializeManifest(manifest_bytes));
+  if (manifest->checkpoint_seq != seq) {
+    return Status::Internal("persist: manifest seq mismatch in " + ckdir);
+  }
+  shards->clear();
+  shards->reserve(manifest->num_shards);
+  for (uint32_t s = 0; s < manifest->num_shards; ++s) {
+    const std::string path =
+        (fs::path(ckdir) / ("shard-" + std::to_string(s) + ".ckpt")).string();
+    QP_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFile(path));
+    if (Crc32(bytes) != manifest->shard_file_crcs[s]) {
+      return Status::Internal("persist: shard file checksum mismatch: " +
+                              path);
+    }
+    QP_ASSIGN_OR_RETURN(ShardState state, DeserializeShardState(bytes));
+    shards->push_back(std::move(state));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeJournalRecord(const JournalOp& op) {
+  std::vector<uint8_t> body;
+  WireWriter w(&body);
+  w.U8(op.type);
+  w.U64(op.op_id);
+  if (op.type == kAppendOp) {
+    PutAppendPayload(w, op.conflict_sets, op.valuations);
+  } else {
+    PutCellDelta(w, op.delta);
+  }
+  return WrapRecord(body);
+}
+
+Result<Journal> ReadJournal(const std::string& path) {
+  QP_ASSIGN_OR_RETURN(std::vector<uint8_t> data, ReadFile(path));
+  Journal journal;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    // A record that does not fully parse and checksum is the torn tail:
+    // the crash signature, not an error. Everything before it is valid.
+    if (data.size() - pos < 4) break;
+    const uint32_t len = ReadU32At(data.data() + pos);
+    if (len < kMinRecordBytes || len > kMaxRecordBytes ||
+        data.size() - pos - 4 < static_cast<size_t>(len) + 4) {
+      break;
+    }
+    const uint8_t* body = data.data() + pos + 4;
+    if (Crc32(body, len) != ReadU32At(body + len)) break;
+    WireReader r(body, len);
+    JournalOp op;
+    op.type = r.U8();
+    op.op_id = r.U64();
+    if (op.type == kAppendOp) {
+      uint32_t n = r.U32();
+      if (r.ok()) op.conflict_sets.reserve(n);
+      for (uint32_t i = 0; i < n && r.ok(); ++i) {
+        op.conflict_sets.push_back(r.U32Vec());
+      }
+      if (r.ok()) op.valuations.reserve(n);
+      for (uint32_t i = 0; i < n && r.ok(); ++i) {
+        op.valuations.push_back(r.F64());
+      }
+    } else if (op.type == kSellerDeltaOp) {
+      QP_ASSIGN_OR_RETURN(op.delta, GetCellDelta(r));
+    } else {
+      // CRC-valid bytes we cannot parse: a format incompatibility, not a
+      // torn write. Refuse rather than silently dropping applied ops.
+      return Status::Internal("persist: unknown journal op type " +
+                              std::to_string(op.type) + " in " + path);
+    }
+    if (!r.ok() || !r.AtEnd()) {
+      return Status::Internal("persist: malformed journal record in " + path);
+    }
+    journal.ops.push_back(std::move(op));
+    pos += 4 + static_cast<size_t>(len) + 4;
+  }
+  journal.torn_tail = pos != data.size();
+  return journal;
+}
+
+Result<RecoveredState> Recover(const std::string& dir) {
+  RecoveredState out;
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) return out;
+
+  // Newest fully-valid checkpoint wins; torn/corrupt ones (e.g. a crash
+  // before the MANIFEST rename, or a bit-rotted shard file) fall back to
+  // the next-newest, whose journal segments are still retained.
+  std::vector<uint64_t> seqs = ListSeqs(dir, "checkpoint-", "");
+  Manifest manifest;
+  uint64_t last_op_id = 0;
+  for (auto it = seqs.rbegin(); it != seqs.rend(); ++it) {
+    Status loaded = TryLoadCheckpoint(dir, *it, &manifest, &out.shards);
+    if (loaded.ok()) {
+      out.checkpoint_seq = static_cast<int64_t>(*it);
+      out.partition_fingerprint = manifest.partition_fingerprint;
+      out.seller_deltas = std::move(manifest.seller_deltas);
+      last_op_id = manifest.last_op_id;
+      break;
+    }
+    out.shards.clear();
+    ++out.corrupt_checkpoints_skipped;
+  }
+
+  // Replay every journal segment at or after the chosen checkpoint (all
+  // of them when none was usable), skipping ops the checkpoint subsumes.
+  uint64_t max_op_id = last_op_id;
+  for (uint64_t seq : ListSeqs(dir, "journal-", ".log")) {
+    if (out.checkpoint_seq >= 0 &&
+        seq < static_cast<uint64_t>(out.checkpoint_seq)) {
+      continue;
+    }
+    QP_ASSIGN_OR_RETURN(Journal journal, ReadJournal(JournalPath(dir, seq)));
+    if (journal.torn_tail) out.journal_torn_tail = true;
+    for (JournalOp& op : journal.ops) {
+      max_op_id = std::max(max_op_id, op.op_id);
+      if (op.op_id <= last_op_id) continue;
+      out.ops.push_back(std::move(op));
+    }
+  }
+  std::stable_sort(out.ops.begin(), out.ops.end(),
+                   [](const JournalOp& a, const JournalOp& b) {
+                     return a.op_id < b.op_id;
+                   });
+  out.next_op_id = max_op_id + 1;
+  return out;
+}
+
+CheckpointManager::CheckpointManager(CheckpointOptions options)
+    : options_(std::move(options)) {}
+
+CheckpointManager::~CheckpointManager() {
+  if (journal_fd_ >= 0) ::close(journal_fd_);
+}
+
+Status CheckpointManager::Attach(ShardedPricingEngine* engine,
+                                 const RecoveredState* recovered) {
+  if (engine_ != nullptr) {
+    return Status::FailedPrecondition("persist: manager already attached");
+  }
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) {
+    return Status::Internal("persist: cannot create " + options_.dir + ": " +
+                            ec.message());
+  }
+  engine_ = engine;
+  if (recovered != nullptr) {
+    next_op_id_ = recovered->next_op_id;
+    checkpoint_seq_ = recovered->checkpoint_seq < 0
+                          ? 0
+                          : static_cast<uint64_t>(recovered->checkpoint_seq);
+    seller_deltas_ = recovered->seller_deltas;
+    for (const JournalOp& op : recovered->ops) {
+      if (op.type == kSellerDeltaOp) seller_deltas_.push_back(op.delta);
+    }
+  }
+  // Checkpoint immediately: restart recovery never depends on how the
+  // previous process died, and this manager never appends to a journal
+  // that may end in a torn record.
+  return WriteCheckpoint(*engine_);
+}
+
+Status CheckpointManager::LogAppend(
+    const std::vector<std::vector<uint32_t>>& conflict_sets,
+    const core::Valuations& valuations) {
+  std::vector<uint8_t> body;
+  WireWriter w(&body);
+  w.U8(kAppendOp);
+  w.U64(next_op_id_);
+  PutAppendPayload(w, conflict_sets, valuations);
+  QP_RETURN_IF_ERROR(WriteRecord(WrapRecord(body)));
+  ++next_op_id_;
+  return Status::OK();
+}
+
+Status CheckpointManager::LogSellerDelta(const market::CellDelta& delta) {
+  JournalOp op;
+  op.type = kSellerDeltaOp;
+  op.op_id = next_op_id_;
+  op.delta = delta;
+  QP_RETURN_IF_ERROR(WriteRecord(EncodeJournalRecord(op)));
+  ++next_op_id_;
+  seller_deltas_.push_back(delta);
+  return Status::OK();
+}
+
+Status CheckpointManager::OnPublish(ShardedPricingEngine& engine) {
+  if (options_.checkpoint_every <= 0) return Status::OK();
+  if (++publishes_since_checkpoint_ < options_.checkpoint_every) {
+    return Status::OK();
+  }
+  return WriteCheckpoint(engine);
+}
+
+Status CheckpointManager::CheckpointNow() {
+  if (engine_ == nullptr) {
+    return Status::FailedPrecondition("persist: manager not attached");
+  }
+  return WriteCheckpoint(*engine_);
+}
+
+Status CheckpointManager::WriteRecord(const std::vector<uint8_t>& record) {
+  if (journal_fd_ < 0) {
+    return Status::FailedPrecondition(
+        "persist: journal not open (Attach first)");
+  }
+  size_t written = 0;
+  while (written < record.size()) {
+    ssize_t n =
+        write(journal_fd_, record.data() + written, record.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("persist: journal write failed: ") +
+                              std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (options_.fsync && fsync(journal_fd_) != 0) {
+    return Status::Internal(std::string("persist: journal fsync failed: ") +
+                            std::strerror(errno));
+  }
+  ++stats_.journal_records;
+  stats_.journal_bytes += record.size();
+  return Status::OK();
+}
+
+Status CheckpointManager::OpenJournal(uint64_t seq) {
+  if (journal_fd_ >= 0) {
+    ::close(journal_fd_);
+    journal_fd_ = -1;
+  }
+  const std::string path = JournalPath(options_.dir, seq);
+  int fd =
+      open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Internal("persist: open(" + path +
+                            ") failed: " + std::strerror(errno));
+  }
+  journal_fd_ = fd;
+  return Status::OK();
+}
+
+Status CheckpointManager::WriteCheckpoint(ShardedPricingEngine& engine) {
+  const uint64_t seq = checkpoint_seq_ + 1;
+  const std::string ckdir = CheckpointDir(options_.dir, seq);
+  std::error_code ec;
+  fs::create_directories(ckdir, ec);
+  if (ec) {
+    return Status::Internal("persist: cannot create " + ckdir + ": " +
+                            ec.message());
+  }
+  Manifest manifest;
+  manifest.checkpoint_seq = seq;
+  manifest.last_op_id = next_op_id_ - 1;
+  manifest.num_shards = static_cast<uint32_t>(engine.num_shards());
+  manifest.partition_fingerprint = PartitionFingerprint(engine.partition());
+  manifest.seller_deltas = seller_deltas_;
+  for (int s = 0; s < engine.num_shards(); ++s) {
+    ShardState state = engine.shard(s).CaptureState();
+    QP_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                        SerializeShardState(state));
+    QP_RETURN_IF_ERROR(WriteFileAtomic(
+        (fs::path(ckdir) / ("shard-" + std::to_string(s) + ".ckpt")).string(),
+        bytes, options_.fsync));
+    manifest.shard_versions.push_back(state.version);
+    manifest.shard_file_crcs.push_back(Crc32(bytes));
+  }
+  // The MANIFEST rename is the commit point: a crash anywhere before it
+  // leaves a directory Recover() skips.
+  QP_RETURN_IF_ERROR(
+      WriteFileAtomic((fs::path(ckdir) / "MANIFEST").string(),
+                      SerializeManifest(manifest), options_.fsync));
+  if (options_.fsync) QP_RETURN_IF_ERROR(SyncDir(options_.dir));
+  checkpoint_seq_ = seq;
+  publishes_since_checkpoint_ = 0;
+  ++stats_.checkpoints_written;
+  stats_.last_checkpoint_seq = seq;
+  QP_RETURN_IF_ERROR(OpenJournal(seq));
+  PruneOld();
+  return Status::OK();
+}
+
+void CheckpointManager::PruneOld() {
+  const int keep = std::max(1, options_.keep);
+  std::vector<uint64_t> seqs = ListSeqs(options_.dir, "checkpoint-", "");
+  if (seqs.size() <= static_cast<size_t>(keep)) return;
+  const uint64_t oldest_kept = seqs[seqs.size() - static_cast<size_t>(keep)];
+  std::error_code ec;
+  for (uint64_t seq : seqs) {
+    if (seq >= oldest_kept) break;
+    fs::remove_all(CheckpointDir(options_.dir, seq), ec);
+  }
+  for (uint64_t seq : ListSeqs(options_.dir, "journal-", ".log")) {
+    // journal-<seq> holds ops AFTER checkpoint <seq>; segments older
+    // than the oldest kept checkpoint can never be replayed again.
+    if (seq >= oldest_kept) break;
+    fs::remove(JournalPath(options_.dir, seq), ec);
+  }
+}
+
+}  // namespace qp::serve::persist
+
+namespace qp::serve {
+
+Status ShardedPricingEngine::RestoreFromCheckpoint(
+    persist::RecoveredState& state, db::Database* mutable_db) {
+  if (state.checkpoint_seq >= 0) {
+    if (state.partition_fingerprint !=
+        persist::PartitionFingerprint(partition_)) {
+      return Status::FailedPrecondition(
+          "RestoreFromCheckpoint: checkpoint was taken under a different "
+          "support partition");
+    }
+    if (state.shards.size() != shards_.size()) {
+      return Status::FailedPrecondition(
+          "RestoreFromCheckpoint: checkpoint has " +
+          std::to_string(state.shards.size()) + " shards, engine has " +
+          std::to_string(shards_.size()));
+    }
+    // Warm shard by shard: each shard serves again (TryQuote*/Purchase)
+    // the moment its state lands, while the rest answer Unavailable.
+    BeginRestore();
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      QP_RETURN_IF_ERROR(shards_[s]->RestoreState(std::move(state.shards[s])));
+      {
+        std::lock_guard<std::mutex> lock(writer_mutex_);
+        shard_edge_counts_[s] = shards_[s]->hypergraph().num_edges();
+      }
+      FinishShardRestore(static_cast<int>(s));
+    }
+  }
+  bool needs_db = !state.seller_deltas.empty();
+  for (const persist::JournalOp& op : state.ops) {
+    if (op.type == persist::kSellerDeltaOp) needs_db = true;
+  }
+  if (needs_db && mutable_db == nullptr) {
+    return Status::InvalidArgument(
+        "RestoreFromCheckpoint: recovered seller deltas require the "
+        "engine's mutable database");
+  }
+  for (const market::CellDelta& delta : state.seller_deltas) {
+    QP_RETURN_IF_ERROR(ApplySellerDelta(*mutable_db, delta));
+  }
+  // Journal replay, in op order. Appends carry precomputed GLOBAL
+  // conflict sets, so replay routes and reprices exactly as the original
+  // calls did — bit-identical books — without re-probing a database
+  // whose cells later deltas may have changed.
+  for (persist::JournalOp& op : state.ops) {
+    switch (op.type) {
+      case persist::kAppendOp:
+        QP_RETURN_IF_ERROR(AppendBuyersPrecomputed(
+            std::move(op.conflict_sets), op.valuations));
+        break;
+      case persist::kSellerDeltaOp:
+        QP_RETURN_IF_ERROR(ApplySellerDelta(*mutable_db, op.delta));
+        break;
+      default:
+        return Status::Internal(
+            "RestoreFromCheckpoint: unknown journal op type");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace qp::serve

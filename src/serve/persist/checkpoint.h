@@ -1,0 +1,195 @@
+// Durable price books: checkpoints + write-ahead op journal
+// (serve/persist).
+//
+// Directory layout (one directory per sharded engine):
+//
+//   <dir>/checkpoint-<seq>/shard-<i>.ckpt   one ShardState per shard
+//   <dir>/checkpoint-<seq>/MANIFEST         commit record, written last
+//   <dir>/journal-<seq>.log                 ops after checkpoint <seq>
+//
+// A checkpoint is only real once its MANIFEST lands (atomic rename): the
+// manifest carries the per-shard version vector, whole-file CRCs binding
+// it to the exact shard bytes it committed, the partition fingerprint,
+// the last journal op id it subsumes, and the cumulative seller deltas.
+// journal-<seq>.log starts fresh when checkpoint <seq> commits, so each
+// retained checkpoint owns the journal segment that follows it.
+//
+// Journal records are self-delimiting and individually checksummed:
+//
+//   [u32 len] [u8 op_type] [u64 op_id] [payload] [u32 crc]
+//
+// where len counts type+id+payload and crc covers those same bytes. A
+// torn tail (crash mid-append) fails the length or CRC check and simply
+// ends the valid journal — everything before it replays.
+//
+// Recovery = newest checkpoint whose manifest and shard CRCs all
+// validate (older checkpoints are fallbacks when the newest is torn or
+// bit-rotted), plus every journal segment at or after it, replayed in op
+// order with ops the checkpoint already subsumes skipped. Because
+// appends journal their GLOBAL conflict sets (pure functions of
+// (db, query, support)) and replay routes them through the same
+// deterministic router, the replayed books are bit-identical to the
+// pre-crash ones: versions, revenues, LP counts.
+//
+// The CheckpointManager is the engine's WriterLog: every append/delta is
+// journaled BEFORE it applies (write-ahead), and every N publishes it
+// captures a new checkpoint and rotates the journal. It runs entirely
+// under the engine's writer mutex — single-threaded by construction.
+#ifndef QP_SERVE_PERSIST_CHECKPOINT_H_
+#define QP_SERVE_PERSIST_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/persist/state_io.h"
+#include "serve/sharded_engine.h"
+
+namespace qp::serve::persist {
+
+/// Journal op types.
+inline constexpr uint8_t kAppendOp = 1;
+inline constexpr uint8_t kSellerDeltaOp = 2;
+
+/// One journaled writer op. Appends carry the buyers' GLOBAL conflict
+/// sets + valuations (probing is a pure function of the database and
+/// query, so replay skips it and is immune to later seller edits);
+/// deltas carry the cell edit itself.
+struct JournalOp {
+  uint8_t type = kAppendOp;
+  /// Monotone across the engine's lifetime (1-based); the manifest's
+  /// last_op_id refers to these.
+  uint64_t op_id = 0;
+  // kAppendOp:
+  std::vector<std::vector<uint32_t>> conflict_sets;
+  core::Valuations valuations;
+  // kSellerDeltaOp:
+  market::CellDelta delta;
+};
+
+/// Encodes one record ([len][type][op_id][payload][crc]). Exposed so
+/// fault tests and the crash-recovery smoke tool can write torn records
+/// (a prefix of these bytes) on purpose.
+std::vector<uint8_t> EncodeJournalRecord(const JournalOp& op);
+
+struct Journal {
+  std::vector<JournalOp> ops;
+  /// True when the file ended in a torn or corrupt record (the normal
+  /// crash signature); `ops` holds everything before it.
+  bool torn_tail = false;
+};
+
+/// Reads a journal segment, tolerating a torn tail. NotFound when the
+/// file does not exist.
+Result<Journal> ReadJournal(const std::string& path);
+
+struct CheckpointOptions {
+  /// Root directory for checkpoints and journals (created if missing).
+  std::string dir;
+  /// Take a checkpoint every N publishes (appends). <= 0 disables
+  /// periodic checkpoints (journal-only until CheckpointNow).
+  int checkpoint_every = 8;
+  /// Retained checkpoints (and their journal segments). The newest may
+  /// be torn by a crash mid-write; keeping >= 2 guarantees a fallback.
+  int keep = 2;
+  /// fsync journal appends and checkpoint files. A process crash
+  /// (SIGKILL) never loses unsynced renamed/written data — only an OS
+  /// crash does — so tests and benches leave this off.
+  bool fsync = false;
+};
+
+/// Everything Recover() found on disk, ready to feed
+/// ShardedPricingEngine::RestoreFromCheckpoint and then
+/// CheckpointManager::Attach.
+struct RecoveredState {
+  /// -1 = no valid checkpoint (shards restore from empty).
+  int64_t checkpoint_seq = -1;
+  /// The next op id the journal should continue from.
+  uint64_t next_op_id = 1;
+  uint64_t partition_fingerprint = 0;
+  /// One per shard (empty when checkpoint_seq < 0).
+  std::vector<ShardState> shards;
+  /// Seller deltas the checkpoint subsumes (manifest), in apply order.
+  std::vector<market::CellDelta> seller_deltas;
+  /// Post-checkpoint ops in op order, already filtered to op_id >
+  /// manifest.last_op_id.
+  std::vector<JournalOp> ops;
+  /// Recovery forensics: newer checkpoints skipped as invalid, and
+  /// whether the replayed journal ended in a torn record.
+  int corrupt_checkpoints_skipped = 0;
+  bool journal_torn_tail = false;
+};
+
+/// Scans `dir` for the newest fully-valid checkpoint (manifest present,
+/// shard count and whole-file CRCs matching) and the journal segments to
+/// replay on top. Corrupt/torn checkpoints fall back to the next-newest;
+/// an empty or missing directory recovers to the empty state.
+Result<RecoveredState> Recover(const std::string& dir);
+
+/// The engine's write-ahead log + periodic checkpointer. Single-owner:
+/// all WriterLog calls arrive under the engine's writer mutex.
+///
+/// Lifecycle: Recover(dir) → engine.RestoreFromCheckpoint(state, db) →
+/// manager.Attach(engine, state) → engine.SetWriterLog(&manager).
+/// Attach CHECKPOINTS IMMEDIATELY (sequence = newest found + 1) and
+/// starts that checkpoint's fresh journal segment — never appending
+/// after a torn tail, and making restart recovery independent of how
+/// the previous process died.
+class CheckpointManager : public WriterLog {
+ public:
+  explicit CheckpointManager(CheckpointOptions options);
+  ~CheckpointManager() override;
+
+  CheckpointManager(const CheckpointManager&) = delete;
+  CheckpointManager& operator=(const CheckpointManager&) = delete;
+
+  /// Binds to an engine the recovered state was already restored into
+  /// (pass `recovered == nullptr` for a brand-new directory), writes the
+  /// initial checkpoint, and opens its journal. The engine must outlive
+  /// the manager (or detach it first) and must not yet have this manager
+  /// attached as its WriterLog.
+  Status Attach(ShardedPricingEngine* engine,
+                const RecoveredState* recovered = nullptr);
+
+  // WriterLog: called by the engine under its writer mutex.
+  Status LogAppend(const std::vector<std::vector<uint32_t>>& conflict_sets,
+                   const core::Valuations& valuations) override;
+  Status LogSellerDelta(const market::CellDelta& delta) override;
+  Status OnPublish(ShardedPricingEngine& engine) override;
+
+  /// Takes a checkpoint now. Writer-side: only call when no append /
+  /// seller delta is in flight (tests, orderly shutdown).
+  Status CheckpointNow();
+
+  struct Stats {
+    uint64_t checkpoints_written = 0;
+    uint64_t journal_records = 0;
+    uint64_t journal_bytes = 0;
+    uint64_t last_checkpoint_seq = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  uint64_t next_op_id() const { return next_op_id_; }
+
+ private:
+  Status WriteRecord(const std::vector<uint8_t>& record);
+  Status WriteCheckpoint(ShardedPricingEngine& engine);
+  Status OpenJournal(uint64_t seq);
+  void PruneOld();
+
+  CheckpointOptions options_;
+  ShardedPricingEngine* engine_ = nullptr;
+  int journal_fd_ = -1;
+  uint64_t next_op_id_ = 1;
+  uint64_t checkpoint_seq_ = 0;
+  int publishes_since_checkpoint_ = 0;
+  /// Every delta ever logged, in order — baked into each manifest so
+  /// recovery can rebuild the database view regardless of which
+  /// checkpoint it falls back to.
+  std::vector<market::CellDelta> seller_deltas_;
+  Stats stats_;
+};
+
+}  // namespace qp::serve::persist
+
+#endif  // QP_SERVE_PERSIST_CHECKPOINT_H_

@@ -1,0 +1,102 @@
+// On-disk format primitives for the durability subsystem (serve/persist).
+//
+// Every persisted file — shard checkpoints, the manifest, the op journal
+// — is built from the same two pieces:
+//
+//  * CRC32-checksummed *sections*: a section is [u32 tag] [u32 byte_len]
+//    [payload] [u32 crc32(payload)]. Readers validate the checksum before
+//    handing the payload out, so a torn or bit-rotted file is detected as
+//    such instead of deserializing garbage. Section payloads use the same
+//    bounds-checked little-endian primitives as the wire protocol
+//    (rpc::WireWriter / rpc::WireReader) — one encoding discipline for
+//    bytes that leave the process, whether over a socket or to disk.
+//  * Atomic whole-file replacement: WriteFileAtomic writes to
+//    "<path>.tmp", optionally fsyncs, and rename()s over the target, so a
+//    crash mid-write leaves either the old file or the new one, never a
+//    half-written hybrid. (A same-directory rename is atomic on POSIX.)
+//
+// Checkpoint files open with kFileMagic + a format version; readers
+// reject unknown versions up front rather than mis-parsing future
+// layouts.
+#ifndef QP_SERVE_PERSIST_FORMAT_H_
+#define QP_SERVE_PERSIST_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qp::serve::persist {
+
+/// First 8 bytes of every persist file ("QPPERS" + 2 spare).
+inline constexpr uint64_t kFileMagic = 0x0000535245505051ULL;  // "QPPERS\0\0"
+/// Bumped on incompatible layout changes; readers reject other versions.
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `size`
+/// bytes, seeded with `seed` so checksums can be chained across buffers.
+uint32_t Crc32(const uint8_t* data, size_t size, uint32_t seed = 0);
+inline uint32_t Crc32(const std::vector<uint8_t>& data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+/// Appends one checksummed section ([tag][len][payload][crc]) to `out`.
+void AppendSection(uint32_t tag, const std::vector<uint8_t>& payload,
+                   std::vector<uint8_t>* out);
+
+/// One decoded section; `payload` aliases the reader's buffer.
+struct Section {
+  uint32_t tag = 0;
+  const uint8_t* payload = nullptr;
+  size_t size = 0;
+};
+
+/// Iterates the sections of a persist file body, validating each
+/// section's CRC as it is pulled.
+class SectionReader {
+ public:
+  SectionReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit SectionReader(const std::vector<uint8_t>& data)
+      : SectionReader(data.data(), data.size()) {}
+
+  bool AtEnd() const { return pos_ == size_; }
+
+  /// Pulls the next section. Fails (kDataLoss-shaped Internal status) on
+  /// a truncated header/payload or a CRC mismatch.
+  Status Next(Section* out);
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Prepends the file header (magic, kind tag, format version) to `out`.
+void AppendFileHeader(uint32_t file_kind, std::vector<uint8_t>* out);
+
+/// Validates the header and returns the offset of the first section.
+/// `expected_kind` distinguishes shard files from manifests so a
+/// misplaced rename cannot cross-load them.
+Result<size_t> CheckFileHeader(const std::vector<uint8_t>& data,
+                               uint32_t expected_kind);
+
+// --- file IO -------------------------------------------------------------
+
+/// Reads a whole file into memory. NotFound when it does not exist.
+Result<std::vector<uint8_t>> ReadFile(const std::string& path);
+
+/// Writes `data` to "<path>.tmp" and atomically rename()s it over
+/// `path`. With `fsync_file`, the tmp file (and its directory) are
+/// fsync'd before/after the rename — required for durability across OS
+/// crashes; a plain process kill (SIGKILL) never loses renamed data, so
+/// tests and benches skip the sync cost.
+Status WriteFileAtomic(const std::string& path,
+                       const std::vector<uint8_t>& data, bool fsync_file);
+
+/// fsyncs a directory so a rename within it is durable across OS crashes.
+Status SyncDir(const std::string& dir);
+
+}  // namespace qp::serve::persist
+
+#endif  // QP_SERVE_PERSIST_FORMAT_H_

@@ -1,0 +1,430 @@
+#include "serve/persist/state_io.h"
+
+#include <utility>
+
+#include "core/pricing.h"
+#include "serve/persist/format.h"
+#include "serve/rpc/wire.h"
+
+namespace qp::serve::persist {
+namespace {
+
+using rpc::WireReader;
+using rpc::WireWriter;
+
+// Section tags inside a shard file.
+constexpr uint32_t kMetaSection = 1;
+constexpr uint32_t kEdgesSection = 2;
+constexpr uint32_t kValuationsSection = 3;
+constexpr uint32_t kRepriceSection = 4;
+constexpr uint32_t kBookSection = 5;
+// The manifest's single section.
+constexpr uint32_t kManifestSection = 1;
+
+// Pricing-function encoding tags (see core/pricing.h).
+constexpr uint8_t kNoPricing = 0;
+constexpr uint8_t kUniformBundle = 1;
+constexpr uint8_t kItemPricing = 2;
+constexpr uint8_t kXosPricing = 3;
+
+void PutF64Vec(WireWriter& w, const std::vector<double>& v) {
+  w.U32(static_cast<uint32_t>(v.size()));
+  for (double x : v) w.F64(x);
+}
+
+std::vector<double> GetF64Vec(WireReader& r) {
+  uint32_t n = r.U32();
+  std::vector<double> v;
+  if (!r.ok()) return v;
+  v.reserve(n);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) v.push_back(r.F64());
+  return v;
+}
+
+Status PutPricing(WireWriter& w, const core::PricingFunction* pricing) {
+  if (pricing == nullptr) {
+    w.U8(kNoPricing);
+    return Status::OK();
+  }
+  if (auto* ubp = dynamic_cast<const core::UniformBundlePricing*>(pricing)) {
+    w.U8(kUniformBundle);
+    w.F64(ubp->bundle_price());
+    return Status::OK();
+  }
+  if (auto* item = dynamic_cast<const core::ItemPricing*>(pricing)) {
+    w.U8(kItemPricing);
+    PutF64Vec(w, item->weights());
+    return Status::OK();
+  }
+  if (auto* xos = dynamic_cast<const core::XosPricing*>(pricing)) {
+    w.U8(kXosPricing);
+    w.U32(static_cast<uint32_t>(xos->components().size()));
+    for (const std::vector<double>& component : xos->components()) {
+      PutF64Vec(w, component);
+    }
+    return Status::OK();
+  }
+  return Status::Unimplemented(
+      "persist: unknown PricingFunction subclass: " + pricing->Describe());
+}
+
+Result<std::unique_ptr<core::PricingFunction>> GetPricing(WireReader& r) {
+  uint8_t tag = r.U8();
+  switch (tag) {
+    case kNoPricing:
+      return std::unique_ptr<core::PricingFunction>(nullptr);
+    case kUniformBundle:
+      return std::unique_ptr<core::PricingFunction>(
+          std::make_unique<core::UniformBundlePricing>(r.F64()));
+    case kItemPricing:
+      return std::unique_ptr<core::PricingFunction>(
+          std::make_unique<core::ItemPricing>(GetF64Vec(r)));
+    case kXosPricing: {
+      uint32_t n = r.U32();
+      std::vector<std::vector<double>> components;
+      if (r.ok()) components.reserve(n);
+      for (uint32_t i = 0; i < n && r.ok(); ++i) {
+        components.push_back(GetF64Vec(r));
+      }
+      return std::unique_ptr<core::PricingFunction>(
+          std::make_unique<core::XosPricing>(std::move(components)));
+    }
+    default:
+      return Status::Internal("persist: unknown pricing tag " +
+                              std::to_string(tag));
+  }
+}
+
+void PutStats(WireWriter& w, const core::RepriceStats& stats) {
+  w.U32(static_cast<uint32_t>(stats.lps_solved));
+  w.U32(static_cast<uint32_t>(stats.lpip_candidates));
+  w.U32(static_cast<uint32_t>(stats.lpip_reused));
+  w.U32(static_cast<uint32_t>(stats.lpip_winner_refreshes));
+  w.U32(static_cast<uint32_t>(stats.cip_capacities));
+  // Wall-clock is not part of the durability contract (versions, revenues,
+  // LP counts are). Persisting 0 keeps checkpoint bytes a deterministic
+  // function of the logical book, so live state and journal-replayed state
+  // serialize bit-identically.
+  w.F64(0.0);
+}
+
+core::RepriceStats GetStats(WireReader& r) {
+  core::RepriceStats stats;
+  stats.lps_solved = static_cast<int>(r.U32());
+  stats.lpip_candidates = static_cast<int>(r.U32());
+  stats.lpip_reused = static_cast<int>(r.U32());
+  stats.lpip_winner_refreshes = static_cast<int>(r.U32());
+  stats.cip_capacities = static_cast<int>(r.U32());
+  stats.seconds = r.F64();
+  return stats;
+}
+
+std::vector<uint32_t> ToU32(const std::vector<int>& v) {
+  std::vector<uint32_t> out;
+  out.reserve(v.size());
+  for (int x : v) out.push_back(static_cast<uint32_t>(x));
+  return out;
+}
+
+std::vector<int> ToInt(const std::vector<uint32_t>& v) {
+  std::vector<int> out;
+  out.reserve(v.size());
+  for (uint32_t x : v) out.push_back(static_cast<int>(x));
+  return out;
+}
+
+}  // namespace
+
+ShardState ShardState::Clone() const {
+  ShardState out;
+  out.version = version;
+  out.total_lps_solved = total_lps_solved;
+  out.num_items = num_items;
+  out.edges = edges;
+  out.valuations = valuations;
+  out.reprice = reprice;
+  out.results.reserve(results.size());
+  for (const core::PricingResult& r : results) out.results.push_back(r.Clone());
+  out.book_stats = book_stats;
+  return out;
+}
+
+Result<std::vector<uint8_t>> SerializeShardState(const ShardState& state) {
+  std::vector<uint8_t> out;
+  AppendFileHeader(kShardFileKind, &out);
+
+  std::vector<uint8_t> meta;
+  {
+    WireWriter w(&meta);
+    w.U64(state.version);
+    w.U32(static_cast<uint32_t>(state.total_lps_solved));
+    w.U32(state.num_items);
+    w.U32(static_cast<uint32_t>(state.edges.size()));
+  }
+  AppendSection(kMetaSection, meta, &out);
+
+  std::vector<uint8_t> edges;
+  {
+    WireWriter w(&edges);
+    w.U32(static_cast<uint32_t>(state.edges.size()));
+    for (const std::vector<uint32_t>& edge : state.edges) w.U32Vec(edge);
+  }
+  AppendSection(kEdgesSection, edges, &out);
+
+  std::vector<uint8_t> valuations;
+  {
+    WireWriter w(&valuations);
+    PutF64Vec(w, state.valuations);
+  }
+  AppendSection(kValuationsSection, valuations, &out);
+
+  std::vector<uint8_t> reprice;
+  {
+    WireWriter w(&reprice);
+    w.U32Vec(state.reprice.classes.class_of_item);
+    w.U32Vec(state.reprice.classes.class_size);
+    w.U32Vec(state.reprice.classes.class_rep);
+    w.U32(static_cast<uint32_t>(state.reprice.classes.edge_classes.size()));
+    for (const std::vector<uint32_t>& classes :
+         state.reprice.classes.edge_classes) {
+      w.U32Vec(classes);
+    }
+    w.U32Vec(ToU32(state.reprice.order));
+    w.U32(static_cast<uint32_t>(state.reprice.lpip.size()));
+    for (const core::RepriceState::LpipCandidate& candidate :
+         state.reprice.lpip) {
+      w.F64(candidate.threshold);
+      PutF64Vec(w, candidate.item_weights);
+    }
+    w.U32(static_cast<uint32_t>(state.reprice.generation));
+    PutStats(w, state.reprice.last);
+  }
+  AppendSection(kRepriceSection, reprice, &out);
+
+  std::vector<uint8_t> book;
+  {
+    WireWriter w(&book);
+    w.U32(static_cast<uint32_t>(state.results.size()));
+    for (const core::PricingResult& result : state.results) {
+      w.String(result.algorithm);
+      QP_RETURN_IF_ERROR(PutPricing(w, result.pricing.get()));
+      w.F64(result.revenue);
+      w.F64(0.0);  // wall-clock: excluded from the contract, see PutStats
+      w.U32(static_cast<uint32_t>(result.lps_solved));
+    }
+    PutStats(w, state.book_stats);
+  }
+  AppendSection(kBookSection, book, &out);
+  return out;
+}
+
+Result<ShardState> DeserializeShardState(const std::vector<uint8_t>& data) {
+  QP_ASSIGN_OR_RETURN(size_t offset, CheckFileHeader(data, kShardFileKind));
+  SectionReader sections(data.data() + offset, data.size() - offset);
+  ShardState state;
+  bool saw_meta = false, saw_edges = false, saw_valuations = false,
+       saw_reprice = false, saw_book = false;
+  while (!sections.AtEnd()) {
+    Section section;
+    QP_RETURN_IF_ERROR(sections.Next(&section));
+    WireReader r(section.payload, section.size);
+    switch (section.tag) {
+      case kMetaSection: {
+        state.version = r.U64();
+        state.total_lps_solved = static_cast<int>(r.U32());
+        state.num_items = r.U32();
+        r.U32();  // num_edges; implied by the edges section
+        saw_meta = true;
+        break;
+      }
+      case kEdgesSection: {
+        uint32_t n = r.U32();
+        if (r.ok()) state.edges.reserve(n);
+        for (uint32_t i = 0; i < n && r.ok(); ++i) {
+          state.edges.push_back(r.U32Vec());
+        }
+        saw_edges = true;
+        break;
+      }
+      case kValuationsSection: {
+        state.valuations = GetF64Vec(r);
+        saw_valuations = true;
+        break;
+      }
+      case kRepriceSection: {
+        state.reprice.classes.class_of_item = r.U32Vec();
+        state.reprice.classes.class_size = r.U32Vec();
+        state.reprice.classes.class_rep = r.U32Vec();
+        uint32_t num_edge_classes = r.U32();
+        if (r.ok()) {
+          state.reprice.classes.edge_classes.reserve(num_edge_classes);
+        }
+        for (uint32_t i = 0; i < num_edge_classes && r.ok(); ++i) {
+          state.reprice.classes.edge_classes.push_back(r.U32Vec());
+        }
+        state.reprice.order = ToInt(r.U32Vec());
+        uint32_t num_candidates = r.U32();
+        if (r.ok()) state.reprice.lpip.reserve(num_candidates);
+        for (uint32_t i = 0; i < num_candidates && r.ok(); ++i) {
+          core::RepriceState::LpipCandidate candidate;
+          candidate.threshold = r.F64();
+          candidate.item_weights = GetF64Vec(r);
+          state.reprice.lpip.push_back(std::move(candidate));
+        }
+        state.reprice.generation = static_cast<int>(r.U32());
+        state.reprice.last = GetStats(r);
+        saw_reprice = true;
+        break;
+      }
+      case kBookSection: {
+        uint32_t n = r.U32();
+        if (r.ok()) state.results.reserve(n);
+        for (uint32_t i = 0; i < n && r.ok(); ++i) {
+          core::PricingResult result;
+          result.algorithm = r.String();
+          QP_ASSIGN_OR_RETURN(result.pricing, GetPricing(r));
+          result.revenue = r.F64();
+          result.seconds = r.F64();
+          result.lps_solved = static_cast<int>(r.U32());
+          state.results.push_back(std::move(result));
+        }
+        state.book_stats = GetStats(r);
+        saw_book = true;
+        break;
+      }
+      default:
+        // Unknown sections from a newer minor writer are skipped (their
+        // CRC was still validated).
+        break;
+    }
+    if (!r.ok()) {
+      return Status::Internal("persist: malformed shard section " +
+                              std::to_string(section.tag));
+    }
+  }
+  if (!(saw_meta && saw_edges && saw_valuations && saw_reprice && saw_book)) {
+    return Status::Internal("persist: shard file missing sections");
+  }
+  if (state.valuations.size() != state.edges.size()) {
+    return Status::Internal("persist: shard valuation/edge count mismatch");
+  }
+  return state;
+}
+
+std::vector<uint8_t> SerializeManifest(const Manifest& manifest) {
+  std::vector<uint8_t> out;
+  AppendFileHeader(kManifestFileKind, &out);
+  std::vector<uint8_t> body;
+  {
+    WireWriter w(&body);
+    w.U64(manifest.checkpoint_seq);
+    w.U64(manifest.last_op_id);
+    w.U32(manifest.num_shards);
+    w.U64Vec(manifest.shard_versions);
+    w.U64(manifest.partition_fingerprint);
+    w.U32Vec(manifest.shard_file_crcs);
+    w.U32(static_cast<uint32_t>(manifest.seller_deltas.size()));
+    for (const market::CellDelta& delta : manifest.seller_deltas) {
+      PutCellDelta(w, delta);
+    }
+  }
+  AppendSection(kManifestSection, body, &out);
+  return out;
+}
+
+Result<Manifest> DeserializeManifest(const std::vector<uint8_t>& data) {
+  QP_ASSIGN_OR_RETURN(size_t offset, CheckFileHeader(data, kManifestFileKind));
+  SectionReader sections(data.data() + offset, data.size() - offset);
+  Section section;
+  QP_RETURN_IF_ERROR(sections.Next(&section));
+  if (section.tag != kManifestSection) {
+    return Status::Internal("persist: manifest section missing");
+  }
+  WireReader r(section.payload, section.size);
+  Manifest manifest;
+  manifest.checkpoint_seq = r.U64();
+  manifest.last_op_id = r.U64();
+  manifest.num_shards = r.U32();
+  manifest.shard_versions = r.U64Vec();
+  manifest.partition_fingerprint = r.U64();
+  manifest.shard_file_crcs = r.U32Vec();
+  uint32_t num_deltas = r.U32();
+  if (r.ok()) manifest.seller_deltas.reserve(num_deltas);
+  for (uint32_t i = 0; i < num_deltas && r.ok(); ++i) {
+    QP_ASSIGN_OR_RETURN(market::CellDelta delta, GetCellDelta(r));
+    manifest.seller_deltas.push_back(std::move(delta));
+  }
+  if (!r.ok() || !r.AtEnd()) {
+    return Status::Internal("persist: malformed manifest");
+  }
+  if (manifest.shard_versions.size() != manifest.num_shards ||
+      manifest.shard_file_crcs.size() != manifest.num_shards) {
+    return Status::Internal("persist: manifest shard-count mismatch");
+  }
+  return manifest;
+}
+
+void PutCellDelta(rpc::WireWriter& w, const market::CellDelta& delta) {
+  w.U32(static_cast<uint32_t>(delta.table));
+  w.U32(static_cast<uint32_t>(delta.row));
+  w.U32(static_cast<uint32_t>(delta.column));
+  w.U8(static_cast<uint8_t>(delta.new_value.type()));
+  switch (delta.new_value.type()) {
+    case db::ValueType::kNull:
+      break;
+    case db::ValueType::kInt:
+      w.U64(static_cast<uint64_t>(delta.new_value.as_int()));
+      break;
+    case db::ValueType::kDouble:
+      w.F64(delta.new_value.as_double());
+      break;
+    case db::ValueType::kString:
+      w.String(delta.new_value.as_string());
+      break;
+  }
+}
+
+Result<market::CellDelta> GetCellDelta(rpc::WireReader& r) {
+  market::CellDelta delta;
+  delta.table = static_cast<int>(r.U32());
+  delta.row = static_cast<int>(r.U32());
+  delta.column = static_cast<int>(r.U32());
+  uint8_t type = r.U8();
+  switch (type) {
+    case static_cast<uint8_t>(db::ValueType::kNull):
+      delta.new_value = db::Value::Null();
+      break;
+    case static_cast<uint8_t>(db::ValueType::kInt):
+      delta.new_value = db::Value::Int(static_cast<int64_t>(r.U64()));
+      break;
+    case static_cast<uint8_t>(db::ValueType::kDouble):
+      delta.new_value = db::Value::Real(r.F64());
+      break;
+    case static_cast<uint8_t>(db::ValueType::kString):
+      delta.new_value = db::Value::Str(r.String());
+      break;
+    default:
+      return Status::Internal("persist: unknown value type tag " +
+                              std::to_string(type));
+  }
+  if (!r.ok()) return Status::Internal("persist: truncated cell delta");
+  return delta;
+}
+
+uint64_t PartitionFingerprint(const market::SupportPartition& partition) {
+  // FNV-1a over (num_items, item->shard map): the routing-relevant part.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xFFu;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(partition.num_items());
+  for (int shard : partition.shard_of_item) {
+    mix(static_cast<uint64_t>(shard));
+  }
+  return h;
+}
+
+}  // namespace qp::serve::persist

@@ -1,0 +1,103 @@
+// Serialization of one shard's complete pricing state, and the
+// checkpoint manifest (serve/persist).
+//
+// A ShardState is everything a PricingEngine's writer owns: the appended
+// conflict-set edges and valuations, the cross-generation RepriceState
+// (refined item classes, valuation order, retained LPIP candidates), the
+// generation counter + cumulative LP count, and the published book's
+// PricingResults. Restoring it into a fresh engine
+// (PricingEngine::RestoreState) reproduces the pre-checkpoint engine
+// bit for bit: subsequent appends reprice through exactly the state a
+// never-crashed engine would hold, so replayed books match the pre-crash
+// ones in versions, revenues and LP counts — the replay-parity contract
+// tests/serve/persist_test.cc pins.
+//
+// The manifest is a checkpoint's commit record: written last (atomic
+// rename), it carries the sequence number, the per-shard version vector
+// (MergedBookView::version_vector() at checkpoint time), the journal
+// op id the checkpoint subsumes, a fingerprint of the support partition
+// (a checkpoint must not restore into a differently-sharded router), and
+// a whole-file CRC per shard file binding the manifest to the exact
+// bytes it committed. A checkpoint directory without a valid manifest is
+// not a checkpoint.
+#ifndef QP_SERVE_PERSIST_STATE_IO_H_
+#define QP_SERVE_PERSIST_STATE_IO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/algorithms.h"
+#include "core/reprice.h"
+#include "market/support.h"
+#include "market/support_partitioner.h"
+#include "serve/rpc/wire.h"
+
+namespace qp::serve::persist {
+
+/// File-kind tags (format.h header field).
+inline constexpr uint32_t kShardFileKind = 1;
+inline constexpr uint32_t kManifestFileKind = 2;
+
+/// One shard's full writer + published-book state.
+struct ShardState {
+  /// Engine generation counter (== published snapshot version).
+  uint64_t version = 0;
+  int total_lps_solved = 0;
+  /// Shard support size; validated against the target engine on restore.
+  uint32_t num_items = 0;
+  /// Appended edges (shard-local item ids) in append order, and their
+  /// valuations.
+  std::vector<std::vector<uint32_t>> edges;
+  core::Valuations valuations;
+  /// Cross-generation reprice state (classes, order, LPIP candidates).
+  core::RepriceState reprice;
+  /// The published book: per-algorithm results + the generation's stats.
+  std::vector<core::PricingResult> results;
+  core::RepriceStats book_stats;
+
+  /// Deep copy (PricingResult holds unique_ptr pricing functions).
+  ShardState Clone() const;
+};
+
+/// Fails (Unimplemented) on a PricingFunction subclass the format does
+/// not know — never silently drops a pricing.
+Result<std::vector<uint8_t>> SerializeShardState(const ShardState& state);
+Result<ShardState> DeserializeShardState(const std::vector<uint8_t>& data);
+
+struct Manifest {
+  uint64_t checkpoint_seq = 0;
+  /// Journal ops with id <= this are baked into the checkpoint; replay
+  /// skips them.
+  uint64_t last_op_id = 0;
+  uint32_t num_shards = 0;
+  /// Per-shard book versions at checkpoint time (ascending shard order).
+  std::vector<uint64_t> shard_versions;
+  /// Fingerprint of the partition's item->shard map; restore refuses a
+  /// checkpoint taken under a different partition.
+  uint64_t partition_fingerprint = 0;
+  /// Whole-file CRC32 of each committed shard file.
+  std::vector<uint32_t> shard_file_crcs;
+  /// Every seller delta applied before this checkpoint, in apply order.
+  /// Shard books bake the deltas' effects in (conflict sets were probed
+  /// against the edited database), but the database itself is the
+  /// caller's to reload — recovery re-applies these so post-restore
+  /// probes see the same data a never-crashed engine would. Re-applying
+  /// an already-applied delta is a no-op (deltas set absolute values).
+  std::vector<market::CellDelta> seller_deltas;
+};
+
+std::vector<uint8_t> SerializeManifest(const Manifest& manifest);
+Result<Manifest> DeserializeManifest(const std::vector<uint8_t>& data);
+
+/// Stable fingerprint of (num_items, shard_of_item) — the part of the
+/// partition that determines routing and local item ids.
+uint64_t PartitionFingerprint(const market::SupportPartition& partition);
+
+/// CellDelta wire encoding, shared by the manifest and journal records.
+void PutCellDelta(rpc::WireWriter& w, const market::CellDelta& delta);
+Result<market::CellDelta> GetCellDelta(rpc::WireReader& r);
+
+}  // namespace qp::serve::persist
+
+#endif  // QP_SERVE_PERSIST_STATE_IO_H_

@@ -71,6 +71,64 @@ Status PricingEngine::ApplySellerDelta(db::Database& db,
   return Status::OK();
 }
 
+persist::ShardState PricingEngine::CaptureState() const {
+  persist::ShardState state;
+  const core::Hypergraph& hypergraph = builder_.hypergraph();
+  state.version = version_;
+  state.total_lps_solved = total_lps_solved_;
+  state.num_items = hypergraph.num_items();
+  state.edges.reserve(static_cast<size_t>(hypergraph.num_edges()));
+  for (int e = 0; e < hypergraph.num_edges(); ++e) {
+    state.edges.push_back(hypergraph.edge(e));
+  }
+  state.valuations = valuations_;
+  state.reprice = reprice_;
+  std::shared_ptr<const PriceBookSnapshot> book =
+      snapshot_.load(std::memory_order_acquire);
+  state.results.reserve(book->results().size());
+  for (const core::PricingResult& r : book->results()) {
+    state.results.push_back(r.Clone());
+  }
+  state.book_stats = book->reprice_stats();
+  return state;
+}
+
+Status PricingEngine::RestoreState(persist::ShardState state) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (builder_.hypergraph().num_edges() != 0 || version_ != 1) {
+    return Status::FailedPrecondition(
+        "RestoreState: engine already has appended state");
+  }
+  const uint32_t num_items = builder_.hypergraph().num_items();
+  if (state.num_items != num_items) {
+    return Status::InvalidArgument(
+        "RestoreState: state has " + std::to_string(state.num_items) +
+        " items, engine support has " + std::to_string(num_items));
+  }
+  if (state.valuations.size() != state.edges.size()) {
+    return Status::InvalidArgument(
+        "RestoreState: one valuation per edge required");
+  }
+  for (const std::vector<uint32_t>& edge : state.edges) {
+    for (uint32_t item : edge) {
+      if (item >= num_items) {
+        return Status::InvalidArgument(
+            "RestoreState: edge item outside this engine's support");
+      }
+    }
+  }
+  const int num_edges = static_cast<int>(state.edges.size());
+  builder_.AppendEdges(std::move(state.edges));
+  valuations_ = std::move(state.valuations);
+  reprice_ = std::move(state.reprice);
+  version_ = state.version;
+  total_lps_solved_ = state.total_lps_solved;
+  auto next = std::make_shared<const PriceBookSnapshot>(
+      version_, state.results, state.book_stats, num_items, num_edges);
+  snapshot_.store(std::move(next), std::memory_order_release);
+  return Status::OK();
+}
+
 void PricingEngine::RepriceAndPublish(int first_new_edge) {
   const core::Hypergraph& hypergraph = builder_.hypergraph();
   std::vector<core::PricingResult> results;

@@ -43,6 +43,7 @@
 #include "db/query.h"
 #include "market/incremental_builder.h"
 #include "market/support.h"
+#include "serve/persist/state_io.h"
 #include "serve/price_book.h"
 
 namespace qp::serve {
@@ -67,6 +68,10 @@ struct PurchaseOutcome {
   bool accepted = false;
   double valuation = 0.0;
   std::vector<uint32_t> bundle;
+  /// kUnavailable when the bundle touches a shard still warming after a
+  /// restore (sharded engine only): the buyer saw no quote and no sale
+  /// was recorded. OK otherwise.
+  Status status;
 };
 
 struct EngineStats {
@@ -159,6 +164,24 @@ class PricingEngine {
   void InvalidatePreparedQueries() { builder_.InvalidatePreparedQueries(); }
 
   EngineStats stats() const;
+
+  // --- durability (serve/persist) --------------------------------------
+
+  /// Snapshot of the full writer + published-book state for
+  /// checkpointing. Writer-side: call only from the writer (the
+  /// CheckpointManager runs inside the engine's publish hook, which
+  /// already holds the writer mutex) or while no writer is active.
+  persist::ShardState CaptureState() const;
+
+  /// Restores a *fresh* engine (no appends since construction) to a
+  /// captured state: hypergraph edges, valuations, reprice state,
+  /// generation counters and the published book land exactly as
+  /// captured, so subsequent appends reprice through the same state a
+  /// never-restarted engine would hold — replayed books are
+  /// bit-identical (versions, revenues, LP counts). Fails with
+  /// FailedPrecondition on a non-fresh engine and InvalidArgument when
+  /// the state's shape does not match this engine's support.
+  Status RestoreState(persist::ShardState state);
 
   /// Writer-side views; do not call concurrently with AppendBuyers.
   const core::Hypergraph& hypergraph() const {

@@ -3,20 +3,72 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <thread>
 #include <utility>
 
+#include "common/stopwatch.h"
+
 namespace qp::serve::rpc {
+namespace {
+
+/// Remaining budget for a poll() call: -1 (forever) when the configured
+/// timeout is <= 0, otherwise what is left of it (0 = expired; poll
+/// returns immediately and the caller surfaces DeadlineExceeded).
+int RemainingMs(const Stopwatch& watch, int timeout_ms) {
+  if (timeout_ms <= 0) return -1;
+  double left = static_cast<double>(timeout_ms) - watch.ElapsedMillis();
+  return left <= 0.0 ? 0 : static_cast<int>(left) + 1;
+}
+
+/// Waits for `events` on fd within timeout_ms (-1 = forever).
+Status PollFd(int fd, short events, int timeout_ms, const char* what) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  for (;;) {
+    int rc = poll(&p, 1, timeout_ms);
+    if (rc > 0) return Status::OK();
+    if (rc == 0) {
+      return Status::DeadlineExceeded(std::string(what) + " timed out");
+    }
+    if (errno == EINTR) continue;
+    return Status::Internal(std::string("poll() failed: ") +
+                            std::strerror(errno));
+  }
+}
+
+}  // namespace
+
+double RetryBackoffMs(const RetryPolicy& policy, int retry, Rng& rng) {
+  double ms = static_cast<double>(policy.initial_backoff_ms) *
+              std::pow(policy.backoff_multiplier, retry);
+  ms = std::min(ms, static_cast<double>(policy.max_backoff_ms));
+  // Multiplicative jitter de-synchronizes clients that backed off at the
+  // same tick (the thundering-herd failure mode).
+  double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  if (jitter > 0.0) ms *= rng.UniformReal(1.0 - jitter, 1.0);
+  return std::max(ms, 0.0);
+}
 
 RpcClient::~RpcClient() { Disconnect(); }
 
 Status RpcClient::Connect(const std::string& address, uint16_t port) {
   if (fd_ >= 0) return Status::FailedPrecondition("RpcClient already connected");
-  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  address_ = address;
+  port_ = port;
+  // Non-blocking from birth: the handshake and every later send/recv
+  // poll against this client's deadlines instead of parking in the
+  // kernel indefinitely.
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (fd < 0) return Status::Internal("socket() failed");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -26,9 +78,33 @@ Status RpcClient::Connect(const std::string& address, uint16_t port) {
     return Status::InvalidArgument("bad address: " + address);
   }
   if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    close(fd);
-    return Status::Internal("connect() failed: " +
-                            std::string(std::strerror(errno)));
+    if (errno != EINPROGRESS) {
+      int err = errno;
+      close(fd);
+      if (err == ECONNREFUSED) {
+        return Status::Unavailable("connection refused: " + address + ":" +
+                                   std::to_string(port));
+      }
+      return Status::Internal("connect() failed: " +
+                              std::string(std::strerror(err)));
+    }
+    Status ready =
+        PollFd(fd, POLLOUT, options_.connect_timeout_ms, "connect()");
+    if (!ready.ok()) {
+      close(fd);
+      return ready;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      close(fd);
+      if (err == ECONNREFUSED) {
+        return Status::Unavailable("connection refused: " + address + ":" +
+                                   std::to_string(port));
+      }
+      return Status::Internal("connect() failed: " +
+                              std::string(std::strerror(err)));
+    }
   }
   int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -47,12 +123,25 @@ void RpcClient::Disconnect() {
 
 Status RpcClient::SendFrame(const std::vector<uint8_t>& frame) {
   if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  Stopwatch watch;
   size_t sent = 0;
   while (sent < frame.size()) {
     ssize_t n = send(fd_, frame.data() + sent, frame.size() - sent,
                      MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        Status ready = PollFd(fd_, POLLOUT,
+                              RemainingMs(watch, options_.send_timeout_ms),
+                              "send()");
+        if (!ready.ok()) {
+          // A torn request frame desynchronizes the stream; the
+          // connection is unusable either way.
+          Disconnect();
+          return ready;
+        }
+        continue;
+      }
       Disconnect();
       return Status::Internal("send() failed: " +
                               std::string(std::strerror(errno)));
@@ -64,6 +153,7 @@ Status RpcClient::SendFrame(const std::vector<uint8_t>& frame) {
 
 Status RpcClient::ReceiveFrame(RpcReply* out) {
   if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  Stopwatch watch;
   for (;;) {
     Frame frame;
     size_t consumed = 0;
@@ -113,7 +203,7 @@ Status RpcClient::ReceiveFrame(RpcReply* out) {
       }
       return Status::OK();
     }
-    // kNeedMore: block for more bytes.
+    // kNeedMore: wait (within the recv deadline) for more bytes.
     uint8_t buf[64 * 1024];
     ssize_t n = recv(fd_, buf, sizeof(buf), 0);
     if (n == 0) {
@@ -122,6 +212,15 @@ Status RpcClient::ReceiveFrame(RpcReply* out) {
     }
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        QP_RETURN_IF_ERROR(PollFd(fd_, POLLIN,
+                                  RemainingMs(watch, options_.recv_timeout_ms),
+                                  "recv()"));
+        // A DeadlineExceeded above returns WITHOUT disconnecting: frames
+        // are length-prefixed, so the buffered partial frame stays valid
+        // and a later Receive() can finish collecting the reply.
+        continue;
+      }
       Disconnect();
       return Status::Internal("recv() failed: " +
                               std::string(std::strerror(errno)));
@@ -217,6 +316,81 @@ Status RpcClient::AppendBuyers(const std::vector<WireBuyer>& buyers,
 Status RpcClient::Stats(RpcReply* out) {
   QP_ASSIGN_OR_RETURN(uint64_t id, SendStats());
   return WaitFor(id, out);
+}
+
+Status RpcClient::QuoteWithRetry(const std::vector<uint32_t>& bundle,
+                                 const RetryPolicy& policy, RpcReply* out,
+                                 RetryStats* stats) {
+  Rng rng(policy.seed);
+  RetryStats local;
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      double ms = RetryBackoffMs(policy, attempt - 1, rng);
+      local.backoff_ms += ms;
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+    }
+    if (fd_ < 0) {
+      // Quotes are idempotent and read-only: reconnecting and resending
+      // can at worst serve the same price twice.
+      last = Connect(address_, port_);
+      if (!last.ok()) continue;
+      ++local.reconnects;
+    }
+    ++local.attempts;
+    last = Quote(bundle, out);
+    if (!last.ok()) continue;
+    // A pushback reply on the final attempt triggers no retry, so it is
+    // not counted as one — the counters tally retries, not replies.
+    if (out->code == WireCode::kBackpressure) {
+      if (attempt + 1 < policy.max_attempts) ++local.backpressure_retries;
+      continue;
+    }
+    if (out->code == WireCode::kUnavailable) {
+      if (attempt + 1 < policy.max_attempts) ++local.unavailable_retries;
+      continue;
+    }
+    break;  // Served, or a terminal application error (kBadRequest, ...).
+  }
+  if (stats != nullptr) *stats = local;
+  return last;
+}
+
+Status RpcClient::AppendBuyersWithRetry(const std::vector<WireBuyer>& buyers,
+                                        const RetryPolicy& policy,
+                                        RpcReply* out, RetryStats* stats) {
+  Rng rng(policy.seed);
+  RetryStats local;
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      double ms = RetryBackoffMs(policy, attempt - 1, rng);
+      local.backoff_ms += ms;
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+    }
+    if (fd_ < 0 && local.attempts == 0) {
+      // Connecting before the FIRST send is safe (nothing in flight);
+      // after that a lost connection means an append of unknown fate —
+      // surface it instead of risking a double apply.
+      last = Connect(address_, port_);
+      if (!last.ok()) continue;
+      ++local.reconnects;
+    }
+    ++local.attempts;
+    last = AppendBuyers(buyers, out);
+    if (!last.ok()) break;  // At-most-once: transport failure is terminal.
+    if (out->code == WireCode::kBackpressure) {
+      if (attempt + 1 < policy.max_attempts) ++local.backpressure_retries;
+      continue;
+    }
+    if (out->code == WireCode::kUnavailable) {
+      if (attempt + 1 < policy.max_attempts) ++local.unavailable_retries;
+      continue;
+    }
+    break;
+  }
+  if (stats != nullptr) *stats = local;
+  return last;
 }
 
 }  // namespace qp::serve::rpc

@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "db/parser.h"
 #include "serve/rpc/wire.h"
 
@@ -77,6 +78,10 @@ struct RpcServer::Impl {
   std::thread loop_thread;
   std::thread writer_thread;
   std::atomic<bool> stopping{false};
+  std::atomic<bool> writer_exited{false};
+  /// Restarted by Stop() before `stopping` becomes visible; both threads
+  /// measure their drain budget against it.
+  Stopwatch drain_watch;
 
   std::unordered_map<uint64_t, Connection> conns;
   uint64_t next_conn_id = 2;  // 0 = listen socket, 1 = wake eventfd
@@ -145,7 +150,11 @@ struct RpcServer::Impl {
 
     started = true;
     loop_thread = std::thread([this] { LoopThread(); });
-    writer_thread = std::thread([this] { WriterThread(); });
+    writer_thread = std::thread([this] {
+      WriterThread();
+      writer_exited.store(true);
+      Wake();  // the draining loop polls writer_exited each tick
+    });
     return Status::OK();
   }
 
@@ -156,15 +165,37 @@ struct RpcServer::Impl {
       if (loop_thread.joinable()) loop_thread.join();
       return;
     }
+    drain_watch.Restart();
     stopping.store(true);
-    // Writer first: it finishes the in-flight job, fails the rest with
-    // kShuttingDown, and its completions land in writer_done for the
-    // loop's final tick.
+    // Both threads drain concurrently: the writer keeps executing queued
+    // appends, the loop keeps flushing replies (and serving already-read
+    // requests) until DrainComplete() or the budget runs out.
     writer_cv.notify_all();
+    Wake();
     writer_thread.join();
     Wake();
     loop_thread.join();
     CloseFds();
+  }
+
+  bool DrainExpired() {
+    return options.drain_timeout_ms <= 0 ||
+           drain_watch.ElapsedMillis() >=
+               static_cast<double>(options.drain_timeout_ms);
+  }
+
+  /// Loop-thread only: true once the writer is gone, its completions are
+  /// delivered, and every connection's out-queue hit the wire.
+  bool DrainComplete() {
+    if (!writer_exited.load()) return false;
+    {
+      std::lock_guard<std::mutex> lock(writer_mutex);
+      if (!writer_done.empty()) return false;
+    }
+    for (const auto& entry : conns) {
+      if (!entry.second.out.empty()) return false;
+    }
+    return true;
   }
 
   void Wake() {
@@ -182,9 +213,11 @@ struct RpcServer::Impl {
           return stopping.load() || !writer_queue.empty();
         });
         if (writer_queue.empty()) return;  // stopping, queue drained
-        if (stopping.load()) {
-          // Fail everything still queued; the loop's final tick delivers
-          // the replies it can.
+        if (stopping.load() && DrainExpired()) {
+          // Drain budget exhausted: fail everything still queued; the
+          // loop's final tick delivers the replies it can. (Within the
+          // budget, queued appends keep EXECUTING — each was already
+          // admitted, so the client was promised a real answer.)
           while (!writer_queue.empty()) {
             WriterJob dropped = std::move(writer_queue.front());
             writer_queue.pop_front();
@@ -232,15 +265,28 @@ struct RpcServer::Impl {
     constexpr int kMaxEvents = 64;
     epoll_event events[kMaxEvents];
     std::vector<PendingQuote> tick_quotes;
+    bool draining = false;
     for (;;) {
-      int n = epoll_wait(epoll_fd, events, kMaxEvents, -1);
+      // While draining, tick at ~10ms so drain progress (writer exit,
+      // blocked out-queues opening up) is noticed without socket events.
+      int n = epoll_wait(epoll_fd, events, kMaxEvents, draining ? 10 : -1);
       if (n < 0 && errno != EINTR) break;
+      if (!draining && stopping.load()) {
+        draining = true;
+        // Connections that finished their handshake before Stop() sit in
+        // the listen backlog (the peer's connect() already succeeded and
+        // it may have requests in flight). Admit them so they drain to
+        // real replies below; closing the listener with them still queued
+        // would RST the peer instead.
+        AcceptAll();
+        epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listen_fd, nullptr);
+      }
       tick_quotes.clear();
       for (int i = 0; i < n; ++i) {
         uint64_t id = events[i].data.u64;
         uint32_t mask = events[i].events;
         if (id == 0) {
-          AcceptAll();
+          if (!draining) AcceptAll();
         } else if (id == 1) {
           uint64_t drained;
           while (read(wake_fd, &drained, sizeof(drained)) > 0) {
@@ -263,10 +309,26 @@ struct RpcServer::Impl {
       }
       DeliverWriterCompletions();
       ServeQuoteTick(tick_quotes);
-      if (stopping.load()) break;
+      // Only a zero-event (pure timeout) tick can end the drain early:
+      // level-triggered epoll reports any unread buffered request, and
+      // close()-ing a socket with unread inbound data sends RST, which
+      // would discard replies the peer has not consumed yet.
+      if (draining && ((n == 0 && DrainComplete()) || DrainExpired())) break;
     }
-    // Final flush: deliver whatever responses are already queued without
-    // blocking, then drop the connections.
+    // Final flush: fail any append the writer never reached (possible
+    // only when the drain deadline expired), deliver whatever responses
+    // are already queued without blocking, then drop the connections.
+    // Pops race-free with a still-draining writer: both sides pop under
+    // writer_mutex, so each job is answered exactly once.
+    {
+      std::lock_guard<std::mutex> lock(writer_mutex);
+      while (!writer_queue.empty()) {
+        WriterJob dropped = std::move(writer_queue.front());
+        writer_queue.pop_front();
+        writer_done.push_back({dropped.conn_id, dropped.request_id,
+                               {WireCode::kShuttingDown, "server stopping", 0}});
+      }
+    }
     DeliverWriterCompletions();
     std::vector<uint64_t> ids;
     ids.reserve(conns.size());
@@ -397,6 +459,13 @@ struct RpcServer::Impl {
         // Reader-side end to end (overlay probe + snapshot pin + atomic
         // sale counters): never blocks behind the engine's writer.
         PurchaseOutcome outcome = engine->Purchase(*parsed, valuation);
+        if (!outcome.status.ok()) {
+          // Bundle touches a shard still warming after restore: the sale
+          // was NOT attempted — the client may retry.
+          return QueueWrite(
+              id, EncodeErrorReply(frame.request_id, WireCode::kUnavailable,
+                                   outcome.status.message()));
+        }
         WirePurchase reply;
         reply.accepted = outcome.accepted;
         reply.valuation = outcome.valuation;
@@ -406,6 +475,13 @@ struct RpcServer::Impl {
       }
       case MsgType::kAppendBuyers: {
         append_requests.fetch_add(1, std::memory_order_relaxed);
+        if (stopping.load()) {
+          // Draining: only appends admitted BEFORE Stop() get executed;
+          // new ones are refused so the writer can actually finish.
+          return QueueWrite(
+              id, EncodeErrorReply(frame.request_id, WireCode::kShuttingDown,
+                                   "server stopping"));
+        }
         WriterJob job;
         job.conn_id = id;
         job.request_id = frame.request_id;
@@ -486,21 +562,40 @@ struct RpcServer::Impl {
         flat.push_back(bundle);
       }
     }
-    std::vector<Quote> quotes = engine->QuoteBatch(flat);
+    // TryQuoteBatch degrades gracefully during a restore: bundles that
+    // touch a still-warming shard come back Unavailable instead of a
+    // wrongly-low cold price. Identical to QuoteBatch once all shards
+    // are warm (one relaxed load on that path).
+    std::vector<Result<Quote>> quotes = engine->TryQuoteBatch(flat);
     quote_ticks.fetch_add(1, std::memory_order_relaxed);
     batched_quotes.fetch_add(flat.size(), std::memory_order_relaxed);
     size_t next = 0;
     for (const PendingQuote& pending : tick_quotes) {
-      if (pending.is_batch) {
-        std::span<const Quote> slice(quotes.data() + next,
-                                     pending.bundles.size());
+      size_t count = pending.bundles.size();
+      const Result<Quote>* first_bad = nullptr;
+      for (size_t k = 0; k < count; ++k) {
+        if (!quotes[next + k].ok()) {
+          first_bad = &quotes[next + k];
+          break;
+        }
+      }
+      if (first_bad != nullptr) {
+        // All-or-nothing per request: a batch whose generation cannot be
+        // uniform (some bundles refused) is refused whole.
+        QueueWrite(pending.conn_id,
+                   EncodeErrorReply(pending.request_id, WireCode::kUnavailable,
+                                    first_bad->status().message()));
+      } else if (pending.is_batch) {
+        std::vector<Quote> slice;
+        slice.reserve(count);
+        for (size_t k = 0; k < count; ++k) slice.push_back(*quotes[next + k]);
         QueueWrite(pending.conn_id,
                    EncodeQuoteBatchReply(pending.request_id, slice));
       } else {
         QueueWrite(pending.conn_id,
-                   EncodeQuoteReply(pending.request_id, quotes[next]));
+                   EncodeQuoteReply(pending.request_id, *quotes[next]));
       }
-      next += pending.bundles.size();
+      next += count;
     }
   }
 
@@ -536,8 +631,10 @@ struct RpcServer::Impl {
   void FlushWrites(uint64_t id, Connection& conn) {
     while (!conn.out.empty()) {
       const std::vector<uint8_t>& front = conn.out.front();
-      ssize_t n = write(conn.fd, front.data() + conn.out_offset,
-                        front.size() - conn.out_offset);
+      // MSG_NOSIGNAL: a peer that resets mid-write must surface as EPIPE
+      // (we close the connection) — not SIGPIPE the whole process.
+      ssize_t n = send(conn.fd, front.data() + conn.out_offset,
+                       front.size() - conn.out_offset, MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
         if (errno == EINTR) continue;

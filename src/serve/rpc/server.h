@@ -26,11 +26,14 @@
 // Responses may therefore interleave arbitrarily with request order on
 // one connection; clients match on request_id (see wire.h).
 //
-// Shutdown (Stop(), also run by the destructor): the writer thread
-// finishes the job it is executing, fails the rest of its queue with
-// kShuttingDown, and exits; the loop thread serves its final tick —
-// including the batched quotes and writer completions — flushes what it
-// can without blocking, and closes every connection.
+// Shutdown (Stop(), also run by the destructor) drains gracefully
+// within drain_timeout_ms: the loop immediately stops accepting new
+// connections but keeps ticking; the writer thread keeps EXECUTING its
+// queued appends (each one already acknowledged into the admission
+// queue) until the queue empties or the deadline passes — only then are
+// leftovers failed with kShuttingDown. The loop exits once the writer
+// is done, completions are delivered, and every connection's out-queue
+// flushed (or the deadline passes), then closes every connection.
 #ifndef QP_SERVE_RPC_SERVER_H_
 #define QP_SERVE_RPC_SERVER_H_
 
@@ -56,6 +59,10 @@ struct RpcServerOptions {
   /// Admission-control depth for writer ops (AppendBuyers): requests
   /// beyond this many queued get an immediate kBackpressure reply.
   size_t writer_queue_depth = 16;
+  /// Graceful-drain budget for Stop(): queued appends keep executing
+  /// and responses keep flushing until done or this many ms pass.
+  /// <= 0 skips the drain (queued appends fail with kShuttingDown).
+  int drain_timeout_ms = 1000;
 };
 
 struct RpcServerStats {

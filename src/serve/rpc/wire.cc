@@ -14,6 +14,8 @@ const char* WireCodeToString(WireCode code) {
       return "ShuttingDown";
     case WireCode::kInternal:
       return "Internal";
+    case WireCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -82,6 +82,10 @@ ShardedPricingEngine::ShardedPricingEngine(const db::Database* db,
         options_.engine));
   }
   shard_edge_counts_.assign(shards_.size(), 0);
+  shard_ready_ = std::make_unique<std::atomic<bool>[]>(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shard_ready_[s].store(true, std::memory_order_relaxed);
+  }
 }
 
 Status ShardedPricingEngine::AppendBuyers(
@@ -124,6 +128,14 @@ Status ShardedPricingEngine::AppendRouted(
     std::vector<std::vector<uint32_t>> conflict_sets,
     const core::Valuations& valuations) {
   const size_t num_shards = shards_.size();
+  // Write-ahead: the GLOBAL conflict sets hit the journal before any
+  // shard applies them — a failed log aborts the append, so recovery
+  // never misses an op that reached a book. Logging global (not routed)
+  // edges keeps replay routing-identical: AppendBuyersPrecomputed on the
+  // replayed sets re-derives the same owners deterministically.
+  if (log_ != nullptr) {
+    QP_RETURN_IF_ERROR(log_->LogAppend(conflict_sets, valuations));
+  }
   // Route serially in arrival order (the deterministic part), then fan
   // the per-shard appends out (each shard's work is independent and
   // internally thread-count-invariant).
@@ -165,6 +177,9 @@ Status ShardedPricingEngine::AppendRouted(
   });
   for (const Status& status : statuses) {
     if (!status.ok()) return status;
+  }
+  if (log_ != nullptr) {
+    QP_RETURN_IF_ERROR(log_->OnPublish(*this));
   }
   return Status::OK();
 }
@@ -217,6 +232,12 @@ PurchaseOutcome ShardedPricingEngine::Purchase(const db::BoundQuery& query,
   // the router's cache), the quote pins one view, and the sale lands in
   // atomic counters.
   outcome.bundle = prober_.ConflictSetFor(query);
+  outcome.status = ReadyFor(outcome.bundle);
+  if (!outcome.status.ok()) {
+    // The buyer saw no quote (a cold shard would misprice the bundle);
+    // no purchase is recorded.
+    return outcome;
+  }
   MergedBookView view = snapshot();
   int touched = 0;
   outcome.quote = view.QuoteBundle(outcome.bundle, &touched);
@@ -240,10 +261,86 @@ Status ShardedPricingEngine::ApplySellerDelta(db::Database& db,
         "ApplySellerDelta: database is not this engine's database");
   }
   std::lock_guard<std::mutex> lock(writer_mutex_);
+  // Write-ahead, like appends: the delta is durable before the edit so a
+  // crash between log and apply re-applies it on recovery (idempotent —
+  // deltas set absolute cell values).
+  if (log_ != nullptr) {
+    QP_RETURN_IF_ERROR(log_->LogSellerDelta(delta));
+  }
   market::ApplyDelta(db, delta);
   prober_.InvalidatePreparedQueries();
   for (const auto& shard : shards_) shard->InvalidatePreparedQueries();
   return Status::OK();
+}
+
+void ShardedPricingEngine::SetWriterLog(WriterLog* log) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  log_ = log;
+}
+
+void ShardedPricingEngine::BeginRestore() {
+  cold_shards_.store(static_cast<int>(shards_.size()),
+                     std::memory_order_relaxed);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shard_ready_[s].store(false, std::memory_order_release);
+  }
+}
+
+void ShardedPricingEngine::FinishShardRestore(int s) {
+  if (!shard_ready_[static_cast<size_t>(s)].exchange(
+          true, std::memory_order_release)) {
+    cold_shards_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+Status ShardedPricingEngine::ReadyFor(
+    const std::vector<uint32_t>& bundle) const {
+  if (cold_shards_.load(std::memory_order_acquire) == 0) return Status::OK();
+  for (uint32_t item : bundle) {
+    int s = partition_.shard_of_item[item];
+    if (!shard_ready_[static_cast<size_t>(s)].load(
+            std::memory_order_acquire)) {
+      unavailable_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("shard " + std::to_string(s) +
+                                 " is warming after restore");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Quote> ShardedPricingEngine::TryQuoteBundle(
+    const std::vector<uint32_t>& bundle) const {
+  QP_RETURN_IF_ERROR(ReadyFor(bundle));
+  return QuoteBundle(bundle);
+}
+
+std::vector<Result<Quote>> ShardedPricingEngine::TryQuoteBatch(
+    std::span<const std::vector<uint32_t>> bundles) const {
+  std::vector<Result<Quote>> out;
+  out.reserve(bundles.size());
+  if (cold_shards_.load(std::memory_order_acquire) == 0) {
+    // All warm (the steady state): one pinned view, exactly QuoteBatch.
+    for (Quote& quote : QuoteBatch(bundles)) out.push_back(std::move(quote));
+    return out;
+  }
+  MergedBookView view = snapshot();
+  uint64_t crossing = 0, served = 0;
+  for (const std::vector<uint32_t>& bundle : bundles) {
+    Status ready = ReadyFor(bundle);
+    if (!ready.ok()) {
+      out.push_back(std::move(ready));
+      continue;
+    }
+    int touched = 0;
+    out.push_back(view.QuoteBundle(bundle, &touched));
+    ++served;
+    if (touched > 1) ++crossing;
+  }
+  quotes_served_.fetch_add(served, std::memory_order_relaxed);
+  if (crossing > 0) {
+    cross_shard_quotes_.fetch_add(crossing, std::memory_order_relaxed);
+  }
+  return out;
 }
 
 ShardedPricingEngine::ReaderStats ShardedPricingEngine::reader_stats() const {
@@ -252,6 +349,7 @@ ShardedPricingEngine::ReaderStats ShardedPricingEngine::reader_stats() const {
   out.purchases = purchases_.load(std::memory_order_relaxed);
   out.purchases_accepted = purchases_accepted_.load(std::memory_order_relaxed);
   out.sale_revenue = sale_revenue_.load(std::memory_order_relaxed);
+  out.unavailable = unavailable_.load(std::memory_order_relaxed);
   out.prepared = prober_.prepared_stats();
   return out;
 }

@@ -63,6 +63,31 @@
 
 namespace qp::serve {
 
+namespace persist {
+struct RecoveredState;
+}  // namespace persist
+
+class ShardedPricingEngine;
+
+/// Write-ahead durability hook for the sharded engine's writer path
+/// (implemented by persist::CheckpointManager). The engine calls
+/// LogAppend / LogSellerDelta BEFORE applying an op — a failing log
+/// aborts the op, so nothing reaches the books that is not on disk —
+/// and OnPublish after the shards published, which is where periodic
+/// checkpoints run. All three run under the engine's writer mutex, so
+/// implementations may read the shards' writer-side state
+/// (PricingEngine::CaptureState) without extra locking but must not
+/// call back into engine writer entry points.
+class WriterLog {
+ public:
+  virtual ~WriterLog() = default;
+  virtual Status LogAppend(
+      const std::vector<std::vector<uint32_t>>& conflict_sets,
+      const core::Valuations& valuations) = 0;
+  virtual Status LogSellerDelta(const market::CellDelta& delta) = 0;
+  virtual Status OnPublish(ShardedPricingEngine& engine) = 0;
+};
+
 struct ShardedEngineOptions {
   /// Forwarded to every shard (algorithm options, incremental reprice,
   /// per-shard build options).
@@ -171,6 +196,18 @@ class ShardedPricingEngine {
   std::vector<Quote> QuoteBatch(
       std::span<const std::vector<uint32_t>> bundles) const;
 
+  /// Graceful-degradation quoting: like QuoteBundle, but a bundle that
+  /// touches a shard still warming after RestoreFromCheckpoint gets
+  /// Status::Unavailable instead of a cold (wrongly low) empty-book
+  /// price. Identical to QuoteBundle once every shard is warm — the
+  /// all-warm fast path is one relaxed atomic load.
+  Result<Quote> TryQuoteBundle(const std::vector<uint32_t>& bundle) const;
+
+  /// Batch form: one pinned view for the whole batch; per-bundle
+  /// Unavailable for bundles touching cold shards.
+  std::vector<Result<Quote>> TryQuoteBatch(
+      std::span<const std::vector<uint32_t>> bundles) const;
+
   /// Posted-price interaction: global conflict set (read-only overlay
   /// probes through the router's prepared-query cache), additive quote,
   /// atomic sale accounting. The outcome's bundle holds GLOBAL item ids —
@@ -184,6 +221,39 @@ class ShardedPricingEngine {
 
   ShardedEngineStats stats() const;
 
+  // --- durability (serve/persist) --------------------------------------
+
+  /// Attaches (or detaches, with nullptr) the write-ahead log. Taken
+  /// under the writer mutex, so an in-flight append either fully
+  /// precedes or fully follows the attach. Attach AFTER
+  /// RestoreFromCheckpoint — replayed ops must not be re-logged. The log
+  /// must outlive the engine or be detached first.
+  void SetWriterLog(WriterLog* log);
+
+  /// Restores this engine (fresh: no appends since construction) from a
+  /// recovered checkpoint + journal, shard by shard: each shard serves
+  /// quotes again (TryQuote*/Purchase) the moment its checkpoint state
+  /// lands, while the remaining shards answer Unavailable. Journal
+  /// replay then reapplies post-checkpoint ops in op order; replayed
+  /// books are bit-identical to the pre-crash ones (versions, revenues,
+  /// LP counts). `mutable_db` must be the engine's own database and is
+  /// only required when the recovered state carries seller deltas.
+  /// Consumes the heavy parts of `state` (shard states, append conflict
+  /// sets); the metadata CheckpointManager::Attach reads (op ids,
+  /// sequence, seller deltas) stays valid, so pass the same state on.
+  Status RestoreFromCheckpoint(persist::RecoveredState& state,
+                               db::Database* mutable_db = nullptr);
+
+  /// Restore protocol, public for persist + fault tests: BeginRestore
+  /// marks every shard cold (readers get Unavailable from TryQuote*);
+  /// FinishShardRestore warms one shard back up.
+  void BeginRestore();
+  void FinishShardRestore(int s);
+  bool shard_ready(int s) const {
+    return shard_ready_[static_cast<size_t>(s)].load(
+        std::memory_order_acquire);
+  }
+
   /// Router-side reader counters plus the global prober's prepared-cache
   /// stats, gathered WITHOUT the writer mutex — safe from serving paths
   /// that must not block behind an in-flight append (the RPC front-end's
@@ -194,6 +264,8 @@ class ShardedPricingEngine {
     uint64_t purchases = 0;
     uint64_t purchases_accepted = 0;
     double sale_revenue = 0.0;
+    /// TryQuote*/Purchase requests refused because a shard was warming.
+    uint64_t unavailable = 0;
     market::PreparedQueryCache::Stats prepared;
   };
   ReaderStats reader_stats() const;
@@ -212,6 +284,11 @@ class ShardedPricingEngine {
   Status AppendRouted(std::vector<std::vector<uint32_t>> conflict_sets,
                       const core::Valuations& valuations);
 
+  /// nullptr when every non-empty sub-bundle lands on a warm shard;
+  /// otherwise the first cold shard's Unavailable status (also bumps
+  /// unavailable_). Reader-side, lock-free.
+  Status ReadyFor(const std::vector<uint32_t>& bundle) const;
+
   const db::Database* db_;
   market::SupportPartition partition_;
   ShardedEngineOptions options_;
@@ -224,6 +301,16 @@ class ShardedPricingEngine {
   /// Edges routed to each shard so far (guarded by writer_mutex_); the
   /// deterministic tie-break for empty conflict sets.
   std::vector<int> shard_edge_counts_;
+  /// Write-ahead log hook (guarded by writer_mutex_); nullptr when
+  /// durability is off.
+  WriterLog* log_ = nullptr;
+
+  /// Per-shard warm/cold flags for the restore protocol. All true from
+  /// construction; BeginRestore clears them, FinishShardRestore sets one.
+  /// cold_shards_ counts the cold ones so the all-warm serving fast path
+  /// is a single relaxed load.
+  std::unique_ptr<std::atomic<bool>[]> shard_ready_;
+  std::atomic<int> cold_shards_{0};
 
   mutable std::atomic<uint64_t> quotes_served_{0};
   std::atomic<uint64_t> purchases_{0};
@@ -231,6 +318,7 @@ class ShardedPricingEngine {
   std::atomic<double> sale_revenue_{0.0};
   std::atomic<uint64_t> cross_shard_appends_{0};
   mutable std::atomic<uint64_t> cross_shard_quotes_{0};
+  mutable std::atomic<uint64_t> unavailable_{0};
 };
 
 }  // namespace qp::serve

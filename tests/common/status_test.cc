@@ -30,6 +30,16 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(StatusTest, NewCodesHaveStableNames) {
+  EXPECT_EQ(Status::Unavailable("shard 2 warming").ToString(),
+            "Unavailable: shard 2 warming");
+  EXPECT_EQ(Status::DeadlineExceeded("recv timed out").ToString(),
+            "DeadlineExceeded: recv timed out");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

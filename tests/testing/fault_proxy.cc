@@ -1,0 +1,187 @@
+#include "tests/testing/fault_proxy.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace qp::testing {
+namespace {
+
+/// Hard-reset close: SO_LINGER with zero timeout makes close() send RST
+/// instead of FIN, so the peer sees ECONNRESET mid-stream.
+void ResetClose(int fd) {
+  linger lg{};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  close(fd);
+}
+
+/// Blocking-ish write to a non-blocking fd: poll for POLLOUT on EAGAIN.
+/// MSG_NOSIGNAL because the destination may already be gone.
+bool WriteAll(int fd, const char* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t w = send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      if (poll(&pfd, 1, 1000) <= 0) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status FaultProxy::Start() {
+  if (started_) return Status::FailedPrecondition("FaultProxy already started");
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Status::Internal("socket() failed");
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(listen_fd_, 16) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("proxy bind/listen failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void FaultProxy::Stop() {
+  if (!started_) return;
+  stopping_.store(true);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) t.join();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  listen_fd_ = -1;
+  started_ = false;
+  stopping_.store(false);
+}
+
+void FaultProxy::AcceptLoop() {
+  while (!stopping_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    if (poll(&pfd, 1, 50) <= 0) continue;
+    int client_fd =
+        accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (client_fd < 0) continue;
+
+    int server_fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    sockaddr_in target{};
+    target.sin_family = AF_INET;
+    target.sin_port = htons(options_.target_port);
+    if (server_fd < 0 ||
+        inet_pton(AF_INET, options_.target_address.c_str(),
+                  &target.sin_addr) != 1 ||
+        connect(server_fd, reinterpret_cast<sockaddr*>(&target),
+                sizeof(target)) != 0) {
+      // Can't reach the real server: drop the client on the floor, which
+      // is itself a fine fault to inject.
+      if (server_fd >= 0) close(server_fd);
+      close(client_fd);
+      continue;
+    }
+    // Non-blocking after the (blocking) connect so PumpConn can poll.
+    int flags = fcntl(server_fd, F_GETFL, 0);
+    fcntl(server_fd, F_SETFL, flags | O_NONBLOCK);
+
+    connections_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    conn_threads_.emplace_back(
+        [this, client_fd, server_fd] { PumpConn(client_fd, server_fd); });
+  }
+}
+
+bool FaultProxy::Forward(int dst, const char* data, size_t n) {
+  size_t chunk = options_.chunk_bytes == 0 ? n : options_.chunk_bytes;
+  size_t pos = 0;
+  while (pos < n) {
+    size_t take = std::min(chunk, n - pos);
+    int copies = options_.duplicate_chunks ? 2 : 1;
+    for (int c = 0; c < copies; ++c) {
+      if (!WriteAll(dst, data + pos, take)) return false;
+      bytes_forwarded_.fetch_add(take);
+    }
+    pos += take;
+    if (options_.chunk_delay_us > 0 && pos < n) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.chunk_delay_us));
+    }
+  }
+  return true;
+}
+
+void FaultProxy::PumpConn(int client_fd, int server_fd) {
+  char buf[16 * 1024];
+  size_t conn_forwarded = 0;
+  while (!stopping_.load()) {
+    if (options_.reset_after_bytes > 0 &&
+        conn_forwarded >= options_.reset_after_bytes) {
+      ResetClose(client_fd);
+      ResetClose(server_fd);
+      resets_injected_.fetch_add(1);
+      return;
+    }
+    pollfd fds[2] = {{client_fd, POLLIN, 0}, {server_fd, POLLIN, 0}};
+    int rc = poll(fds, 2, 50);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0) continue;
+    bool dead = false;
+    for (int i = 0; i < 2 && !dead; ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      int src = i == 0 ? client_fd : server_fd;
+      int dst = i == 0 ? server_fd : client_fd;
+      for (;;) {
+        ssize_t n = read(src, buf, sizeof(buf));
+        if (n > 0) {
+          if (!Forward(dst, buf, static_cast<size_t>(n))) {
+            dead = true;
+            break;
+          }
+          conn_forwarded += static_cast<size_t>(n);
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (n < 0 && errno == EINTR) continue;
+        dead = true;  // EOF or hard error on either side ends the pump
+        break;
+      }
+    }
+    if (dead) break;
+  }
+  close(client_fd);
+  close(server_fd);
+}
+
+}  // namespace qp::testing

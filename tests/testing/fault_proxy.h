@@ -1,0 +1,102 @@
+// Fault-injecting TCP proxy for RPC resilience tests.
+//
+// Sits between an RpcClient and an RpcServer on loopback and mangles
+// the byte stream on the way through:
+//
+//  * chunk_bytes + chunk_delay_us — re-chunk the stream into tiny
+//    writes with delays, so frames arrive torn across many reads
+//    (exercises partial-frame reassembly and recv deadlines).
+//  * reset_after_bytes — after forwarding N bytes (both directions
+//    combined, per connection), close both sides with SO_LINGER(0) so
+//    each peer sees a hard RST mid-stream (exercises reconnect paths
+//    and the server's MSG_NOSIGNAL discipline).
+//  * duplicate_chunks — write every forwarded chunk twice, corrupting
+//    the length-prefixed stream (exercises protocol-error handling:
+//    the server must drop the connection, not trust garbage).
+//
+// One thread per proxied connection polls both sockets; Stop() (also
+// the destructor) tears everything down. Test-only: plain loopback
+// sockets, no TLS, no backpressure beyond the kernel buffers.
+#ifndef QP_TESTS_TESTING_FAULT_PROXY_H_
+#define QP_TESTS_TESTING_FAULT_PROXY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qp::testing {
+
+struct FaultProxyOptions {
+  /// Where to forward (the real server).
+  std::string target_address = "127.0.0.1";
+  uint16_t target_port = 0;
+  /// Forward in chunks of this many bytes; 0 forwards whole reads.
+  size_t chunk_bytes = 0;
+  /// Microseconds to sleep between chunks (needs chunk_bytes > 0).
+  int chunk_delay_us = 0;
+  /// After this many forwarded bytes on a connection (both directions
+  /// combined), RST both sides. 0 = never.
+  size_t reset_after_bytes = 0;
+  /// Write every chunk twice — corrupts the stream past the first
+  /// duplicated byte.
+  bool duplicate_chunks = false;
+};
+
+class FaultProxy {
+ public:
+  explicit FaultProxy(FaultProxyOptions options) : options_(options) {}
+  ~FaultProxy() { Stop(); }
+
+  FaultProxy(const FaultProxy&) = delete;
+  FaultProxy& operator=(const FaultProxy&) = delete;
+
+  /// Binds an ephemeral loopback port (read it back via port()) and
+  /// starts accepting.
+  Status Start();
+  /// Stops accepting, tears down every proxied connection, joins all
+  /// threads. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+  struct Stats {
+    uint64_t connections = 0;
+    uint64_t bytes_forwarded = 0;
+    uint64_t resets_injected = 0;
+  };
+  Stats stats() const {
+    return {connections_.load(), bytes_forwarded_.load(),
+            resets_injected_.load()};
+  }
+
+ private:
+  void AcceptLoop();
+  void PumpConn(int client_fd, int server_fd);
+  /// Forwards `n` bytes applying the configured chunking/duplication;
+  /// returns false when the destination died.
+  bool Forward(int dst, const char* data, size_t n);
+
+  FaultProxyOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::thread accept_thread_;
+  std::mutex threads_mutex_;
+  std::vector<std::thread> conn_threads_;
+
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> bytes_forwarded_{0};
+  std::atomic<uint64_t> resets_injected_{0};
+};
+
+}  // namespace qp::testing
+
+#endif  // QP_TESTS_TESTING_FAULT_PROXY_H_

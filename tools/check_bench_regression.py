@@ -9,6 +9,11 @@ Multiple CURRENT files (repeated runs of the same driver) are merged by
 taking the per-pair minimum seconds — the standard de-noising for shared
 CI runners — while revenues must agree bit-for-bit across the runs.
 
+The baseline and the current run must cover the SAME (instance,
+algorithm) pairs: a baseline row missing from the run fails as a vanished
+phase, and a run row missing from the baseline fails as an ungated one
+(add the row to the baseline file).
+
 Per (instance, algorithm) pair present in both files the script flags a
 regression when the current seconds exceed baseline * (1 + tolerance),
 after normalizing for machine speed: raw ratios are divided by the median
@@ -102,6 +107,19 @@ def main():
             print(f"{key[0]:>12} {key[1]:>9}: present in baseline, missing "
                   "from current run  <-- MISSING")
         print(f"error: {len(missing)} baseline record(s) missing",
+              file=sys.stderr)
+        sys.exit(1)
+    unbaselined = sorted(set(current) - set(baseline))
+    if unbaselined:
+        # The mirror failure: a bench emitting a record with no baseline
+        # row means a new phase shipped ungated. Fail with the fix spelled
+        # out instead of silently skipping (or KeyError-ing) the row.
+        for key in unbaselined:
+            print(f"{key[0]:>12} {key[1]:>9}: produced by the current run but "
+                  "absent from the baseline  <-- UNBASELINED")
+        print(f"error: {len(unbaselined)} current record(s) have no baseline"
+              f" row; add them to {args.baseline} (seconds from a trusted"
+              " machine, revenues/lps bit-exact from the run)",
               file=sys.stderr)
         sys.exit(1)
 
