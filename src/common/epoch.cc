@@ -1,0 +1,142 @@
+#include "common/epoch.h"
+
+#include <algorithm>
+
+namespace qp::common {
+
+namespace {
+// Per-thread slot hint so repeat pins from the same thread land on the
+// same (cached, uncontended) slot. Seeded from a global counter; spread
+// by a small odd stride so consecutive threads start on distinct slots.
+std::atomic<uint32_t> hint_seed{0};
+uint32_t& MutableHint() {
+  static thread_local uint32_t hint =
+      hint_seed.fetch_add(1, std::memory_order_relaxed) * 7u;
+  return hint;
+}
+}  // namespace
+
+EpochManager::EpochManager(int num_slots)
+    : num_slots_(num_slots < 1 ? 1 : num_slots),
+      slots_(std::make_unique<Slot[]>(static_cast<size_t>(num_slots_))) {}
+
+EpochManager::~EpochManager() {
+  // Contract: no Guard outlives the manager, so everything pending is
+  // unreachable and frees unconditionally.
+  for (const RetiredNode& r : retired_) r.deleter(r.node);
+  reclaimed_total_.fetch_add(retired_.size(), std::memory_order_relaxed);
+  retired_.clear();
+}
+
+void EpochManager::Pin(Guard& guard) {
+  guard.manager_ = this;
+  pins_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t e = epoch_.load(std::memory_order_seq_cst);
+  uint32_t& hint = MutableHint();
+  for (int attempt = 0; attempt < num_slots_; ++attempt) {
+    int s = static_cast<int>((hint + static_cast<uint32_t>(attempt)) %
+                             static_cast<uint32_t>(num_slots_));
+    uint64_t expected = kIdle;
+    if (slots_[static_cast<size_t>(s)].epoch.compare_exchange_strong(
+            expected, e, std::memory_order_seq_cst)) {
+      hint = static_cast<uint32_t>(s);
+      // Republish until the global epoch agrees with what we pinned:
+      // closes the race where a writer bumps between our epoch load and
+      // the slot claim (the Dekker re-check in the header comment).
+      while (true) {
+        uint64_t latest = epoch_.load(std::memory_order_seq_cst);
+        if (latest == e) break;
+        slots_[static_cast<size_t>(s)].epoch.store(latest,
+                                                   std::memory_order_seq_cst);
+        e = latest;
+      }
+      guard.slot_ = s;
+      guard.epoch_ = e;
+      return;
+    }
+  }
+  // Every slot busy: register on the overflow list (mutex-ordered against
+  // MinPinnedEpoch's scan, so the same publish/re-check protocol holds).
+  overflow_pins_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(overflow_mutex_);
+    overflow_.push_back(e);
+  }
+  while (true) {
+    uint64_t latest = epoch_.load(std::memory_order_seq_cst);
+    if (latest == e) break;
+    std::lock_guard<std::mutex> lock(overflow_mutex_);
+    *std::find(overflow_.begin(), overflow_.end(), e) = latest;
+    e = latest;
+  }
+  guard.slot_ = -1;
+  guard.epoch_ = e;
+}
+
+void EpochManager::Unpin(Guard& guard) {
+  if (guard.slot_ >= 0) {
+    slots_[static_cast<size_t>(guard.slot_)].epoch.store(
+        kIdle, std::memory_order_seq_cst);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(overflow_mutex_);
+  overflow_.erase(std::find(overflow_.begin(), overflow_.end(), guard.epoch_));
+}
+
+void EpochManager::Retire(void* node, void (*deleter)(void*)) {
+  const uint64_t stamp = epoch_.load(std::memory_order_seq_cst);
+  retired_total_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(retired_mutex_);
+  retired_.push_back(RetiredNode{node, deleter, stamp});
+}
+
+void EpochManager::BumpEpoch() {
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+}
+
+uint64_t EpochManager::MinPinnedEpoch() const {
+  uint64_t min = epoch_.load(std::memory_order_seq_cst);
+  for (int s = 0; s < num_slots_; ++s) {
+    const uint64_t pinned =
+        slots_[static_cast<size_t>(s)].epoch.load(std::memory_order_seq_cst);
+    if (pinned != kIdle && pinned < min) min = pinned;
+  }
+  std::lock_guard<std::mutex> lock(overflow_mutex_);
+  for (uint64_t pinned : overflow_) {
+    if (pinned < min) min = pinned;
+  }
+  return min;
+}
+
+void EpochManager::Reclaim() {
+  std::vector<RetiredNode> free_list;
+  {
+    std::lock_guard<std::mutex> lock(retired_mutex_);
+    if (retired_.empty()) return;
+    const uint64_t min = MinPinnedEpoch();
+    auto keep = std::partition(
+        retired_.begin(), retired_.end(),
+        [min](const RetiredNode& r) { return r.epoch >= min; });
+    free_list.assign(std::make_move_iterator(keep),
+                     std::make_move_iterator(retired_.end()));
+    retired_.erase(keep, retired_.end());
+  }
+  for (const RetiredNode& r : free_list) r.deleter(r.node);
+  reclaimed_total_.fetch_add(free_list.size(), std::memory_order_relaxed);
+}
+
+EpochManager::Stats EpochManager::stats() const {
+  Stats out;
+  out.epoch = epoch_.load(std::memory_order_relaxed);
+  out.pins = pins_.load(std::memory_order_relaxed);
+  out.retired = retired_total_.load(std::memory_order_relaxed);
+  out.reclaimed = reclaimed_total_.load(std::memory_order_relaxed);
+  out.overflow_pins = overflow_pins_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(retired_mutex_);
+    out.pending = retired_.size();
+  }
+  return out;
+}
+
+}  // namespace qp::common

@@ -84,6 +84,13 @@ class IncrementalBuilder {
   /// the database contents are mid-edit under active probes.
   void InvalidatePreparedQueries() { prepared_cache_.Invalidate(); }
 
+  /// Selective form for a single-cell edit: drops only prepared entries
+  /// whose SensitiveColumns contain the edited cell (the only entries
+  /// whose prepared state can depend on its contents).
+  void InvalidatePreparedQueriesFor(const CellDelta& delta) {
+    prepared_cache_.InvalidateCell(delta.table, delta.column);
+  }
+
   /// Hit/miss/invalidation counters of the prepared-query cache.
   PreparedQueryCache::Stats prepared_stats() const {
     return prepared_cache_.stats();

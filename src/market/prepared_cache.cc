@@ -1,5 +1,6 @@
 #include "market/prepared_cache.h"
 
+#include <algorithm>
 #include <iterator>
 #include <mutex>
 #include <utility>
@@ -71,6 +72,33 @@ void PreparedQueryCache::Invalidate() {
   std::unique_lock<std::shared_mutex> lock(mutex_);
   entries_.clear();
   invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<int, int>> PreparedQueryCache::SortedSensitive(
+    const db::BoundQuery& query) {
+  std::vector<std::pair<int, int>> sensitive = query.SensitiveColumns();
+  std::sort(sensitive.begin(), sensitive.end());
+  return sensitive;
+}
+
+void PreparedQueryCache::InvalidateCell(int table, int column) {
+  const std::pair<int, int> cell{table, column};
+  uint64_t dropped = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      const Entry& entry = *it->second;
+      if (std::binary_search(entry.sensitive.begin(), entry.sensitive.end(),
+                             cell)) {
+        it = entries_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  selective_invalidations_.fetch_add(1, std::memory_order_relaxed);
+  selective_dropped_.fetch_add(dropped, std::memory_order_relaxed);
 }
 
 }  // namespace qp::market

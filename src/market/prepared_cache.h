@@ -20,8 +20,15 @@
 //
 // Concurrency: lookups take a shared lock, inserts an exclusive lock, and
 // the counters are atomic — safe from any number of prober threads.
-// Invalidate() drops every entry; call it when the seller actually edits
-// data (market::ApplyDelta), since prepared state bakes in row contents.
+// Invalidate() drops every entry; InvalidateCell(table, column) drops
+// only the entries whose query's SensitiveColumns contain the edited
+// cell's column — sound because PreparedConflictQuery derives all of its
+// row-content-dependent state (per-row contribution hashes, group
+// aggregate states, join indexes) from exactly those columns, so an
+// entry whose sensitive set misses the cell probes bit-identically
+// before and after the edit. Call one of them when the seller actually
+// edits data (market::ApplyDelta), since prepared state bakes in row
+// contents.
 // Cached probes are bit-identical to fresh ones (the prepared state is a
 // pure function of (db, query)), so hit/miss — and eviction — behavior
 // never changes conflict sets or probe accounting.
@@ -44,6 +51,8 @@
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "db/database.h"
 #include "db/query.h"
@@ -60,6 +69,11 @@ class PreparedQueryCache {
     /// Entries dropped by the LRU cap (Invalidate() drops are counted in
     /// invalidations, not here).
     uint64_t evictions = 0;
+    /// Selective (per-cell) invalidations: calls, and the entries they
+    /// actually dropped (entries whose SensitiveColumns contained the
+    /// edited cell). Full flushes count under `invalidations`.
+    uint64_t selective_invalidations = 0;
+    uint64_t selective_dropped = 0;
     /// Current number of cached entries (a gauge; merging sums the
     /// per-cache gauges).
     uint64_t entries = 0;
@@ -69,6 +83,8 @@ class PreparedQueryCache {
       misses += other.misses;
       invalidations += other.invalidations;
       evictions += other.evictions;
+      selective_invalidations += other.selective_invalidations;
+      selective_dropped += other.selective_dropped;
       entries += other.entries;
       return *this;
     }
@@ -94,12 +110,21 @@ class PreparedQueryCache {
   /// probes holding a shared_ptr finish against the state they pinned.
   void Invalidate();
 
+  /// Drops only the entries whose query's SensitiveColumns contain
+  /// (table, column) — the selective form for a single-cell seller edit.
+  /// Thread-safe, same in-flight semantics as Invalidate().
+  void InvalidateCell(int table, int column);
+
   Stats stats() const {
     Stats out;
     out.hits = hits_.load(std::memory_order_relaxed);
     out.misses = misses_.load(std::memory_order_relaxed);
     out.invalidations = invalidations_.load(std::memory_order_relaxed);
     out.evictions = evictions_.load(std::memory_order_relaxed);
+    out.selective_invalidations =
+        selective_invalidations_.load(std::memory_order_relaxed);
+    out.selective_dropped =
+        selective_dropped_.load(std::memory_order_relaxed);
     {
       std::shared_lock<std::shared_mutex> lock(mutex_);
       out.entries = entries_.size();
@@ -117,11 +142,20 @@ class PreparedQueryCache {
   struct Entry {
     db::BoundQuery query;
     PreparedConflictQuery prepared;
+    /// The query's SensitiveColumns, (table, column) pairs sorted for
+    /// binary search — the key InvalidateCell filters on.
+    std::vector<std::pair<int, int>> sensitive;
     mutable std::atomic<uint64_t> last_used{0};
 
     Entry(const db::Database& db, const db::BoundQuery& q)
-        : query(q), prepared(db, query) {}
+        : query(q), prepared(db, query), sensitive(SortedSensitive(query)) {}
   };
+
+  /// SensitiveColumns come back ordered by flat column index, which is
+  /// not (table, column)-lexicographic when a query's tables are not in
+  /// database order; re-sort so InvalidateCell can binary-search.
+  static std::vector<std::pair<int, int>> SortedSensitive(
+      const db::BoundQuery& query);
 
   /// Drops approximately-least-recently-used entries until the cap
   /// holds. Caller holds mutex_ exclusively.
@@ -137,6 +171,8 @@ class PreparedQueryCache {
   mutable std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> invalidations_{0};
   mutable std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> selective_invalidations_{0};
+  std::atomic<uint64_t> selective_dropped_{0};
 };
 
 }  // namespace qp::market

@@ -1,0 +1,196 @@
+#include "serve/delta_book.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "core/pricing.h"
+
+namespace qp::serve {
+
+namespace {
+
+// Replicates XosPricing::Price exactly (same iteration order, same
+// accumulation, same std::max reduction) so chain resolution stays
+// bit-identical to the folded snapshot.
+double XosPrice(const std::vector<std::vector<double>>& components,
+                const std::vector<uint32_t>& bundle) {
+  double best = 0.0;
+  for (const std::vector<double>& component : components) {
+    double total = 0.0;
+    for (uint32_t j : bundle) total += component[j];
+    best = std::max(best, total);
+  }
+  return best;
+}
+
+// Binary search over a sparse patch's ascending (item, weight) pairs.
+const double* FindSparse(const std::vector<std::pair<uint32_t, double>>& sparse,
+                         uint32_t item) {
+  auto it = std::lower_bound(
+      sparse.begin(), sparse.end(), item,
+      [](const std::pair<uint32_t, double>& entry, uint32_t key) {
+        return entry.first < key;
+      });
+  if (it != sparse.end() && it->first == item) return &it->second;
+  return nullptr;
+}
+
+void DeleteChain(void* node) { delete static_cast<BookNode*>(node); }
+
+}  // namespace
+
+BookView::BookView(const BookNode* head) : head_(head) {
+  const BookNode* node = head_;
+  while (node->base == nullptr) node = node->next.get();
+  base_ = node->base.get();
+}
+
+const std::string& BookView::best_algorithm() const {
+  // Result order and algorithm names never change across patches, so the
+  // base snapshot names every generation's results.
+  return base_->results()[static_cast<size_t>(head_->best)].algorithm;
+}
+
+double BookView::result_revenue(int i) const {
+  // Every patch carries its generation's scalars, so the head answers.
+  if (head_->base == nullptr) {
+    return head_->delta.patches[static_cast<size_t>(i)].revenue;
+  }
+  return base_->results()[static_cast<size_t>(i)].revenue;
+}
+
+double BookView::ResolveWeight(const BookNode* from, int i,
+                               uint32_t item) const {
+  for (const BookNode* node = from; node->base == nullptr;
+       node = node->next.get()) {
+    const core::ResultPatch& patch = node->delta.patches[static_cast<size_t>(i)];
+    if (patch.kind == core::ResultPatch::Kind::kSparseWeights) {
+      if (const double* weight = FindSparse(patch.sparse, item)) return *weight;
+    } else if (patch.kind == core::ResultPatch::Kind::kFullWeights) {
+      return patch.weights[item];
+    }
+  }
+  // Structural patches preserve the pricing type (DiffResults contract),
+  // so reaching the base under a weight patch means ItemPricing.
+  const auto& pricing = static_cast<const core::ItemPricing&>(
+      *base_->results()[static_cast<size_t>(i)].pricing);
+  return pricing.weights()[item];
+}
+
+double BookView::PriceBundle(int i, const std::vector<uint32_t>& bundle) const {
+  // Newest structural patch decides how to price; items a sparse weight
+  // patch misses resolve deeper down the same chain.
+  for (const BookNode* node = head_; node->base == nullptr;
+       node = node->next.get()) {
+    const core::ResultPatch& patch = node->delta.patches[static_cast<size_t>(i)];
+    switch (patch.kind) {
+      case core::ResultPatch::Kind::kNone:
+        continue;
+      case core::ResultPatch::Kind::kBundlePrice:
+        // UniformBundlePricing::Price ignores the bundle.
+        return patch.bundle_price;
+      case core::ResultPatch::Kind::kSparseWeights:
+      case core::ResultPatch::Kind::kFullWeights: {
+        // ItemPricing::Price: accumulate in bundle order.
+        double total = 0.0;
+        for (uint32_t j : bundle) total += ResolveWeight(node, i, j);
+        return total;
+      }
+      case core::ResultPatch::Kind::kXos:
+        return XosPrice(patch.components, bundle);
+    }
+  }
+  return base_->results()[static_cast<size_t>(i)].pricing->Price(bundle);
+}
+
+Quote BookView::QuoteBundle(const std::vector<uint32_t>& bundle) const {
+  Quote quote;
+  quote.price = PriceBundle(head_->best, bundle);
+  quote.version = head_->version;
+  quote.algorithm = best_algorithm();
+  return quote;
+}
+
+std::shared_ptr<const PriceBookSnapshot> BookView::Materialize() const {
+  std::vector<core::PricingResult> results;
+  results.reserve(base_->results().size());
+  for (const core::PricingResult& r : base_->results()) {
+    results.push_back(r.Clone());
+  }
+  // Collect delta nodes newest-first, then replay oldest-to-newest.
+  std::vector<const BookNode*> deltas;
+  for (const BookNode* node = head_; node->base == nullptr;
+       node = node->next.get()) {
+    deltas.push_back(node);
+  }
+  for (auto it = deltas.rbegin(); it != deltas.rend(); ++it) {
+    for (size_t i = 0; i < results.size(); ++i) {
+      core::ApplyResultPatch((*it)->delta.patches[i], results[i]);
+    }
+  }
+  return std::make_shared<const PriceBookSnapshot>(
+      head_->version, std::move(results), head_->reprice_stats,
+      head_->num_items, head_->num_edges);
+}
+
+PriceBookChain::~PriceBookChain() {
+  delete head_.load(std::memory_order_relaxed);  // owns next recursively
+}
+
+void PriceBookChain::PublishBase(
+    std::unique_ptr<const PriceBookSnapshot> base) {
+  auto* node = new BookNode();
+  node->version = base->version();
+  node->num_items = base->num_items();
+  node->num_edges = base->num_edges();
+  node->reprice_stats = base->reprice_stats();
+  node->best = base->best_index();
+  node->best_revenue = base->best().revenue;
+  node->base = std::move(base);
+  const BookNode* old =
+      head_.exchange(node, std::memory_order_acq_rel);
+  if (old != nullptr) {
+    // The replaced chain is unreachable from the slot but may still be
+    // walked by readers pinned at the current epoch: retire it, advance
+    // the epoch, and free whatever no pinned reader can reach.
+    epochs_->Retire(const_cast<BookNode*>(old), &DeleteChain);
+    epochs_->BumpEpoch();
+    epochs_->Reclaim();
+  }
+}
+
+void PriceBookChain::PublishDelta(uint64_t version, core::BookDelta delta,
+                                  const core::RepriceStats& reprice_stats,
+                                  int num_edges) {
+  const BookNode* old = head_.load(std::memory_order_relaxed);
+  auto* node = new BookNode();
+  node->version = version;
+  node->num_items = old->num_items;
+  node->num_edges = num_edges;
+  node->reprice_stats = reprice_stats;
+  node->best = delta.best;
+  node->best_revenue =
+      delta.patches[static_cast<size_t>(delta.best)].revenue;
+  node->delta = std::move(delta);
+  node->chain_length = old->chain_length + 1;
+  node->next.reset(old);
+  const BookNode* expected = old;
+  if (!head_.compare_exchange_strong(expected, node,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_relaxed)) {
+    // Two writers raced the slot: the single-writer contract is broken
+    // and the chain is corrupt — don't limp on. Release `next` first so
+    // the losing node doesn't delete the live chain.
+    (void)node->next.release();
+    delete node;
+    std::abort();
+  }
+}
+
+uint32_t PriceBookChain::chain_length() const {
+  const BookNode* head = head_.load(std::memory_order_relaxed);
+  return head == nullptr ? 0 : head->chain_length;
+}
+
+}  // namespace qp::serve

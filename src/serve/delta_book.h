@@ -1,0 +1,162 @@
+// Delta-chain price books: Bw-tree-style publishes for the serving
+// engine (see docs/delta_chain.md for the design rationale).
+//
+// The previous publish path deep-copied all six PricingResults into a
+// fresh PriceBookSnapshot per generation and retired old snapshots by
+// shared_ptr refcount — both dominate under reprice churn. Here the
+// writer instead keeps ONE mapping-table slot (an atomic head pointer)
+// per book and publishes:
+//
+//  * a base node — a full consolidated PriceBookSnapshot — every
+//    consolidate_every generations, and
+//  * a delta node in between: a core::BookDelta (sparse per-result
+//    patches) CAS'd onto the current head, linking to the previous node.
+//
+// Readers pin a common::EpochManager epoch (one uncontended store, no
+// refcounts), load the head, and resolve quotes by walking base+deltas:
+// per-item weights resolve newest-patch-first, scalar and XOS patches
+// newest-wins. Resolution replicates the PricingFunction::Price loops
+// operation for operation, so a chain-resolved quote is bit-identical
+// to the folded snapshot's quote (asserted by tests/serve/
+// delta_book_test.cc and hard-checked in bench/engine_throughput).
+//
+// Consolidation unlinks the whole previous chain with one head swap and
+// hands it to the epoch manager; it frees once every reader pinned at or
+// before the retire epoch has left. Nodes own their `next` suffix, so
+// freeing a retired head frees its chain.
+//
+// Threading: PublishBase/PublishDelta are writer-side (one writer per
+// chain, the engine's writer mutex). view() is reader-side and lock-free;
+// callers MUST hold an EpochManager::Guard on the chain's manager for as
+// long as they use the view (and anything borrowed from it).
+#ifndef QP_SERVE_DELTA_BOOK_H_
+#define QP_SERVE_DELTA_BOOK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/epoch.h"
+#include "core/reprice.h"
+#include "serve/price_book.h"
+
+namespace qp::serve {
+
+/// One link of a delta-chain book. Base nodes (chain terminators) hold a
+/// full consolidated snapshot; delta nodes hold a core::BookDelta and
+/// own the previous node through `next`. Every node carries its
+/// generation's resolved metadata (version, serving pick, reprice cost)
+/// so readers only walk the chain for pricing parameters.
+struct BookNode {
+  std::unique_ptr<const PriceBookSnapshot> base;  // non-null iff terminator
+  core::BookDelta delta;                          // delta nodes only
+  std::unique_ptr<const BookNode> next;           // owns the older suffix
+  uint64_t version = 0;
+  uint32_t num_items = 0;
+  int num_edges = 0;
+  core::RepriceStats reprice_stats;
+  /// Serving result (argmax revenue, first wins ties) and its revenue at
+  /// this generation, precomputed by the writer.
+  int best = -1;
+  double best_revenue = 0.0;
+  /// Delta nodes above the base (0 for a base node).
+  uint32_t chain_length = 0;
+};
+
+/// A reader's resolved handle on one generation: the pinned head plus
+/// the chain's base, located once at construction. Cheap to construct
+/// and copy (two pointers); valid only while the creating Guard is held.
+class BookView {
+ public:
+  BookView() = default;
+  explicit BookView(const BookNode* head);
+
+  bool valid() const { return head_ != nullptr; }
+  uint64_t version() const { return head_->version; }
+  uint32_t num_items() const { return head_->num_items; }
+  int num_edges() const { return head_->num_edges; }
+  const core::RepriceStats& reprice_stats() const {
+    return head_->reprice_stats;
+  }
+  uint32_t chain_length() const { return head_->chain_length; }
+
+  /// Serving (revenue-maximal) pick at this generation.
+  int best_index() const { return head_->best; }
+  double best_revenue() const { return head_->best_revenue; }
+  const std::string& best_algorithm() const;
+
+  /// Revenue of result `i` at this generation (newest patch wins).
+  double result_revenue(int i) const;
+
+  /// Price of `bundle` under result `i`, resolved over base+deltas —
+  /// bit-identical to Materialize()->results()[i].pricing->Price(bundle).
+  double PriceBundle(int i, const std::vector<uint32_t>& bundle) const;
+
+  /// Quote under the serving pricing; bit-identical to
+  /// Materialize()->QuoteBundle(bundle).
+  Quote QuoteBundle(const std::vector<uint32_t>& bundle) const;
+
+  /// Folds the chain into a standalone snapshot: base results cloned,
+  /// patches replayed oldest-to-newest — bit-identical to the snapshot a
+  /// full-copy publish of this generation would have produced. Slow path
+  /// (deep copy): persistence capture, tests, compatibility callers.
+  std::shared_ptr<const PriceBookSnapshot> Materialize() const;
+
+ private:
+  /// Weight of `item` under ItemPricing result `i`, resolving from node
+  /// `from` (inclusive) down to the base.
+  double ResolveWeight(const BookNode* from, int i, uint32_t item) const;
+
+  const BookNode* head_ = nullptr;
+  const PriceBookSnapshot* base_ = nullptr;
+};
+
+/// The mapping-table slot: owns the current chain, publishes bases and
+/// deltas, retires replaced chains to the epoch manager.
+class PriceBookChain {
+ public:
+  /// `epochs` must outlive the chain and is shared with the readers'
+  /// Guards (and, in the sharded engine, with every sibling shard).
+  explicit PriceBookChain(common::EpochManager* epochs) : epochs_(epochs) {}
+
+  /// Deletes the live chain. No readers may remain.
+  ~PriceBookChain();
+
+  PriceBookChain(const PriceBookChain&) = delete;
+  PriceBookChain& operator=(const PriceBookChain&) = delete;
+
+  /// Publishes a consolidated base, retiring the replaced chain (if any)
+  /// to the epoch manager, advancing the epoch and reclaiming whatever
+  /// no pinned reader can still reach. Writer-side.
+  void PublishBase(std::unique_ptr<const PriceBookSnapshot> base);
+
+  /// Publishes one delta record onto the current head (CAS — the single
+  /// writer makes it infallible; a failure means the contract was broken
+  /// and aborts). Nothing is retired: the chain grows until the next
+  /// PublishBase folds it. Writer-side; requires a published base.
+  void PublishDelta(uint64_t version, core::BookDelta delta,
+                    const core::RepriceStats& reprice_stats, int num_edges);
+
+  /// Current generation's view. Reader-side, lock-free; the caller must
+  /// hold an EpochManager::Guard on this chain's manager for the view's
+  /// whole lifetime. Invalid (head == nullptr) before the first publish.
+  BookView view() const {
+    return BookView(head_.load(std::memory_order_acquire));
+  }
+
+  bool has_base() const {
+    return head_.load(std::memory_order_relaxed) != nullptr;
+  }
+  /// Delta nodes above the current base. Writer-side.
+  uint32_t chain_length() const;
+
+ private:
+  common::EpochManager* epochs_;
+  std::atomic<const BookNode*> head_{nullptr};
+};
+
+}  // namespace qp::serve
+
+#endif  // QP_SERVE_DELTA_BOOK_H_

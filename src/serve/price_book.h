@@ -1,19 +1,23 @@
 // Immutable price-book snapshots (the read side of the serving engine).
 //
 // A snapshot freezes one pricing generation: every algorithm's
-// PricingResult (deep-copied, so the writer keeps its own working set),
-// the generation number, and the reprice cost that produced it. The
-// engine publishes snapshots behind an atomic shared_ptr swap; readers
-// hold a shared_ptr for as long as they price against it, so a buyer who
-// grabbed generation g keeps getting generation-g prices even while the
-// writer publishes g+1 — the classic RCU shape, with shared_ptr reference
-// counts standing in for the grace period.
+// PricingResult, the generation number, and the reprice cost that
+// produced it. Snapshots are the *consolidated* form of the engine's
+// delta-chain price book (serve/delta_book.h): the writer publishes a
+// full snapshot as the chain's base every consolidate_every generations
+// and compact delta records in between; BookView::Materialize folds a
+// chain back into a standalone snapshot bit-identical to a cold one.
+// Retired bases are reclaimed by common::EpochManager once every pinned
+// reader epoch advances — readers no longer bump a shared_ptr per pin.
 #ifndef QP_SERVE_PRICE_BOOK_H_
 #define QP_SERVE_PRICE_BOOK_H_
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/algorithms.h"
@@ -42,6 +46,9 @@ class PriceBookSnapshot {
  public:
   /// Deep-copies `results` (PricingResult::Clone) so the caller — the
   /// engine's writer, a bench harness — retains its own results.
+  /// `results` must be non-empty: a book with nothing to serve is a
+  /// construction bug, checked here (abort) so best() never indexes out
+  /// of bounds.
   PriceBookSnapshot(uint64_t version,
                     const std::vector<core::PricingResult>& results,
                     const core::RepriceStats& reprice_stats,
@@ -52,12 +59,21 @@ class PriceBookSnapshot {
         reprice_stats_(reprice_stats) {
     results_.reserve(results.size());
     for (const core::PricingResult& r : results) results_.push_back(r.Clone());
-    for (size_t i = 0; i < results_.size(); ++i) {
-      if (best_ < 0 ||
-          results_[i].revenue > results_[static_cast<size_t>(best_)].revenue) {
-        best_ = static_cast<int>(i);
-      }
-    }
+    Seal();
+  }
+
+  /// Move-in overload for callers that already own a private copy (chain
+  /// consolidation, restore): no second deep copy. Same non-empty
+  /// contract.
+  PriceBookSnapshot(uint64_t version, std::vector<core::PricingResult>&& results,
+                    const core::RepriceStats& reprice_stats, uint32_t num_items,
+                    int num_edges)
+      : version_(version),
+        num_items_(num_items),
+        num_edges_(num_edges),
+        reprice_stats_(reprice_stats),
+        results_(std::move(results)) {
+    Seal();
   }
 
   uint64_t version() const { return version_; }
@@ -76,10 +92,14 @@ class PriceBookSnapshot {
     return nullptr;
   }
 
-  /// The revenue-maximal result (first wins ties, in RunAllAlgorithms
-  /// order); never null for a snapshot published by the engine.
+  /// Index of the revenue-maximal result (first wins ties, in
+  /// RunAllAlgorithms order); always valid — construction rejects empty
+  /// result sets.
+  int best_index() const { return best_; }
+
+  /// The revenue-maximal result.
   const core::PricingResult& best() const {
-    return results_[static_cast<size_t>(best_ < 0 ? 0 : best_)];
+    return results_[static_cast<size_t>(best_)];
   }
 
   /// Price of an arbitrary bundle of items under the serving (= best)
@@ -94,6 +114,24 @@ class PriceBookSnapshot {
   }
 
  private:
+  /// Enforces the non-empty contract and picks the serving result.
+  /// best_ >= 0 afterwards, so best() never falls back to a bogus
+  /// results_[0] read on an empty vector.
+  void Seal() {
+    if (results_.empty()) {
+      std::fprintf(stderr,
+                   "PriceBookSnapshot: constructed with no results (a book "
+                   "must have at least one pricing to serve)\n");
+      std::abort();
+    }
+    for (size_t i = 0; i < results_.size(); ++i) {
+      if (best_ < 0 ||
+          results_[i].revenue > results_[static_cast<size_t>(best_)].revenue) {
+        best_ = static_cast<int>(i);
+      }
+    }
+  }
+
   uint64_t version_;
   uint32_t num_items_;
   int num_edges_;

@@ -1,15 +1,33 @@
 #include "serve/pricing_engine.h"
 
+#include <optional>
 #include <utility>
 
 namespace qp::serve {
 
+namespace {
+
+std::vector<core::PricingResult> CloneResults(
+    const std::vector<core::PricingResult>& results) {
+  std::vector<core::PricingResult> out;
+  out.reserve(results.size());
+  for (const core::PricingResult& r : results) out.push_back(r.Clone());
+  return out;
+}
+
+}  // namespace
+
 PricingEngine::PricingEngine(const db::Database* db,
                              market::SupportSet support,
-                             EngineOptions options)
+                             EngineOptions options,
+                             common::EpochManager* epochs)
     : db_(db),
       options_(std::move(options)),
-      builder_(db, std::move(support), options_.build) {
+      builder_(db, std::move(support), options_.build),
+      owned_epochs_(epochs == nullptr ? std::make_unique<common::EpochManager>()
+                                      : nullptr),
+      epochs_(epochs != nullptr ? epochs : owned_epochs_.get()),
+      chain_(epochs_) {
   // Never let the algorithm layer see stale caller-side precompute: the
   // reprice state owns classes and valuation order for this instance.
   options_.algorithms.lpip.classes = nullptr;
@@ -67,7 +85,9 @@ Status PricingEngine::ApplySellerDelta(db::Database& db,
   }
   std::lock_guard<std::mutex> lock(writer_mutex_);
   market::ApplyDelta(db, delta);
-  builder_.InvalidatePreparedQueries();
+  // Selective: only prepared entries whose SensitiveColumns contain the
+  // edited cell can have baked its old value into their probing state.
+  builder_.InvalidatePreparedQueriesFor(delta);
   return Status::OK();
 }
 
@@ -83,13 +103,12 @@ persist::ShardState PricingEngine::CaptureState() const {
   }
   state.valuations = valuations_;
   state.reprice = reprice_;
-  std::shared_ptr<const PriceBookSnapshot> book =
-      snapshot_.load(std::memory_order_acquire);
-  state.results.reserve(book->results().size());
-  for (const core::PricingResult& r : book->results()) {
-    state.results.push_back(r.Clone());
-  }
-  state.book_stats = book->reprice_stats();
+  // The writer's working copy IS the consolidated view of the published
+  // chain (the diff anchor every delta was computed against), so
+  // checkpoint bytes stay a pure function of logical state — identical
+  // to serializing a materialized snapshot, without folding the chain.
+  state.results = CloneResults(working_results_);
+  state.book_stats = published_stats_;
   return state;
 }
 
@@ -123,9 +142,15 @@ Status PricingEngine::RestoreState(persist::ShardState state) {
   reprice_ = std::move(state.reprice);
   version_ = state.version;
   total_lps_solved_ = state.total_lps_solved;
-  auto next = std::make_shared<const PriceBookSnapshot>(
-      version_, state.results, state.book_stats, num_items, num_edges);
-  snapshot_.store(std::move(next), std::memory_order_release);
+  // The restored book becomes the new consolidated base (the previous
+  // chain — the constructor's empty generation — retires through the
+  // epoch manager) and the state's results become the working copy.
+  published_stats_ = state.book_stats;
+  chain_.PublishBase(std::make_unique<const PriceBookSnapshot>(
+      version_, state.results, state.book_stats, num_items, num_edges));
+  working_results_ = std::move(state.results);
+  deltas_since_base_ = 0;
+  ++base_publishes_;
   return Status::OK();
 }
 
@@ -141,30 +166,71 @@ void PricingEngine::RepriceAndPublish(int first_new_edge) {
   }
   total_lps_solved_ += reprice_.last.lps_solved;
   ++version_;
-  auto next = std::make_shared<const PriceBookSnapshot>(
-      version_, results, reprice_.last, hypergraph.num_items(),
-      hypergraph.num_edges());
-  snapshot_.store(std::move(next), std::memory_order_release);
+  PublishResults(std::move(results), reprice_.last);
+}
+
+void PricingEngine::PublishResults(std::vector<core::PricingResult> results,
+                                   const core::RepriceStats& reprice_stats) {
+  const uint32_t cadence =
+      options_.consolidate_every == 0 ? 1 : options_.consolidate_every;
+  // A base goes out when there is nothing to patch against, when deltas
+  // are disabled (cadence 1 = the deep-copy baseline), or when the chain
+  // is full — the consolidation trigger.
+  bool publish_base =
+      !chain_.has_base() || cadence <= 1 || deltas_since_base_ >= cadence;
+  std::optional<core::BookDelta> delta;
+  if (!publish_base) {
+    delta = core::DiffResults(working_results_, results);
+    if (!delta.has_value()) {
+      publish_base = true;
+      ++diff_fallbacks_;
+    }
+  }
+  working_results_ = std::move(results);
+  published_stats_ = reprice_stats;
+  const core::Hypergraph& hypergraph = builder_.hypergraph();
+  if (publish_base) {
+    // One deep copy per consolidation (amortized over the chain) instead
+    // of one per publish: the snapshot clones the working copy via the
+    // move-in constructor.
+    chain_.PublishBase(std::make_unique<const PriceBookSnapshot>(
+        version_, CloneResults(working_results_), reprice_stats,
+        hypergraph.num_items(), hypergraph.num_edges()));
+    deltas_since_base_ = 0;
+    ++base_publishes_;
+  } else {
+    chain_.PublishDelta(version_, std::move(*delta), reprice_stats,
+                        hypergraph.num_edges());
+    ++deltas_since_base_;
+    ++delta_publishes_;
+  }
+}
+
+std::shared_ptr<const PriceBookSnapshot> PricingEngine::snapshot() const {
+  common::EpochManager::Guard guard(*epochs_);
+  return chain_.view().Materialize();
 }
 
 Quote PricingEngine::QuoteBundle(const std::vector<uint32_t>& bundle) const {
-  std::shared_ptr<const PriceBookSnapshot> book =
-      snapshot_.load(std::memory_order_acquire);
+  // The quote hot path: one epoch pin (an uncontended slot store — no
+  // shared_ptr refcount traffic), one head load, resolve over the chain.
+  common::EpochManager::Guard guard(*epochs_);
+  BookView view = chain_.view();
   quotes_served_.fetch_add(1, std::memory_order_relaxed);
-  return book->QuoteBundle(bundle);
+  return view.QuoteBundle(bundle);
 }
 
 std::vector<Quote> PricingEngine::QuoteBatch(
     std::span<const std::vector<uint32_t>> bundles) const {
-  // One snapshot pin + one stats update for the whole batch: every quote
+  // One epoch pin + one stats update for the whole batch: every quote
   // prices against the same generation no matter what the writer does.
-  std::shared_ptr<const PriceBookSnapshot> book =
-      snapshot_.load(std::memory_order_acquire);
+  common::EpochManager::Guard guard(*epochs_);
+  BookView view = chain_.view();
   quotes_served_.fetch_add(bundles.size(), std::memory_order_relaxed);
   std::vector<Quote> quotes;
   quotes.reserve(bundles.size());
   for (const std::vector<uint32_t>& bundle : bundles) {
-    quotes.push_back(book->QuoteBundle(bundle));
+    quotes.push_back(view.QuoteBundle(bundle));
   }
   return quotes;
 }
@@ -174,12 +240,14 @@ PurchaseOutcome PricingEngine::Purchase(const db::BoundQuery& query,
   PurchaseOutcome outcome;
   outcome.valuation = valuation;
   // Reader side, end to end: the probe reads the const database through
-  // per-delta overlays, the quote pins the currently published book, and
-  // the sale lands in atomic counters — no writer mutex anywhere.
+  // per-delta overlays, the quote pins an epoch over the published
+  // chain, and the sale lands in atomic counters — no writer mutex (and
+  // no shared_ptr refcounts) anywhere.
   outcome.bundle = builder_.ConflictSetFor(query);
-  std::shared_ptr<const PriceBookSnapshot> book =
-      snapshot_.load(std::memory_order_acquire);
-  outcome.quote = book->QuoteBundle(outcome.bundle);
+  {
+    common::EpochManager::Guard guard(*epochs_);
+    outcome.quote = chain_.view().QuoteBundle(outcome.bundle);
+  }
   quotes_served_.fetch_add(1, std::memory_order_relaxed);
   outcome.accepted = outcome.quote.price <= valuation + core::kSellTolerance;
   purchases_.fetch_add(1, std::memory_order_relaxed);
@@ -206,6 +274,11 @@ EngineStats PricingEngine::stats() const {
   out.conflict = builder_.stats();
   out.incidence = builder_.hypergraph().incidence_maintenance();
   out.prepared = builder_.prepared_stats();
+  out.publish.bases = base_publishes_;
+  out.publish.deltas = delta_publishes_;
+  out.publish.fallbacks = diff_fallbacks_;
+  out.publish.chain_length = chain_.chain_length();
+  out.epoch = epochs_->stats();
   return out;
 }
 

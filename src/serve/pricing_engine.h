@@ -5,21 +5,26 @@
 // hypergraph, buyer valuations, and the solved price book — and splits
 // its API along the single-writer / many-readers seam:
 //
-//  * Readers (any thread, lock-free): snapshot() atomically loads the
-//    current immutable PriceBookSnapshot; QuoteBundle / QuoteBatch price
-//    against it. Purchase is a reader too: conflict probing views support
-//    deltas through read-only overlays (market/conflict.h), so computing
-//    a buyer's bundle never touches the shared database, and sale
-//    accounting lands in atomic counters. Readers pin the generation they
-//    loaded via shared_ptr, so a concurrent publish never invalidates
-//    prices mid-quote.
+//  * Readers (any thread, lock-free): QuoteBundle / QuoteBatch /
+//    Purchase pin an epoch (common::EpochManager — one uncontended store,
+//    no shared_ptr refcounts on the hot path), load the delta-chain
+//    book's head (serve/delta_book.h) and resolve prices over
+//    base+deltas, bit-identical to the consolidated snapshot. Purchase's
+//    conflict probing views support deltas through read-only overlays
+//    (market/conflict.h), so computing a buyer's bundle never touches
+//    the shared database, and sale accounting lands in atomic counters.
+//    A pinned reader keeps its generation reachable even while the
+//    writer publishes and consolidates past it.
 //  * The writer (serialized on an internal mutex): AppendBuyers extends
 //    the hypergraph through market::IncrementalBuilder (edge construction
 //    fans out over BuildOptions::num_threads; conflict sets are
 //    bit-identical for every thread count), repriced either incrementally
 //    (core::RepriceAfterAppend — refined classes, reused LPIP thresholds,
-//    warm-started CIP bases) or from scratch, then publishes a fresh
-//    snapshot with one atomic swap.
+//    warm-started CIP bases) or from scratch, then publishes either a
+//    compact delta record (core::DiffResults against the writer's
+//    working copy) or — every consolidate_every generations — a fresh
+//    consolidated base snapshot; replaced chains retire through the
+//    epoch manager.
 //
 // This is the architectural seam later scaling work builds on: sharding
 // replicates engines per support partition, batching coalesces
@@ -35,6 +40,7 @@
 #include <span>
 #include <vector>
 
+#include "common/epoch.h"
 #include "common/status.h"
 #include "core/algorithms.h"
 #include "core/hypergraph.h"
@@ -43,6 +49,7 @@
 #include "db/query.h"
 #include "market/incremental_builder.h"
 #include "market/support.h"
+#include "serve/delta_book.h"
 #include "serve/persist/state_io.h"
 #include "serve/price_book.h"
 
@@ -58,6 +65,13 @@ struct EngineOptions {
   /// false = every AppendBuyers runs a full cold solve (the baseline the
   /// engine_throughput bench compares against).
   bool incremental_reprice = true;
+  /// Delta-chain publish cadence: a consolidated base snapshot is
+  /// published when the chain holds this many delta records (so a base
+  /// lands every consolidate_every + 1 generations). 1 publishes a full
+  /// snapshot every generation — the pre-delta deep-copy behavior, the
+  /// baseline the publish-cost bench phases compare against. Books are
+  /// bit-identical for every value.
+  uint32_t consolidate_every = 8;
 };
 
 /// Outcome of a posted-price interaction: the buyer saw `quote` for the
@@ -95,8 +109,28 @@ struct EngineStats {
   market::ConflictSetEngine::Stats conflict;
   core::Hypergraph::IncidenceMaintenance incidence;
   /// Prepared-query cache counters (repeat Purchase/append queries share
-  /// prepared probing state; invalidated by ApplySellerDelta).
+  /// prepared probing state; invalidated — selectively — by
+  /// ApplySellerDelta).
   market::PreparedQueryCache::Stats prepared;
+  /// Delta-chain publish accounting.
+  struct PublishStats {
+    /// Consolidated base snapshots published (includes the constructor's
+    /// empty generation and diff fallbacks).
+    uint64_t bases = 0;
+    /// Compact delta records published.
+    uint64_t deltas = 0;
+    /// Publishes that wanted a delta but fell back to a base because the
+    /// generations were not patchable (DiffResults returned nullopt).
+    uint64_t fallbacks = 0;
+    /// Delta records above the current base (a gauge).
+    uint32_t chain_length = 0;
+  };
+  PublishStats publish;
+  /// Reader-pin / reclamation counters of the engine's epoch manager
+  /// (shared across shards in the sharded engine). `pins` counts every
+  /// reader-side epoch pin — the hot-path replacement for shared_ptr
+  /// refcount traffic.
+  common::EpochManager::Stats epoch;
 };
 
 class PricingEngine {
@@ -104,9 +138,13 @@ class PricingEngine {
   /// `db` must outlive the engine and is never written to — conflict
   /// probing reads support deltas through per-probe overlays. The
   /// constructor publishes an empty generation-1 book so readers can
-  /// quote immediately.
+  /// quote immediately. `epochs`, when non-null, is a shared epoch
+  /// manager (the sharded router passes one per router so a merged view
+  /// pins once for all shards) and must outlive the engine; null gives
+  /// the engine its own.
   PricingEngine(const db::Database* db, market::SupportSet support,
-                EngineOptions options = {});
+                EngineOptions options = {},
+                common::EpochManager* epochs = nullptr);
 
   /// Writer path: appends one edge (conflict set) + valuation per buyer
   /// query, reprices, and atomically publishes the next snapshot.
@@ -125,11 +163,20 @@ class PricingEngine {
       std::vector<std::vector<uint32_t>> conflict_sets,
       const core::Valuations& valuations);
 
-  /// Current book; lock-free. Hold the returned pointer to keep pricing
-  /// against one consistent generation.
-  std::shared_ptr<const PriceBookSnapshot> snapshot() const {
-    return snapshot_.load(std::memory_order_acquire);
-  }
+  /// Current book as a standalone consolidated snapshot; lock-free.
+  /// Materializes the delta chain (a deep copy, bit-identical to the
+  /// chain's resolution) — the compatibility / slow path; hot serving
+  /// paths quote through the chain without copying. Hold the returned
+  /// pointer to keep pricing against one consistent generation.
+  std::shared_ptr<const PriceBookSnapshot> snapshot() const;
+
+  /// Current book as a zero-copy chain view. The caller must hold a
+  /// Guard on epochs() for the view's whole lifetime (the sharded
+  /// router's merged view pins one guard over every shard).
+  BookView book_view() const { return chain_.view(); }
+
+  /// The engine's epoch manager (shared or owned).
+  common::EpochManager& epochs() const { return *epochs_; }
 
   /// Price an explicit bundle of items (support-delta indices) against
   /// the current book; lock-free.
@@ -163,6 +210,13 @@ class PricingEngine {
   /// seller edited the database out of band).
   void InvalidatePreparedQueries() { builder_.InvalidatePreparedQueries(); }
 
+  /// Selective form: drops only prepared entries whose SensitiveColumns
+  /// contain the edited cell (the only entries whose prepared state can
+  /// depend on it).
+  void InvalidatePreparedQueriesFor(const market::CellDelta& delta) {
+    builder_.InvalidatePreparedQueriesFor(delta);
+  }
+
   EngineStats stats() const;
 
   // --- durability (serve/persist) --------------------------------------
@@ -195,6 +249,13 @@ class PricingEngine {
   /// writer_mutex_.
   void RepriceAndPublish(int first_new_edge);
 
+  /// Publishes `results` as this generation's book: a delta record when
+  /// the chain has room and the diff is patchable, a consolidated base
+  /// otherwise. Takes ownership of `results` into the writer's working
+  /// copy. Caller holds writer_mutex_.
+  void PublishResults(std::vector<core::PricingResult> results,
+                      const core::RepriceStats& reprice_stats);
+
   const db::Database* db_;
   EngineOptions options_;
 
@@ -205,7 +266,25 @@ class PricingEngine {
   uint64_t version_ = 0;
   int total_lps_solved_ = 0;
 
-  std::atomic<std::shared_ptr<const PriceBookSnapshot>> snapshot_;
+  /// Epoch-based reclamation for retired chains: owned unless the
+  /// constructor was handed a shared manager. Declared before chain_ so
+  /// the chain (and its retirements) die first.
+  std::unique_ptr<common::EpochManager> owned_epochs_;
+  common::EpochManager* epochs_;
+  PriceBookChain chain_;
+  /// The writer's full working copy of the published generation: the
+  /// diff anchor for delta publishes and the consolidated view persist
+  /// captures (bit-identical to folding the chain). Guarded by
+  /// writer_mutex_.
+  std::vector<core::PricingResult> working_results_;
+  /// Reprice stats of the published head (persist capture reads these
+  /// instead of materializing the chain). Guarded by writer_mutex_.
+  core::RepriceStats published_stats_;
+  uint32_t deltas_since_base_ = 0;
+  uint64_t base_publishes_ = 0;
+  uint64_t delta_publishes_ = 0;
+  uint64_t diff_fallbacks_ = 0;
+
   mutable std::atomic<uint64_t> quotes_served_{0};
   // Reader-side sale accounting: Purchase runs without the writer mutex,
   // so these accumulate atomically (relaxed — they are totals, not

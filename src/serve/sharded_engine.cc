@@ -9,24 +9,31 @@
 
 namespace qp::serve {
 
+const PriceBookSnapshot& MergedBookView::shard(int s) const {
+  if (materialized_.empty()) materialized_.resize(views_.size());
+  auto& slot = materialized_[static_cast<size_t>(s)];
+  if (slot == nullptr) slot = views_[static_cast<size_t>(s)].Materialize();
+  return *slot;
+}
+
 uint64_t MergedBookView::version() const {
   uint64_t total = 0;
-  for (const auto& book : books_) total += book->version();
+  for (const BookView& view : views_) total += view.version();
   return total;
 }
 
 std::vector<uint64_t> MergedBookView::version_vector() const {
   std::vector<uint64_t> versions;
-  versions.reserve(books_.size());
-  for (const auto& book : books_) versions.push_back(book->version());
+  versions.reserve(views_.size());
+  for (const BookView& view : views_) versions.push_back(view.version());
   return versions;
 }
 
 double MergedBookView::best_revenue() const {
   std::vector<double> parts;
-  parts.reserve(books_.size());
-  for (const auto& book : books_) {
-    parts.push_back(book->num_edges() > 0 ? book->best().revenue : 0.0);
+  parts.reserve(views_.size());
+  for (const BookView& view : views_) {
+    parts.push_back(view.num_edges() > 0 ? view.best_revenue() : 0.0);
   }
   return core::AdditivePrice(parts);
 }
@@ -36,9 +43,9 @@ Quote MergedBookView::QuoteBundle(const std::vector<uint32_t>& bundle,
   std::vector<std::vector<uint32_t>> parts = partition_->SplitBundle(bundle);
   std::vector<double> prices;
   std::vector<std::string> labels;
-  for (size_t s = 0; s < books_.size(); ++s) {
+  for (size_t s = 0; s < views_.size(); ++s) {
     if (parts[s].empty()) continue;
-    Quote part = books_[s]->QuoteBundle(parts[s]);
+    Quote part = views_[s].QuoteBundle(parts[s]);
     prices.push_back(part.price);
     labels.push_back(std::move(part.algorithm));
   }
@@ -49,7 +56,9 @@ Quote MergedBookView::QuoteBundle(const std::vector<uint32_t>& bundle,
     // Nothing touched (empty bundle): report the serving algorithms of
     // every shard so a one-shard router matches the monolithic engine's
     // empty-bundle quote exactly.
-    for (const auto& book : books_) labels.push_back(book->best().algorithm);
+    for (const BookView& view : views_) {
+      labels.push_back(view.best_algorithm());
+    }
   }
   Quote quote;
   quote.price = core::AdditivePrice(prices);
@@ -77,9 +86,11 @@ ShardedPricingEngine::ShardedPricingEngine(const db::Database* db,
               }()) {
   shards_.reserve(static_cast<size_t>(partition_.num_shards));
   for (int s = 0; s < partition_.num_shards; ++s) {
+    // Shards share the router's epoch manager so a merged view costs one
+    // pin, not one per shard.
     shards_.push_back(std::make_unique<PricingEngine>(
         db_, partition_.shard_support[static_cast<size_t>(s)],
-        options_.engine));
+        options_.engine, &epochs_));
   }
   shard_edge_counts_.assign(shards_.size(), 0);
   shard_ready_ = std::make_unique<std::atomic<bool>[]>(shards_.size());
@@ -185,10 +196,13 @@ Status ShardedPricingEngine::AppendRouted(
 }
 
 MergedBookView ShardedPricingEngine::snapshot() const {
-  std::vector<std::shared_ptr<const PriceBookSnapshot>> books;
-  books.reserve(shards_.size());
-  for (const auto& shard : shards_) books.push_back(shard->snapshot());
-  return MergedBookView(std::move(books), &partition_);
+  // One epoch pin covers every shard (they share the router's manager);
+  // the per-shard head loads are plain acquire loads.
+  common::EpochManager::Guard guard(epochs_);
+  std::vector<BookView> views;
+  views.reserve(shards_.size());
+  for (const auto& shard : shards_) views.push_back(shard->book_view());
+  return MergedBookView(std::move(guard), std::move(views), &partition_);
 }
 
 Quote ShardedPricingEngine::QuoteBundle(
@@ -268,8 +282,10 @@ Status ShardedPricingEngine::ApplySellerDelta(db::Database& db,
     QP_RETURN_IF_ERROR(log_->LogSellerDelta(delta));
   }
   market::ApplyDelta(db, delta);
-  prober_.InvalidatePreparedQueries();
-  for (const auto& shard : shards_) shard->InvalidatePreparedQueries();
+  // Selective: only prepared entries whose SensitiveColumns contain the
+  // edited cell can have baked its old value into their probing state.
+  prober_.InvalidatePreparedQueriesFor(delta);
+  for (const auto& shard : shards_) shard->InvalidatePreparedQueriesFor(delta);
   return Status::OK();
 }
 
@@ -375,8 +391,16 @@ ShardedEngineStats ShardedPricingEngine::stats() const {
     out.merged.incidence.full_builds += es.incidence.full_builds;
     out.merged.incidence.merges += es.incidence.merges;
     out.merged.prepared.Merge(es.prepared);
+    out.merged.publish.bases += es.publish.bases;
+    out.merged.publish.deltas += es.publish.deltas;
+    out.merged.publish.fallbacks += es.publish.fallbacks;
+    out.merged.publish.chain_length =
+        std::max(out.merged.publish.chain_length, es.publish.chain_length);
     out.shards.push_back(std::move(es));
   }
+  // Shards share the router's epoch manager, so per-shard epoch stats
+  // all describe the same object: report it once, not summed.
+  out.merged.epoch = epochs_.stats();
   // Router-side: the global prober's probe work and cache, plus the
   // reader counters (shard engines never see router quotes/purchases).
   out.merged.build_seconds += prober_.seconds();

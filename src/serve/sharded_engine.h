@@ -15,8 +15,10 @@
 //    reprice, snapshot publish — across shards on common::ThreadPool.
 //    Routing is decided serially in arrival order before the fan-out, so
 //    published books are bit-identical for every thread count.
-//  * Readers pin a MergedBookView: one PriceBookSnapshot per shard, all
-//    loaded lock-free. A bundle of global item ids splits into per-shard
+//  * Readers pin a MergedBookView: ONE epoch pin (the shards share the
+//    router's common::EpochManager) plus one delta-chain head load per
+//    shard, all lock-free — no shared_ptr refcounts anywhere on the
+//    quote path. A bundle of global item ids splits into per-shard
 //    local bundles; its price is the sum of the owning shards' quotes in
 //    ascending shard order (the additive cross-shard contract — each
 //    shard pricing is monotone subadditive, and the disjoint additive
@@ -55,9 +57,11 @@
 #include <span>
 #include <vector>
 
+#include "common/epoch.h"
 #include "common/status.h"
 #include "market/incremental_builder.h"
 #include "market/support_partitioner.h"
+#include "serve/delta_book.h"
 #include "serve/price_book.h"
 #include "serve/pricing_engine.h"
 
@@ -114,19 +118,31 @@ struct ShardedEngineStats {
   uint64_t cross_shard_quotes = 0;
 };
 
-/// An immutable view over one pinned PriceBookSnapshot per shard.
-/// Holding the view keeps every shard's generation alive (the same RCU
-/// shape as a single snapshot); `partition` must outlive the view (it
-/// lives in the router). Lock-free to obtain and use.
+/// An immutable view over one pinned generation per shard: a single
+/// epoch Guard (the shards share the router's manager) plus one
+/// delta-chain BookView per shard. Holding the view keeps every shard's
+/// generation alive; `partition` must outlive the view (it lives in the
+/// router). Lock-free to obtain and use; move-only (it carries the pin).
 class MergedBookView {
  public:
-  MergedBookView(std::vector<std::shared_ptr<const PriceBookSnapshot>> books,
+  MergedBookView(common::EpochManager::Guard guard,
+                 std::vector<BookView> views,
                  const market::SupportPartition* partition)
-      : books_(std::move(books)), partition_(partition) {}
+      : guard_(std::move(guard)),
+        views_(std::move(views)),
+        partition_(partition) {}
 
-  int num_shards() const { return static_cast<int>(books_.size()); }
-  const PriceBookSnapshot& shard(int s) const {
-    return *books_[static_cast<size_t>(s)];
+  int num_shards() const { return static_cast<int>(views_.size()); }
+
+  /// One shard's book as a standalone consolidated snapshot,
+  /// materialized lazily on first access and cached for the view's
+  /// lifetime (a deep copy — compatibility / inspection path; quoting
+  /// goes through the chain views without copying).
+  const PriceBookSnapshot& shard(int s) const;
+
+  /// One shard's zero-copy chain view (valid while this view lives).
+  const BookView& shard_view(int s) const {
+    return views_[static_cast<size_t>(s)];
   }
 
   /// Sum of shard versions; monotone across any shard's publish, but NOT
@@ -154,8 +170,12 @@ class MergedBookView {
                     int* touched_shards = nullptr) const;
 
  private:
-  std::vector<std::shared_ptr<const PriceBookSnapshot>> books_;
+  common::EpochManager::Guard guard_;
+  std::vector<BookView> views_;
   const market::SupportPartition* partition_;
+  /// Lazy per-shard materialization cache for shard(); indexed like
+  /// views_, filled on demand.
+  mutable std::vector<std::shared_ptr<const PriceBookSnapshot>> materialized_;
 };
 
 class ShardedPricingEngine {
@@ -292,6 +312,11 @@ class ShardedPricingEngine {
   const db::Database* db_;
   market::SupportPartition partition_;
   ShardedEngineOptions options_;
+
+  /// One epoch manager for the whole router: every shard retires its
+  /// chains here and a merged view pins it once. Declared before the
+  /// shards so it outlives their chains.
+  mutable common::EpochManager epochs_;
 
   mutable std::mutex writer_mutex_;
   /// Global-support prober (never appends edges): AppendBuyers' probe

@@ -1,0 +1,170 @@
+// EpochManager acceptance tests: the reclamation guarantee (nothing a
+// pinned reader can reach is freed), Guard RAII/move semantics, the
+// overflow path when slots run out, and a concurrent retire/pin hammer
+// that TSan checks for the happens-before edge between a node's last
+// possible reader and its deleter.
+#include "common/epoch.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qp::common {
+namespace {
+
+// A retirable payload that counts its deletions.
+struct Tracked {
+  explicit Tracked(std::atomic<int>* counter) : counter(counter) {}
+  ~Tracked() { counter->fetch_add(1, std::memory_order_relaxed); }
+  std::atomic<int>* counter;
+};
+
+void DeleteTracked(void* p) { delete static_cast<Tracked*>(p); }
+
+TEST(EpochManagerTest, RetireWithoutReadersReclaimsAfterBump) {
+  EpochManager epochs;
+  std::atomic<int> deleted{0};
+  epochs.Retire(new Tracked(&deleted), &DeleteTracked);
+  EXPECT_EQ(epochs.stats().retired, 1u);
+
+  // Same epoch: the node stays pending (a reader could still pin it).
+  epochs.Reclaim();
+  EXPECT_EQ(deleted.load(), 0);
+  EXPECT_EQ(epochs.stats().pending, 1u);
+
+  // After the epoch advances past the retire stamp, it frees.
+  epochs.BumpEpoch();
+  epochs.Reclaim();
+  EXPECT_EQ(deleted.load(), 1);
+  EXPECT_EQ(epochs.stats().reclaimed, 1u);
+  EXPECT_EQ(epochs.stats().pending, 0u);
+}
+
+TEST(EpochManagerTest, PinnedReaderBlocksReclamationUntilRelease) {
+  EpochManager epochs;
+  std::atomic<int> deleted{0};
+  {
+    EpochManager::Guard guard(epochs);
+    EXPECT_EQ(epochs.stats().pins, 1u);
+    epochs.Retire(new Tracked(&deleted), &DeleteTracked);
+    epochs.BumpEpoch();
+    epochs.Reclaim();
+    // The guard pinned the pre-retire epoch: the node must survive.
+    EXPECT_EQ(deleted.load(), 0);
+  }
+  epochs.Reclaim();
+  EXPECT_EQ(deleted.load(), 1);
+}
+
+TEST(EpochManagerTest, GuardMoveTransfersThePin) {
+  EpochManager epochs;
+  EpochManager::Guard outer(epochs);
+  {
+    EpochManager::Guard inner = std::move(outer);
+    EXPECT_FALSE(outer.pinned());
+    EXPECT_TRUE(inner.pinned());
+    EXPECT_EQ(epochs.stats().pins, 1u);  // moved, not duplicated
+  }
+  // inner released the (single) pin — reclamation proves it (and outer,
+  // now empty, must not double-release at scope exit).
+  std::atomic<int> deleted{0};
+  epochs.Retire(new Tracked(&deleted), &DeleteTracked);
+  epochs.BumpEpoch();
+  epochs.Reclaim();
+  EXPECT_EQ(deleted.load(), 1);
+}
+
+TEST(EpochManagerTest, OverflowPinsStillBlockReclamation) {
+  // More simultaneous guards than slots: the excess registers through
+  // the mutexed overflow list but must be just as protective.
+  EpochManager epochs(/*num_slots=*/2);
+  std::vector<std::unique_ptr<EpochManager::Guard>> guards;
+  for (int i = 0; i < 6; ++i) {
+    guards.push_back(std::make_unique<EpochManager::Guard>(epochs));
+  }
+  EXPECT_EQ(epochs.stats().pins, 6u);
+  EXPECT_GE(epochs.stats().overflow_pins, 4u);
+
+  std::atomic<int> deleted{0};
+  epochs.Retire(new Tracked(&deleted), &DeleteTracked);
+  epochs.BumpEpoch();
+  epochs.Reclaim();
+  EXPECT_EQ(deleted.load(), 0);
+
+  // Release all but the last overflow guard: still blocked.
+  while (guards.size() > 1) guards.pop_back();
+  epochs.Reclaim();
+  EXPECT_EQ(deleted.load(), 0);
+
+  guards.clear();
+  epochs.Reclaim();
+  EXPECT_EQ(deleted.load(), 1);
+}
+
+TEST(EpochManagerTest, DestructorFreesPendingNodes) {
+  std::atomic<int> deleted{0};
+  {
+    EpochManager epochs;
+    epochs.Retire(new Tracked(&deleted), &DeleteTracked);
+    epochs.Retire(new Tracked(&deleted), &DeleteTracked);
+    // No bump, no reclaim: both still pending at destruction.
+  }
+  EXPECT_EQ(deleted.load(), 2);
+}
+
+// Readers pin, read a shared published value, and assert the node they
+// reached is not yet destroyed; the writer republishes and retires. Run
+// under TSan (label `epoch` is in the TSan CI matrix) this exercises the
+// release/acquire edges of the slot protocol; run normally it checks the
+// guarantee itself via the alive flag.
+TEST(EpochManagerTest, ConcurrentRetireHammer) {
+  struct Node {
+    explicit Node(int value) : value(value) {}
+    ~Node() { alive.store(false, std::memory_order_seq_cst); }
+    int value;
+    std::atomic<bool> alive{true};
+  };
+  static auto delete_node = [](void* p) { delete static_cast<Node*>(p); };
+
+  EpochManager epochs(/*num_slots=*/4);  // force some overflow traffic
+  std::atomic<Node*> head{new Node(0)};
+  std::atomic<bool> stop{false};
+
+  const int kReaders = 6;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        EpochManager::Guard guard(epochs);
+        Node* node = head.load(std::memory_order_acquire);
+        // The pin precedes the load, so the node cannot have been freed.
+        ASSERT_TRUE(node->alive.load(std::memory_order_seq_cst));
+        ASSERT_GE(node->value, 0);
+      }
+    });
+  }
+
+  for (int i = 1; i <= 2000; ++i) {
+    Node* replaced = head.exchange(new Node(i), std::memory_order_acq_rel);
+    epochs.Retire(replaced, delete_node);
+    epochs.BumpEpoch();
+    epochs.Reclaim();
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  delete head.load(std::memory_order_relaxed);
+  epochs.BumpEpoch();
+  epochs.Reclaim();
+  EXPECT_EQ(epochs.stats().pending, 0u);
+  EXPECT_EQ(epochs.stats().retired, 2000u);
+  EXPECT_EQ(epochs.stats().reclaimed, 2000u);
+}
+
+}  // namespace
+}  // namespace qp::common

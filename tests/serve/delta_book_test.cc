@@ -1,0 +1,309 @@
+// Delta-chain price-book determinism suite. The contracts pinned here:
+//  (a) a delta-chain engine (consolidate_every = K) quotes bit-identical
+//      to a deep-copy engine (consolidate_every = 1) at every
+//      generation, in particular straddling consolidation boundaries
+//      (K-1, K, K+1 deltas on the chain), for every build thread count,
+//      monolithic and sharded;
+//  (b) BookView::Materialize folds a chain into a snapshot bit-identical
+//      to the cold full-copy snapshot of the same generation;
+//  (c) the quote hot path pins epochs instead of shared_ptr refcounts —
+//      EngineStats::epoch.pins counts every quote;
+//  (d) a PriceBookSnapshot cannot be built over an empty result set
+//      (the best() out-of-bounds regression).
+#include "serve/delta_book.h"
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/algorithms.h"
+#include "db/parser.h"
+#include "market/support.h"
+#include "market/support_partitioner.h"
+#include "serve/price_book.h"
+#include "serve/pricing_engine.h"
+#include "serve/sharded_engine.h"
+#include "tests/testing/test_db.h"
+
+namespace qp::serve {
+namespace {
+
+struct Buyer {
+  const char* sql;
+  double valuation;
+};
+
+// One buyer per generation: enough appends to push a K=4 chain through
+// several consolidation cycles.
+const std::vector<Buyer>& Buyers() {
+  static const std::vector<Buyer> buyers = {
+      {"select * from Country", 90.0},
+      {"select Name from Country where Continent = 'Europe'", 12.0},
+      {"select count(*) from City", 6.0},
+      {"select max(Population) from Country", 8.0},
+      {"select CountryCode, sum(Population) from City group by CountryCode",
+       35.0},
+      {"select distinct Continent from Country", 1.5},
+      {"select Name from City where Population > 10000000", 2.5},
+      {"select min(LifeExpectancy) from Country", 0.75},
+      {"select Language from CountryLanguage where IsOfficial = 'T'", 4.0},
+      {"select avg(Percentage) from CountryLanguage", 3.0},
+  };
+  return buyers;
+}
+
+struct Market {
+  std::unique_ptr<db::Database> db;
+  market::SupportSet support;
+  std::vector<db::BoundQuery> queries;
+  core::Valuations valuations;
+};
+
+Market MakeMarket(int support_size = 150) {
+  Market m;
+  m.db = db::testing::MakeTestDatabase();
+  Rng rng(7);
+  auto support = market::GenerateSupport(
+      *m.db, {.size = support_size, .max_retries = 32}, rng);
+  QP_CHECK_OK(support.status());
+  m.support = *support;
+  for (const Buyer& buyer : Buyers()) {
+    auto q = db::ParseQuery(buyer.sql, *m.db);
+    QP_CHECK_OK(q.status());
+    m.queries.push_back(*q);
+    m.valuations.push_back(buyer.valuation);
+  }
+  return m;
+}
+
+EngineOptions Options(uint32_t consolidate_every, int build_threads = 1) {
+  EngineOptions options;
+  options.algorithms.lpip.max_candidates = 0;
+  options.algorithms.lpip.chain_length = 1;
+  options.consolidate_every = consolidate_every;
+  options.build.num_threads = build_threads;
+  return options;
+}
+
+uint64_t Bits(double x) { return std::bit_cast<uint64_t>(x); }
+
+// Probe bundles covering the resolution paths: singletons, a short run,
+// a strided spread, and the empty bundle.
+std::vector<std::vector<uint32_t>> ProbeBundles(uint32_t num_items) {
+  std::vector<std::vector<uint32_t>> bundles;
+  bundles.push_back({});
+  for (uint32_t i = 0; i < num_items; i += 37) bundles.push_back({i});
+  std::vector<uint32_t> run;
+  for (uint32_t i = 0; i < num_items && i < 8; ++i) run.push_back(i);
+  bundles.push_back(run);
+  std::vector<uint32_t> strided;
+  for (uint32_t i = 0; i < num_items; i += 11) strided.push_back(i);
+  bundles.push_back(strided);
+  return bundles;
+}
+
+// Bitwise comparison of two quotes for the same bundle.
+void ExpectQuoteBitsEqual(const Quote& chain, const Quote& deep) {
+  EXPECT_EQ(Bits(chain.price), Bits(deep.price));
+  EXPECT_EQ(chain.version, deep.version);
+  EXPECT_EQ(chain.algorithm, deep.algorithm);
+}
+
+// Bitwise comparison of two snapshots (prices probed per result, since
+// pricing parameters live behind the PricingFunction interface).
+void ExpectSnapshotBitsEqual(const PriceBookSnapshot& a,
+                             const PriceBookSnapshot& b,
+                             const std::vector<std::vector<uint32_t>>& probes) {
+  ASSERT_EQ(a.results().size(), b.results().size());
+  EXPECT_EQ(a.version(), b.version());
+  EXPECT_EQ(a.best_index(), b.best_index());
+  for (size_t i = 0; i < a.results().size(); ++i) {
+    EXPECT_EQ(a.results()[i].algorithm, b.results()[i].algorithm);
+    EXPECT_EQ(Bits(a.results()[i].revenue), Bits(b.results()[i].revenue));
+    EXPECT_EQ(a.results()[i].lps_solved, b.results()[i].lps_solved);
+    for (const std::vector<uint32_t>& bundle : probes) {
+      EXPECT_EQ(Bits(a.results()[i].pricing->Price(bundle)),
+                Bits(b.results()[i].pricing->Price(bundle)));
+    }
+  }
+}
+
+TEST(DeltaBookTest, EmptySnapshotDies) {
+  core::RepriceStats stats;
+  std::vector<core::PricingResult> none;
+  EXPECT_DEATH(PriceBookSnapshot(1, std::move(none), stats, 10, 0),
+               "no results");
+}
+
+// (a) monolithic: appends one buyer at a time so the K=4 chain crosses
+// its consolidation boundary twice; every generation — in particular at
+// chain lengths K-1, K and K+1 — quotes bit-identical to the deep-copy
+// engine, and the folded snapshot matches too.
+TEST(DeltaBookTest, ChainQuotesMatchDeepCopyAcrossConsolidation) {
+  Market m = MakeMarket();
+  constexpr uint32_t kEvery = 4;
+  PricingEngine chain_engine(m.db.get(), m.support, Options(kEvery));
+  PricingEngine deep_engine(m.db.get(), m.support, Options(1));
+  auto probes = ProbeBundles(static_cast<uint32_t>(m.support.size()));
+
+  bool crossed = false;
+  for (size_t g = 0; g < m.queries.size(); ++g) {
+    QP_CHECK_OK(chain_engine.AppendBuyers({m.queries[g]},
+                                          {m.valuations[g]}));
+    QP_CHECK_OK(deep_engine.AppendBuyers({m.queries[g]}, {m.valuations[g]}));
+
+    for (const std::vector<uint32_t>& bundle : probes) {
+      ExpectQuoteBitsEqual(chain_engine.QuoteBundle(bundle),
+                           deep_engine.QuoteBundle(bundle));
+    }
+    ExpectSnapshotBitsEqual(*chain_engine.snapshot(), *deep_engine.snapshot(),
+                            probes);
+    if (chain_engine.stats().publish.chain_length == 0 && g > 0) {
+      crossed = true;  // the chain consolidated at least once mid-run
+    }
+  }
+  EXPECT_TRUE(crossed);
+
+  // The delta path actually exercised deltas (not all fallbacks), and
+  // the deep-copy engine never grew a chain.
+  EngineStats cs = chain_engine.stats();
+  EXPECT_GT(cs.publish.deltas, 0u);
+  EXPECT_LT(cs.publish.bases, deep_engine.stats().publish.bases);
+  EXPECT_EQ(deep_engine.stats().publish.deltas, 0u);
+  EXPECT_EQ(deep_engine.stats().publish.chain_length, 0u);
+}
+
+// (a) thread counts: parallel hypergraph build publishes the same
+// delta chain bit for bit.
+TEST(DeltaBookTest, ChainQuotesIdenticalAcrossBuildThreadCounts) {
+  Market m = MakeMarket();
+  PricingEngine serial(m.db.get(), m.support, Options(4, /*build_threads=*/1));
+  PricingEngine parallel(m.db.get(), m.support,
+                         Options(4, /*build_threads=*/4));
+  auto probes = ProbeBundles(static_cast<uint32_t>(m.support.size()));
+
+  for (size_t g = 0; g < m.queries.size(); ++g) {
+    QP_CHECK_OK(serial.AppendBuyers({m.queries[g]}, {m.valuations[g]}));
+    QP_CHECK_OK(parallel.AppendBuyers({m.queries[g]}, {m.valuations[g]}));
+    for (const std::vector<uint32_t>& bundle : probes) {
+      ExpectQuoteBitsEqual(serial.QuoteBundle(bundle),
+                           parallel.QuoteBundle(bundle));
+    }
+  }
+  EXPECT_EQ(serial.stats().publish.deltas, parallel.stats().publish.deltas);
+  EXPECT_EQ(serial.stats().publish.bases, parallel.stats().publish.bases);
+}
+
+// (b) Materialize == the cold snapshot the writer would have published
+// with full copies, at every chain length.
+TEST(DeltaBookTest, MaterializeMatchesColdSnapshot) {
+  Market m = MakeMarket();
+  PricingEngine chain_engine(m.db.get(), m.support, Options(4));
+  PricingEngine deep_engine(m.db.get(), m.support, Options(1));
+  auto probes = ProbeBundles(static_cast<uint32_t>(m.support.size()));
+
+  for (size_t g = 0; g < m.queries.size(); ++g) {
+    QP_CHECK_OK(chain_engine.AppendBuyers({m.queries[g]},
+                                          {m.valuations[g]}));
+    QP_CHECK_OK(deep_engine.AppendBuyers({m.queries[g]}, {m.valuations[g]}));
+    common::EpochManager::Guard guard(chain_engine.epochs());
+    BookView view = chain_engine.book_view();
+    std::shared_ptr<const PriceBookSnapshot> folded = view.Materialize();
+    ExpectSnapshotBitsEqual(*folded, *deep_engine.snapshot(), probes);
+    // The view itself resolves every probe exactly as its folded form.
+    for (const std::vector<uint32_t>& bundle : probes) {
+      ExpectQuoteBitsEqual(view.QuoteBundle(bundle),
+                           folded->QuoteBundle(bundle));
+    }
+  }
+}
+
+// (a) sharded: the merged view over delta-chain shards quotes
+// bit-identical to a deep-copy-cadence router, generation by generation.
+TEST(DeltaBookTest, ShardedChainMatchesShardedDeepCopy) {
+  Market m = MakeMarket();
+  auto partition_for = [&]() {
+    return market::SupportPartitioner::FromQueries(
+        m.db.get(), m.support, m.queries, {}, {.num_shards = 3});
+  };
+  ShardedEngineOptions chain_options;
+  chain_options.engine = Options(4);
+  ShardedEngineOptions deep_options;
+  deep_options.engine = Options(1);
+  ShardedPricingEngine chain_router(m.db.get(), partition_for(),
+                                    chain_options);
+  ShardedPricingEngine deep_router(m.db.get(), partition_for(), deep_options);
+  auto probes = ProbeBundles(static_cast<uint32_t>(m.support.size()));
+
+  for (size_t g = 0; g < m.queries.size(); ++g) {
+    QP_CHECK_OK(chain_router.AppendBuyers({m.queries[g]}, {m.valuations[g]}));
+    QP_CHECK_OK(deep_router.AppendBuyers({m.queries[g]}, {m.valuations[g]}));
+    MergedBookView chain_view = chain_router.snapshot();
+    MergedBookView deep_view = deep_router.snapshot();
+    EXPECT_EQ(chain_view.version_vector(), deep_view.version_vector());
+    EXPECT_EQ(Bits(chain_view.best_revenue()), Bits(deep_view.best_revenue()));
+    for (const std::vector<uint32_t>& bundle : probes) {
+      ExpectQuoteBitsEqual(chain_view.QuoteBundle(bundle),
+                           deep_view.QuoteBundle(bundle));
+      ExpectQuoteBitsEqual(chain_router.QuoteBundle(bundle),
+                           deep_router.QuoteBundle(bundle));
+    }
+  }
+  EXPECT_GT(chain_router.stats().merged.publish.deltas, 0u);
+  EXPECT_EQ(deep_router.stats().merged.publish.deltas, 0u);
+}
+
+// (c) quoting pins epochs — the refcount-free hot path is observable:
+// every QuoteBundle / QuoteBatch / merged snapshot takes exactly one pin.
+TEST(DeltaBookTest, QuotePathPinsEpochsNotRefcounts) {
+  Market m = MakeMarket();
+  PricingEngine engine(m.db.get(), m.support, Options(4));
+  QP_CHECK_OK(engine.AppendBuyers(m.queries, m.valuations));
+
+  uint64_t pins = engine.stats().epoch.pins;
+  const int kQuotes = 25;
+  for (int i = 0; i < kQuotes; ++i) engine.QuoteBundle({0, 1, 2});
+  EXPECT_EQ(engine.stats().epoch.pins, pins + kQuotes);
+
+  // A batch amortizes: one pin for the whole span.
+  std::vector<std::vector<uint32_t>> bundles(10, {1, 2});
+  pins = engine.stats().epoch.pins;
+  engine.QuoteBatch(bundles);
+  EXPECT_EQ(engine.stats().epoch.pins, pins + 1);
+
+  // Sharded: one pin per merged view, covering every shard.
+  ShardedEngineOptions options;
+  options.engine = Options(4);
+  ShardedPricingEngine router(
+      m.db.get(),
+      market::SupportPartitioner::FromQueries(m.db.get(), m.support, m.queries,
+                                              {}, {.num_shards = 3}),
+      options);
+  QP_CHECK_OK(router.AppendBuyers(m.queries, m.valuations));
+  uint64_t router_pins = router.stats().merged.epoch.pins;
+  MergedBookView view = router.snapshot();
+  EXPECT_EQ(router.stats().merged.epoch.pins, router_pins + 1);
+}
+
+// Retired chains actually reclaim: after enough churn nothing stays
+// pending once readers are gone, and consolidations retired chains.
+TEST(DeltaBookTest, ConsolidationRetiresAndReclaims) {
+  Market m = MakeMarket();
+  PricingEngine engine(m.db.get(), m.support, Options(2));
+  for (size_t g = 0; g < m.queries.size(); ++g) {
+    QP_CHECK_OK(engine.AppendBuyers({m.queries[g]}, {m.valuations[g]}));
+  }
+  EngineStats stats = engine.stats();
+  EXPECT_GT(stats.epoch.retired, 0u);
+  // Chains only retire at consolidation, where the writer reclaims with
+  // no reader pinned: nothing may stay pending.
+  EXPECT_EQ(stats.epoch.reclaimed, stats.epoch.retired);
+  EXPECT_EQ(stats.epoch.pending, 0u);
+}
+
+}  // namespace
+}  // namespace qp::serve

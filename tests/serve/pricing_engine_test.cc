@@ -5,10 +5,12 @@
 // incremental path solves strictly fewer LPs than full recompute.
 #include "serve/pricing_engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -398,32 +400,83 @@ TEST(PricingEngineTest, PreparedQueryCacheHitsOnRepeatPurchases) {
   EXPECT_EQ(engine.stats().prepared.misses, seeded.misses + 2);
 }
 
-TEST(PricingEngineTest, ApplySellerDeltaEditsDataAndInvalidatesCache) {
+TEST(PricingEngineTest, ApplySellerDeltaEditsDataAndInvalidatesSelectively) {
   Market m = MakeMarket();
   PricingEngine engine(m.db.get(), m.support, MatchedOptions(true));
   QP_CHECK_OK(engine.AppendBuyers(m.initial_queries, m.initial_valuations));
   engine.Purchase(m.late_queries[0], 1e9);
   uint64_t misses = engine.stats().prepared.misses;
 
+  // The prepared cache holds every appended initial query plus the
+  // purchased late query. Partition cells by who reads them.
+  std::vector<const db::BoundQuery*> cached;
+  for (const db::BoundQuery& q : m.initial_queries) cached.push_back(&q);
+  cached.push_back(&m.late_queries[0]);
+  auto readers_of = [&](int table, int column) {
+    size_t n = 0;
+    for (const db::BoundQuery* q : cached) {
+      std::vector<std::pair<int, int>> cols = q->SensitiveColumns();
+      if (std::find(cols.begin(), cols.end(), std::make_pair(table, column)) !=
+          cols.end()) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  std::vector<std::pair<int, int>> sensitive =
+      m.late_queries[0].SensitiveColumns();
+  ASSERT_FALSE(sensitive.empty());
+
   // A foreign database is rejected; nothing is invalidated.
   auto other = db::testing::MakeTestDatabase();
-  market::CellDelta delta = m.support[0];
+  market::CellDelta untouched;
+  untouched.table = -1;
+  for (const market::CellDelta& cell : m.support) {
+    if (readers_of(cell.table, cell.column) == 0) {
+      untouched = cell;
+      break;
+    }
+  }
+  ASSERT_NE(untouched.table, -1);  // some support cell no cached query reads
+  market::CellDelta delta = untouched;
   EXPECT_FALSE(engine.ApplySellerDelta(*other, delta).ok());
-  EXPECT_EQ(engine.stats().prepared.invalidations, 0u);
+  EXPECT_EQ(engine.stats().prepared.selective_invalidations, 0u);
 
-  // The seller edit applies the delta and flushes prepared state.
+  // An edit to a cell no cached query reads: the data changes, the
+  // selective scan runs, but every entry survives — the next purchase
+  // still hits instead of re-probing (the point of satellite
+  // invalidation). No full flush is counted.
   db::Value before = m.db->table(delta.table).cell(delta.row, delta.column);
   QP_CHECK_OK(engine.ApplySellerDelta(*m.db, delta));
-  EXPECT_EQ(engine.stats().prepared.invalidations, 1u);
   EXPECT_EQ(
       m.db->table(delta.table).cell(delta.row, delta.column).Compare(
           delta.new_value),
       0);
-  // The next purchase re-prepares against the edited contents.
+  EXPECT_EQ(engine.stats().prepared.selective_invalidations, 1u);
+  EXPECT_EQ(engine.stats().prepared.selective_dropped, 0u);
+  EXPECT_EQ(engine.stats().prepared.invalidations, 0u);
+  engine.Purchase(m.late_queries[0], 1e9);
+  EXPECT_EQ(engine.stats().prepared.misses, misses);
+  market::UndoDelta(*m.db, delta, before);
+
+  // An edit to a column the late query IS sensitive to drops its entry
+  // (and exactly the other cached entries reading that column): the next
+  // purchase re-prepares against the edited contents.
+  market::CellDelta hit;
+  hit.table = sensitive[0].first;
+  hit.column = sensitive[0].second;
+  hit.row = 0;
+  const db::Table& table = m.db->table(hit.table);
+  hit.new_value = table.cell(table.num_rows() > 1 ? 1 : 0, hit.column);
+  db::Value hit_before = table.cell(hit.row, hit.column);
+  QP_CHECK_OK(engine.ApplySellerDelta(*m.db, hit));
+  EXPECT_EQ(engine.stats().prepared.selective_invalidations, 2u);
+  EXPECT_EQ(engine.stats().prepared.selective_dropped,
+            readers_of(hit.table, hit.column));
   engine.Purchase(m.late_queries[0], 1e9);
   EXPECT_EQ(engine.stats().prepared.misses, misses + 1);
   // Restore for hygiene (other tests build their own markets anyway).
-  market::UndoDelta(*m.db, delta, before);
+  market::UndoDelta(*m.db, hit, hit_before);
 }
 
 TEST(PricingEngineTest, ParallelBuildMatchesSerialBooks) {
