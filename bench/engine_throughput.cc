@@ -53,6 +53,27 @@
 //                        is the writer's wall clock, quote throughput
 //                        and epoch-pin counters are printed, and the
 //                        final books are again checked bit-identical
+//   churn-updates        sustained catalog churn: --churn-writers threads
+//                        race --churn-updates seller deltas (the
+//                        workload's own support cells) through
+//                        ApplySellerDelta while --churn-readers threads
+//                        quote + purchase throughout — fully concurrent,
+//                        no quiescence. seconds is the writers' wall
+//                        clock; lps_solved pins the delta count. The
+//                        bench hard-fails unless every logical cell AND
+//                        every corpus quote afterwards is bit-identical
+//                        to a twin engine that applied the same deltas
+//                        serially with no traffic
+//   churn-quotes         the same window from the readers' side (quote +
+//                        purchase throughput is printed; the row pins
+//                        the window and the book revenue)
+//   churn-fold           cumulative wall time inside catalog folds,
+//                        measured on the serial reference twin where
+//                        every cadence-triggered fold lands (lps_solved
+//                        pins the fold count; under saturated read load
+//                        the churned run legitimately defers its folds —
+//                        both runs' fold/retry counts and the purchase
+//                        staleness are printed)
 //
 // Sharded revenues are the merged (sum of per-shard best) book revenue;
 // they are deterministic and pinned, but deliberately NOT compared to the
@@ -75,6 +96,7 @@
 #include "common/stopwatch.h"
 #include "common/str_util.h"
 #include "common/thread_pool.h"
+#include "market/support.h"
 #include "market/support_partitioner.h"
 #include "serve/persist/checkpoint.h"
 #include "serve/pricing_engine.h"
@@ -689,6 +711,166 @@ int Main(int argc, char** argv) {
       static_cast<unsigned long long>(mixed_stats.epoch.retired),
       static_cast<unsigned long long>(mixed_stats.epoch.reclaimed),
       static_cast<unsigned long long>(mixed_stats.epoch.pending));
+
+  // Phase 9: sustained catalog churn — concurrent seller-delta writers
+  // against free-running quote/purchase readers, no quiescence. The
+  // deltas are the workload's own support cells (distinct cells,
+  // tail-wins on duplicates), dealt round-robin across the writers so
+  // their cell sets are disjoint and the final state is interleaving-
+  // independent. Both the churned run and its serial reference get a
+  // pristine database copy (folds mutate the base in place; the loaders
+  // are deterministic).
+  {
+    const int churn_writers = std::max(1, flags.GetInt("churn-writers", 2));
+    const int churn_readers = std::max(1, flags.GetInt("churn-readers", 4));
+    const int churn_updates = flags.GetInt("churn-updates", 256);
+
+    std::vector<market::CellDelta> deltas;
+    for (const market::CellDelta& d : market.support) {
+      bool replaced = false;
+      for (market::CellDelta& seen : deltas) {
+        if (seen.table == d.table && seen.row == d.row &&
+            seen.column == d.column) {
+          seen = d;
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) deltas.push_back(d);
+    }
+    if (static_cast<int>(deltas.size()) > churn_updates) {
+      deltas.resize(static_cast<size_t>(churn_updates));
+    }
+    std::vector<std::vector<market::CellDelta>> per_writer(
+        static_cast<size_t>(churn_writers));
+    for (size_t i = 0; i < deltas.size(); ++i) {
+      per_writer[i % per_writer.size()].push_back(deltas[i]);
+    }
+
+    WorkloadMarket churn_market = LoadWorkloadMarket(workload, load);
+    WorkloadMarket ref_market = LoadWorkloadMarket(workload, load);
+    // Conflict sets are a pure function of (db, query, support), so the
+    // corpus edges probed against the original market seed these twins'
+    // bit-identical copies too.
+    auto seed_engine = [&](WorkloadMarket& m) {
+      auto e = std::make_unique<serve::PricingEngine>(
+          m.instance.database.get(), m.support, engine_options);
+      std::vector<std::vector<uint32_t>> seed_edges(
+          corpus.begin(), corpus.begin() + initial);
+      QP_CHECK_OK(e->AppendBuyersPrecomputed(std::move(seed_edges),
+                                             initial_v));
+      return e;
+    };
+    auto churned = seed_engine(churn_market);
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> churn_quotes{0};
+    std::atomic<uint64_t> churn_purchases{0};
+    std::vector<std::thread> readers;
+    readers.reserve(static_cast<size_t>(churn_readers));
+    for (int t = 0; t < churn_readers; ++t) {
+      readers.emplace_back([&, t] {
+        uint64_t quotes_local = 0, purchases_local = 0;
+        for (size_t i = static_cast<size_t>(t);
+             !stop.load(std::memory_order_acquire); ++i) {
+          churned->QuoteBundle(corpus[i % corpus.size()]);
+          ++quotes_local;
+          if (!purchase_v.empty() && i % 4 == 0) {
+            churned->Purchase(
+                queries[i % static_cast<size_t>(num_queries)],
+                purchase_v[i % purchase_v.size()]);
+            ++purchases_local;
+          }
+        }
+        churn_quotes.fetch_add(quotes_local, std::memory_order_relaxed);
+        churn_purchases.fetch_add(purchases_local, std::memory_order_relaxed);
+      });
+    }
+    std::vector<std::thread> delta_writers;
+    delta_writers.reserve(static_cast<size_t>(churn_writers));
+    Stopwatch churn_timer;
+    for (int w = 0; w < churn_writers; ++w) {
+      delta_writers.emplace_back([&, w] {
+        for (const market::CellDelta& d : per_writer[static_cast<size_t>(w)]) {
+          QP_CHECK_OK(
+              churned->ApplySellerDelta(*churn_market.instance.database, d));
+        }
+      });
+    }
+    for (std::thread& w : delta_writers) w.join();
+    double churn_wall = churn_timer.ElapsedSeconds();
+    stop.store(true, std::memory_order_release);
+    for (std::thread& r : readers) r.join();
+
+    // Bit-identity or bust: a twin engine applies the same deltas
+    // serially with no reader traffic; every logical cell and every
+    // corpus quote must match exactly.
+    auto reference = seed_engine(ref_market);
+    for (const market::CellDelta& d : deltas) {
+      QP_CHECK_OK(
+          reference->ApplySellerDelta(*ref_market.instance.database, d));
+    }
+    if (churned->catalog().head_generation() !=
+        reference->catalog().head_generation()) {
+      std::cerr << "churn-updates: generation count diverges from the "
+                   "serial reference\n";
+      return 1;
+    }
+    const db::Database& ref_db = *ref_market.instance.database;
+    for (int t = 0; t < ref_db.num_tables(); ++t) {
+      const db::Table& table = ref_db.table(t);
+      for (int r = 0; r < table.num_rows(); ++r) {
+        for (int c = 0; c < table.schema().num_columns(); ++c) {
+          if (churned->catalog().LogicalCell(t, r, c) !=
+              reference->catalog().LogicalCell(t, r, c)) {
+            std::cerr << StrFormat(
+                "churn-updates: logical cell (%d,%d,%d) diverges from the "
+                "serial reference\n",
+                t, r, c);
+            return 1;
+          }
+        }
+      }
+    }
+    if (!check_books_identical(*churned, *reference, "churn-updates")) {
+      return 1;
+    }
+
+    serve::EngineStats::CatalogStats cat = churned->stats().catalog;
+    serve::EngineStats::CatalogStats ref_cat = reference->stats().catalog;
+    double churn_revenue = churned->snapshot()->best().revenue;
+    recorder.Add(instance_name, "churn-updates", churn_wall,
+                 static_cast<int>(deltas.size()), churn_revenue);
+    recorder.Add(instance_name, "churn-quotes", churn_wall, 0, churn_revenue);
+    // Fold cost from the serial twin: with no pinned readers every
+    // cadence-triggered fold lands, so the count is deterministic.
+    recorder.Add(instance_name, "churn-fold", ref_cat.fold_nanos * 1e-9,
+                 static_cast<int>(ref_cat.folds), churn_revenue);
+    std::cout << StrFormat(
+        "catalog churn: %d deltas by %d writer(s) in %.3fs (%.0f/s) vs %d "
+        "reader(s) serving %.0f quotes/s + %.0f purchases/s\n",
+        static_cast<int>(deltas.size()), churn_writers, churn_wall,
+        churn_wall > 0 ? deltas.size() / churn_wall : 0.0, churn_readers,
+        churn_wall > 0 ? churn_quotes.load() / churn_wall : 0.0,
+        churn_wall > 0 ? churn_purchases.load() / churn_wall : 0.0);
+    std::cout << StrFormat(
+        "catalog churn: %llu folds (%llu retries) folded %llu cells in "
+        "%.2f ms, %llu pending (serial twin: %llu folds in %.2f ms); "
+        "purchase staleness mean %.2f max %llu over "
+        "%llu samples; books bit-identical to serial reference\n",
+        static_cast<unsigned long long>(cat.folds),
+        static_cast<unsigned long long>(cat.fold_retries),
+        static_cast<unsigned long long>(cat.deltas_folded),
+        cat.fold_nanos * 1e-6,
+        static_cast<unsigned long long>(cat.deltas_pending),
+        static_cast<unsigned long long>(ref_cat.folds),
+        ref_cat.fold_nanos * 1e-6,
+        cat.staleness_samples > 0
+            ? static_cast<double>(cat.staleness_sum) / cat.staleness_samples
+            : 0.0,
+        static_cast<unsigned long long>(cat.staleness_max),
+        static_cast<unsigned long long>(cat.staleness_samples));
+  }
 
   serve::EngineStats stats = engine.stats();
   std::cout << StrFormat(

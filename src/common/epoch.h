@@ -134,6 +134,15 @@ class EpochManager {
 
   uint64_t epoch() const { return epoch_.load(std::memory_order_seq_cst); }
 
+  /// True when every currently-pinned reader observed an epoch strictly
+  /// newer than `epoch` — i.e. every reader that could have seen state
+  /// published at or before `epoch` has since unpinned. Writers use this
+  /// as a drain gate before mutating memory those readers might still
+  /// reference (the versioned catalog's fold). The answer is
+  /// instantaneous: a reader pinning after the check pins at a newer
+  /// epoch and cannot invalidate it (see the Dekker argument above).
+  bool DrainedAfter(uint64_t epoch) const { return MinPinnedEpoch() > epoch; }
+
   Stats stats() const;
 
  private:

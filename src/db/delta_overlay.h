@@ -11,6 +11,22 @@
 // immutable D. The evaluator (db/eval.h) accepts an overlay for full
 // re-evaluation; the incremental conflict engine patches rows through
 // PatchedRow for its per-row contribution updates.
+//
+// Overlays chain: set_parent() links a probe-local overlay (one delta)
+// over a published catalog generation's overlay (committed seller
+// deltas, see db/versioned_database.h). Lookups consult own entries
+// first, then the parent — the child shadows the parent cell-by-cell.
+// entries() stays own-only: it is the folding writer's view of exactly
+// what this overlay adds.
+//
+// Fold-safety contract: every read helper here resolves patched cells
+// from the overlay chain and touches the base table only for cells no
+// chained entry covers. The catalog's fold writes precisely the cells of
+// a generation's overlay into the base while readers pinned on that
+// generation may still be probing — those readers never load a base cell
+// the fold is writing, because the overlay shadows it. PatchedRow
+// therefore builds its copy cell by cell rather than copying the base
+// row wholesale.
 #ifndef QP_DB_DELTA_OVERLAY_H_
 #define QP_DB_DELTA_OVERLAY_H_
 
@@ -39,7 +55,8 @@ class DeltaOverlay {
     Set(table, row, column, std::move(value));
   }
 
-  /// Adds or replaces one patched cell.
+  /// Adds or replaces one patched cell (in this overlay; the parent is
+  /// never mutated through the child).
   void Set(int table, int row, int column, Value value) {
     for (Entry& e : entries_) {
       if (e.table == table && e.row == row && e.column == column) {
@@ -50,32 +67,42 @@ class DeltaOverlay {
     entries_.push_back(Entry{table, row, column, std::move(value)});
   }
 
-  bool empty() const { return entries_.empty(); }
+  /// Chains this overlay over `parent`: lookups that miss here fall
+  /// through to the parent before reaching the base table. The parent
+  /// must outlive every read through this overlay (callers pin the
+  /// owning generation via an epoch guard).
+  void set_parent(const DeltaOverlay* parent) { parent_ = parent; }
+  const DeltaOverlay* parent() const { return parent_; }
+
+  bool empty() const {
+    return entries_.empty() && (parent_ == nullptr || parent_->empty());
+  }
+  /// Own entries only — excludes the parent chain.
   const std::vector<Entry>& entries() const { return entries_; }
 
   /// The patched value of a cell, or nullptr when the base table's value
-  /// is in effect.
+  /// is in effect. Own entries shadow the parent's.
   const Value* Find(int table, int row, int column) const {
     for (const Entry& e : entries_) {
       if (e.table == table && e.row == row && e.column == column) {
         return &e.value;
       }
     }
-    return nullptr;
+    return parent_ != nullptr ? parent_->Find(table, row, column) : nullptr;
   }
 
   bool TouchesTable(int table) const {
     for (const Entry& e : entries_) {
       if (e.table == table) return true;
     }
-    return false;
+    return parent_ != nullptr && parent_->TouchesTable(table);
   }
 
   bool TouchesRow(int table, int row) const {
     for (const Entry& e : entries_) {
       if (e.table == table && e.row == row) return true;
     }
-    return false;
+    return parent_ != nullptr && parent_->TouchesRow(table, row);
   }
 
   /// Overlay-aware cell read.
@@ -84,13 +111,16 @@ class DeltaOverlay {
     return patched != nullptr ? *patched : db.table(table).cell(row, column);
   }
 
-  /// A copy of the row with every patch for (table, row) applied.
+  /// A copy of the row with every patch for (table, row) applied. Built
+  /// cell by cell so base cells shadowed anywhere in the chain are never
+  /// loaded (see the fold-safety contract above).
   Row PatchedRow(const Database& db, int table, int row) const {
-    Row out = db.table(table).row(row);
-    for (const Entry& e : entries_) {
-      if (e.table == table && e.row == row) {
-        out[static_cast<size_t>(e.column)] = e.value;
-      }
+    const Row& base = db.table(table).row(row);
+    Row out;
+    out.reserve(base.size());
+    for (size_t c = 0; c < base.size(); ++c) {
+      const Value* patched = Find(table, row, static_cast<int>(c));
+      out.push_back(patched != nullptr ? *patched : base[c]);
     }
     return out;
   }
@@ -99,6 +129,7 @@ class DeltaOverlay {
   // Linear scans: overlays hold one (occasionally a handful of) entries,
   // so a flat vector beats any hashed container.
   std::vector<Entry> entries_;
+  const DeltaOverlay* parent_ = nullptr;
 };
 
 }  // namespace qp::db

@@ -21,10 +21,21 @@ db::DeltaOverlay OverlayOf(const CellDelta& delta) {
 std::vector<uint32_t> NaiveConflictSet(const db::Database& db,
                                        const db::BoundQuery& query,
                                        const SupportSet& support) {
-  db::ResultTable base = db::Evaluate(query, db);
+  return NaiveConflictSet(db, query, support, nullptr);
+}
+
+std::vector<uint32_t> NaiveConflictSet(const db::Database& db,
+                                       const db::BoundQuery& query,
+                                       const SupportSet& support,
+                                       const db::DeltaOverlay* committed) {
+  db::ResultTable base = committed != nullptr
+                             ? db::Evaluate(query, db, *committed)
+                             : db::Evaluate(query, db);
   std::vector<uint32_t> conflicts;
   for (uint32_t i = 0; i < support.size(); ++i) {
-    db::ResultTable perturbed = db::Evaluate(query, db, OverlayOf(support[i]));
+    db::DeltaOverlay probe = OverlayOf(support[i]);
+    probe.set_parent(committed);
+    db::ResultTable perturbed = db::Evaluate(query, db, probe);
     if (!perturbed.Equals(base)) conflicts.push_back(i);
   }
   return conflicts;
@@ -67,28 +78,34 @@ using GroupMap = std::map<db::Row, GroupState, RowLess>;
 // PreparedConflictQuery reduces to "construction happens-before probing".
 class PreparedConflictQuery::Impl {
  public:
-  Impl(const db::Database& db, const db::BoundQuery& query)
+  Impl(const db::Database& db, const db::BoundQuery& query,
+       const db::DeltaOverlay* build_overlay)
       : db_(db), query_(query) {
     Classify();
     if (fallback_) {
-      base_result_ = db::Evaluate(query_, db_);
+      base_result_ = build_overlay != nullptr
+                         ? db::Evaluate(query_, db_, *build_overlay)
+                         : db::Evaluate(query_, db_);
       return;
     }
     BuildSensitivity();
-    if (two_tables_) BuildJoinIndexes();
+    if (two_tables_) BuildJoinIndexes(build_overlay);
     if (grouped_) {
-      BuildGroups();
+      BuildGroups(build_overlay);
     } else {
-      BuildProjections();
+      BuildProjections(build_overlay);
     }
   }
 
   bool is_fallback() const { return fallback_; }
 
-  bool Probe(const CellDelta& delta, ConflictStats& stats) const {
+  bool Probe(const CellDelta& delta, ConflictStats& stats,
+             const db::DeltaOverlay* committed) const {
     if (fallback_) {
       ++stats.probes;
-      db::ResultTable perturbed = db::Evaluate(query_, db_, OverlayOf(delta));
+      db::DeltaOverlay probe = OverlayOf(delta);
+      probe.set_parent(committed);
+      db::ResultTable perturbed = db::Evaluate(query_, db_, probe);
       return !perturbed.Equals(base_result_);
     }
     int slot = SlotOfTable(delta.table);
@@ -97,7 +114,8 @@ class PreparedConflictQuery::Impl {
       return false;
     }
     ++stats.probes;
-    return grouped_ ? ProbeGrouped(delta, slot) : ProbeProjection(delta, slot);
+    return grouped_ ? ProbeGrouped(delta, slot, committed)
+                    : ProbeProjection(delta, slot, committed);
   }
 
  private:
@@ -151,58 +169,89 @@ class PreparedConflictQuery::Impl {
     return db_.table(query_.table_indices[slot]);
   }
 
-  void BuildJoinIndexes() {
+  // Overlay-aware cell read for slot `slot`. Never loads a base cell the
+  // overlay shadows (fold safety, see db/delta_overlay.h).
+  const db::Value& CellAt(const db::DeltaOverlay* overlay, int slot, int row,
+                          int col) const {
+    if (overlay != nullptr) {
+      const db::Value* patched =
+          overlay->Find(query_.table_indices[slot], row, col);
+      if (patched != nullptr) return *patched;
+    }
+    return TableOfSlot(slot).cell(row, col);
+  }
+
+  // Overlay-aware full-row read; `scratch` backs the patched copy when
+  // the overlay touches the row.
+  const db::Row& RowAt(const db::DeltaOverlay* overlay, int slot, int row,
+                       db::Row& scratch) const {
+    const int table = query_.table_indices[slot];
+    if (overlay != nullptr && overlay->TouchesRow(table, row)) {
+      scratch = overlay->PatchedRow(db_, table, row);
+      return scratch;
+    }
+    return TableOfSlot(slot).row(row);
+  }
+
+  void BuildJoinIndexes(const db::DeltaOverlay* bo) {
     const db::Table& t0 = TableOfSlot(0);
     const db::Table& t1 = TableOfSlot(1);
     join_col0_ = query_.join_left;  // table 0 columns start at flat 0
     join_col1_ = query_.join_right - query_.column_offsets[1];
     for (int r = 0; r < t0.num_rows(); ++r) {
-      index0_[t0.cell(r, join_col0_).Hash()].push_back(r);
+      index0_[CellAt(bo, 0, r, join_col0_).Hash()].push_back(r);
     }
     for (int r = 0; r < t1.num_rows(); ++r) {
-      index1_[t1.cell(r, join_col1_).Hash()].push_back(r);
+      index1_[CellAt(bo, 1, r, join_col1_).Hash()].push_back(r);
     }
   }
 
-  // The probed row of slot `slot`, with `delta` patched in when given.
-  // Self-joins are rejected at validation, so a delta patches exactly one
-  // slot and join partners always read from the untouched base table.
+  // The probed row of slot `slot`, read through the committed overlay
+  // `co` with `delta` patched on top when given. Self-joins are rejected
+  // at validation, so a delta patches exactly one slot and join partners
+  // read base+committed only.
   // Only the query's sensitive columns are copied — the full set the
   // predicate / projection / grouping / join machinery can read — so a
   // probe on a wide table costs O(columns the query touches), not
   // O(table width); the rest stay NULL and are never inspected.
-  db::Row ProbedRow(int row, int slot, const CellDelta* delta) const {
+  db::Row ProbedRow(int row, int slot, const CellDelta* delta,
+                    const db::DeltaOverlay* co) const {
     const db::Row& base = TableOfSlot(slot).row(row);
     db::Row r(base.size());
-    for (int c : needed_[slot]) r[static_cast<size_t>(c)] = base[c];
+    const int table = query_.table_indices[slot];
+    for (int c : needed_[slot]) {
+      const db::Value* patched =
+          co != nullptr ? co->Find(table, row, c) : nullptr;
+      r[static_cast<size_t>(c)] = patched != nullptr ? *patched : base[c];
+    }
     if (delta != nullptr) r[static_cast<size_t>(delta->column)] = delta->new_value;
     return r;
   }
 
   // Joined + filtered input rows involving row `row` of table `slot`,
-  // evaluated against the base database with `delta` (when non-null)
-  // overlaid on that row. Purely functional: no shared state is touched.
+  // evaluated against base+`co` with `delta` (when non-null) overlaid on
+  // that row. Purely functional: no shared state is touched.
   std::vector<db::Row> AffectedInputRows(int row, int slot,
-                                         const CellDelta* delta) const {
+                                         const CellDelta* delta,
+                                         const db::DeltaOverlay* co) const {
     std::vector<db::Row> inputs;
     if (!two_tables_) {
-      db::Row r = ProbedRow(row, /*slot=*/0, delta);
+      db::Row r = ProbedRow(row, /*slot=*/0, delta, co);
       if (query_.predicate == nullptr || query_.predicate->EvaluateBool(r)) {
         inputs.push_back(std::move(r));
       }
       return inputs;
     }
-    const db::Table& t0 = TableOfSlot(0);
-    const db::Table& t1 = TableOfSlot(1);
+    db::Row scratch;
     if (slot == 0) {
-      db::Row left = ProbedRow(row, 0, delta);
+      db::Row left = ProbedRow(row, 0, delta, co);
       const db::Value& key = left[join_col0_];
       auto it = index1_.find(key.Hash());
       if (it == index1_.end()) return inputs;
       for (int r1 : it->second) {
-        if (key.Compare(t1.cell(r1, join_col1_)) != 0) continue;
+        if (key.Compare(CellAt(co, 1, r1, join_col1_)) != 0) continue;
         db::Row joined = left;
-        const db::Row& right = t1.row(r1);
+        const db::Row& right = RowAt(co, 1, r1, scratch);
         joined.insert(joined.end(), right.begin(), right.end());
         if (query_.predicate == nullptr ||
             query_.predicate->EvaluateBool(joined)) {
@@ -210,13 +259,13 @@ class PreparedConflictQuery::Impl {
         }
       }
     } else {
-      db::Row right = ProbedRow(row, 1, delta);
+      db::Row right = ProbedRow(row, 1, delta, co);
       const db::Value& key = right[join_col1_];
       auto it = index0_.find(key.Hash());
       if (it == index0_.end()) return inputs;
       for (int r0 : it->second) {
-        if (key.Compare(t0.cell(r0, join_col0_)) != 0) continue;
-        db::Row joined = t0.row(r0);
+        if (key.Compare(CellAt(co, 0, r0, join_col0_)) != 0) continue;
+        db::Row joined = RowAt(co, 0, r0, scratch);
         joined.insert(joined.end(), right.begin(), right.end());
         if (query_.predicate == nullptr ||
             query_.predicate->EvaluateBool(joined)) {
@@ -228,13 +277,14 @@ class PreparedConflictQuery::Impl {
   }
 
   // --- projection (non-aggregate) mode -------------------------------------
-  void BuildProjections() {
+  void BuildProjections(const db::DeltaOverlay* bo) {
     if (!two_tables_) {
       const db::Table& t0 = TableOfSlot(0);
       row_present_.assign(t0.num_rows(), 0);
       row_hash_.assign(t0.num_rows(), 0);
+      db::Row scratch;
       for (int r = 0; r < t0.num_rows(); ++r) {
-        const db::Row& row = t0.row(r);
+        const db::Row& row = RowAt(bo, 0, r, scratch);
         if (query_.predicate != nullptr &&
             !query_.predicate->EvaluateBool(row)) {
           continue;
@@ -247,18 +297,22 @@ class PreparedConflictQuery::Impl {
       return;
     }
     if (query_.distinct) {
-      for (const db::Row& input : db::GatherInputRows(query_, db_)) {
+      const std::vector<db::Row> gathered =
+          bo != nullptr ? db::GatherInputRows(query_, db_, *bo)
+                        : db::GatherInputRows(query_, db_);
+      for (const db::Row& input : gathered) {
         tuple_counts_[db::ResultTable::RowHash(
             db::ProjectInputRow(query_, input))]++;
       }
     }
   }
 
-  bool ProbeProjection(const CellDelta& delta, int slot) const {
+  bool ProbeProjection(const CellDelta& delta, int slot,
+                       const db::DeltaOverlay* co) const {
     if (!two_tables_) {
       bool old_present = row_present_[delta.row];
       uint64_t old_hash = row_hash_[delta.row];
-      db::Row patched = ProbedRow(delta.row, 0, &delta);
+      db::Row patched = ProbedRow(delta.row, 0, &delta, co);
       bool new_present = query_.predicate == nullptr ||
                          query_.predicate->EvaluateBool(patched);
       uint64_t new_hash =
@@ -271,8 +325,9 @@ class PreparedConflictQuery::Impl {
       return ContributionsDiffer(removed, added);
     }
     std::vector<db::Row> old_inputs =
-        AffectedInputRows(delta.row, slot, nullptr);
-    std::vector<db::Row> new_inputs = AffectedInputRows(delta.row, slot, &delta);
+        AffectedInputRows(delta.row, slot, nullptr, co);
+    std::vector<db::Row> new_inputs =
+        AffectedInputRows(delta.row, slot, &delta, co);
     std::vector<uint64_t> removed, added;
     removed.reserve(old_inputs.size());
     added.reserve(new_inputs.size());
@@ -314,7 +369,7 @@ class PreparedConflictQuery::Impl {
     return key;
   }
 
-  void BuildGroups() {
+  void BuildGroups(const db::DeltaOverlay* bo) {
     // Aggregate select items, in select order.
     for (size_t i = 0; i < query_.select.size(); ++i) {
       const db::SelectItem& item = query_.select[i];
@@ -330,7 +385,10 @@ class PreparedConflictQuery::Impl {
     if (query_.group_by.empty()) {
       GroupFor(groups_, db::Row{});  // the global group exists even when empty
     }
-    for (const db::Row& input : db::GatherInputRows(query_, db_)) {
+    const std::vector<db::Row> gathered =
+        bo != nullptr ? db::GatherInputRows(query_, db_, *bo)
+                      : db::GatherInputRows(query_, db_);
+    for (const db::Row& input : gathered) {
       UpdateGroup(groups_, input, +1);
     }
   }
@@ -444,10 +502,12 @@ class PreparedConflictQuery::Impl {
     return outputs;
   }
 
-  bool ProbeGrouped(const CellDelta& delta, int slot) const {
+  bool ProbeGrouped(const CellDelta& delta, int slot,
+                    const db::DeltaOverlay* co) const {
     std::vector<db::Row> old_inputs =
-        AffectedInputRows(delta.row, slot, nullptr);
-    std::vector<db::Row> new_inputs = AffectedInputRows(delta.row, slot, &delta);
+        AffectedInputRows(delta.row, slot, nullptr, co);
+    std::vector<db::Row> new_inputs =
+        AffectedInputRows(delta.row, slot, &delta, co);
     if (old_inputs == new_inputs) return false;
 
     std::vector<db::Row> keys;
@@ -494,16 +554,17 @@ class PreparedConflictQuery::Impl {
 };
 
 PreparedConflictQuery::PreparedConflictQuery(const db::Database& db,
-                                             const db::BoundQuery& query)
-    : impl_(std::make_unique<const Impl>(db, query)) {}
+                                             const db::BoundQuery& query,
+                                             const db::DeltaOverlay* build_overlay)
+    : impl_(std::make_unique<const Impl>(db, query, build_overlay)) {}
 
 PreparedConflictQuery::~PreparedConflictQuery() = default;
 
 bool PreparedConflictQuery::is_fallback() const { return impl_->is_fallback(); }
 
-bool PreparedConflictQuery::Probe(const CellDelta& delta,
-                                  ConflictStats& stats) const {
-  return impl_->Probe(delta, stats);
+bool PreparedConflictQuery::Probe(const CellDelta& delta, ConflictStats& stats,
+                                  const db::DeltaOverlay* committed) const {
+  return impl_->Probe(delta, stats, committed);
 }
 
 std::vector<uint32_t> ConflictSetEngine::ConflictSet(
@@ -515,18 +576,30 @@ std::vector<uint32_t> ConflictSetEngine::ConflictSet(
 std::vector<uint32_t> ConflictSetEngine::ConflictSet(
     const db::BoundQuery& query, const SupportSet& support,
     Stats& stats) const {
-  PreparedConflictQuery prepared(*db_, query);
-  return ConflictSet(prepared, support, stats);
+  return ConflictSet(query, support, nullptr, stats);
 }
 
 std::vector<uint32_t> ConflictSetEngine::ConflictSet(
     const PreparedConflictQuery& prepared, const SupportSet& support,
     Stats& stats) const {
+  return ConflictSet(prepared, support, nullptr, stats);
+}
+
+std::vector<uint32_t> ConflictSetEngine::ConflictSet(
+    const db::BoundQuery& query, const SupportSet& support,
+    const db::DeltaOverlay* committed, Stats& stats) const {
+  PreparedConflictQuery prepared(*db_, query, committed);
+  return ConflictSet(prepared, support, committed, stats);
+}
+
+std::vector<uint32_t> ConflictSetEngine::ConflictSet(
+    const PreparedConflictQuery& prepared, const SupportSet& support,
+    const db::DeltaOverlay* committed, Stats& stats) const {
   Stats local;
   if (prepared.is_fallback()) ++local.fallback_queries;
   std::vector<uint32_t> conflicts;
   for (uint32_t i = 0; i < support.size(); ++i) {
-    if (prepared.Probe(support[i], local)) conflicts.push_back(i);
+    if (prepared.Probe(support[i], local, committed)) conflicts.push_back(i);
   }
   stats.Merge(local);
   probes_.fetch_add(local.probes, std::memory_order_relaxed);

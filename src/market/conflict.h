@@ -24,6 +24,14 @@
 // tests/market/conflict_test.cc checks that both engines match each other
 // *and* the pre-overlay apply/evaluate/revert semantics bit-for-bit over
 // randomized queries, datasets and supports, including concurrent probes.
+//
+// Versioned catalogs (db/versioned_database.h) layer in the same way:
+// committed seller deltas live in a published generation overlay, and
+// every entry point here takes an optional `committed` overlay. Build
+// paths read base+committed; probe paths read base+committed with the
+// probe's one-cell delta chained on top (DeltaOverlay::set_parent), so
+// probing stays correct while the base tables are concurrently folded —
+// no read here touches a base cell the committed overlay shadows.
 #ifndef QP_MARKET_CONFLICT_H_
 #define QP_MARKET_CONFLICT_H_
 
@@ -33,6 +41,7 @@
 #include <vector>
 
 #include "db/database.h"
+#include "db/delta_overlay.h"
 #include "db/query.h"
 #include "market/support.h"
 
@@ -43,6 +52,14 @@ namespace qp::market {
 std::vector<uint32_t> NaiveConflictSet(const db::Database& db,
                                        const db::BoundQuery& query,
                                        const SupportSet& support);
+
+/// Same, reading through `committed` (a published catalog generation's
+/// overlay; nullptr behaves like the overload above). Each probe chains
+/// its one-cell overlay over `committed`.
+std::vector<uint32_t> NaiveConflictSet(const db::Database& db,
+                                       const db::BoundQuery& query,
+                                       const SupportSet& support,
+                                       const db::DeltaOverlay* committed);
 
 /// Probe accounting. Plain integers: accumulate per thread (or per call)
 /// and Merge for exact, lost-update-free totals.
@@ -66,9 +83,18 @@ struct ConflictStats {
 /// probes from many threads.
 class PreparedConflictQuery {
  public:
-  /// `db` and `query` must outlive the prepared state; the database's
-  /// contents must not change while probes are in flight.
-  PreparedConflictQuery(const db::Database& db, const db::BoundQuery& query);
+  /// `db` and `query` must outlive the prepared state. `build_overlay`
+  /// (when given) is the committed catalog overlay the state is built
+  /// against; it is read only during construction and not retained.
+  /// Cells the query is sensitive to must not change — through any
+  /// later committed overlay — while probes through this state are in
+  /// flight (the prepared cache enforces this by generation-keyed
+  /// invalidation); base cells shadowed by the committed overlay passed
+  /// to Probe may change freely (catalog folds).
+  explicit PreparedConflictQuery(const db::Database& db,
+                                 const db::BoundQuery& query,
+                                 const db::DeltaOverlay* build_overlay =
+                                     nullptr);
   ~PreparedConflictQuery();
 
   PreparedConflictQuery(const PreparedConflictQuery&) = delete;
@@ -79,8 +105,12 @@ class PreparedConflictQuery {
   bool is_fallback() const;
 
   /// Whether applying `delta` changes the query's visible result.
-  /// Read-only and thread-safe; `stats` receives this probe's accounting.
-  bool Probe(const CellDelta& delta, ConflictStats& stats) const;
+  /// Read-only and thread-safe; `stats` receives this probe's
+  /// accounting. `committed` is the catalog overlay of the caller's
+  /// pinned generation (nullptr for a plain database); the delta is
+  /// viewed chained over it.
+  bool Probe(const CellDelta& delta, ConflictStats& stats,
+             const db::DeltaOverlay* committed = nullptr) const;
 
  private:
   class Impl;
@@ -116,6 +146,18 @@ class ConflictSetEngine {
   /// per answered query, cached or not.
   std::vector<uint32_t> ConflictSet(const PreparedConflictQuery& prepared,
                                     const SupportSet& support,
+                                    Stats& stats) const;
+
+  /// Versioned-catalog variants: probe through `committed` (a pinned
+  /// generation's overlay; nullptr degenerates to the overloads above).
+  /// The preparing overload also builds the prepared state against it.
+  std::vector<uint32_t> ConflictSet(const db::BoundQuery& query,
+                                    const SupportSet& support,
+                                    const db::DeltaOverlay* committed,
+                                    Stats& stats) const;
+  std::vector<uint32_t> ConflictSet(const PreparedConflictQuery& prepared,
+                                    const SupportSet& support,
+                                    const db::DeltaOverlay* committed,
                                     Stats& stats) const;
 
   /// Exact snapshot of the totals across every probe through this engine

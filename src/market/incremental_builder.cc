@@ -10,8 +10,10 @@ namespace qp::market {
 
 IncrementalBuilder::IncrementalBuilder(const db::Database* db,
                                        SupportSet support,
-                                       const BuildOptions& options)
+                                       const BuildOptions& options,
+                                       const db::VersionedDatabase* catalog)
     : db_(db),
+      catalog_(catalog),
       support_(std::move(support)),
       options_(options),
       engine_(db),
@@ -27,6 +29,17 @@ std::vector<std::vector<uint32_t>> IncrementalBuilder::ComputeConflictSets(
   Stopwatch timer;
   const int count = static_cast<int>(queries.size());
 
+  // Writer-side: the caller serializes this with catalog commits/folds,
+  // so the head generation is stable for the whole fan-out and needs no
+  // epoch guard.
+  const db::DeltaOverlay* committed = nullptr;
+  uint64_t generation = 0;
+  if (catalog_ != nullptr) {
+    const db::VersionedDatabase::Generation* head = catalog_->head();
+    committed = &head->overlay;
+    generation = head->number;
+  }
+
   // Fan the queries out into per-index slots; probing is read-only over
   // the shared database, so the workers share it without synchronization.
   // Index-ordered stats reduction after the join keeps the merged
@@ -37,13 +50,14 @@ std::vector<std::vector<uint32_t>> IncrementalBuilder::ComputeConflictSets(
   pool.ParallelFor(count, [&](int i) {
     if (options_.incremental) {
       std::shared_ptr<const PreparedConflictQuery> prepared =
-          prepared_cache_.GetOrPrepare(queries[static_cast<size_t>(i)]);
+          prepared_cache_.GetOrPrepare(queries[static_cast<size_t>(i)],
+                                       committed, generation);
       edges[static_cast<size_t>(i)] =
-          engine_.ConflictSet(*prepared, support_,
+          engine_.ConflictSet(*prepared, support_, committed,
                               slot_stats[static_cast<size_t>(i)]);
     } else {
-      edges[static_cast<size_t>(i)] =
-          NaiveConflictSet(*db_, queries[static_cast<size_t>(i)], support_);
+      edges[static_cast<size_t>(i)] = NaiveConflictSet(
+          *db_, queries[static_cast<size_t>(i)], support_, committed);
     }
   });
   for (int i = 0; i < count; ++i) {
@@ -66,12 +80,27 @@ int IncrementalBuilder::AppendEdges(std::vector<std::vector<uint32_t>> edges) {
 }
 
 std::vector<uint32_t> IncrementalBuilder::ConflictSetFor(
-    const db::BoundQuery& query) const {
-  if (!options_.incremental) return NaiveConflictSet(*db_, query, support_);
+    const db::BoundQuery& query, uint64_t* pinned_generation) const {
+  // Reader-side: pin an epoch guard and a head snapshot for the whole
+  // probe, so a concurrent fold cannot reclaim the overlay under us and
+  // never writes a base cell our pinned overlay does not shadow.
+  common::EpochManager::Guard guard;
+  const db::DeltaOverlay* committed = nullptr;
+  uint64_t generation = 0;
+  if (catalog_ != nullptr) {
+    guard = common::EpochManager::Guard(catalog_->epochs());
+    const db::VersionedDatabase::Generation* head = catalog_->head();
+    committed = &head->overlay;
+    generation = head->number;
+  }
+  if (pinned_generation != nullptr) *pinned_generation = generation;
+  if (!options_.incremental) {
+    return NaiveConflictSet(*db_, query, support_, committed);
+  }
   std::shared_ptr<const PreparedConflictQuery> prepared =
-      prepared_cache_.GetOrPrepare(query);
+      prepared_cache_.GetOrPrepare(query, committed, generation);
   ConflictSetEngine::Stats ignored;
-  return engine_.ConflictSet(*prepared, support_, ignored);
+  return engine_.ConflictSet(*prepared, support_, committed, ignored);
 }
 
 }  // namespace qp::market

@@ -14,6 +14,16 @@
 // externally serialized, while ConflictSetFor is const, touches only
 // immutable state, and may be called from any number of threads — even
 // while a (single) writer appends.
+//
+// With a versioned catalog (db/versioned_database.h) attached, every
+// probe additionally reads through a published generation overlay:
+// writer-side paths (ComputeConflictSets) read the head generation —
+// safe unguarded because the caller serializes them with catalog
+// commits and folds — while ConflictSetFor pins an epoch guard and a
+// head snapshot for the whole probe, so seller deltas can commit (and
+// bases fold) concurrently with reader probes. Prepared-cache entries
+// are keyed to the generation they were built at (see
+// market/prepared_cache.h for the invalidate-before-publish contract).
 #ifndef QP_MARKET_INCREMENTAL_BUILDER_H_
 #define QP_MARKET_INCREMENTAL_BUILDER_H_
 
@@ -22,6 +32,7 @@
 #include "core/hypergraph.h"
 #include "db/database.h"
 #include "db/query.h"
+#include "db/versioned_database.h"
 #include "market/conflict.h"
 #include "market/prepared_cache.h"
 #include "market/support.h"
@@ -48,9 +59,14 @@ struct BuildOptions {
 class IncrementalBuilder {
  public:
   /// The database must outlive the builder and must not change contents
-  /// while it is in use; probing never writes to it.
+  /// while it is in use; probing never writes to it. `catalog` (optional)
+  /// is a versioned view over the same database: when given, probes read
+  /// base+overlay through its published generations, the base may change
+  /// through the catalog's Commit/TryFold, and the plain-contents rule
+  /// above applies to the *logical* view instead.
   IncrementalBuilder(const db::Database* db, SupportSet support,
-                     const BuildOptions& options = {});
+                     const BuildOptions& options = {},
+                     const db::VersionedDatabase* catalog = nullptr);
 
   /// Computes the conflict sets of `queries` (in parallel when
   /// options.num_threads > 1) and appends one edge each, in query order.
@@ -76,7 +92,11 @@ class IncrementalBuilder {
   /// Read-only and thread-safe, including concurrently with one Append.
   /// Repeat queries (by SQL text) share prepared probing state through
   /// the builder's PreparedQueryCache.
-  std::vector<uint32_t> ConflictSetFor(const db::BoundQuery& query) const;
+  /// `pinned_generation` (optional) receives the catalog generation the
+  /// probe ran at (0 without a catalog) — callers use it to measure
+  /// quote staleness against the head.
+  std::vector<uint32_t> ConflictSetFor(
+      const db::BoundQuery& query, uint64_t* pinned_generation = nullptr) const;
 
   /// Drops cached prepared probing state; required after the seller
   /// actually edits data (market::ApplyDelta), since prepared state bakes
@@ -86,9 +106,14 @@ class IncrementalBuilder {
 
   /// Selective form for a single-cell edit: drops only prepared entries
   /// whose SensitiveColumns contain the edited cell (the only entries
-  /// whose prepared state can depend on its contents).
-  void InvalidatePreparedQueriesFor(const CellDelta& delta) {
-    prepared_cache_.InvalidateCell(delta.table, delta.column);
+  /// whose prepared state can depend on its contents). With a versioned
+  /// catalog, pass the generation number the edit is about to publish
+  /// and call this BEFORE the catalog Commit (the cache's floor fence
+  /// depends on that ordering).
+  void InvalidatePreparedQueriesFor(const CellDelta& delta,
+                                    uint64_t next_generation = 0) {
+    prepared_cache_.InvalidateCell(delta.table, delta.column,
+                                   next_generation);
   }
 
   /// Hit/miss/invalidation counters of the prepared-query cache.
@@ -121,6 +146,7 @@ class IncrementalBuilder {
 
  private:
   const db::Database* db_;
+  const db::VersionedDatabase* catalog_;  // may be null (plain database)
   SupportSet support_;
   BuildOptions options_;
   ConflictSetEngine engine_;

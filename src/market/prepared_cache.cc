@@ -9,6 +9,12 @@ namespace qp::market {
 
 std::shared_ptr<const PreparedConflictQuery> PreparedQueryCache::GetOrPrepare(
     const db::BoundQuery& query) const {
+  return GetOrPrepare(query, nullptr, 0);
+}
+
+std::shared_ptr<const PreparedConflictQuery> PreparedQueryCache::GetOrPrepare(
+    const db::BoundQuery& query, const db::DeltaOverlay* overlay,
+    uint64_t generation) const {
   // The caller sees only the prepared state; the aliasing shared_ptr
   // keeps the whole entry — including the query copy the prepared state
   // references — alive for as long as any probe holds it (even across a
@@ -22,26 +28,49 @@ std::shared_ptr<const PreparedConflictQuery> PreparedQueryCache::GetOrPrepare(
     // Uncacheable (no stable key): prepare fresh, count the miss so the
     // engine's stats still show what a cache key would have saved.
     misses_.fetch_add(1, std::memory_order_relaxed);
-    return view(std::make_shared<const Entry>(*db_, query));
+    return view(std::make_shared<const Entry>(*db_, query, overlay, generation));
   }
   {
     std::shared_lock<std::shared_mutex> lock(mutex_);
     auto it = entries_.find(query.text);
     if (it != entries_.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      it->second->last_used.store(
-          use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
-          std::memory_order_relaxed);
-      return view(it->second);
+      if (it->second->built_generation <= generation) {
+        // Valid at the caller's pinned generation: every sensitive cell
+        // the entry baked in is unchanged through `generation`, or an
+        // InvalidateCell would have dropped it (invalidate-before-
+        // publish + the floor fence below).
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        it->second->last_used.store(
+            use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+        return view(it->second);
+      }
+      // Entry built at a generation the caller cannot see yet (its pin
+      // is older than the entry): build transient state against the
+      // caller's own overlay and leave the cache untouched.
+      lock.unlock();
+      stale_bypasses_.fetch_add(1, std::memory_order_relaxed);
+      return view(
+          std::make_shared<const Entry>(*db_, query, overlay, generation));
     }
   }
   // Prepare outside any lock (construction is the expensive part), then
   // race to insert; the first writer wins and everyone shares its entry.
   misses_.fetch_add(1, std::memory_order_relaxed);
-  auto entry = std::make_shared<const Entry>(*db_, query);
+  auto entry =
+      std::make_shared<const Entry>(*db_, query, overlay, generation);
   entry->last_used.store(use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
                          std::memory_order_relaxed);
   std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (catalog_floor_ != generation) {
+    // An InvalidateCell (or a commit at another generation) slipped in
+    // between our build and this insert: the entry may bake in cells a
+    // later generation changed, and the scan that should drop it has
+    // already run. Use the state transiently, never insert it.
+    lock.unlock();
+    stale_bypasses_.fetch_add(1, std::memory_order_relaxed);
+    return view(std::move(entry));
+  }
   auto [it, inserted] = entries_.emplace(query.text, std::move(entry));
   std::shared_ptr<const PreparedConflictQuery> prepared = view(it->second);
   if (inserted) EvictOverflowLocked();
@@ -81,11 +110,16 @@ std::vector<std::pair<int, int>> PreparedQueryCache::SortedSensitive(
   return sensitive;
 }
 
-void PreparedQueryCache::InvalidateCell(int table, int column) {
+void PreparedQueryCache::InvalidateCell(int table, int column,
+                                        uint64_t next_generation) {
   const std::pair<int, int> cell{table, column};
   uint64_t dropped = 0;
   {
     std::unique_lock<std::shared_mutex> lock(mutex_);
+    // Advance the floor in the same critical section as the scan: every
+    // insert is ordered against this lock, so an entry present after it
+    // was scanned, and an entry built before it can no longer insert.
+    if (next_generation > catalog_floor_) catalog_floor_ = next_generation;
     for (auto it = entries_.begin(); it != entries_.end();) {
       const Entry& entry = *it->second;
       if (std::binary_search(entry.sensitive.begin(), entry.sensitive.end(),

@@ -33,6 +33,23 @@
 // pure function of (db, query)), so hit/miss — and eviction — behavior
 // never changes conflict sets or probe accounting.
 //
+// Versioned catalogs (db/versioned_database.h) add a generation key.
+// Each entry records the catalog generation it was built at; the
+// overlay-taking GetOrPrepare accepts a hit only when the entry's build
+// generation is <= the caller's pinned generation. That is sound
+// because the engines invalidate *before* publishing a commit
+// (InvalidateCell takes the about-to-publish generation): an entry that
+// survives was built from sensitive-cell contents identical to every
+// later generation's, so its prepared state probes bit-identically. The
+// same InvalidateCell call advances a monotone `catalog_floor_` under
+// the exclusive lock; an insert whose build generation no longer
+// matches the floor is skipped (the freshly built state is still
+// returned and used transiently) — this closes the race where a
+// reader's insert of an entry built at an old generation lands after
+// the invalidation scan that should have dropped it. Entries built at a
+// generation *newer* than the caller's pin are bypassed the same
+// transient way (stale_bypasses counts both).
+//
 // Capacity: the cache holds at most `max_entries` entries (0 =
 // unbounded). Eviction is least-recently-used, approximated so lookups
 // stay shared-locked: every hit stamps the entry with a global use tick
@@ -74,6 +91,11 @@ class PreparedQueryCache {
     /// edited cell). Full flushes count under `invalidations`.
     uint64_t selective_invalidations = 0;
     uint64_t selective_dropped = 0;
+    /// Generation-keyed lookups that could not use / populate the cache:
+    /// cached entry newer than the caller's pinned generation, or the
+    /// catalog floor moved between build and insert. The freshly built
+    /// state is used transiently; correctness is unaffected.
+    uint64_t stale_bypasses = 0;
     /// Current number of cached entries (a gauge; merging sums the
     /// per-cache gauges).
     uint64_t entries = 0;
@@ -85,6 +107,7 @@ class PreparedQueryCache {
       evictions += other.evictions;
       selective_invalidations += other.selective_invalidations;
       selective_dropped += other.selective_dropped;
+      stale_bypasses += other.stale_bypasses;
       entries += other.entries;
       return *this;
     }
@@ -106,6 +129,15 @@ class PreparedQueryCache {
   std::shared_ptr<const PreparedConflictQuery> GetOrPrepare(
       const db::BoundQuery& query) const;
 
+  /// Generation-keyed variant for versioned catalogs: `overlay` is the
+  /// caller's pinned generation overlay (nullptr for the root) and
+  /// `generation` its number. Hits require the entry's build generation
+  /// to be <= `generation`; misses build against `overlay` and insert
+  /// only while the catalog floor still matches (see file comment).
+  std::shared_ptr<const PreparedConflictQuery> GetOrPrepare(
+      const db::BoundQuery& query, const db::DeltaOverlay* overlay,
+      uint64_t generation) const;
+
   /// Drops every cached entry (seller data edit). Thread-safe; in-flight
   /// probes holding a shared_ptr finish against the state they pinned.
   void Invalidate();
@@ -113,7 +145,11 @@ class PreparedQueryCache {
   /// Drops only the entries whose query's SensitiveColumns contain
   /// (table, column) — the selective form for a single-cell seller edit.
   /// Thread-safe, same in-flight semantics as Invalidate().
-  void InvalidateCell(int table, int column);
+  /// `next_generation` is the generation number the edit is about to
+  /// publish (the writer calls this BEFORE the publish); it advances the
+  /// catalog floor, fencing off in-flight inserts of entries built at
+  /// older generations. Pass 0 for plain, unversioned databases.
+  void InvalidateCell(int table, int column, uint64_t next_generation = 0);
 
   Stats stats() const {
     Stats out;
@@ -125,6 +161,7 @@ class PreparedQueryCache {
         selective_invalidations_.load(std::memory_order_relaxed);
     out.selective_dropped =
         selective_dropped_.load(std::memory_order_relaxed);
+    out.stale_bypasses = stale_bypasses_.load(std::memory_order_relaxed);
     {
       std::shared_lock<std::shared_mutex> lock(mutex_);
       out.entries = entries_.size();
@@ -145,10 +182,17 @@ class PreparedQueryCache {
     /// The query's SensitiveColumns, (table, column) pairs sorted for
     /// binary search — the key InvalidateCell filters on.
     std::vector<std::pair<int, int>> sensitive;
+    /// Catalog generation the prepared state was built at (0 for plain
+    /// databases).
+    uint64_t built_generation = 0;
     mutable std::atomic<uint64_t> last_used{0};
 
-    Entry(const db::Database& db, const db::BoundQuery& q)
-        : query(q), prepared(db, query), sensitive(SortedSensitive(query)) {}
+    Entry(const db::Database& db, const db::BoundQuery& q,
+          const db::DeltaOverlay* overlay, uint64_t generation)
+        : query(q),
+          prepared(db, query, overlay),
+          sensitive(SortedSensitive(query)),
+          built_generation(generation) {}
   };
 
   /// SensitiveColumns come back ordered by flat column index, which is
@@ -173,6 +217,11 @@ class PreparedQueryCache {
   mutable std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> selective_invalidations_{0};
   std::atomic<uint64_t> selective_dropped_{0};
+  mutable std::atomic<uint64_t> stale_bypasses_{0};
+  /// Highest `next_generation` any InvalidateCell has announced, guarded
+  /// by mutex_ (exclusive to write, exclusive at insert to read — the
+  /// total order between floor advances and inserts is the point).
+  mutable uint64_t catalog_floor_ = 0;
 };
 
 }  // namespace qp::market

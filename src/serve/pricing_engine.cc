@@ -20,13 +20,19 @@ std::vector<core::PricingResult> CloneResults(
 PricingEngine::PricingEngine(const db::Database* db,
                              market::SupportSet support,
                              EngineOptions options,
-                             common::EpochManager* epochs)
+                             common::EpochManager* epochs,
+                             db::VersionedDatabase* catalog)
     : db_(db),
       options_(std::move(options)),
-      builder_(db, std::move(support), options_.build),
       owned_epochs_(epochs == nullptr ? std::make_unique<common::EpochManager>()
                                       : nullptr),
       epochs_(epochs != nullptr ? epochs : owned_epochs_.get()),
+      owned_catalog_(catalog == nullptr
+                         ? std::make_unique<db::VersionedDatabase>(
+                               db, epochs_, options_.fold_every)
+                         : nullptr),
+      catalog_(catalog != nullptr ? catalog : owned_catalog_.get()),
+      builder_(db, std::move(support), options_.build, catalog_),
       chain_(epochs_) {
   // Never let the algorithm layer see stale caller-side precompute: the
   // reprice state owns classes and valuation order for this instance.
@@ -84,10 +90,16 @@ Status PricingEngine::ApplySellerDelta(db::Database& db,
         "ApplySellerDelta: database is not this engine's database");
   }
   std::lock_guard<std::mutex> lock(writer_mutex_);
-  market::ApplyDelta(db, delta);
+  // Invalidate BEFORE the publish, keyed to the generation the commit is
+  // about to create: the cache's floor fence (market/prepared_cache.h)
+  // needs that order to shut out in-flight inserts of pre-edit state.
   // Selective: only prepared entries whose SensitiveColumns contain the
   // edited cell can have baked its old value into their probing state.
-  builder_.InvalidatePreparedQueriesFor(delta);
+  // The head read needs no guard — commits and folds are serialized on
+  // writer_mutex_.
+  const uint64_t next_generation = catalog_->head()->number + 1;
+  builder_.InvalidatePreparedQueriesFor(delta, next_generation);
+  catalog_->Commit(db, delta.table, delta.row, delta.column, delta.new_value);
   return Status::OK();
 }
 
@@ -239,11 +251,21 @@ PurchaseOutcome PricingEngine::Purchase(const db::BoundQuery& query,
                                         double valuation) {
   PurchaseOutcome outcome;
   outcome.valuation = valuation;
-  // Reader side, end to end: the probe reads the const database through
-  // per-delta overlays, the quote pins an epoch over the published
-  // chain, and the sale lands in atomic counters — no writer mutex (and
-  // no shared_ptr refcounts) anywhere.
-  outcome.bundle = builder_.ConflictSetFor(query);
+  // Reader side, end to end: the probe pins a catalog generation and
+  // reads base+overlay through per-delta overlays, the quote pins an
+  // epoch over the published chain, and the sale lands in atomic
+  // counters — no writer mutex (and no shared_ptr refcounts) anywhere.
+  uint64_t pinned_generation = 0;
+  outcome.bundle = builder_.ConflictSetFor(query, &pinned_generation);
+  // Staleness sample: committed generations the pinned probe could not
+  // see (head may have advanced while the probe ran).
+  const uint64_t behind = catalog_->head_generation() - pinned_generation;
+  staleness_samples_.fetch_add(1, std::memory_order_relaxed);
+  staleness_sum_.fetch_add(behind, std::memory_order_relaxed);
+  uint64_t prev_max = staleness_max_.load(std::memory_order_relaxed);
+  while (behind > prev_max && !staleness_max_.compare_exchange_weak(
+                                  prev_max, behind, std::memory_order_relaxed)) {
+  }
   {
     common::EpochManager::Guard guard(*epochs_);
     outcome.quote = chain_.view().QuoteBundle(outcome.bundle);
@@ -279,6 +301,17 @@ EngineStats PricingEngine::stats() const {
   out.publish.fallbacks = diff_fallbacks_;
   out.publish.chain_length = chain_.chain_length();
   out.epoch = epochs_->stats();
+  const db::VersionedDatabase::Stats catalog = catalog_->stats();
+  out.catalog.generations_published = catalog.generations_published;
+  out.catalog.folds = catalog.folds;
+  out.catalog.fold_retries = catalog.fold_retries;
+  out.catalog.deltas_pending = catalog.deltas_pending;
+  out.catalog.deltas_folded = catalog.deltas_folded;
+  out.catalog.fold_nanos = catalog.fold_nanos;
+  out.catalog.staleness_samples =
+      staleness_samples_.load(std::memory_order_relaxed);
+  out.catalog.staleness_sum = staleness_sum_.load(std::memory_order_relaxed);
+  out.catalog.staleness_max = staleness_max_.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -47,6 +47,7 @@
 #include "core/reprice.h"
 #include "db/database.h"
 #include "db/query.h"
+#include "db/versioned_database.h"
 #include "market/incremental_builder.h"
 #include "market/support.h"
 #include "serve/delta_book.h"
@@ -72,6 +73,13 @@ struct EngineOptions {
   /// baseline the publish-cost bench phases compare against. Books are
   /// bit-identical for every value.
   uint32_t consolidate_every = 8;
+  /// Catalog fold cadence (mirrors consolidate_every on the data side):
+  /// ApplySellerDelta folds the accumulated overlay into the base
+  /// database once it holds this many distinct cells — gated on reader
+  /// drain, retried on the next delta when readers are still pinned.
+  /// <= 0 never folds (the overlay grows without bound). Logical reads
+  /// are identical for every value.
+  int fold_every = 32;
 };
 
 /// Outcome of a posted-price interaction: the buyer saw `quote` for the
@@ -131,6 +139,23 @@ struct EngineStats {
   /// reader-side epoch pin — the hot-path replacement for shared_ptr
   /// refcount traffic.
   common::EpochManager::Stats epoch;
+  /// Versioned-catalog churn accounting: generation publishes, folds and
+  /// their cost (db::VersionedDatabase::Stats), plus quote staleness —
+  /// how many committed generations behind the head each Purchase's
+  /// pinned probe ran (sampled per Purchase; max is a high-water mark).
+  /// In the sharded engine the catalog is shared and reported once.
+  struct CatalogStats {
+    uint64_t generations_published = 0;
+    uint64_t folds = 0;
+    uint64_t fold_retries = 0;
+    uint64_t deltas_pending = 0;
+    uint64_t deltas_folded = 0;
+    uint64_t fold_nanos = 0;
+    uint64_t staleness_samples = 0;
+    uint64_t staleness_sum = 0;
+    uint64_t staleness_max = 0;
+  };
+  CatalogStats catalog;
 };
 
 class PricingEngine {
@@ -141,10 +166,16 @@ class PricingEngine {
   /// quote immediately. `epochs`, when non-null, is a shared epoch
   /// manager (the sharded router passes one per router so a merged view
   /// pins once for all shards) and must outlive the engine; null gives
-  /// the engine its own.
+  /// the engine its own. `catalog`, when non-null, is a shared versioned
+  /// view over `db` (the sharded router owns one across its shards) and
+  /// must outlive the engine; null gives the engine its own, built over
+  /// `db` with options.fold_every. With a shared catalog, ApplySellerDelta
+  /// must be routed through the catalog's single writer (the router) —
+  /// per-engine writer mutexes do not serialize against each other.
   PricingEngine(const db::Database* db, market::SupportSet support,
                 EngineOptions options = {},
-                common::EpochManager* epochs = nullptr);
+                common::EpochManager* epochs = nullptr,
+                db::VersionedDatabase* catalog = nullptr);
 
   /// Writer path: appends one edge (conflict set) + valuation per buyer
   /// query, reprices, and atomically publishes the next snapshot.
@@ -198,12 +229,20 @@ class PricingEngine {
 
   /// The seller edits one cell. `db` must be the engine's own database
   /// (mutable access stays with the owner; the engine only checks
-  /// identity). Applies the delta and invalidates the prepared-query
-  /// cache — prepared probing state bakes in row contents. The caller
-  /// must quiesce probes (Purchase, AppendBuyers) around the edit: data
-  /// changes race in-flight probes by nature. Published books and stored
-  /// conflict sets still describe the pre-edit market; rebuilding them is
-  /// the persistence/rebuild follow-on tracked in ROADMAP.md.
+  /// identity). Fully concurrent with readers — no quiescence: the delta
+  /// is *committed* to the versioned catalog (a new generation whose
+  /// overlay carries every unfolded cell, published by one atomic head
+  /// store), never written into the base mid-traffic. In-flight probes
+  /// keep reading their pinned generation; probes starting after the
+  /// commit see the new value. The prepared-query cache is selectively
+  /// invalidated (entries whose SensitiveColumns contain the cell)
+  /// before the publish, keyed to the new generation. Every fold_every
+  /// distinct cells the writer folds the overlay into the base in place,
+  /// gated on EpochManager::DrainedAfter so no pinned reader can observe
+  /// a half-applied fold; retired generations reclaim through the epoch
+  /// manager. Published books and stored conflict sets still describe
+  /// the pre-edit market; rebuilding them is the persistence/rebuild
+  /// follow-on tracked in ROADMAP.md.
   Status ApplySellerDelta(db::Database& db, const market::CellDelta& delta);
 
   /// Drops cached prepared probing state without editing data (e.g. the
@@ -212,10 +251,17 @@ class PricingEngine {
 
   /// Selective form: drops only prepared entries whose SensitiveColumns
   /// contain the edited cell (the only entries whose prepared state can
-  /// depend on it).
-  void InvalidatePreparedQueriesFor(const market::CellDelta& delta) {
-    builder_.InvalidatePreparedQueriesFor(delta);
+  /// depend on it). `next_generation` is the catalog generation the edit
+  /// will publish (the sharded router passes it when fanning one delta's
+  /// invalidation across shard caches before the single commit).
+  void InvalidatePreparedQueriesFor(const market::CellDelta& delta,
+                                    uint64_t next_generation = 0) {
+    builder_.InvalidatePreparedQueriesFor(delta, next_generation);
   }
+
+  /// The engine's versioned catalog view over its database (shared or
+  /// owned). Readers resolve seller-delta edits through it.
+  const db::VersionedDatabase& catalog() const { return *catalog_; }
 
   EngineStats stats() const;
 
@@ -260,17 +306,23 @@ class PricingEngine {
   EngineOptions options_;
 
   mutable std::mutex writer_mutex_;
+  /// Epoch-based reclamation for retired chains and catalog generations:
+  /// owned unless the constructor was handed a shared manager. Declared
+  /// before the catalog, builder and chain so their retirements die
+  /// first.
+  std::unique_ptr<common::EpochManager> owned_epochs_;
+  common::EpochManager* epochs_;
+  /// Versioned catalog over db_: owned unless the constructor was handed
+  /// the router's shared one. Declared before builder_ (which probes
+  /// through it).
+  std::unique_ptr<db::VersionedDatabase> owned_catalog_;
+  db::VersionedDatabase* catalog_;
   market::IncrementalBuilder builder_;
   core::Valuations valuations_;
   core::RepriceState reprice_;
   uint64_t version_ = 0;
   int total_lps_solved_ = 0;
 
-  /// Epoch-based reclamation for retired chains: owned unless the
-  /// constructor was handed a shared manager. Declared before chain_ so
-  /// the chain (and its retirements) die first.
-  std::unique_ptr<common::EpochManager> owned_epochs_;
-  common::EpochManager* epochs_;
   PriceBookChain chain_;
   /// The writer's full working copy of the published generation: the
   /// diff anchor for delta publishes and the consolidated view persist
@@ -292,6 +344,11 @@ class PricingEngine {
   std::atomic<uint64_t> purchases_{0};
   std::atomic<uint64_t> purchases_accepted_{0};
   std::atomic<double> sale_revenue_{0.0};
+  // Quote staleness: per-Purchase samples of head generation minus the
+  // probe's pinned generation (reader-side, hence atomic).
+  std::atomic<uint64_t> staleness_samples_{0};
+  std::atomic<uint64_t> staleness_sum_{0};
+  std::atomic<uint64_t> staleness_max_{0};
 };
 
 }  // namespace qp::serve

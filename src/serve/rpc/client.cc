@@ -186,6 +186,13 @@ Status RpcClient::ReceiveFrame(RpcReply* out) {
             out->message = out->append.message;
           }
           break;
+        case MsgType::kApplySellerDeltaReply:
+          ok = DecodeApplySellerDeltaReply(frame.body, &out->seller_delta);
+          if (ok) {
+            out->code = out->seller_delta.code;
+            out->message = out->seller_delta.message;
+          }
+          break;
         case MsgType::kStatsReply:
           ok = DecodeStatsReply(frame.body, &out->stats);
           break;
@@ -284,6 +291,13 @@ Result<uint64_t> RpcClient::SendAppendBuyers(
   return id;
 }
 
+Result<uint64_t> RpcClient::SendApplySellerDelta(
+    const market::CellDelta& delta) {
+  uint64_t id = NextId();
+  QP_RETURN_IF_ERROR(SendFrame(EncodeApplySellerDeltaRequest(id, delta)));
+  return id;
+}
+
 Result<uint64_t> RpcClient::SendStats() {
   uint64_t id = NextId();
   QP_RETURN_IF_ERROR(SendFrame(EncodeStatsRequest(id)));
@@ -310,6 +324,12 @@ Status RpcClient::Purchase(const std::string& sql, double valuation,
 Status RpcClient::AppendBuyers(const std::vector<WireBuyer>& buyers,
                                RpcReply* out) {
   QP_ASSIGN_OR_RETURN(uint64_t id, SendAppendBuyers(buyers));
+  return WaitFor(id, out);
+}
+
+Status RpcClient::ApplySellerDelta(const market::CellDelta& delta,
+                                   RpcReply* out) {
+  QP_ASSIGN_OR_RETURN(uint64_t id, SendApplySellerDelta(delta));
   return WaitFor(id, out);
 }
 
@@ -378,6 +398,43 @@ Status RpcClient::AppendBuyersWithRetry(const std::vector<WireBuyer>& buyers,
     }
     ++local.attempts;
     last = AppendBuyers(buyers, out);
+    if (!last.ok()) break;  // At-most-once: transport failure is terminal.
+    if (out->code == WireCode::kBackpressure) {
+      if (attempt + 1 < policy.max_attempts) ++local.backpressure_retries;
+      continue;
+    }
+    if (out->code == WireCode::kUnavailable) {
+      if (attempt + 1 < policy.max_attempts) ++local.unavailable_retries;
+      continue;
+    }
+    break;
+  }
+  if (stats != nullptr) *stats = local;
+  return last;
+}
+
+Status RpcClient::ApplySellerDeltaWithRetry(const market::CellDelta& delta,
+                                            const RetryPolicy& policy,
+                                            RpcReply* out, RetryStats* stats) {
+  Rng rng(policy.seed);
+  RetryStats local;
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      double ms = RetryBackoffMs(policy, attempt - 1, rng);
+      local.backoff_ms += ms;
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+    }
+    if (fd_ < 0 && local.attempts == 0) {
+      // Same at-most-once shape as appends: connect only before the
+      // FIRST send; a later lost connection means a delta of unknown
+      // fate, surfaced to the caller rather than resent.
+      last = Connect(address_, port_);
+      if (!last.ok()) continue;
+      ++local.reconnects;
+    }
+    ++local.attempts;
+    last = ApplySellerDelta(delta, out);
     if (!last.ok()) break;  // At-most-once: transport failure is terminal.
     if (out->code == WireCode::kBackpressure) {
       if (attempt + 1 < policy.max_attempts) ++local.backpressure_retries;

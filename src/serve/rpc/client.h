@@ -26,13 +26,15 @@
 //    buffered partial frame) intact — the reply can still be collected
 //    later; a send deadline disconnects, because a partially written
 //    frame desynchronizes the stream.
-//  * QuoteWithRetry / AppendBuyersWithRetry wrap the blocking calls in a
-//    RetryPolicy (exponential backoff + jitter). Quotes are idempotent
-//    and read-only, so transport failures reconnect and resend. Appends
-//    are at-most-once: only an explicit kBackpressure / kUnavailable
-//    reply — the server saying "NOT applied" — is retried; a transport
-//    failure mid-append is returned to the caller, who cannot know
-//    whether the op landed.
+//  * QuoteWithRetry / AppendBuyersWithRetry / ApplySellerDeltaWithRetry
+//    wrap the blocking calls in a RetryPolicy (exponential backoff +
+//    jitter). Quotes are idempotent and read-only, so transport failures
+//    reconnect and resend. Appends and seller deltas are at-most-once:
+//    only an explicit kBackpressure / kUnavailable reply — the server
+//    saying "NOT applied" — is retried; a transport failure mid-op is
+//    returned to the caller, who cannot know whether it landed. (A
+//    seller delta sets an absolute cell value, so a double apply would
+//    be harmless — but the retry loop still refuses to guess.)
 #ifndef QP_SERVE_RPC_CLIENT_H_
 #define QP_SERVE_RPC_CLIENT_H_
 
@@ -103,6 +105,7 @@ struct RpcReply {
   std::vector<Quote> quotes;   // kQuoteBatchReply
   WirePurchase purchase;       // kPurchaseReply
   WireAppendResult append;     // kAppendReply
+  WireDeltaResult seller_delta;  // kApplySellerDeltaReply
   WireStats stats;             // kStatsReply
 
   bool ok() const { return code == WireCode::kOk; }
@@ -152,6 +155,7 @@ class RpcClient {
                     RpcReply* out);
   Status Purchase(const std::string& sql, double valuation, RpcReply* out);
   Status AppendBuyers(const std::vector<WireBuyer>& buyers, RpcReply* out);
+  Status ApplySellerDelta(const market::CellDelta& delta, RpcReply* out);
   Status Stats(RpcReply* out);
 
   // --- retrying calls --------------------------------------------------
@@ -172,6 +176,13 @@ class RpcClient {
                                const RetryPolicy& policy, RpcReply* out,
                                RetryStats* stats = nullptr);
 
+  /// ApplySellerDelta with the same at-most-once contract as appends:
+  /// backoff only on explicit kBackpressure / kUnavailable replies;
+  /// transport failures are returned immediately.
+  Status ApplySellerDeltaWithRetry(const market::CellDelta& delta,
+                                   const RetryPolicy& policy, RpcReply* out,
+                                   RetryStats* stats = nullptr);
+
   // --- pipelined interface ---------------------------------------------
 
   /// Sends one request without waiting; returns the request id to match
@@ -181,6 +192,7 @@ class RpcClient {
       const std::vector<std::vector<uint32_t>>& bundles);
   Result<uint64_t> SendPurchase(const std::string& sql, double valuation);
   Result<uint64_t> SendAppendBuyers(const std::vector<WireBuyer>& buyers);
+  Result<uint64_t> SendApplySellerDelta(const market::CellDelta& delta);
   Result<uint64_t> SendStats();
 
   /// Blocks for the next reply in server order (parked replies first).

@@ -54,19 +54,24 @@ struct RpcServer::Impl {
   };
 
   // --- writer queue (shared: loop thread -> writer thread) --------------
+  enum class WriterOp : uint8_t { kAppend, kSellerDelta };
   struct WriterJob {
     uint64_t conn_id = 0;
     uint64_t request_id = 0;
-    std::vector<WireBuyer> buyers;
+    WriterOp op = WriterOp::kAppend;
+    std::vector<WireBuyer> buyers;       // op == kAppend
+    market::CellDelta delta;             // op == kSellerDelta
   };
   struct WriterDone {
     uint64_t conn_id = 0;
     uint64_t request_id = 0;
+    WriterOp op = WriterOp::kAppend;
+    /// For seller deltas `version` carries the catalog generation.
     WireAppendResult result;
   };
 
   ShardedPricingEngine* engine;
-  const db::Database* db;
+  db::Database* db;
   RpcServerOptions options;
 
   int listen_fd = -1;
@@ -95,7 +100,8 @@ struct RpcServer::Impl {
   // thread and the writer thread bumps writer-side ones, so all atomic.
   std::atomic<uint64_t> connections_accepted{0}, connections_closed{0},
       frames_received{0}, quote_requests{0}, quote_batch_requests{0},
-      purchase_requests{0}, append_requests{0}, stats_requests{0},
+      purchase_requests{0}, append_requests{0}, seller_delta_requests{0},
+      stats_requests{0},
       quote_ticks{0}, batched_quotes{0}, writer_enqueued{0},
       writer_rejected{0}, protocol_errors{0};
 
@@ -222,7 +228,7 @@ struct RpcServer::Impl {
             WriterJob dropped = std::move(writer_queue.front());
             writer_queue.pop_front();
             writer_done.push_back(
-                {dropped.conn_id, dropped.request_id,
+                {dropped.conn_id, dropped.request_id, dropped.op,
                  {WireCode::kShuttingDown, "server stopping", 0}});
           }
           Wake();
@@ -231,7 +237,9 @@ struct RpcServer::Impl {
         job = std::move(writer_queue.front());
         writer_queue.pop_front();
       }
-      WriterDone done{job.conn_id, job.request_id, ExecuteAppend(job)};
+      WriterDone done{job.conn_id, job.request_id, job.op,
+                      job.op == WriterOp::kAppend ? ExecuteAppend(job)
+                                                  : ExecuteSellerDelta(job)};
       {
         std::lock_guard<std::mutex> lock(writer_mutex);
         writer_done.push_back(std::move(done));
@@ -258,6 +266,23 @@ struct RpcServer::Impl {
     Status status = engine->AppendBuyers(queries, valuations);
     if (!status.ok()) return {WireCode::kInternal, status.ToString(), 0};
     return {WireCode::kOk, "", engine->snapshot().version()};
+  }
+
+  WireAppendResult ExecuteSellerDelta(const WriterJob& job) {
+    // Bounds-check against the live schema before the engine sees it: a
+    // hostile delta must fail as kBadRequest, not corrupt the catalog.
+    const market::CellDelta& d = job.delta;
+    if (d.table < 0 || d.table >= db->num_tables()) {
+      return {WireCode::kBadRequest, "ApplySellerDelta: table out of range", 0};
+    }
+    const db::Table& table = db->table(d.table);
+    if (d.row < 0 || d.row >= table.num_rows() || d.column < 0 ||
+        d.column >= table.schema().num_columns()) {
+      return {WireCode::kBadRequest, "ApplySellerDelta: cell out of range", 0};
+    }
+    Status status = engine->ApplySellerDelta(*db, d);
+    if (!status.ok()) return {WireCode::kInternal, status.ToString(), 0};
+    return {WireCode::kOk, "", engine->catalog().head_generation()};
   }
 
   // --- event loop -------------------------------------------------------
@@ -325,7 +350,7 @@ struct RpcServer::Impl {
       while (!writer_queue.empty()) {
         WriterJob dropped = std::move(writer_queue.front());
         writer_queue.pop_front();
-        writer_done.push_back({dropped.conn_id, dropped.request_id,
+        writer_done.push_back({dropped.conn_id, dropped.request_id, dropped.op,
                                {WireCode::kShuttingDown, "server stopping", 0}});
       }
     }
@@ -503,6 +528,37 @@ struct RpcServer::Impl {
         writer_cv.notify_one();
         return true;
       }
+      case MsgType::kApplySellerDelta: {
+        seller_delta_requests.fetch_add(1, std::memory_order_relaxed);
+        if (stopping.load()) {
+          // Same drain contract as appends: only deltas admitted BEFORE
+          // Stop() execute; new ones are refused, NOT applied.
+          return QueueWrite(
+              id, EncodeErrorReply(frame.request_id, WireCode::kShuttingDown,
+                                   "server stopping"));
+        }
+        WriterJob job;
+        job.conn_id = id;
+        job.request_id = frame.request_id;
+        job.op = WriterOp::kSellerDelta;
+        if (!DecodeApplySellerDeltaRequest(frame.body, &job.delta)) {
+          return BadRequest(id, frame.request_id,
+                            "malformed ApplySellerDelta body");
+        }
+        {
+          std::lock_guard<std::mutex> lock(writer_mutex);
+          if (writer_queue.size() >= options.writer_queue_depth) {
+            writer_rejected.fetch_add(1, std::memory_order_relaxed);
+            return QueueWrite(
+                id, EncodeErrorReply(frame.request_id, WireCode::kBackpressure,
+                                     "writer queue full; retry later"));
+          }
+          writer_queue.push_back(std::move(job));
+          writer_enqueued.fetch_add(1, std::memory_order_relaxed);
+        }
+        writer_cv.notify_one();
+        return true;
+      }
       case MsgType::kStats: {
         stats_requests.fetch_add(1, std::memory_order_relaxed);
         return QueueWrite(id, EncodeStatsReply(frame.request_id, BuildStats()));
@@ -547,6 +603,16 @@ struct RpcServer::Impl {
     out.protocol_errors = protocol_errors.load(std::memory_order_relaxed);
     out.connections_accepted =
         connections_accepted.load(std::memory_order_relaxed);
+    out.catalog_generation = engine->catalog().head_generation();
+    out.generations_published = reader.catalog.generations_published;
+    out.folds = reader.catalog.folds;
+    out.fold_retries = reader.catalog.fold_retries;
+    out.deltas_pending = reader.catalog.deltas_pending;
+    out.deltas_folded = reader.catalog.deltas_folded;
+    out.fold_nanos = reader.catalog.fold_nanos;
+    out.staleness_samples = reader.catalog.staleness_samples;
+    out.staleness_sum = reader.catalog.staleness_sum;
+    out.staleness_max = reader.catalog.staleness_max;
     return out;
   }
 
@@ -607,6 +673,15 @@ struct RpcServer::Impl {
     }
     for (WriterDone& completion : done) {
       if (completion.result.code == WireCode::kOk) {
+        if (completion.op == WriterOp::kSellerDelta) {
+          WireDeltaResult result;
+          result.code = completion.result.code;
+          result.message = completion.result.message;
+          result.generation = completion.result.version;
+          QueueWrite(completion.conn_id,
+                     EncodeApplySellerDeltaReply(completion.request_id, result));
+          continue;
+        }
         QueueWrite(completion.conn_id,
                    EncodeAppendReply(completion.request_id, completion.result));
       } else {
@@ -658,7 +733,7 @@ struct RpcServer::Impl {
   }
 };
 
-RpcServer::RpcServer(ShardedPricingEngine* engine, const db::Database* db,
+RpcServer::RpcServer(ShardedPricingEngine* engine, db::Database* db,
                      RpcServerOptions options)
     : impl_(std::make_unique<Impl>()) {
   impl_->engine = engine;
@@ -690,6 +765,8 @@ RpcServerStats RpcServer::stats() const {
   out.purchase_requests =
       impl_->purchase_requests.load(std::memory_order_relaxed);
   out.append_requests = impl_->append_requests.load(std::memory_order_relaxed);
+  out.seller_delta_requests =
+      impl_->seller_delta_requests.load(std::memory_order_relaxed);
   out.stats_requests = impl_->stats_requests.load(std::memory_order_relaxed);
   out.quote_ticks = impl_->quote_ticks.load(std::memory_order_relaxed);
   out.batched_quotes = impl_->batched_quotes.load(std::memory_order_relaxed);

@@ -16,12 +16,15 @@
 //    Purchase and Stats are served inline on the loop thread; both are
 //    lock-free against the engine's writer, so a slow append never
 //    stalls the read path.
-//  * Writer ops (AppendBuyers) enter a bounded admission queue consumed
-//    by a dedicated writer thread (the engine serializes writers anyway,
-//    so one thread loses nothing). A full queue rejects the request
-//    immediately with WireCode::kBackpressure — the request was NOT
-//    applied, and the client owns the retry. Completions post back to
-//    the loop through an eventfd and are answered in completion order.
+//  * Writer ops (AppendBuyers, ApplySellerDelta) enter a bounded
+//    admission queue consumed by a dedicated writer thread (the engine
+//    serializes writers anyway, so one thread loses nothing). A full
+//    queue rejects the request immediately with WireCode::kBackpressure
+//    — the request was NOT applied, and the client owns the retry.
+//    Completions post back to the loop through an eventfd and are
+//    answered in completion order. Seller deltas commit into the
+//    engine's versioned catalog (db::VersionedDatabase), so concurrent
+//    quotes and purchases keep serving lock-free while one lands.
 //
 // Responses may therefore interleave arbitrarily with request order on
 // one connection; clients match on request_id (see wire.h).
@@ -73,6 +76,7 @@ struct RpcServerStats {
   uint64_t quote_batch_requests = 0;
   uint64_t purchase_requests = 0;
   uint64_t append_requests = 0;
+  uint64_t seller_delta_requests = 0;
   uint64_t stats_requests = 0;
   /// Ticks that served at least one quote request, and the bundles they
   /// coalesced into single engine QuoteBatch calls. batched_quotes /
@@ -88,9 +92,11 @@ struct RpcServerStats {
 class RpcServer {
  public:
   /// `engine` and `db` must outlive the server; `db` is the database the
-  /// engine serves (used to parse Purchase/AppendBuyers SQL) and is
-  /// never written to.
-  RpcServer(ShardedPricingEngine* engine, const db::Database* db,
+  /// engine serves (used to parse Purchase/AppendBuyers SQL). The only
+  /// write path through it is ApplySellerDelta, which commits via the
+  /// engine's versioned catalog on the single writer thread — reads
+  /// stay lock-free throughout.
+  RpcServer(ShardedPricingEngine* engine, db::Database* db,
             RpcServerOptions options = {});
   ~RpcServer();
 

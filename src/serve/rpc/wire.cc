@@ -1,5 +1,10 @@
 #include "serve/rpc/wire.h"
 
+// CellDelta body encoding is shared with the checkpoint manifest and the
+// journal (persist::PutCellDelta / GetCellDelta), so a delta that went
+// over the wire serializes bit-identically in durable state.
+#include "serve/persist/state_io.h"
+
 namespace qp::serve::rpc {
 
 const char* WireCodeToString(WireCode code) {
@@ -114,6 +119,14 @@ std::vector<uint8_t> EncodeStatsRequest(uint64_t id) {
   return BuildFrame(MsgType::kStats, id, {});
 }
 
+std::vector<uint8_t> EncodeApplySellerDeltaRequest(
+    uint64_t id, const market::CellDelta& delta) {
+  std::vector<uint8_t> body;
+  WireWriter w(&body);
+  persist::PutCellDelta(w, delta);
+  return BuildFrame(MsgType::kApplySellerDelta, id, body);
+}
+
 bool DecodeQuoteRequest(std::span<const uint8_t> body,
                         std::vector<uint32_t>* bundle) {
   WireReader r(body);
@@ -150,6 +163,15 @@ bool DecodeAppendRequest(std::span<const uint8_t> body,
     buyers->push_back(std::move(buyer));
   }
   return r.AtEnd();
+}
+
+bool DecodeApplySellerDeltaRequest(std::span<const uint8_t> body,
+                                   market::CellDelta* delta) {
+  WireReader r(body);
+  Result<market::CellDelta> decoded = persist::GetCellDelta(r);
+  if (!decoded.ok() || !r.AtEnd()) return false;
+  *delta = std::move(decoded).value();
+  return true;
 }
 
 std::vector<uint8_t> EncodeQuoteReply(uint64_t id, const Quote& quote) {
@@ -189,6 +211,16 @@ std::vector<uint8_t> EncodeAppendReply(uint64_t id,
   return BuildFrame(MsgType::kAppendReply, id, body);
 }
 
+std::vector<uint8_t> EncodeApplySellerDeltaReply(
+    uint64_t id, const WireDeltaResult& result) {
+  std::vector<uint8_t> body;
+  WireWriter w(&body);
+  w.U8(static_cast<uint8_t>(result.code));
+  w.String(result.message);
+  w.U64(result.generation);
+  return BuildFrame(MsgType::kApplySellerDeltaReply, id, body);
+}
+
 std::vector<uint8_t> EncodeStatsReply(uint64_t id, const WireStats& stats) {
   std::vector<uint8_t> body;
   WireWriter w(&body);
@@ -209,6 +241,16 @@ std::vector<uint8_t> EncodeStatsReply(uint64_t id, const WireStats& stats) {
   w.U64(stats.writer_rejected);
   w.U64(stats.protocol_errors);
   w.U64(stats.connections_accepted);
+  w.U64(stats.catalog_generation);
+  w.U64(stats.generations_published);
+  w.U64(stats.folds);
+  w.U64(stats.fold_retries);
+  w.U64(stats.deltas_pending);
+  w.U64(stats.deltas_folded);
+  w.U64(stats.fold_nanos);
+  w.U64(stats.staleness_samples);
+  w.U64(stats.staleness_sum);
+  w.U64(stats.staleness_max);
   return BuildFrame(MsgType::kStatsReply, id, body);
 }
 
@@ -277,6 +319,25 @@ bool DecodeStatsReply(std::span<const uint8_t> body, WireStats* stats) {
   stats->writer_rejected = r.U64();
   stats->protocol_errors = r.U64();
   stats->connections_accepted = r.U64();
+  stats->catalog_generation = r.U64();
+  stats->generations_published = r.U64();
+  stats->folds = r.U64();
+  stats->fold_retries = r.U64();
+  stats->deltas_pending = r.U64();
+  stats->deltas_folded = r.U64();
+  stats->fold_nanos = r.U64();
+  stats->staleness_samples = r.U64();
+  stats->staleness_sum = r.U64();
+  stats->staleness_max = r.U64();
+  return r.AtEnd();
+}
+
+bool DecodeApplySellerDeltaReply(std::span<const uint8_t> body,
+                                 WireDeltaResult* result) {
+  WireReader r(body);
+  result->code = static_cast<WireCode>(r.U8());
+  result->message = r.String();
+  result->generation = r.U64();
   return r.AtEnd();
 }
 

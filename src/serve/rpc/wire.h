@@ -27,6 +27,8 @@
 //                                              quote, bundle}
 //   AppendBuyers {buyers: {sql, val}[]}     → AppendReply {code, message,
 //                                              version}
+//   ApplySellerDelta {cell delta}           → ApplySellerDeltaReply {code,
+//                                              message, generation}
 //   Stats        {}                         → StatsReply
 //
 // Quote responses carry the per-shard version vector (Quote::
@@ -42,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "market/support.h"
 #include "serve/price_book.h"
 
 namespace qp::serve::rpc {
@@ -61,11 +64,13 @@ enum class MsgType : uint8_t {
   kPurchase = 3,
   kAppendBuyers = 4,
   kStats = 5,
+  kApplySellerDelta = 6,
   kQuoteReply = 129,
   kQuoteBatchReply = 130,
   kPurchaseReply = 131,
   kAppendReply = 132,
   kStatsReply = 133,
+  kApplySellerDeltaReply = 134,
   kErrorReply = 255,
 };
 
@@ -107,6 +112,16 @@ struct WireAppendResult {
   uint64_t version = 0;
 };
 
+/// Outcome of an ApplySellerDelta request. Same admission semantics as
+/// appends: kBackpressure / kShuttingDown mean the delta was NOT
+/// applied and the client may retry.
+struct WireDeltaResult {
+  WireCode code = WireCode::kOk;
+  std::string message;
+  /// Catalog head generation after the commit (0 on failure).
+  uint64_t generation = 0;
+};
+
 /// Server-side counters over the wire (StatsReply).
 struct WireStats {
   uint32_t num_shards = 0;
@@ -128,6 +143,18 @@ struct WireStats {
   uint64_t writer_rejected = 0;
   uint64_t protocol_errors = 0;
   uint64_t connections_accepted = 0;
+  // Versioned-catalog counters (appended after the original fields so
+  // the StatsReply body stays prefix-compatible).
+  uint64_t catalog_generation = 0;
+  uint64_t generations_published = 0;
+  uint64_t folds = 0;
+  uint64_t fold_retries = 0;
+  uint64_t deltas_pending = 0;
+  uint64_t deltas_folded = 0;
+  uint64_t fold_nanos = 0;
+  uint64_t staleness_samples = 0;
+  uint64_t staleness_sum = 0;
+  uint64_t staleness_max = 0;
 };
 
 /// Appends little-endian primitives to a byte buffer.
@@ -282,6 +309,8 @@ std::vector<uint8_t> EncodePurchaseRequest(uint64_t id, const std::string& sql,
 std::vector<uint8_t> EncodeAppendRequest(uint64_t id,
                                          std::span<const WireBuyer> buyers);
 std::vector<uint8_t> EncodeStatsRequest(uint64_t id);
+std::vector<uint8_t> EncodeApplySellerDeltaRequest(
+    uint64_t id, const market::CellDelta& delta);
 
 bool DecodeQuoteRequest(std::span<const uint8_t> body,
                         std::vector<uint32_t>* bundle);
@@ -291,6 +320,8 @@ bool DecodePurchaseRequest(std::span<const uint8_t> body, std::string* sql,
                            double* valuation);
 bool DecodeAppendRequest(std::span<const uint8_t> body,
                          std::vector<WireBuyer>* buyers);
+bool DecodeApplySellerDeltaRequest(std::span<const uint8_t> body,
+                                   market::CellDelta* delta);
 
 // --- response encoders (server) / decoders (client) ---------------------
 std::vector<uint8_t> EncodeQuoteReply(uint64_t id, const Quote& quote);
@@ -301,6 +332,8 @@ std::vector<uint8_t> EncodePurchaseReply(uint64_t id,
 std::vector<uint8_t> EncodeAppendReply(uint64_t id,
                                        const WireAppendResult& result);
 std::vector<uint8_t> EncodeStatsReply(uint64_t id, const WireStats& stats);
+std::vector<uint8_t> EncodeApplySellerDeltaReply(uint64_t id,
+                                                 const WireDeltaResult& result);
 std::vector<uint8_t> EncodeErrorReply(uint64_t id, WireCode code,
                                       const std::string& message);
 
@@ -310,6 +343,8 @@ bool DecodeQuoteBatchReply(std::span<const uint8_t> body,
 bool DecodePurchaseReply(std::span<const uint8_t> body, WirePurchase* purchase);
 bool DecodeAppendReply(std::span<const uint8_t> body, WireAppendResult* result);
 bool DecodeStatsReply(std::span<const uint8_t> body, WireStats* stats);
+bool DecodeApplySellerDeltaReply(std::span<const uint8_t> body,
+                                 WireDeltaResult* result);
 bool DecodeErrorReply(std::span<const uint8_t> body, WireCode* code,
                       std::string* message);
 

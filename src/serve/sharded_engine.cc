@@ -76,6 +76,7 @@ ShardedPricingEngine::ShardedPricingEngine(const db::Database* db,
     : db_(db),
       partition_(std::move(partition)),
       options_(std::move(options)),
+      catalog_(db, &epochs_, options_.engine.fold_every),
       prober_(db, partition_.support,
               [&] {
                 // The router's probe fan-out width is the router's thread
@@ -83,14 +84,16 @@ ShardedPricingEngine::ShardedPricingEngine(const db::Database* db,
                 market::BuildOptions build = options_.engine.build;
                 build.num_threads = options_.num_threads;
                 return build;
-              }()) {
+              }(),
+              &catalog_) {
   shards_.reserve(static_cast<size_t>(partition_.num_shards));
   for (int s = 0; s < partition_.num_shards; ++s) {
-    // Shards share the router's epoch manager so a merged view costs one
-    // pin, not one per shard.
+    // Shards share the router's epoch manager (a merged view costs one
+    // pin, not one per shard) and the router's versioned catalog (one
+    // committed-delta overlay across every shard's probes).
     shards_.push_back(std::make_unique<PricingEngine>(
         db_, partition_.shard_support[static_cast<size_t>(s)],
-        options_.engine, &epochs_));
+        options_.engine, &epochs_, &catalog_));
   }
   shard_edge_counts_.assign(shards_.size(), 0);
   shard_ready_ = std::make_unique<std::atomic<bool>[]>(shards_.size());
@@ -245,7 +248,18 @@ PurchaseOutcome ShardedPricingEngine::Purchase(const db::BoundQuery& query,
   // reads the const database through overlays (prepared state shared via
   // the router's cache), the quote pins one view, and the sale lands in
   // atomic counters.
-  outcome.bundle = prober_.ConflictSetFor(query);
+  uint64_t pinned_generation = 0;
+  outcome.bundle = prober_.ConflictSetFor(query, &pinned_generation);
+  // Staleness sample: committed generations the pinned probe could not
+  // see (head may have advanced while the probe ran).
+  const uint64_t behind = catalog_.head_generation() - pinned_generation;
+  staleness_samples_.fetch_add(1, std::memory_order_relaxed);
+  staleness_sum_.fetch_add(behind, std::memory_order_relaxed);
+  uint64_t prev_max = staleness_max_.load(std::memory_order_relaxed);
+  while (behind > prev_max && !staleness_max_.compare_exchange_weak(
+                                  prev_max, behind,
+                                  std::memory_order_relaxed)) {
+  }
   outcome.status = ReadyFor(outcome.bundle);
   if (!outcome.status.ok()) {
     // The buyer saw no quote (a cold shard would misprice the bundle);
@@ -275,17 +289,26 @@ Status ShardedPricingEngine::ApplySellerDelta(db::Database& db,
         "ApplySellerDelta: database is not this engine's database");
   }
   std::lock_guard<std::mutex> lock(writer_mutex_);
-  // Write-ahead, like appends: the delta is durable before the edit so a
-  // crash between log and apply re-applies it on recovery (idempotent —
-  // deltas set absolute cell values).
+  // Write-ahead, like appends: the delta is durable before the commit so
+  // a crash between log and commit re-applies it on recovery (idempotent
+  // — deltas set absolute cell values).
   if (log_ != nullptr) {
     QP_RETURN_IF_ERROR(log_->LogSellerDelta(delta));
   }
-  market::ApplyDelta(db, delta);
+  // Invalidate every cache BEFORE the single catalog commit, keyed to
+  // the generation it will publish: a probe pinned on the pre-commit
+  // head may keep (or even re-insert) pre-edit prepared state — correct
+  // for its generation — while any probe that pins the new head rebuilds.
   // Selective: only prepared entries whose SensitiveColumns contain the
   // edited cell can have baked its old value into their probing state.
-  prober_.InvalidatePreparedQueriesFor(delta);
-  for (const auto& shard : shards_) shard->InvalidatePreparedQueriesFor(delta);
+  // The head read is unguarded but safe: this mutex serializes every
+  // commit and fold, so the head cannot be retired under the writer.
+  const uint64_t next_generation = catalog_.head()->number + 1;
+  prober_.InvalidatePreparedQueriesFor(delta, next_generation);
+  for (const auto& shard : shards_) {
+    shard->InvalidatePreparedQueriesFor(delta, next_generation);
+  }
+  catalog_.Commit(db, delta.table, delta.row, delta.column, delta.new_value);
   return Status::OK();
 }
 
@@ -367,6 +390,25 @@ ShardedPricingEngine::ReaderStats ShardedPricingEngine::reader_stats() const {
   out.sale_revenue = sale_revenue_.load(std::memory_order_relaxed);
   out.unavailable = unavailable_.load(std::memory_order_relaxed);
   out.prepared = prober_.prepared_stats();
+  out.catalog = catalog_stats();
+  return out;
+}
+
+EngineStats::CatalogStats ShardedPricingEngine::catalog_stats() const {
+  // Lock-free: the catalog's own counters are atomics (its stats() pins
+  // an epoch for the pending-cell gauge) and the staleness samples are
+  // router-side atomics.
+  EngineStats::CatalogStats out;
+  const db::VersionedDatabase::Stats cs = catalog_.stats();
+  out.generations_published = cs.generations_published;
+  out.folds = cs.folds;
+  out.fold_retries = cs.fold_retries;
+  out.deltas_pending = cs.deltas_pending;
+  out.deltas_folded = cs.deltas_folded;
+  out.fold_nanos = cs.fold_nanos;
+  out.staleness_samples = staleness_samples_.load(std::memory_order_relaxed);
+  out.staleness_sum = staleness_sum_.load(std::memory_order_relaxed);
+  out.staleness_max = staleness_max_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -398,9 +440,12 @@ ShardedEngineStats ShardedPricingEngine::stats() const {
         std::max(out.merged.publish.chain_length, es.publish.chain_length);
     out.shards.push_back(std::move(es));
   }
-  // Shards share the router's epoch manager, so per-shard epoch stats
-  // all describe the same object: report it once, not summed.
+  // Shards share the router's epoch manager and versioned catalog, so
+  // the per-shard copies of those stats all describe the same objects:
+  // report each once, not summed. The catalog staleness samples are the
+  // router's own (shard Purchase paths are unused behind the router).
   out.merged.epoch = epochs_.stats();
+  out.merged.catalog = catalog_stats();
   // Router-side: the global prober's probe work and cache, plus the
   // reader counters (shard engines never see router quotes/purchases).
   out.merged.build_seconds += prober_.seconds();

@@ -59,6 +59,7 @@
 
 #include "common/epoch.h"
 #include "common/status.h"
+#include "db/versioned_database.h"
 #include "market/incremental_builder.h"
 #include "market/support_partitioner.h"
 #include "serve/delta_book.h"
@@ -234,10 +235,22 @@ class ShardedPricingEngine {
   /// identical to the monolithic engine's Purchase for the same query.
   PurchaseOutcome Purchase(const db::BoundQuery& query, double valuation);
 
-  /// Seller edit: applies the delta (db must be the engine's database)
-  /// and invalidates the router's and every shard's prepared-query
-  /// cache. Same quiescence contract as PricingEngine::ApplySellerDelta.
+  /// Seller edit: logs the delta (write-ahead), selectively invalidates
+  /// the router's and every shard's prepared-query cache keyed to the
+  /// next catalog generation, and commits ONE new generation to the
+  /// router's shared versioned catalog (db must be the engine's
+  /// database). Fully concurrent with readers — no quiescence: in-flight
+  /// probes keep reading their pinned generation, probes starting after
+  /// the commit see the new value, and the catalog folds the overlay
+  /// into the base every EngineOptions::fold_every cells, gated on
+  /// reader drain (see db/versioned_database.h). The router is the
+  /// catalog's single writer: never call a shard's ApplySellerDelta
+  /// directly.
   Status ApplySellerDelta(db::Database& db, const market::CellDelta& delta);
+
+  /// The router's shared versioned catalog over its database (one
+  /// catalog across every shard and the global prober).
+  const db::VersionedDatabase& catalog() const { return catalog_; }
 
   ShardedEngineStats stats() const;
 
@@ -287,6 +300,10 @@ class ShardedPricingEngine {
     /// TryQuote*/Purchase requests refused because a shard was warming.
     uint64_t unavailable = 0;
     market::PreparedQueryCache::Stats prepared;
+    /// Shared versioned-catalog churn counters (the catalog is one
+    /// object across shards — reported once) plus the router's own
+    /// Purchase staleness samples. Lock-free to gather.
+    EngineStats::CatalogStats catalog;
   };
   ReaderStats reader_stats() const;
 
@@ -309,6 +326,9 @@ class ShardedPricingEngine {
   /// unavailable_). Reader-side, lock-free.
   Status ReadyFor(const std::vector<uint32_t>& bundle) const;
 
+  /// Shared-catalog counters + router staleness; lock-free.
+  EngineStats::CatalogStats catalog_stats() const;
+
   const db::Database* db_;
   market::SupportPartition partition_;
   ShardedEngineOptions options_;
@@ -317,6 +337,11 @@ class ShardedPricingEngine {
   /// chains here and a merged view pins it once. Declared before the
   /// shards so it outlives their chains.
   mutable common::EpochManager epochs_;
+  /// One versioned catalog for the whole router: the global prober and
+  /// every shard resolve cell reads through it, and ApplySellerDelta is
+  /// its single writer. Declared after epochs_ (generations retire
+  /// there) and before prober_/shards_ (they probe through it).
+  db::VersionedDatabase catalog_;
 
   mutable std::mutex writer_mutex_;
   /// Global-support prober (never appends edges): AppendBuyers' probe
@@ -344,6 +369,11 @@ class ShardedPricingEngine {
   std::atomic<uint64_t> cross_shard_appends_{0};
   mutable std::atomic<uint64_t> cross_shard_quotes_{0};
   mutable std::atomic<uint64_t> unavailable_{0};
+  // Router Purchase staleness: head generation minus the probe's pinned
+  // generation, sampled per Purchase (reader-side, hence atomic).
+  std::atomic<uint64_t> staleness_samples_{0};
+  std::atomic<uint64_t> staleness_sum_{0};
+  std::atomic<uint64_t> staleness_max_{0};
 };
 
 }  // namespace qp::serve

@@ -442,41 +442,95 @@ TEST(PricingEngineTest, ApplySellerDeltaEditsDataAndInvalidatesSelectively) {
   EXPECT_FALSE(engine.ApplySellerDelta(*other, delta).ok());
   EXPECT_EQ(engine.stats().prepared.selective_invalidations, 0u);
 
-  // An edit to a cell no cached query reads: the data changes, the
-  // selective scan runs, but every entry survives — the next purchase
-  // still hits instead of re-probing (the point of satellite
-  // invalidation). No full flush is counted.
+  // An edit to a cell no cached query reads: a new catalog generation is
+  // committed (the base cell keeps its old bytes until a fold — default
+  // fold_every is far away), the selective scan runs, but every entry
+  // survives — the next purchase still hits instead of re-probing (the
+  // point of satellite invalidation). No full flush is counted.
   db::Value before = m.db->table(delta.table).cell(delta.row, delta.column);
   QP_CHECK_OK(engine.ApplySellerDelta(*m.db, delta));
   EXPECT_EQ(
-      m.db->table(delta.table).cell(delta.row, delta.column).Compare(
-          delta.new_value),
+      m.db->table(delta.table).cell(delta.row, delta.column).Compare(before),
       0);
+  EXPECT_EQ(engine.catalog()
+                .LogicalCell(delta.table, delta.row, delta.column)
+                .Compare(delta.new_value),
+            0);
+  EXPECT_EQ(engine.stats().catalog.generations_published, 1u);
+  EXPECT_EQ(engine.stats().catalog.deltas_pending, 1u);
+  EXPECT_EQ(engine.stats().catalog.folds, 0u);
   EXPECT_EQ(engine.stats().prepared.selective_invalidations, 1u);
   EXPECT_EQ(engine.stats().prepared.selective_dropped, 0u);
   EXPECT_EQ(engine.stats().prepared.invalidations, 0u);
   engine.Purchase(m.late_queries[0], 1e9);
   EXPECT_EQ(engine.stats().prepared.misses, misses);
-  market::UndoDelta(*m.db, delta, before);
 
   // An edit to a column the late query IS sensitive to drops its entry
   // (and exactly the other cached entries reading that column): the next
-  // purchase re-prepares against the edited contents.
+  // purchase re-prepares against the edited logical contents.
   market::CellDelta hit;
   hit.table = sensitive[0].first;
   hit.column = sensitive[0].second;
   hit.row = 0;
   const db::Table& table = m.db->table(hit.table);
   hit.new_value = table.cell(table.num_rows() > 1 ? 1 : 0, hit.column);
-  db::Value hit_before = table.cell(hit.row, hit.column);
   QP_CHECK_OK(engine.ApplySellerDelta(*m.db, hit));
+  EXPECT_EQ(engine.stats().catalog.generations_published, 2u);
   EXPECT_EQ(engine.stats().prepared.selective_invalidations, 2u);
   EXPECT_EQ(engine.stats().prepared.selective_dropped,
             readers_of(hit.table, hit.column));
   engine.Purchase(m.late_queries[0], 1e9);
   EXPECT_EQ(engine.stats().prepared.misses, misses + 1);
-  // Restore for hygiene (other tests build their own markets anyway).
-  market::UndoDelta(*m.db, hit, hit_before);
+  // Every Purchase sampled its probe's staleness (all 0 here: no commit
+  // raced the probes).
+  EXPECT_GE(engine.stats().catalog.staleness_samples, 3u);
+  EXPECT_EQ(engine.stats().catalog.staleness_max, 0u);
+}
+
+TEST(PricingEngineTest, ApplySellerDeltaFoldsIntoBaseOnCadence) {
+  Market m = MakeMarket();
+  EngineOptions options = MatchedOptions(true);
+  options.fold_every = 2;
+  PricingEngine engine(m.db.get(), m.support, options);
+  QP_CHECK_OK(engine.AppendBuyers(m.initial_queries, m.initial_valuations));
+
+  // Two commits to distinct cells: the first stays pending in the
+  // overlay, the second reaches fold_every and (no reader is pinned)
+  // folds both into the base in place.
+  const market::CellDelta& a = m.support[0];
+  const market::CellDelta* b = nullptr;
+  for (const market::CellDelta& cell : m.support) {
+    if (cell.table != a.table || cell.row != a.row ||
+        cell.column != a.column) {
+      b = &cell;
+      break;
+    }
+  }
+  ASSERT_NE(b, nullptr);
+
+  QP_CHECK_OK(engine.ApplySellerDelta(*m.db, a));
+  EngineStats mid = engine.stats();
+  EXPECT_EQ(mid.catalog.deltas_pending, 1u);
+  EXPECT_EQ(mid.catalog.folds, 0u);
+
+  QP_CHECK_OK(engine.ApplySellerDelta(*m.db, *b));
+  EngineStats folded = engine.stats();
+  EXPECT_EQ(folded.catalog.generations_published, 2u);
+  EXPECT_EQ(folded.catalog.folds, 1u);
+  EXPECT_EQ(folded.catalog.deltas_folded, 2u);
+  EXPECT_EQ(folded.catalog.deltas_pending, 0u);
+  // The fold wrote the committed values into the base tables...
+  EXPECT_EQ(m.db->table(a.table).cell(a.row, a.column).Compare(a.new_value),
+            0);
+  EXPECT_EQ(
+      m.db->table(b->table).cell(b->row, b->column).Compare(b->new_value), 0);
+  // ...without changing any logical read or the generation number (a
+  // fold commits nothing).
+  EXPECT_EQ(engine.catalog()
+                .LogicalCell(a.table, a.row, a.column)
+                .Compare(a.new_value),
+            0);
+  EXPECT_EQ(engine.catalog().head_generation(), 2u);
 }
 
 TEST(PricingEngineTest, ParallelBuildMatchesSerialBooks) {

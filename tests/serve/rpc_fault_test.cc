@@ -6,8 +6,9 @@
 //  (b) a recv deadline surfaces DeadlineExceeded and leaves the
 //      connection (and any buffered partial frame) usable; a refused
 //      connection surfaces Unavailable;
-//  (c) Stop() drains: every append admitted before shutdown gets a real
-//      reply (ok or kShuttingDown), never silence;
+//  (c) Stop() drains: every writer op (append or seller delta) admitted
+//      before shutdown gets a real reply (ok or kShuttingDown), never
+//      silence;
 //  (d) warming shards surface kUnavailable over the wire and
 //      QuoteWithRetry rides the warm-up out;
 //  (e) mangled streams — tiny delayed chunks, duplicated chunks, hard
@@ -150,6 +151,50 @@ TEST(RpcFaultTest, BackpressureRepliesDriveRetryWithBackoff) {
   EXPECT_EQ(stats.backoff_ms, 0.0);
 }
 
+TEST(RpcFaultTest, SellerDeltaBackpressureDrivesRetryWithBackoff) {
+  // Same contract as appends: depth 0 rejects every delta, the retry
+  // loop backs off, and the catalog never advances.
+  RpcServerOptions options;
+  options.writer_queue_depth = 0;
+  Harness h(options);
+  RpcClient client;
+  QP_CHECK_OK(client.Connect("127.0.0.1", h.server->port()));
+
+  uint64_t generation_before = h.engine->catalog().head_generation();
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 8;
+  RpcReply reply;
+  RetryStats stats;
+  QP_CHECK_OK(
+      client.ApplySellerDeltaWithRetry(h.support[0], policy, &reply, &stats));
+  EXPECT_TRUE(reply.backpressure());
+  EXPECT_EQ(stats.attempts, 4);
+  EXPECT_EQ(stats.backpressure_retries, 3);
+  EXPECT_GT(stats.backoff_ms, 0.0);
+  EXPECT_EQ(h.engine->catalog().head_generation(), generation_before);
+  EXPECT_GE(h.server->stats().writer_rejected, 4u);
+
+  // With room in the queue the delta lands on the first attempt and the
+  // reply carries the committed generation.
+  Harness ok;
+  RpcClient client2;
+  QP_CHECK_OK(client2.Connect("127.0.0.1", ok.server->port()));
+  QP_CHECK_OK(
+      client2.ApplySellerDeltaWithRetry(ok.support[0], policy, &reply, &stats));
+  EXPECT_TRUE(reply.ok()) << reply.message;
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_EQ(stats.backpressure_retries, 0);
+  EXPECT_EQ(reply.seller_delta.generation,
+            ok.engine->catalog().head_generation());
+  const market::CellDelta& applied = ok.support[0];
+  EXPECT_EQ(ok.engine->catalog()
+                .LogicalCell(applied.table, applied.row, applied.column)
+                .Compare(applied.new_value),
+            0);
+}
+
 // --- (b) deadlines and refused connections ------------------------------
 
 TEST(RpcFaultTest, RecvDeadlineAndRefusedConnect) {
@@ -231,6 +276,41 @@ TEST(RpcFaultTest, StopDrainsAdmittedAppendsToRealReplies) {
   EXPECT_EQ(ok_count + shutdown_count, kAppends);
   EXPECT_EQ(h.engine->snapshot().version(),
             version_before + static_cast<uint64_t>(ok_count));
+}
+
+TEST(RpcFaultTest, StopDrainsAdmittedSellerDeltasToRealReplies) {
+  RpcServerOptions options;
+  options.writer_queue_depth = 64;
+  options.drain_timeout_ms = 5000;
+  Harness h(options);
+  RpcClient client;
+  QP_CHECK_OK(client.Connect("127.0.0.1", h.server->port()));
+
+  uint64_t generation_before = h.engine->catalog().head_generation();
+  constexpr int kDeltas = 8;
+  for (int i = 0; i < kDeltas; ++i) {
+    auto id = client.SendApplySellerDelta(h.support[static_cast<size_t>(i)]);
+    QP_CHECK_OK(id.status());
+  }
+  // Stop with deltas still queued: each admitted one either executes
+  // (the catalog generation counts it) or is failed with kShuttingDown
+  // — never silence, never a half-applied delta.
+  h.server->Stop();
+
+  int ok_count = 0, shutdown_count = 0;
+  for (int i = 0; i < kDeltas; ++i) {
+    RpcReply reply;
+    QP_CHECK_OK(client.Receive(&reply));
+    if (reply.ok()) {
+      ++ok_count;
+    } else {
+      ASSERT_EQ(reply.code, WireCode::kShuttingDown) << reply.message;
+      ++shutdown_count;
+    }
+  }
+  EXPECT_EQ(ok_count + shutdown_count, kDeltas);
+  EXPECT_EQ(h.engine->catalog().head_generation(),
+            generation_before + static_cast<uint64_t>(ok_count));
 }
 
 // --- (d) kUnavailable over the wire -------------------------------------

@@ -279,6 +279,55 @@ TEST(RpcServerTest, PurchaseAndAppendWorkOverTheWire) {
   EXPECT_GE(stats.stats.purchases, 1u);
 }
 
+TEST(RpcServerTest, SellerDeltaLandsOverTheWire) {
+  Harness h;
+  RpcClient client = h.Connect();
+
+  const market::CellDelta& delta = h.support[0];
+  db::Value base_before =
+      h.db->table(delta.table).cell(delta.row, delta.column);
+  uint64_t generation_before = h.engine->catalog().head_generation();
+
+  RpcReply reply;
+  QP_CHECK_OK(client.ApplySellerDelta(delta, &reply));
+  ASSERT_TRUE(reply.ok()) << reply.message;
+  EXPECT_EQ(reply.seller_delta.generation, generation_before + 1);
+  EXPECT_EQ(h.engine->catalog().head_generation(), generation_before + 1);
+  // The edit is visible through the catalog's logical view; the base
+  // cell stays untouched until a fold.
+  EXPECT_EQ(h.engine->catalog()
+                .LogicalCell(delta.table, delta.row, delta.column)
+                .Compare(delta.new_value),
+            0);
+  EXPECT_EQ(h.db->table(delta.table)
+                .cell(delta.row, delta.column)
+                .Compare(base_before),
+            0);
+
+  // Reads keep serving on the same connection.
+  RpcReply quote;
+  QP_CHECK_OK(client.Quote({}, &quote));
+  EXPECT_TRUE(quote.ok());
+
+  // An out-of-range delta is a kBadRequest and commits nothing.
+  market::CellDelta bogus;
+  bogus.table = h.db->num_tables();
+  QP_CHECK_OK(client.ApplySellerDelta(bogus, &reply));
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(reply.code, WireCode::kBadRequest);
+  EXPECT_EQ(h.engine->catalog().head_generation(), generation_before + 1);
+
+  // Stats surface the catalog counters over the wire.
+  RpcReply stats;
+  QP_CHECK_OK(client.Stats(&stats));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.stats.catalog_generation, generation_before + 1);
+  EXPECT_GE(stats.stats.generations_published, 1u);
+  EXPECT_EQ(stats.stats.deltas_pending, 1u);
+  EXPECT_EQ(stats.stats.folds, 0u);
+  EXPECT_GE(h.server->stats().seller_delta_requests, 2u);
+}
+
 TEST(RpcServerTest, FullWriterQueueRejectsWithBackpressure) {
   // Depth 0: every writer op rejects immediately — deterministic, and
   // pins the contract that a rejected request is NOT applied.
@@ -295,6 +344,15 @@ TEST(RpcServerTest, FullWriterQueueRejectsWithBackpressure) {
   EXPECT_TRUE(reply.backpressure());
   EXPECT_EQ(h.engine->snapshot().version(), version_before);
   EXPECT_GE(h.server->stats().writer_rejected, 1u);
+
+  // Seller deltas share the admission queue and its NOT-applied
+  // contract.
+  uint64_t generation_before = h.engine->catalog().head_generation();
+  RpcReply delta_reply;
+  QP_CHECK_OK(client.ApplySellerDelta(h.support[0], &delta_reply));
+  EXPECT_FALSE(delta_reply.ok());
+  EXPECT_TRUE(delta_reply.backpressure());
+  EXPECT_EQ(h.engine->catalog().head_generation(), generation_before);
 
   // The connection survives rejection: reads still work.
   RpcReply quote;

@@ -211,6 +211,73 @@ TEST(RpcWireTest, RepliesRoundTrip) {
   }
 }
 
+TEST(RpcWireTest, ApplySellerDeltaRoundTrips) {
+  market::CellDelta delta;
+  delta.table = 1;
+  delta.row = 42;
+  delta.column = 3;
+  delta.new_value = db::Value::Int(987654321);
+  std::vector<uint8_t> bytes = EncodeApplySellerDeltaRequest(17, delta);
+  Frame f = MustExtract(bytes);
+  EXPECT_EQ(f.type, MsgType::kApplySellerDelta);
+  market::CellDelta out;
+  ASSERT_TRUE(DecodeApplySellerDeltaRequest(f.body, &out));
+  EXPECT_EQ(out.table, 1);
+  EXPECT_EQ(out.row, 42);
+  EXPECT_EQ(out.column, 3);
+  EXPECT_EQ(out.new_value.as_int(), 987654321);
+  // String-valued cells ride the same encoding.
+  delta.new_value = db::Value::Str("rewritten");
+  bytes = EncodeApplySellerDeltaRequest(18, delta);
+  f = MustExtract(bytes);
+  ASSERT_TRUE(DecodeApplySellerDeltaRequest(f.body, &out));
+  EXPECT_EQ(out.new_value.as_string(), "rewritten");
+  // Truncations of the body never decode.
+  for (size_t n = 0; n < f.body.size(); ++n) {
+    market::CellDelta cut;
+    EXPECT_FALSE(
+        DecodeApplySellerDeltaRequest(f.body.subspan(0, n), &cut));
+  }
+
+  WireDeltaResult result{WireCode::kOk, "", 29};
+  std::vector<uint8_t> reply = EncodeApplySellerDeltaReply(19, result);
+  Frame rf = MustExtract(reply);
+  EXPECT_EQ(rf.type, MsgType::kApplySellerDeltaReply);
+  WireDeltaResult decoded;
+  ASSERT_TRUE(DecodeApplySellerDeltaReply(rf.body, &decoded));
+  EXPECT_EQ(decoded.code, WireCode::kOk);
+  EXPECT_EQ(decoded.generation, 29u);
+}
+
+TEST(RpcWireTest, StatsReplyCarriesCatalogCounters) {
+  WireStats stats;
+  stats.num_shards = 1;
+  stats.catalog_generation = 12;
+  stats.generations_published = 12;
+  stats.folds = 3;
+  stats.fold_retries = 1;
+  stats.deltas_pending = 2;
+  stats.deltas_folded = 10;
+  stats.fold_nanos = 55555;
+  stats.staleness_samples = 100;
+  stats.staleness_sum = 7;
+  stats.staleness_max = 2;
+  std::vector<uint8_t> bytes = EncodeStatsReply(20, stats);
+  Frame f = MustExtract(bytes);
+  WireStats out;
+  ASSERT_TRUE(DecodeStatsReply(f.body, &out));
+  EXPECT_EQ(out.catalog_generation, 12u);
+  EXPECT_EQ(out.generations_published, 12u);
+  EXPECT_EQ(out.folds, 3u);
+  EXPECT_EQ(out.fold_retries, 1u);
+  EXPECT_EQ(out.deltas_pending, 2u);
+  EXPECT_EQ(out.deltas_folded, 10u);
+  EXPECT_EQ(out.fold_nanos, 55555u);
+  EXPECT_EQ(out.staleness_samples, 100u);
+  EXPECT_EQ(out.staleness_sum, 7u);
+  EXPECT_EQ(out.staleness_max, 2u);
+}
+
 TEST(RpcWireTest, TruncatedBodiesNeverDecode) {
   // Chop every well-formed body at every length: no prefix may decode
   // successfully (or crash). Exhaustive over the interesting encoders.
