@@ -28,11 +28,24 @@
 //   p50/p99 rows    per-shape latency percentiles, in seconds — pinned
 //                   for trend tracking; they sit under the CI gate's
 //                   --min-seconds floor, so only their revenue bits gate
+//
+// Loop-scaling phases (multi-reactor serving, see docs/rpc_multiloop.md):
+// a fresh server per loop count (--loops, plus the 1-loop reference)
+// takes --connections pipelined connections spread round-robin across
+// its loops. Wire quotes are hard-checked bit-identical here too, and
+// the steady-state quote path is asserted to perform ZERO heap
+// allocations on the loop threads (operator-new accounting below, wired
+// into RpcServerOptions::alloc_probe) — the buffer-pooling contract.
+//   rpc-loops<N> / quotes-closed, quotes-open   wall seconds as above
+#include <stdlib.h>
+
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <iostream>
 #include <memory>
+#include <new>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -47,6 +60,55 @@
 #include "serve/rpc/client.h"
 #include "serve/rpc/server.h"
 #include "serve/sharded_engine.h"
+
+// Operator-new accounting for the zero-allocation assertion: counters
+// are thread-local, so the probe (called by each loop thread at the end
+// of its ticks) counts only that loop thread's allocations — client
+// threads hammering the sockets never pollute the measurement.
+namespace {
+thread_local uint64_t tl_alloc_calls = 0;
+
+void* CountedAlloc(std::size_t size) {
+  ++tl_alloc_calls;
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::align_val_t alignment) {
+  ++tl_alloc_calls;
+  void* p = nullptr;
+  std::size_t align =
+      std::max(sizeof(void*), static_cast<std::size_t>(alignment));
+  if (posix_memalign(&p, align, size != 0 ? size : align) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+uint64_t LoopAllocProbe() { return tl_alloc_calls; }
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return CountedAlignedAlloc(size, alignment);
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return CountedAlignedAlloc(size, alignment);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace qp::bench {
 namespace {
@@ -73,6 +135,8 @@ int Main(int argc, char** argv) {
   int window = flags.GetInt("window", 32);
   int purchases = flags.GetInt("purchases", 600);
   int shards = flags.GetInt("shards", 2);
+  int loops = flags.GetInt("loops", 4);
+  int connections = flags.GetInt("connections", 8);
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
   std::string json = flags.GetString("json", "");
 
@@ -327,6 +391,249 @@ int Main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.protocol_errors),
       static_cast<unsigned long long>(stats.writer_rejected));
   server.Stop();
+
+  // --- loop scaling: N reactors x --connections pipelined clients ------
+  // One fresh server per loop count over the SAME (now static) engine.
+  // Round-robin handoff makes the connection spread deterministic —
+  // connections/loops per reactor regardless of kernel REUSEPORT
+  // hashing — so the scaling numbers measure the reactors, not luck.
+  // The book no longer changes, so the in-process reference answers are
+  // recomputed once and every wire quote is hard-checked against them.
+  reference.clear();
+  for (const auto& bundle : bundles) {
+    reference.push_back(engine.QuoteBundle(bundle));
+  }
+  double loops1_closed_qps = 0.0;
+
+  for (int num_loops : std::vector<int>{1, loops}) {
+    if (num_loops < 1) continue;
+    serve::rpc::RpcServerOptions scaled_options;
+    scaled_options.num_loops = num_loops;
+    scaled_options.force_accept_handoff = true;
+    scaled_options.alloc_probe = &LoopAllocProbe;
+    serve::rpc::RpcServer scaled(&engine, market.instance.database.get(),
+                                 scaled_options);
+    QP_CHECK_OK(scaled.Start());
+    const uint16_t scaled_port = scaled.port();
+    const std::string scaled_name = "rpc-loops" + std::to_string(num_loops);
+
+    // Persistent connections reused across warmup and both measured
+    // phases: the per-connection buffer pools must reach their high-
+    // water marks during warmup and then serve allocation-free.
+    std::vector<serve::rpc::RpcClient> conns(
+        static_cast<size_t>(connections));
+    for (auto& conn : conns) {
+      QP_CHECK_OK(conn.Connect("127.0.0.1", scaled_port));
+    }
+
+    // Warmup: (1) one oversized QuoteBatch per connection forces the
+    // per-loop bundle arena, batch scratch and encode slots past any
+    // tick the measured phases can produce (a measured tick batches at
+    // most window * connections-per-loop quotes); (2) a full-volume
+    // pipelined run matches the measured traffic shape so every grow-
+    // only scratch reaches its steady state.
+    {
+      const size_t prime =
+          std::min<size_t>(static_cast<size_t>(window) *
+                               static_cast<size_t>(connections) + 1,
+                           2048);
+      // Every slot gets the LARGEST bundle: per-loop arena slots and
+      // batch-scratch entries grow independently per index, so priming
+      // them all to the workload's maximum is what guarantees the
+      // measured phases never find an undersized slot.
+      const std::vector<uint32_t>* largest = &bundles[0];
+      for (const auto& bundle : bundles) {
+        if (bundle.size() > largest->size()) largest = &bundle;
+      }
+      std::vector<std::vector<uint32_t>> prime_bundles(prime, *largest);
+      for (auto& conn : conns) {
+        serve::rpc::RpcReply reply;
+        QP_CHECK_OK(conn.QuoteBatch(prime_bundles, &reply));
+        QP_CHECK_OK(reply.ok() ? Status::OK()
+                               : Status::Internal(reply.message));
+      }
+      std::vector<std::thread> threads;
+      threads.reserve(conns.size());
+      for (size_t c = 0; c < conns.size(); ++c) {
+        threads.emplace_back([&, c]() {
+          serve::rpc::RpcClient& conn = conns[c];
+          std::unordered_map<uint64_t, size_t> inflight;
+          int sent = 0, received = 0;
+          while (received < requests) {
+            while (sent < requests &&
+                   inflight.size() < static_cast<size_t>(window)) {
+              size_t idx = (c * 41 + static_cast<size_t>(sent)) %
+                           bundles.size();
+              auto id = conn.SendQuote(bundles[idx]);
+              QP_CHECK_OK(id.status());
+              inflight.emplace(*id, idx);
+              ++sent;
+            }
+            serve::rpc::RpcReply reply;
+            QP_CHECK_OK(conn.Receive(&reply));
+            auto it = inflight.find(reply.request_id);
+            if (it == inflight.end() || !reply.ok() ||
+                !QuotesEqual(reply.quote, reference[it->second])) {
+              mismatch.store(true);
+              return;
+            }
+            inflight.erase(it);
+            ++received;
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+    }
+    QP_CHECK_OK(mismatch.load()
+                    ? Status::Internal("wire quote diverged from in-process")
+                    : Status::OK());
+
+    // Allocation baseline: loop ticks store their thread's counter after
+    // flushing, so once traffic quiesces the sums are stable.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const uint64_t allocs_before = scaled.alloc_probe_total();
+
+    // Closed loop: one blocking round trip at a time per connection.
+    std::vector<std::vector<double>> per_conn(conns.size());
+    double scaled_closed_seconds = 0.0;
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(conns.size());
+      Stopwatch wall;
+      for (size_t c = 0; c < conns.size(); ++c) {
+        threads.emplace_back([&, c]() {
+          serve::rpc::RpcClient& conn = conns[c];
+          std::vector<double>& latencies = per_conn[c];
+          latencies.reserve(static_cast<size_t>(requests));
+          for (int i = 0; i < requests; ++i) {
+            size_t idx =
+                (c * 31 + static_cast<size_t>(i)) % bundles.size();
+            serve::rpc::RpcReply reply;
+            Stopwatch timer;
+            QP_CHECK_OK(conn.Quote(bundles[idx], &reply));
+            latencies.push_back(timer.ElapsedSeconds());
+            if (!reply.ok() || !QuotesEqual(reply.quote, reference[idx])) {
+              mismatch.store(true);
+              return;
+            }
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+      scaled_closed_seconds = wall.ElapsedSeconds();
+    }
+    QP_CHECK_OK(mismatch.load()
+                    ? Status::Internal("wire quote diverged from in-process")
+                    : Status::OK());
+    const int scaled_total = connections * requests;
+    recorder.Add(scaled_name, "quotes-closed", scaled_closed_seconds,
+                 scaled_total, book_revenue);
+    double scaled_closed_qps =
+        scaled_closed_seconds > 0 ? scaled_total / scaled_closed_seconds : 0.0;
+    if (num_loops == 1) loops1_closed_qps = scaled_closed_qps;
+    std::cout << StrFormat(
+        "loops=%d closed: %d quotes x %d connections in %.3fs (%.0f/s%s)\n",
+        num_loops, requests, connections, scaled_closed_seconds,
+        scaled_closed_qps,
+        num_loops > 1 && loops1_closed_qps > 0
+            ? StrFormat(", %.2fx loops=1", scaled_closed_qps / loops1_closed_qps)
+                  .c_str()
+            : "");
+    for (size_t c = 0; c < per_conn.size(); ++c) {
+      std::sort(per_conn[c].begin(), per_conn[c].end());
+      std::cout << StrFormat("  conn %d: p50 %.0fus p99 %.0fus\n",
+                             static_cast<int>(c),
+                             Percentile(per_conn[c], 0.50) * 1e6,
+                             Percentile(per_conn[c], 0.99) * 1e6);
+    }
+
+    // Open loop: --window outstanding per connection.
+    for (auto& v : per_conn) v.clear();
+    double scaled_open_seconds = 0.0;
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(conns.size());
+      Stopwatch wall;
+      for (size_t c = 0; c < conns.size(); ++c) {
+        threads.emplace_back([&, c]() {
+          serve::rpc::RpcClient& conn = conns[c];
+          std::vector<double>& latencies = per_conn[c];
+          latencies.reserve(static_cast<size_t>(requests));
+          std::unordered_map<uint64_t, std::pair<size_t, Stopwatch>> inflight;
+          int sent = 0, received = 0;
+          while (received < requests) {
+            while (sent < requests &&
+                   inflight.size() < static_cast<size_t>(window)) {
+              size_t idx =
+                  (c * 37 + static_cast<size_t>(sent)) % bundles.size();
+              auto id = conn.SendQuote(bundles[idx]);
+              QP_CHECK_OK(id.status());
+              inflight.emplace(*id, std::make_pair(idx, Stopwatch()));
+              ++sent;
+            }
+            serve::rpc::RpcReply reply;
+            QP_CHECK_OK(conn.Receive(&reply));
+            auto it = inflight.find(reply.request_id);
+            if (it == inflight.end() || !reply.ok() ||
+                !QuotesEqual(reply.quote, reference[it->second.first])) {
+              mismatch.store(true);
+              return;
+            }
+            latencies.push_back(it->second.second.ElapsedSeconds());
+            inflight.erase(it);
+            ++received;
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+      scaled_open_seconds = wall.ElapsedSeconds();
+    }
+    QP_CHECK_OK(mismatch.load()
+                    ? Status::Internal("wire quote diverged from in-process")
+                    : Status::OK());
+    recorder.Add(scaled_name, "quotes-open", scaled_open_seconds, scaled_total,
+                 book_revenue);
+    std::cout << StrFormat(
+        "loops=%d open: %d quotes x %d connections (window %d) in %.3fs "
+        "(%.0f/s)\n",
+        num_loops, requests, connections, window, scaled_open_seconds,
+        scaled_open_seconds > 0 ? scaled_total / scaled_open_seconds : 0.0);
+    for (size_t c = 0; c < per_conn.size(); ++c) {
+      std::sort(per_conn[c].begin(), per_conn[c].end());
+      std::cout << StrFormat("  conn %d: p50 %.0fus p99 %.0fus\n",
+                             static_cast<int>(c),
+                             Percentile(per_conn[c], 0.50) * 1e6,
+                             Percentile(per_conn[c], 0.99) * 1e6);
+    }
+
+    // Zero-allocation assertion: across BOTH measured phases no loop
+    // thread may have allocated — decode, batch pricing, encode and
+    // flush all ran out of pooled/grow-only storage primed by warmup.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const uint64_t allocs_after = scaled.alloc_probe_total();
+    serve::rpc::RpcServerStats scaled_stats = scaled.stats();
+    std::cout << StrFormat(
+        "loops=%d server: %llu writev calls (%.1f frames each), %llu pool "
+        "hits, %llu pooled bytes, %llu loop-thread allocs in measured "
+        "phases\n",
+        num_loops, static_cast<unsigned long long>(scaled_stats.writev_calls),
+        scaled_stats.writev_calls > 0
+            ? static_cast<double>(scaled_stats.writev_frames) /
+                  static_cast<double>(scaled_stats.writev_calls)
+            : 0.0,
+        static_cast<unsigned long long>(scaled_stats.pool_hits),
+        static_cast<unsigned long long>(scaled_stats.pool_bytes),
+        static_cast<unsigned long long>(allocs_after - allocs_before));
+    QP_CHECK_OK(allocs_after == allocs_before
+                    ? Status::OK()
+                    : Status::Internal(StrFormat(
+                          "steady-state quote path allocated %llu times on "
+                          "loop threads (loops=%d)",
+                          static_cast<unsigned long long>(allocs_after -
+                                                          allocs_before),
+                          num_loops)));
+    scaled.Stop();
+  }
 
   if (!recorder.WriteJson(json)) return 1;
   return 0;

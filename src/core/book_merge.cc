@@ -11,22 +11,31 @@ double AdditivePrice(const std::vector<double>& shard_prices) {
 }
 
 std::string MergeAlgorithmLabels(const std::vector<std::string>& labels) {
+  std::vector<const std::string*> ptrs;
+  ptrs.reserve(labels.size());
+  for (const std::string& label : labels) ptrs.push_back(&label);
   std::string merged;
-  std::vector<const std::string*> seen;
-  for (const std::string& label : labels) {
+  MergeAlgorithmLabelsInto(ptrs, &merged);
+  return merged;
+}
+
+void MergeAlgorithmLabelsInto(std::span<const std::string* const> labels,
+                              std::string* out) {
+  out->clear();
+  for (size_t i = 0; i < labels.size(); ++i) {
+    // First-appearance dedup over the span itself — no side storage, so
+    // the function allocates only if `out` must grow past its capacity.
     bool duplicate = false;
-    for (const std::string* s : seen) {
-      if (*s == label) {
+    for (size_t j = 0; j < i; ++j) {
+      if (*labels[j] == *labels[i]) {
         duplicate = true;
         break;
       }
     }
     if (duplicate) continue;
-    seen.push_back(&label);
-    if (!merged.empty()) merged += '+';
-    merged += label;
+    if (!out->empty()) *out += '+';
+    *out += *labels[i];
   }
-  return merged;
 }
 
 }  // namespace qp::core

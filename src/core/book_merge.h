@@ -13,6 +13,7 @@
 #ifndef QP_CORE_BOOK_MERGE_H_
 #define QP_CORE_BOOK_MERGE_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,13 @@ double AdditivePrice(const std::vector<double>& shard_prices);
 /// the distinct names joined with '+' in first-appearance (= shard)
 /// order ("LPIP+CIP"). Empty input yields "".
 std::string MergeAlgorithmLabels(const std::vector<std::string>& labels);
+
+/// Allocation-free form for the steady-state quote path: same merge,
+/// labels passed by pointer (no copies), result written into `out`
+/// (cleared first; existing capacity reused). MergeAlgorithmLabels
+/// delegates here, so the two can never drift.
+void MergeAlgorithmLabelsInto(std::span<const std::string* const> labels,
+                              std::string* out);
 
 }  // namespace qp::core
 

@@ -42,14 +42,21 @@ class DisjointSets {
 
 std::vector<std::vector<uint32_t>> SupportPartition::SplitBundle(
     const std::vector<uint32_t>& bundle) const {
-  std::vector<std::vector<uint32_t>> parts(
-      static_cast<size_t>(num_shards));
+  std::vector<std::vector<uint32_t>> parts;
+  SplitBundleInto(bundle, &parts);
+  return parts;
+}
+
+void SupportPartition::SplitBundleInto(
+    const std::vector<uint32_t>& bundle,
+    std::vector<std::vector<uint32_t>>* parts) const {
+  parts->resize(static_cast<size_t>(num_shards));
+  for (std::vector<uint32_t>& part : *parts) part.clear();
   for (uint32_t item : bundle) {
     if (item >= shard_of_item.size()) continue;  // reader path: see header
-    parts[static_cast<size_t>(shard_of_item[item])].push_back(
+    (*parts)[static_cast<size_t>(shard_of_item[item])].push_back(
         local_of_item[item]);
   }
-  return parts;
 }
 
 SupportPartition SupportPartitioner::Partition(

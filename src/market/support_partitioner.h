@@ -67,6 +67,14 @@ struct SupportPartition {
   /// (AppendBuyersPrecomputed).
   std::vector<std::vector<uint32_t>> SplitBundle(
       const std::vector<uint32_t>& bundle) const;
+
+  /// SplitBundle into caller-owned storage: `parts` is resized to
+  /// num_shards and each part cleared (capacity retained), so repeated
+  /// calls on the same scratch do no heap allocation once the parts have
+  /// grown to their high-water size — the RPC loop's steady-state quote
+  /// path. Identical output to SplitBundle.
+  void SplitBundleInto(const std::vector<uint32_t>& bundle,
+                       std::vector<std::vector<uint32_t>>* parts) const;
 };
 
 class SupportPartitioner {

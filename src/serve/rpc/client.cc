@@ -78,7 +78,10 @@ Status RpcClient::Connect(const std::string& address, uint16_t port) {
     return Status::InvalidArgument("bad address: " + address);
   }
   if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    if (errno != EINPROGRESS) {
+    // POSIX: a connect() interrupted by a signal keeps establishing
+    // asynchronously — EINTR means in-progress here, NOT failure, and
+    // retrying connect() would return EALREADY. Poll like EINPROGRESS.
+    if (errno != EINPROGRESS && errno != EINTR) {
       int err = errno;
       close(fd);
       if (err == ECONNREFUSED) {

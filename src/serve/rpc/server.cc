@@ -7,8 +7,10 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <condition_variable>
@@ -32,30 +34,58 @@ void SetNoDelay(int fd) {
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+/// Read chunk for a connection's receive scratch; the buffer grows to
+/// this once and is reused for every subsequent read.
+constexpr size_t kReadChunk = 64 * 1024;
+/// A receive buffer that ballooned past this (a burst of max-size
+/// frames) is released once empty instead of pinning the high-water
+/// mark forever.
+constexpr size_t kRecvBufCapBytes = 256 * 1024;
+/// Encode-arena slots keep their capacity for reuse up to this; a slot
+/// stretched further by one oversized reply is freed after flushing.
+constexpr size_t kFrameSlotCapBytes = 64 * 1024;
+/// Iovec bound for one vectored flush; frames beyond this wait for the
+/// next writev (bounded stack usage, and IOV_MAX is only 1024 anyway).
+constexpr int kMaxIovPerFlush = 64;
+
 }  // namespace
 
 struct RpcServer::Impl {
-  // --- connection state (loop-thread-private) ---------------------------
+  // --- connection state (owning-loop-thread-private) --------------------
   struct Connection {
     int fd = -1;
-    std::vector<uint8_t> in;            // partial-frame receive buffer
-    std::deque<std::vector<uint8_t>> out;  // pending response frames
-    size_t out_offset = 0;              // sent bytes of out.front()
+    /// Receive scratch: reads land directly in the tail; consumed frames
+    /// are erased from the front. Capacity is the reuse pool.
+    std::vector<uint8_t> in;
+    /// Encode arena: a FIFO of pooled frame buffers. frames[frame_head ..
+    /// frame_head + frame_count) are queued responses (oldest first);
+    /// slots outside that window are free but keep their capacity, so a
+    /// steady request/reply rhythm re-acquires the same storage with no
+    /// allocation. AcquireFrame compacts the window to the front (a
+    /// rotate of vector headers, no heap traffic) before growing.
+    std::vector<std::vector<uint8_t>> frames;
+    size_t frame_head = 0;
+    size_t frame_count = 0;
+    /// Bytes of frames[frame_head] already on the wire.
+    size_t out_offset = 0;
     bool epollout_armed = false;
   };
 
   /// One quote-shaped request captured during a tick, answered by the
-  /// tick's single engine QuoteBatch call.
+  /// tick's single engine batch call. Bundles live in the loop's slot
+  /// arena: indices [first, first + count).
   struct PendingQuote {
     uint64_t conn_id = 0;
     uint64_t request_id = 0;
     bool is_batch = false;
-    std::vector<std::vector<uint32_t>> bundles;
+    size_t first = 0;
+    size_t count = 0;
   };
 
-  // --- writer queue (shared: loop thread -> writer thread) --------------
+  // --- writer queue (shared: loop threads -> writer thread) -------------
   enum class WriterOp : uint8_t { kAppend, kSellerDelta };
   struct WriterJob {
+    int loop = 0;  // owning loop of conn_id; completions route back here
     uint64_t conn_id = 0;
     uint64_t request_id = 0;
     WriterOp op = WriterOp::kAppend;
@@ -70,96 +100,202 @@ struct RpcServer::Impl {
     WireAppendResult result;
   };
 
+  // --- one reactor ------------------------------------------------------
+  struct EventLoop {
+    int index = 0;
+    int listen_fd = -1;  // -1 on loops without a listener (handoff mode)
+    int epoll_fd = -1;
+    int wake_fd = -1;
+    std::thread thread;
+
+    std::unordered_map<uint64_t, Connection> conns;
+    uint64_t next_conn_id = 2;  // 0 = listen socket, 1 = wake eventfd
+
+    /// Handoff inbox: accepted fds pushed by loop 0 in fallback mode,
+    /// adopted by this loop at the top of its next tick.
+    std::mutex inbox_mutex;
+    std::vector<int> inbox;
+
+    // Tick scratch, loop-thread-private. The bundle slots are a grow-
+    // only arena: slot i is reused every tick, keeping its capacity.
+    std::vector<PendingQuote> tick_quotes;
+    std::vector<std::vector<uint32_t>> bundles;
+    size_t num_bundles = 0;
+    ShardedPricingEngine::QuoteBatchScratch batch;
+    /// Completions moved out of the shared deque for lock-free replay.
+    std::vector<WriterDone> done_scratch;
+    /// Capacity of the most recently acquired encode slot, for the
+    /// pool_bytes delta in CommitFrame.
+    size_t acquired_cap = 0;
+
+    // Per-loop counters; stats() aggregates across loops.
+    std::atomic<uint64_t> connections_accepted{0}, connections_closed{0},
+        frames_received{0}, quote_requests{0}, quote_batch_requests{0},
+        purchase_requests{0}, append_requests{0}, seller_delta_requests{0},
+        stats_requests{0}, quote_ticks{0}, batched_quotes{0},
+        protocol_errors{0}, writev_calls{0}, writev_frames{0}, pool_hits{0},
+        pool_bytes{0};
+    /// Latest options.alloc_probe sample, stored at the end of a tick.
+    std::atomic<uint64_t> alloc_probe_last{0};
+  };
+
   ShardedPricingEngine* engine;
   db::Database* db;
   RpcServerOptions options;
 
-  int listen_fd = -1;
-  int epoll_fd = -1;
-  int wake_fd = -1;
+  std::vector<std::unique_ptr<EventLoop>> loops;
+  /// True: every loop owns a SO_REUSEPORT listener (kernel balances
+  /// accepts). False: loop 0 owns the only listener and hands accepted
+  /// fds round-robin to the other loops.
+  bool reuseport = false;
+  /// Round-robin cursor for handoff mode; loop-0-thread-private.
+  size_t next_accept_loop = 0;
   uint16_t bound_port = 0;
   bool started = false;
 
-  std::thread loop_thread;
   std::thread writer_thread;
   std::atomic<bool> stopping{false};
   std::atomic<bool> writer_exited{false};
-  /// Restarted by Stop() before `stopping` becomes visible; both threads
+  /// Restarted by Stop() before `stopping` becomes visible; all threads
   /// measure their drain budget against it.
   Stopwatch drain_watch;
-
-  std::unordered_map<uint64_t, Connection> conns;
-  uint64_t next_conn_id = 2;  // 0 = listen socket, 1 = wake eventfd
 
   std::mutex writer_mutex;
   std::condition_variable writer_cv;
   std::deque<WriterJob> writer_queue;
-  std::deque<WriterDone> writer_done;  // guarded by writer_mutex too
-
-  // Counters: loop-thread writes dominate, but stats() reads from any
-  // thread and the writer thread bumps writer-side ones, so all atomic.
-  std::atomic<uint64_t> connections_accepted{0}, connections_closed{0},
-      frames_received{0}, quote_requests{0}, quote_batch_requests{0},
-      purchase_requests{0}, append_requests{0}, seller_delta_requests{0},
-      stats_requests{0},
-      quote_ticks{0}, batched_quotes{0}, writer_enqueued{0},
-      writer_rejected{0}, protocol_errors{0};
+  /// Per-loop completion queues (guarded by writer_mutex too): the
+  /// writer routes each finished job back to the loop owning its
+  /// connection.
+  std::vector<std::deque<WriterDone>> writer_done;
+  std::atomic<uint64_t> writer_enqueued{0}, writer_rejected{0};
 
   ~Impl() { CloseFds(); }
 
   void CloseFds() {
-    if (listen_fd >= 0) close(listen_fd);
-    if (epoll_fd >= 0) close(epoll_fd);
-    if (wake_fd >= 0) close(wake_fd);
-    listen_fd = epoll_fd = wake_fd = -1;
+    for (auto& loop : loops) {
+      if (loop->listen_fd >= 0) close(loop->listen_fd);
+      if (loop->epoll_fd >= 0) close(loop->epoll_fd);
+      if (loop->wake_fd >= 0) close(loop->wake_fd);
+      loop->listen_fd = loop->epoll_fd = loop->wake_fd = -1;
+      for (int fd : loop->inbox) close(fd);
+      loop->inbox.clear();
+    }
+  }
+
+  /// Opens a non-blocking listener on options.bind_address. The first
+  /// listener resolves an ephemeral options.port and records it in
+  /// bound_port; later ones (the SO_REUSEPORT siblings) bind the same
+  /// resolved port.
+  Status OpenListener(bool with_reuseport, int* out_fd) {
+    int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) return Status::Internal("socket() failed");
+    int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (with_reuseport) {
+#ifdef SO_REUSEPORT
+      if (setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+        close(fd);
+        return Status::Internal("SO_REUSEPORT unsupported");
+      }
+#else
+      close(fd);
+      return Status::Internal("SO_REUSEPORT unavailable");
+#endif
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(bound_port != 0 ? bound_port : options.port);
+    if (inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) != 1) {
+      close(fd);
+      return Status::InvalidArgument("bad bind address: " +
+                                     options.bind_address);
+    }
+    if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      close(fd);
+      return Status::Internal("bind() failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    if (listen(fd, options.listen_backlog) != 0) {
+      close(fd);
+      return Status::Internal("listen() failed");
+    }
+    if (bound_port == 0) {
+      socklen_t len = sizeof(addr);
+      getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+      bound_port = ntohs(addr.sin_port);
+    }
+    *out_fd = fd;
+    return Status::OK();
   }
 
   Status Start() {
     if (started) return Status::FailedPrecondition("RpcServer already started");
-    listen_fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-    if (listen_fd < 0) return Status::Internal("socket() failed");
-    int one = 1;
-    setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(options.port);
-    if (inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) != 1) {
-      CloseFds();
-      return Status::InvalidArgument("bad bind address: " +
-                                     options.bind_address);
+    const int num_loops = std::max(1, options.num_loops);
+    loops.clear();
+    loops.reserve(static_cast<size_t>(num_loops));
+    for (int i = 0; i < num_loops; ++i) {
+      loops.push_back(std::make_unique<EventLoop>());
+      loops.back()->index = i;
     }
-    if (bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-      CloseFds();
-      return Status::Internal("bind() failed: " +
-                              std::string(std::strerror(errno)));
-    }
-    if (listen(listen_fd, options.listen_backlog) != 0) {
-      CloseFds();
-      return Status::Internal("listen() failed");
-    }
-    socklen_t len = sizeof(addr);
-    getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
-    bound_port = ntohs(addr.sin_port);
+    writer_done.clear();
+    writer_done.resize(static_cast<size_t>(num_loops));
 
-    epoll_fd = epoll_create1(EPOLL_CLOEXEC);
-    wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-    if (epoll_fd < 0 || wake_fd < 0) {
-      CloseFds();
-      return Status::Internal("epoll/eventfd setup failed");
+    // Accept sharding: one SO_REUSEPORT listener per loop where the
+    // platform cooperates, otherwise a single listener on loop 0 with
+    // round-robin handoff. A REUSEPORT failure after the first bind can
+    // leave an ephemeral port half-claimed, so the fallback re-resolves
+    // from scratch.
+    reuseport = num_loops > 1 && !options.force_accept_handoff;
+    if (reuseport) {
+      Status status = Status::OK();
+      for (auto& loop : loops) {
+        status = OpenListener(/*with_reuseport=*/true, &loop->listen_fd);
+        if (!status.ok()) break;
+      }
+      if (!status.ok()) {
+        for (auto& loop : loops) {
+          if (loop->listen_fd >= 0) close(loop->listen_fd);
+          loop->listen_fd = -1;
+        }
+        bound_port = 0;
+        reuseport = false;
+      }
     }
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.u64 = 0;
-    epoll_ctl(epoll_fd, EPOLL_CTL_ADD, listen_fd, &ev);
-    ev.data.u64 = 1;
-    epoll_ctl(epoll_fd, EPOLL_CTL_ADD, wake_fd, &ev);
+    if (!reuseport) {
+      Status status = OpenListener(/*with_reuseport=*/false,
+                                   &loops[0]->listen_fd);
+      if (!status.ok()) {
+        CloseFds();
+        return status;
+      }
+    }
+
+    for (auto& loop : loops) {
+      loop->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+      loop->wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+      if (loop->epoll_fd < 0 || loop->wake_fd < 0) {
+        CloseFds();
+        return Status::Internal("epoll/eventfd setup failed");
+      }
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      if (loop->listen_fd >= 0) {
+        ev.data.u64 = 0;
+        epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->listen_fd, &ev);
+      }
+      ev.data.u64 = 1;
+      epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->wake_fd, &ev);
+    }
 
     started = true;
-    loop_thread = std::thread([this] { LoopThread(); });
+    for (auto& loop : loops) {
+      EventLoop* raw = loop.get();
+      loop->thread = std::thread([this, raw] { LoopThread(*raw); });
+    }
     writer_thread = std::thread([this] {
       WriterThread();
       writer_exited.store(true);
-      Wake();  // the draining loop polls writer_exited each tick
+      WakeAll();  // draining loops poll writer_exited each tick
     });
     return Status::OK();
   }
@@ -168,19 +304,21 @@ struct RpcServer::Impl {
     if (!started || stopping.load()) {
       // Not started or a second Stop(): just make sure threads are gone.
       if (writer_thread.joinable()) writer_thread.join();
-      if (loop_thread.joinable()) loop_thread.join();
+      for (auto& loop : loops) {
+        if (loop->thread.joinable()) loop->thread.join();
+      }
       return;
     }
     drain_watch.Restart();
     stopping.store(true);
-    // Both threads drain concurrently: the writer keeps executing queued
-    // appends, the loop keeps flushing replies (and serving already-read
-    // requests) until DrainComplete() or the budget runs out.
+    // All threads drain concurrently: the writer keeps executing queued
+    // appends, every loop keeps flushing replies (and serving already-
+    // read requests) until DrainComplete() or the budget runs out.
     writer_cv.notify_all();
-    Wake();
+    WakeAll();
     writer_thread.join();
-    Wake();
-    loop_thread.join();
+    WakeAll();
+    for (auto& loop : loops) loop->thread.join();
     CloseFds();
   }
 
@@ -190,23 +328,36 @@ struct RpcServer::Impl {
                static_cast<double>(options.drain_timeout_ms);
   }
 
-  /// Loop-thread only: true once the writer is gone, its completions are
-  /// delivered, and every connection's out-queue hit the wire.
-  bool DrainComplete() {
+  /// Loop-thread only: true once the writer is gone, this loop's
+  /// completions are delivered, no handed-off connection awaits
+  /// adoption, and every owned connection's out-queue hit the wire.
+  bool DrainComplete(EventLoop& loop) {
     if (!writer_exited.load()) return false;
     {
       std::lock_guard<std::mutex> lock(writer_mutex);
-      if (!writer_done.empty()) return false;
+      if (!writer_done[static_cast<size_t>(loop.index)].empty()) return false;
     }
-    for (const auto& entry : conns) {
-      if (!entry.second.out.empty()) return false;
+    {
+      std::lock_guard<std::mutex> lock(loop.inbox_mutex);
+      if (!loop.inbox.empty()) return false;
+    }
+    for (const auto& entry : loop.conns) {
+      if (entry.second.frame_count > 0) return false;
     }
     return true;
   }
 
-  void Wake() {
+  void Wake(EventLoop& loop) {
     uint64_t one = 1;
-    [[maybe_unused]] ssize_t n = write(wake_fd, &one, sizeof(one));
+    for (;;) {
+      if (write(loop.wake_fd, &one, sizeof(one)) >= 0 || errno != EINTR) {
+        return;
+      }
+    }
+  }
+
+  void WakeAll() {
+    for (auto& loop : loops) Wake(*loop);
   }
 
   // --- writer thread ----------------------------------------------------
@@ -220,18 +371,18 @@ struct RpcServer::Impl {
         });
         if (writer_queue.empty()) return;  // stopping, queue drained
         if (stopping.load() && DrainExpired()) {
-          // Drain budget exhausted: fail everything still queued; the
+          // Drain budget exhausted: fail everything still queued; each
           // loop's final tick delivers the replies it can. (Within the
           // budget, queued appends keep EXECUTING — each was already
           // admitted, so the client was promised a real answer.)
           while (!writer_queue.empty()) {
             WriterJob dropped = std::move(writer_queue.front());
             writer_queue.pop_front();
-            writer_done.push_back(
+            writer_done[static_cast<size_t>(dropped.loop)].push_back(
                 {dropped.conn_id, dropped.request_id, dropped.op,
                  {WireCode::kShuttingDown, "server stopping", 0}});
           }
-          Wake();
+          WakeAll();
           return;
         }
         job = std::move(writer_queue.front());
@@ -242,9 +393,9 @@ struct RpcServer::Impl {
                                                   : ExecuteSellerDelta(job)};
       {
         std::lock_guard<std::mutex> lock(writer_mutex);
-        writer_done.push_back(std::move(done));
+        writer_done[static_cast<size_t>(job.loop)].push_back(std::move(done));
       }
-      Wake();
+      Wake(*loops[static_cast<size_t>(job.loop)]);
     }
   }
 
@@ -286,15 +437,15 @@ struct RpcServer::Impl {
   }
 
   // --- event loop -------------------------------------------------------
-  void LoopThread() {
+  void LoopThread(EventLoop& loop) {
     constexpr int kMaxEvents = 64;
     epoll_event events[kMaxEvents];
-    std::vector<PendingQuote> tick_quotes;
     bool draining = false;
     for (;;) {
       // While draining, tick at ~10ms so drain progress (writer exit,
       // blocked out-queues opening up) is noticed without socket events.
-      int n = epoll_wait(epoll_fd, events, kMaxEvents, draining ? 10 : -1);
+      int n = epoll_wait(loop.epoll_fd, events, kMaxEvents,
+                         draining ? 10 : -1);
       if (n < 0 && errno != EINTR) break;
       if (!draining && stopping.load()) {
         draining = true;
@@ -303,109 +454,183 @@ struct RpcServer::Impl {
         // it may have requests in flight). Admit them so they drain to
         // real replies below; closing the listener with them still queued
         // would RST the peer instead.
-        AcceptAll();
-        epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listen_fd, nullptr);
+        if (loop.listen_fd >= 0) {
+          AcceptAll(loop);
+          epoll_ctl(loop.epoll_fd, EPOLL_CTL_DEL, loop.listen_fd, nullptr);
+        }
       }
-      tick_quotes.clear();
+      if (!reuseport && loop.index != 0) DrainInbox(loop);
+      loop.tick_quotes.clear();
+      loop.num_bundles = 0;
       for (int i = 0; i < n; ++i) {
         uint64_t id = events[i].data.u64;
         uint32_t mask = events[i].events;
         if (id == 0) {
-          if (!draining) AcceptAll();
+          if (!draining) AcceptAll(loop);
         } else if (id == 1) {
           uint64_t drained;
-          while (read(wake_fd, &drained, sizeof(drained)) > 0) {
+          for (;;) {
+            ssize_t r = read(loop.wake_fd, &drained, sizeof(drained));
+            if (r > 0) continue;
+            if (r < 0 && errno == EINTR) continue;
+            break;
           }
         } else {
-          auto it = conns.find(id);
-          if (it == conns.end()) continue;
+          auto it = loop.conns.find(id);
+          if (it == loop.conns.end()) continue;
           if (mask & (EPOLLHUP | EPOLLERR)) {
-            CloseConn(id);
+            CloseConn(loop, id);
             continue;
           }
           if (mask & EPOLLIN) {
-            if (!ReadConn(id, it->second, &tick_quotes)) continue;
+            if (!ReadConn(loop, id, it->second)) continue;
           }
           if (mask & EPOLLOUT) {
-            auto again = conns.find(id);
-            if (again != conns.end()) FlushWrites(id, again->second);
+            auto again = loop.conns.find(id);
+            if (again != loop.conns.end()) FlushWrites(loop, id, again->second);
           }
         }
       }
-      DeliverWriterCompletions();
-      ServeQuoteTick(tick_quotes);
+      DeliverWriterCompletions(loop);
+      ServeQuoteTick(loop);
+      if (options.alloc_probe != nullptr) {
+        loop.alloc_probe_last.store(options.alloc_probe(),
+                                    std::memory_order_release);
+      }
       // Only a zero-event (pure timeout) tick can end the drain early:
       // level-triggered epoll reports any unread buffered request, and
       // close()-ing a socket with unread inbound data sends RST, which
       // would discard replies the peer has not consumed yet.
-      if (draining && ((n == 0 && DrainComplete()) || DrainExpired())) break;
+      if (draining && ((n == 0 && DrainComplete(loop)) || DrainExpired())) {
+        break;
+      }
     }
-    // Final flush: fail any append the writer never reached (possible
-    // only when the drain deadline expired), deliver whatever responses
-    // are already queued without blocking, then drop the connections.
-    // Pops race-free with a still-draining writer: both sides pop under
-    // writer_mutex, so each job is answered exactly once.
+    // Final flush: fail any of THIS loop's appends the writer never
+    // reached (possible only when the drain deadline expired), deliver
+    // whatever responses are already queued without blocking, then drop
+    // the connections. Queue edits race-free with a still-draining
+    // writer: both sides mutate under writer_mutex, so each job is
+    // answered exactly once, and jobs for other loops stay put for
+    // their owners' final flushes.
     {
       std::lock_guard<std::mutex> lock(writer_mutex);
-      while (!writer_queue.empty()) {
-        WriterJob dropped = std::move(writer_queue.front());
-        writer_queue.pop_front();
-        writer_done.push_back({dropped.conn_id, dropped.request_id, dropped.op,
-                               {WireCode::kShuttingDown, "server stopping", 0}});
+      for (auto it = writer_queue.begin(); it != writer_queue.end();) {
+        if (it->loop != loop.index) {
+          ++it;
+          continue;
+        }
+        writer_done[static_cast<size_t>(loop.index)].push_back(
+            {it->conn_id, it->request_id, it->op,
+             {WireCode::kShuttingDown, "server stopping", 0}});
+        it = writer_queue.erase(it);
       }
     }
-    DeliverWriterCompletions();
+    DeliverWriterCompletions(loop);
+    DrainInbox(loop);  // adopt stragglers so their fds close cleanly
     std::vector<uint64_t> ids;
-    ids.reserve(conns.size());
-    for (auto& [id, conn] : conns) {
-      FlushWrites(id, conn);
+    ids.reserve(loop.conns.size());
+    for (auto& [id, conn] : loop.conns) {
+      FlushWrites(loop, id, conn);
       ids.push_back(id);
     }
-    for (uint64_t id : ids) CloseConn(id);
+    for (uint64_t id : ids) CloseConn(loop, id);
   }
 
-  void AcceptAll() {
+  void AcceptAll(EventLoop& loop) {
+    if (loop.listen_fd < 0) return;
     for (;;) {
-      int fd = accept4(listen_fd, nullptr, nullptr,
+      int fd = accept4(loop.listen_fd, nullptr, nullptr,
                        SOCK_NONBLOCK | SOCK_CLOEXEC);
-      if (fd < 0) return;
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // EAGAIN (drained) or a transient per-connection error
+      }
       SetNoDelay(fd);
-      uint64_t id = next_conn_id++;
-      Connection& conn = conns[id];
-      conn.fd = fd;
-      epoll_event ev{};
-      ev.events = EPOLLIN;
-      ev.data.u64 = id;
-      epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev);
-      connections_accepted.fetch_add(1, std::memory_order_relaxed);
+      loop.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+      if (reuseport || loops.size() == 1) {
+        AdmitFd(loop, fd);
+        continue;
+      }
+      // Handoff fallback: loop 0 owns the only listener and deals
+      // accepted fds round-robin; targets adopt them from their inbox at
+      // the top of the next tick.
+      size_t target = next_accept_loop++ % loops.size();
+      if (static_cast<int>(target) == loop.index) {
+        AdmitFd(loop, fd);
+        continue;
+      }
+      EventLoop& peer = *loops[target];
+      {
+        std::lock_guard<std::mutex> lock(peer.inbox_mutex);
+        peer.inbox.push_back(fd);
+      }
+      Wake(peer);
     }
   }
 
-  void CloseConn(uint64_t id) {
-    auto it = conns.find(id);
-    if (it == conns.end()) return;
-    epoll_ctl(epoll_fd, EPOLL_CTL_DEL, it->second.fd, nullptr);
-    close(it->second.fd);
-    conns.erase(it);
-    connections_closed.fetch_add(1, std::memory_order_relaxed);
+  void AdmitFd(EventLoop& loop, int fd) {
+    uint64_t id = loop.next_conn_id++;
+    Connection& conn = loop.conns[id];
+    conn.fd = fd;
+    // The receive scratch lives at its cap from the start: reads resize
+    // within this capacity, so the steady-state read path never touches
+    // the allocator (and never oscillates around the trim threshold).
+    conn.in.reserve(kRecvBufCapBytes);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, fd, &ev);
   }
 
-  /// Reads everything available, extracting and dispatching complete
-  /// frames. Returns false if the connection was closed.
-  bool ReadConn(uint64_t id, Connection& conn,
-                std::vector<PendingQuote>* tick_quotes) {
-    char buf[64 * 1024];
+  void DrainInbox(EventLoop& loop) {
     for (;;) {
-      ssize_t n = read(conn.fd, buf, sizeof(buf));
+      int fd = -1;
+      {
+        std::lock_guard<std::mutex> lock(loop.inbox_mutex);
+        if (loop.inbox.empty()) return;
+        fd = loop.inbox.front();
+        loop.inbox.erase(loop.inbox.begin());
+      }
+      AdmitFd(loop, fd);
+    }
+  }
+
+  void CloseConn(EventLoop& loop, uint64_t id) {
+    auto it = loop.conns.find(id);
+    if (it == loop.conns.end()) return;
+    size_t pooled = 0;
+    for (const std::vector<uint8_t>& slot : it->second.frames) {
+      pooled += slot.capacity();
+    }
+    if (pooled > 0) {
+      loop.pool_bytes.fetch_sub(pooled, std::memory_order_relaxed);
+    }
+    epoll_ctl(loop.epoll_fd, EPOLL_CTL_DEL, it->second.fd, nullptr);
+    close(it->second.fd);
+    loop.conns.erase(it);
+    loop.connections_closed.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Reads everything available into the connection's reusable receive
+  /// buffer, extracting and dispatching complete frames. Returns false
+  /// if the connection was closed.
+  bool ReadConn(EventLoop& loop, uint64_t id, Connection& conn) {
+    for (;;) {
+      const size_t have = conn.in.size();
+      // Read straight into the buffer's tail: the capacity grows to its
+      // high-water mark once and every later read reuses it.
+      conn.in.resize(have + kReadChunk);
+      ssize_t n = read(conn.fd, conn.in.data() + have, kReadChunk);
       if (n > 0) {
-        conn.in.insert(conn.in.end(), buf, buf + n);
+        conn.in.resize(have + static_cast<size_t>(n));
         continue;
       }
+      conn.in.resize(have);
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
       if (n < 0 && errno == EINTR) continue;
       // Peer closed (possibly mid-frame) or hard error: any buffered
       // partial frame dies with the connection.
-      CloseConn(id);
+      CloseConn(loop, id);
       return false;
     }
     size_t pos = 0;
@@ -419,12 +644,12 @@ struct RpcServer::Impl {
       if (result == ExtractResult::kError) {
         // A bad length prefix desynchronizes the stream; nothing after
         // it can be trusted, so drop the connection.
-        protocol_errors.fetch_add(1, std::memory_order_relaxed);
-        CloseConn(id);
+        loop.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        CloseConn(loop, id);
         return false;
       }
-      frames_received.fetch_add(1, std::memory_order_relaxed);
-      if (!Dispatch(id, frame, tick_quotes)) {
+      loop.frames_received.fetch_add(1, std::memory_order_relaxed);
+      if (!Dispatch(loop, id, frame)) {
         // Dispatch closed the connection.
         return false;
       }
@@ -435,92 +660,118 @@ struct RpcServer::Impl {
       conn.in.erase(conn.in.begin(),
                     conn.in.begin() + static_cast<ptrdiff_t>(pos));
     }
+    if (conn.in.empty() && conn.in.capacity() > kRecvBufCapBytes) {
+      // One burst of jumbo frames must not pin the high-water capacity;
+      // drop back to the standing cap-sized scratch.
+      std::vector<uint8_t>().swap(conn.in);
+      conn.in.reserve(kRecvBufCapBytes);
+    }
     return true;
+  }
+
+  /// Next free bundle slot in the loop's tick arena (cleared, capacity
+  /// retained). Roll failed decodes back by restoring num_bundles.
+  std::vector<uint32_t>* NextBundleSlot(EventLoop& loop) {
+    if (loop.num_bundles == loop.bundles.size()) {
+      loop.bundles.emplace_back();  // high-water growth, then reused
+    }
+    return &loop.bundles[loop.num_bundles++];
   }
 
   /// Handles one decoded frame. Returns false if the connection was
   /// closed during dispatch.
-  bool Dispatch(uint64_t id, const Frame& frame,
-                std::vector<PendingQuote>* tick_quotes) {
+  bool Dispatch(EventLoop& loop, uint64_t id, const Frame& frame) {
     switch (frame.type) {
       case MsgType::kQuote: {
-        quote_requests.fetch_add(1, std::memory_order_relaxed);
-        PendingQuote pending;
-        pending.conn_id = id;
-        pending.request_id = frame.request_id;
-        pending.is_batch = false;
-        std::vector<uint32_t> bundle;
-        if (!DecodeQuoteRequest(frame.body, &bundle)) {
-          return BadRequest(id, frame.request_id, "malformed Quote body");
+        loop.quote_requests.fetch_add(1, std::memory_order_relaxed);
+        const size_t first = loop.num_bundles;
+        if (!DecodeQuoteRequestInto(frame.body, NextBundleSlot(loop))) {
+          loop.num_bundles = first;  // return the slot
+          return BadRequest(loop, id, frame.request_id,
+                            "malformed Quote body");
         }
-        pending.bundles.push_back(std::move(bundle));
-        tick_quotes->push_back(std::move(pending));
+        loop.tick_quotes.push_back({id, frame.request_id, false, first, 1});
         return true;
       }
       case MsgType::kQuoteBatch: {
-        quote_batch_requests.fetch_add(1, std::memory_order_relaxed);
-        PendingQuote pending;
-        pending.conn_id = id;
-        pending.request_id = frame.request_id;
-        pending.is_batch = true;
-        if (!DecodeQuoteBatchRequest(frame.body, &pending.bundles)) {
-          return BadRequest(id, frame.request_id, "malformed QuoteBatch body");
+        loop.quote_batch_requests.fetch_add(1, std::memory_order_relaxed);
+        const size_t first = loop.num_bundles;
+        // Decoded straight into consecutive arena slots (the in-place
+        // form of DecodeQuoteBatchRequest: same bounds checks, same
+        // trailing-garbage rejection).
+        WireReader r(frame.body);
+        uint32_t count = r.U32();
+        bool ok = r.ok();
+        for (uint32_t k = 0; ok && k < count; ++k) {
+          ok = r.U32VecInto(NextBundleSlot(loop));
         }
-        tick_quotes->push_back(std::move(pending));
+        if (!ok || !r.AtEnd()) {
+          loop.num_bundles = first;
+          return BadRequest(loop, id, frame.request_id,
+                            "malformed QuoteBatch body");
+        }
+        loop.tick_quotes.push_back(
+            {id, frame.request_id, true, first, static_cast<size_t>(count)});
         return true;
       }
       case MsgType::kPurchase: {
-        purchase_requests.fetch_add(1, std::memory_order_relaxed);
+        loop.purchase_requests.fetch_add(1, std::memory_order_relaxed);
         std::string sql;
         double valuation = 0.0;
         if (!DecodePurchaseRequest(frame.body, &sql, &valuation)) {
-          return BadRequest(id, frame.request_id, "malformed Purchase body");
+          return BadRequest(loop, id, frame.request_id,
+                            "malformed Purchase body");
         }
         auto parsed = db::ParseQuery(sql, *db);
         if (!parsed.ok()) {
-          return BadRequest(id, frame.request_id,
+          return BadRequest(loop, id, frame.request_id,
                             "Purchase: " + parsed.status().ToString());
         }
         // Reader-side end to end (overlay probe + snapshot pin + atomic
         // sale counters): never blocks behind the engine's writer.
         PurchaseOutcome outcome = engine->Purchase(*parsed, valuation);
+        auto it = loop.conns.find(id);
+        if (it == loop.conns.end()) return false;
         if (!outcome.status.ok()) {
           // Bundle touches a shard still warming after restore: the sale
           // was NOT attempted — the client may retry.
-          return QueueWrite(
-              id, EncodeErrorReply(frame.request_id, WireCode::kUnavailable,
-                                   outcome.status.message()));
+          AppendErrorReplyFrame(frame.request_id, WireCode::kUnavailable,
+                                outcome.status.message(),
+                                AcquireFrame(loop, it->second));
+          return CommitFrame(loop, id, it->second);
         }
         WirePurchase reply;
         reply.accepted = outcome.accepted;
         reply.valuation = outcome.valuation;
         reply.quote = std::move(outcome.quote);
         reply.bundle = std::move(outcome.bundle);
-        return QueueWrite(id, EncodePurchaseReply(frame.request_id, reply));
+        AppendPurchaseReplyFrame(frame.request_id, reply,
+                                 AcquireFrame(loop, it->second));
+        return CommitFrame(loop, id, it->second);
       }
       case MsgType::kAppendBuyers: {
-        append_requests.fetch_add(1, std::memory_order_relaxed);
+        loop.append_requests.fetch_add(1, std::memory_order_relaxed);
         if (stopping.load()) {
           // Draining: only appends admitted BEFORE Stop() get executed;
           // new ones are refused so the writer can actually finish.
-          return QueueWrite(
-              id, EncodeErrorReply(frame.request_id, WireCode::kShuttingDown,
-                                   "server stopping"));
+          return ErrorReply(loop, id, frame.request_id,
+                            WireCode::kShuttingDown, "server stopping");
         }
         WriterJob job;
+        job.loop = loop.index;
         job.conn_id = id;
         job.request_id = frame.request_id;
         if (!DecodeAppendRequest(frame.body, &job.buyers)) {
-          return BadRequest(id, frame.request_id,
+          return BadRequest(loop, id, frame.request_id,
                             "malformed AppendBuyers body");
         }
         {
           std::lock_guard<std::mutex> lock(writer_mutex);
           if (writer_queue.size() >= options.writer_queue_depth) {
             writer_rejected.fetch_add(1, std::memory_order_relaxed);
-            return QueueWrite(
-                id, EncodeErrorReply(frame.request_id, WireCode::kBackpressure,
-                                     "writer queue full; retry later"));
+            return ErrorReply(loop, id, frame.request_id,
+                              WireCode::kBackpressure,
+                              "writer queue full; retry later");
           }
           writer_queue.push_back(std::move(job));
           writer_enqueued.fetch_add(1, std::memory_order_relaxed);
@@ -529,29 +780,29 @@ struct RpcServer::Impl {
         return true;
       }
       case MsgType::kApplySellerDelta: {
-        seller_delta_requests.fetch_add(1, std::memory_order_relaxed);
+        loop.seller_delta_requests.fetch_add(1, std::memory_order_relaxed);
         if (stopping.load()) {
           // Same drain contract as appends: only deltas admitted BEFORE
           // Stop() execute; new ones are refused, NOT applied.
-          return QueueWrite(
-              id, EncodeErrorReply(frame.request_id, WireCode::kShuttingDown,
-                                   "server stopping"));
+          return ErrorReply(loop, id, frame.request_id,
+                            WireCode::kShuttingDown, "server stopping");
         }
         WriterJob job;
+        job.loop = loop.index;
         job.conn_id = id;
         job.request_id = frame.request_id;
         job.op = WriterOp::kSellerDelta;
         if (!DecodeApplySellerDeltaRequest(frame.body, &job.delta)) {
-          return BadRequest(id, frame.request_id,
+          return BadRequest(loop, id, frame.request_id,
                             "malformed ApplySellerDelta body");
         }
         {
           std::lock_guard<std::mutex> lock(writer_mutex);
           if (writer_queue.size() >= options.writer_queue_depth) {
             writer_rejected.fetch_add(1, std::memory_order_relaxed);
-            return QueueWrite(
-                id, EncodeErrorReply(frame.request_id, WireCode::kBackpressure,
-                                     "writer queue full; retry later"));
+            return ErrorReply(loop, id, frame.request_id,
+                              WireCode::kBackpressure,
+                              "writer queue full; retry later");
           }
           writer_queue.push_back(std::move(job));
           writer_enqueued.fetch_add(1, std::memory_order_relaxed);
@@ -560,21 +811,32 @@ struct RpcServer::Impl {
         return true;
       }
       case MsgType::kStats: {
-        stats_requests.fetch_add(1, std::memory_order_relaxed);
-        return QueueWrite(id, EncodeStatsReply(frame.request_id, BuildStats()));
+        loop.stats_requests.fetch_add(1, std::memory_order_relaxed);
+        auto it = loop.conns.find(id);
+        if (it == loop.conns.end()) return false;
+        AppendStatsReplyFrame(frame.request_id, BuildStats(),
+                              AcquireFrame(loop, it->second));
+        return CommitFrame(loop, id, it->second);
       }
       default:
-        protocol_errors.fetch_add(1, std::memory_order_relaxed);
-        return QueueWrite(
-            id, EncodeErrorReply(frame.request_id, WireCode::kBadRequest,
-                                 "unknown message type"));
+        loop.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        return ErrorReply(loop, id, frame.request_id, WireCode::kBadRequest,
+                          "unknown message type");
     }
   }
 
-  bool BadRequest(uint64_t id, uint64_t request_id, const std::string& msg) {
-    protocol_errors.fetch_add(1, std::memory_order_relaxed);
-    return QueueWrite(id,
-                      EncodeErrorReply(request_id, WireCode::kBadRequest, msg));
+  bool ErrorReply(EventLoop& loop, uint64_t id, uint64_t request_id,
+                  WireCode code, const std::string& msg) {
+    auto it = loop.conns.find(id);
+    if (it == loop.conns.end()) return false;
+    AppendErrorReplyFrame(request_id, code, msg, AcquireFrame(loop, it->second));
+    return CommitFrame(loop, id, it->second);
+  }
+
+  bool BadRequest(EventLoop& loop, uint64_t id, uint64_t request_id,
+                  const std::string& msg) {
+    loop.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    return ErrorReply(loop, id, request_id, WireCode::kBadRequest, msg);
   }
 
   /// Everything here is lock-free against the engine's writer: merged
@@ -597,12 +859,6 @@ struct RpcServer::Impl {
     out.prepared_misses = reader.prepared.misses;
     out.prepared_evictions = reader.prepared.evictions;
     out.prepared_entries = reader.prepared.entries;
-    out.quote_ticks = quote_ticks.load(std::memory_order_relaxed);
-    out.batched_quotes = batched_quotes.load(std::memory_order_relaxed);
-    out.writer_rejected = writer_rejected.load(std::memory_order_relaxed);
-    out.protocol_errors = protocol_errors.load(std::memory_order_relaxed);
-    out.connections_accepted =
-        connections_accepted.load(std::memory_order_relaxed);
     out.catalog_generation = engine->catalog().head_generation();
     out.generations_published = reader.catalog.generations_published;
     out.folds = reader.catalog.folds;
@@ -613,121 +869,223 @@ struct RpcServer::Impl {
     out.staleness_samples = reader.catalog.staleness_samples;
     out.staleness_sum = reader.catalog.staleness_sum;
     out.staleness_max = reader.catalog.staleness_max;
+    out.writer_rejected = writer_rejected.load(std::memory_order_relaxed);
+    out.loops = static_cast<uint64_t>(loops.size());
+    for (const auto& loop : loops) {
+      out.quote_ticks += loop->quote_ticks.load(std::memory_order_relaxed);
+      out.batched_quotes +=
+          loop->batched_quotes.load(std::memory_order_relaxed);
+      out.protocol_errors +=
+          loop->protocol_errors.load(std::memory_order_relaxed);
+      out.connections_accepted +=
+          loop->connections_accepted.load(std::memory_order_relaxed);
+      out.writev_calls += loop->writev_calls.load(std::memory_order_relaxed);
+      out.writev_frames += loop->writev_frames.load(std::memory_order_relaxed);
+      out.pool_hits += loop->pool_hits.load(std::memory_order_relaxed);
+      out.pool_bytes += loop->pool_bytes.load(std::memory_order_relaxed);
+    }
     return out;
   }
 
   /// The auto-batching heart: every quote-shaped request the tick
-  /// decoded — across all connections — prices through ONE QuoteBatch
-  /// call (one snapshot pin per shard for the whole tick), then the
-  /// results fan back out to their requests in arrival order.
-  void ServeQuoteTick(const std::vector<PendingQuote>& tick_quotes) {
-    if (tick_quotes.empty()) return;
-    std::vector<std::vector<uint32_t>> flat;
-    for (const PendingQuote& pending : tick_quotes) {
-      for (const std::vector<uint32_t>& bundle : pending.bundles) {
-        flat.push_back(bundle);
-      }
-    }
-    // TryQuoteBatch degrades gracefully during a restore: bundles that
-    // touch a still-warming shard come back Unavailable instead of a
-    // wrongly-low cold price. Identical to QuoteBatch once all shards
+  /// decoded — across all of this loop's connections — prices through
+  /// ONE engine batch call (one snapshot/epoch pin per shard for the
+  /// whole loop-tick), then the results fan back out to their requests
+  /// in arrival order. Allocation-free in the steady state: bundles sit
+  /// in the loop's slot arena, the engine fills the loop's batch
+  /// scratch, and replies encode into pooled connection buffers.
+  void ServeQuoteTick(EventLoop& loop) {
+    if (loop.tick_quotes.empty()) return;
+    std::span<const std::vector<uint32_t>> flat(loop.bundles.data(),
+                                                loop.num_bundles);
+    // TryQuoteBatchInto degrades gracefully during a restore: bundles
+    // that touch a still-warming shard come back Unavailable instead of
+    // a wrongly-low cold price. Identical to QuoteBatch once all shards
     // are warm (one relaxed load on that path).
-    std::vector<Result<Quote>> quotes = engine->TryQuoteBatch(flat);
-    quote_ticks.fetch_add(1, std::memory_order_relaxed);
-    batched_quotes.fetch_add(flat.size(), std::memory_order_relaxed);
-    size_t next = 0;
-    for (const PendingQuote& pending : tick_quotes) {
-      size_t count = pending.bundles.size();
-      const Result<Quote>* first_bad = nullptr;
-      for (size_t k = 0; k < count; ++k) {
-        if (!quotes[next + k].ok()) {
-          first_bad = &quotes[next + k];
+    engine->TryQuoteBatchInto(flat, &loop.batch);
+    loop.quote_ticks.fetch_add(1, std::memory_order_relaxed);
+    loop.batched_quotes.fetch_add(flat.size(), std::memory_order_relaxed);
+    for (const PendingQuote& pending : loop.tick_quotes) {
+      const Status* first_bad = nullptr;
+      for (size_t k = 0; k < pending.count; ++k) {
+        if (!loop.batch.statuses[pending.first + k].ok()) {
+          first_bad = &loop.batch.statuses[pending.first + k];
           break;
         }
       }
+      auto it = loop.conns.find(pending.conn_id);
+      if (it == loop.conns.end()) continue;
       if (first_bad != nullptr) {
         // All-or-nothing per request: a batch whose generation cannot be
         // uniform (some bundles refused) is refused whole.
-        QueueWrite(pending.conn_id,
-                   EncodeErrorReply(pending.request_id, WireCode::kUnavailable,
-                                    first_bad->status().message()));
+        AppendErrorReplyFrame(pending.request_id, WireCode::kUnavailable,
+                              first_bad->message(),
+                              AcquireFrame(loop, it->second));
       } else if (pending.is_batch) {
-        std::vector<Quote> slice;
-        slice.reserve(count);
-        for (size_t k = 0; k < count; ++k) slice.push_back(*quotes[next + k]);
-        QueueWrite(pending.conn_id,
-                   EncodeQuoteBatchReply(pending.request_id, slice));
+        AppendQuoteBatchReplyFrame(
+            pending.request_id,
+            std::span<const Quote>(loop.batch.quotes.data() + pending.first,
+                                   pending.count),
+            AcquireFrame(loop, it->second));
       } else {
-        QueueWrite(pending.conn_id,
-                   EncodeQuoteReply(pending.request_id, *quotes[next]));
+        AppendQuoteReplyFrame(pending.request_id,
+                              loop.batch.quotes[pending.first],
+                              AcquireFrame(loop, it->second));
       }
-      next += count;
+      CommitFrame(loop, pending.conn_id, it->second);
     }
   }
 
-  void DeliverWriterCompletions() {
-    std::deque<WriterDone> done;
+  void DeliverWriterCompletions(EventLoop& loop) {
     {
       std::lock_guard<std::mutex> lock(writer_mutex);
-      done.swap(writer_done);
+      std::deque<WriterDone>& mine =
+          writer_done[static_cast<size_t>(loop.index)];
+      if (mine.empty()) return;  // steady-state ticks: no queue churn
+      loop.done_scratch.clear();
+      for (WriterDone& done : mine) {
+        loop.done_scratch.push_back(std::move(done));
+      }
+      mine.clear();
     }
-    for (WriterDone& completion : done) {
+    for (WriterDone& completion : loop.done_scratch) {
+      auto it = loop.conns.find(completion.conn_id);
+      if (it == loop.conns.end()) continue;
       if (completion.result.code == WireCode::kOk) {
         if (completion.op == WriterOp::kSellerDelta) {
           WireDeltaResult result;
           result.code = completion.result.code;
           result.message = completion.result.message;
           result.generation = completion.result.version;
-          QueueWrite(completion.conn_id,
-                     EncodeApplySellerDeltaReply(completion.request_id, result));
-          continue;
+          AppendApplySellerDeltaReplyFrame(completion.request_id, result,
+                                           AcquireFrame(loop, it->second));
+        } else {
+          AppendAppendReplyFrame(completion.request_id, completion.result,
+                                 AcquireFrame(loop, it->second));
         }
-        QueueWrite(completion.conn_id,
-                   EncodeAppendReply(completion.request_id, completion.result));
       } else {
-        QueueWrite(completion.conn_id,
-                   EncodeErrorReply(completion.request_id,
-                                    completion.result.code,
-                                    completion.result.message));
+        AppendErrorReplyFrame(completion.request_id, completion.result.code,
+                              completion.result.message,
+                              AcquireFrame(loop, it->second));
+      }
+      CommitFrame(loop, completion.conn_id, it->second);
+    }
+    loop.done_scratch.clear();
+  }
+
+  /// Claims the next encode-arena slot on `conn` (cleared, capacity
+  /// retained — a pool hit when it served before). The caller appends
+  /// exactly one frame and then calls CommitFrame.
+  std::vector<uint8_t>* AcquireFrame(EventLoop& loop, Connection& conn) {
+    if (conn.frame_head + conn.frame_count == conn.frames.size()) {
+      if (conn.frame_head > 0) {
+        // Compact the active window to the front: a rotate of vector
+        // headers, so freed slots (and their capacity) cycle to the back
+        // for reuse without any heap traffic.
+        std::rotate(conn.frames.begin(),
+                    conn.frames.begin() +
+                        static_cast<ptrdiff_t>(conn.frame_head),
+                    conn.frames.end());
+        conn.frame_head = 0;
+      }
+      if (conn.frame_count == conn.frames.size()) {
+        conn.frames.emplace_back();  // high-water growth, then pooled
       }
     }
+    std::vector<uint8_t>& slot = conn.frames[conn.frame_head + conn.frame_count];
+    ++conn.frame_count;
+    if (slot.capacity() > 0) {
+      loop.pool_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+    loop.acquired_cap = slot.capacity();
+    slot.clear();
+    return &slot;
   }
 
-  /// Queues a response frame and flushes as much as the socket accepts.
-  /// Returns false if the connection is gone (response dropped).
-  bool QueueWrite(uint64_t id, std::vector<uint8_t> frame) {
-    auto it = conns.find(id);
-    if (it == conns.end()) return false;
-    it->second.out.push_back(std::move(frame));
-    FlushWrites(id, it->second);
-    return conns.find(id) != conns.end();
+  /// Books the just-encoded frame's capacity growth against pool_bytes
+  /// and flushes. Returns false if the connection is gone.
+  bool CommitFrame(EventLoop& loop, uint64_t id, Connection& conn) {
+    const std::vector<uint8_t>& slot =
+        conn.frames[conn.frame_head + conn.frame_count - 1];
+    if (slot.capacity() > loop.acquired_cap) {
+      loop.pool_bytes.fetch_add(slot.capacity() - loop.acquired_cap,
+                                std::memory_order_relaxed);
+    }
+    FlushWrites(loop, id, conn);
+    return loop.conns.find(id) != loop.conns.end();
   }
 
-  void FlushWrites(uint64_t id, Connection& conn) {
-    while (!conn.out.empty()) {
-      const std::vector<uint8_t>& front = conn.out.front();
-      // MSG_NOSIGNAL: a peer that resets mid-write must surface as EPIPE
-      // (we close the connection) — not SIGPIPE the whole process.
-      ssize_t n = send(conn.fd, front.data() + conn.out_offset,
-                       front.size() - conn.out_offset, MSG_NOSIGNAL);
+  /// Pops the fully-sent front frame, returning its buffer to the pool
+  /// (or freeing it, if one oversized reply stretched it past the cap).
+  void ReleaseFrontFrame(EventLoop& loop, Connection& conn) {
+    std::vector<uint8_t>& slot = conn.frames[conn.frame_head];
+    if (slot.capacity() > kFrameSlotCapBytes) {
+      loop.pool_bytes.fetch_sub(slot.capacity(), std::memory_order_relaxed);
+      std::vector<uint8_t>().swap(slot);
+    }
+    ++conn.frame_head;
+    --conn.frame_count;
+    conn.out_offset = 0;
+    if (conn.frame_count == 0) conn.frame_head = 0;
+  }
+
+  /// Flushes as much of the connection's queued frames as the socket
+  /// accepts, coalescing up to kMaxIovPerFlush frames per vectored
+  /// write. Partial writes advance out_offset across iovec boundaries;
+  /// EPOLLOUT is armed iff bytes remain.
+  void FlushWrites(EventLoop& loop, uint64_t id, Connection& conn) {
+    while (conn.frame_count > 0) {
+      iovec iov[kMaxIovPerFlush];
+      int iovcnt = 0;
+      size_t skip = conn.out_offset;
+      for (size_t k = 0; k < conn.frame_count && iovcnt < kMaxIovPerFlush;
+           ++k) {
+        std::vector<uint8_t>& frame = conn.frames[conn.frame_head + k];
+        iov[iovcnt].iov_base = frame.data() + skip;
+        iov[iovcnt].iov_len = frame.size() - skip;
+        skip = 0;
+        ++iovcnt;
+      }
+      // sendmsg == writev + MSG_NOSIGNAL: a peer that resets mid-write
+      // must surface as EPIPE (we close the connection) — not SIGPIPE
+      // the whole process.
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = static_cast<size_t>(iovcnt);
+      // Count the submission BEFORE the syscall: the kernel can deliver
+      // these bytes to the peer the instant sendmsg runs, and a client
+      // that sees its reply may immediately ask another loop for Stats —
+      // the counters must already cover every frame the reply's flush
+      // submitted. (EINTR retries and EAGAIN therefore over-count
+      // slightly; both gauges are monotone lower-bound checks.)
+      loop.writev_calls.fetch_add(1, std::memory_order_relaxed);
+      loop.writev_frames.fetch_add(static_cast<uint64_t>(iovcnt),
+                                   std::memory_order_relaxed);
+      ssize_t n = sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
         if (errno == EINTR) continue;
-        CloseConn(id);
+        CloseConn(loop, id);
         return;
       }
-      conn.out_offset += static_cast<size_t>(n);
-      if (conn.out_offset == front.size()) {
-        conn.out.pop_front();
-        conn.out_offset = 0;
+      size_t advanced = static_cast<size_t>(n);
+      while (advanced > 0) {
+        const std::vector<uint8_t>& front = conn.frames[conn.frame_head];
+        const size_t remain = front.size() - conn.out_offset;
+        if (advanced < remain) {
+          conn.out_offset += advanced;
+          break;
+        }
+        advanced -= remain;
+        ReleaseFrontFrame(loop, conn);
       }
     }
-    bool want_out = !conn.out.empty();
+    bool want_out = conn.frame_count > 0;
     if (want_out != conn.epollout_armed) {
       epoll_event ev{};
       ev.events = EPOLLIN | (want_out ? EPOLLOUT : 0u);
       ev.data.u64 = id;
-      epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
+      epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
       conn.epollout_armed = want_out;
     }
   }
@@ -754,26 +1112,46 @@ uint16_t RpcServer::port() const { return impl_->bound_port; }
 
 RpcServerStats RpcServer::stats() const {
   RpcServerStats out;
-  out.connections_accepted =
-      impl_->connections_accepted.load(std::memory_order_relaxed);
-  out.connections_closed =
-      impl_->connections_closed.load(std::memory_order_relaxed);
-  out.frames_received = impl_->frames_received.load(std::memory_order_relaxed);
-  out.quote_requests = impl_->quote_requests.load(std::memory_order_relaxed);
-  out.quote_batch_requests =
-      impl_->quote_batch_requests.load(std::memory_order_relaxed);
-  out.purchase_requests =
-      impl_->purchase_requests.load(std::memory_order_relaxed);
-  out.append_requests = impl_->append_requests.load(std::memory_order_relaxed);
-  out.seller_delta_requests =
-      impl_->seller_delta_requests.load(std::memory_order_relaxed);
-  out.stats_requests = impl_->stats_requests.load(std::memory_order_relaxed);
-  out.quote_ticks = impl_->quote_ticks.load(std::memory_order_relaxed);
-  out.batched_quotes = impl_->batched_quotes.load(std::memory_order_relaxed);
-  out.writer_enqueued = impl_->writer_enqueued.load(std::memory_order_relaxed);
-  out.writer_rejected = impl_->writer_rejected.load(std::memory_order_relaxed);
-  out.protocol_errors = impl_->protocol_errors.load(std::memory_order_relaxed);
+  out.loops = static_cast<uint64_t>(impl_->loops.size());
+  for (const auto& loop : impl_->loops) {
+    out.connections_accepted +=
+        loop->connections_accepted.load(std::memory_order_relaxed);
+    out.connections_closed +=
+        loop->connections_closed.load(std::memory_order_relaxed);
+    out.frames_received +=
+        loop->frames_received.load(std::memory_order_relaxed);
+    out.quote_requests += loop->quote_requests.load(std::memory_order_relaxed);
+    out.quote_batch_requests +=
+        loop->quote_batch_requests.load(std::memory_order_relaxed);
+    out.purchase_requests +=
+        loop->purchase_requests.load(std::memory_order_relaxed);
+    out.append_requests +=
+        loop->append_requests.load(std::memory_order_relaxed);
+    out.seller_delta_requests +=
+        loop->seller_delta_requests.load(std::memory_order_relaxed);
+    out.stats_requests += loop->stats_requests.load(std::memory_order_relaxed);
+    out.quote_ticks += loop->quote_ticks.load(std::memory_order_relaxed);
+    out.batched_quotes += loop->batched_quotes.load(std::memory_order_relaxed);
+    out.protocol_errors +=
+        loop->protocol_errors.load(std::memory_order_relaxed);
+    out.writev_calls += loop->writev_calls.load(std::memory_order_relaxed);
+    out.writev_frames += loop->writev_frames.load(std::memory_order_relaxed);
+    out.pool_hits += loop->pool_hits.load(std::memory_order_relaxed);
+    out.pool_bytes += loop->pool_bytes.load(std::memory_order_relaxed);
+  }
+  out.writer_enqueued =
+      impl_->writer_enqueued.load(std::memory_order_relaxed);
+  out.writer_rejected =
+      impl_->writer_rejected.load(std::memory_order_relaxed);
   return out;
+}
+
+uint64_t RpcServer::alloc_probe_total() const {
+  uint64_t total = 0;
+  for (const auto& loop : impl_->loops) {
+    total += loop->alloc_probe_last.load(std::memory_order_acquire);
+  }
+  return total;
 }
 
 }  // namespace qp::serve::rpc

@@ -1,21 +1,35 @@
-// Async RPC serving front-end over ShardedPricingEngine.
+// Async multi-reactor RPC serving front-end over ShardedPricingEngine.
 //
-// One epoll event-loop thread owns every connection: non-blocking
-// accept/read/write, length-prefixed frames (serve/rpc/wire.h), per-
-// connection writer queues — the logcabin OpaqueServer shape, without
-// the monitor locking because all connection state is loop-thread-
-// private. The design splits the engine's reader/writer seam across
-// threads:
+// RpcServerOptions::num_loops epoll event-loop threads each own a
+// DISJOINT set of connections: non-blocking accept/read/write, length-
+// prefixed frames (serve/rpc/wire.h) — the logcabin OpaqueServer shape,
+// without the monitor locking because all connection state is loop-
+// thread-private. Connections shard across loops at accept time: every
+// loop gets its own SO_REUSEPORT listener where available (the kernel
+// balances new connections), falling back to one listener on loop 0
+// with round-robin handoff of accepted fds (also forced by
+// force_accept_handoff, which tests use for a deterministic spread).
+// The design splits the engine's reader/writer seam across threads:
 //
 //  * Read requests (Quote, QuoteBatch) arriving within one event-loop
-//    tick auto-batch: the loop collects every decoded bundle while
-//    draining the tick's readable sockets, then prices them through ONE
-//    ShardedPricingEngine::QuoteBatch call — one snapshot pin per tick
-//    across all connections (exactly what the batch API amortizes), and
-//    every quote in the tick carries the same merged generation.
-//    Purchase and Stats are served inline on the loop thread; both are
-//    lock-free against the engine's writer, so a slow append never
-//    stalls the read path.
+//    tick auto-batch PER LOOP: the loop collects every decoded bundle
+//    while draining the tick's readable sockets, then prices them
+//    through ONE ShardedPricingEngine batch call — one snapshot/epoch
+//    pin per loop-tick across that loop's connections (exactly what the
+//    batch API amortizes), and every quote in the tick carries the same
+//    merged generation. Wire quotes are bit-identical to the in-process
+//    engine's and invariant to num_loops. Purchase and Stats are served
+//    inline on the loop thread; both are lock-free against the engine's
+//    writer, so a slow append never stalls the read path.
+//  * Steady-state quote serving does ZERO per-frame heap allocations on
+//    a loop thread: requests decode into reused per-loop bundle slots,
+//    the engine prices through caller-owned scratch
+//    (ShardedPricingEngine::TryQuoteBatchInto), replies encode in place
+//    into pooled per-connection frame buffers (capped high-water marks,
+//    see pool_hits/pool_bytes), and each connection's queued frames
+//    flush with one bounded-iovec vectored write (writev_calls /
+//    writev_frames count the coalescing). The alloc_probe hook lets
+//    benches assert the zero-allocation property from outside.
 //  * Writer ops (AppendBuyers, ApplySellerDelta) enter a bounded
 //    admission queue consumed by a dedicated writer thread (the engine
 //    serializes writers anyway, so one thread loses nothing). A full
@@ -30,13 +44,14 @@
 // one connection; clients match on request_id (see wire.h).
 //
 // Shutdown (Stop(), also run by the destructor) drains gracefully
-// within drain_timeout_ms: the loop immediately stops accepting new
-// connections but keeps ticking; the writer thread keeps EXECUTING its
-// queued appends (each one already acknowledged into the admission
-// queue) until the queue empties or the deadline passes — only then are
-// leftovers failed with kShuttingDown. The loop exits once the writer
-// is done, completions are delivered, and every connection's out-queue
-// flushed (or the deadline passes), then closes every connection.
+// within drain_timeout_ms, every loop independently: each loop
+// immediately stops accepting new connections but keeps ticking; the
+// writer thread keeps EXECUTING its queued appends (each one already
+// acknowledged into the admission queue) until the queue empties or the
+// deadline passes — only then are leftovers failed with kShuttingDown.
+// A loop exits once the writer is done, its completions are delivered,
+// and every one of its connections' out-queues flushed (or the deadline
+// passes), then closes its connections.
 #ifndef QP_SERVE_RPC_SERVER_H_
 #define QP_SERVE_RPC_SERVER_H_
 
@@ -59,9 +74,26 @@ struct RpcServerOptions {
   /// Frames with a larger payload are a protocol error (connection
   /// closed). Bounded by wire::kMaxFrameBytes.
   uint32_t max_frame_bytes = 1u << 20;
+  /// Event-loop (reactor) threads. Each owns a disjoint connection set
+  /// with its own epoll instance, tick auto-batcher and write flusher;
+  /// the engine itself is shared. Clamped to >= 1.
+  int num_loops = 1;
+  /// Test hook: skip the per-loop SO_REUSEPORT listeners and run the
+  /// fallback accept path even where SO_REUSEPORT works — one listener
+  /// on loop 0, accepted connections handed round-robin across loops
+  /// (deterministic spread; kernel REUSEPORT balancing is hash-based).
+  bool force_accept_handoff = false;
   /// Admission-control depth for writer ops (AppendBuyers): requests
-  /// beyond this many queued get an immediate kBackpressure reply.
+  /// beyond this many queued get an immediate kBackpressure reply. The
+  /// queue (like the engine's writer mutex it feeds) is shared across
+  /// loops, so the depth bounds the whole server exactly as it did the
+  /// single-loop server.
   size_t writer_queue_depth = 16;
+  /// Bench/test hook: when set, every loop thread samples this at the
+  /// end of each tick (typically a thread_local allocation counter);
+  /// alloc_probe_total() sums the latest samples. Lets harnesses assert
+  /// the steady-state quote path performs zero heap allocations.
+  uint64_t (*alloc_probe)() = nullptr;
   /// Graceful-drain budget for Stop(): queued appends keep executing
   /// and responses keep flushing until done or this many ms pass.
   /// <= 0 skips the drain (queued appends fail with kShuttingDown).
@@ -87,6 +119,18 @@ struct RpcServerStats {
   /// Writer ops rejected with kBackpressure (queue full).
   uint64_t writer_rejected = 0;
   uint64_t protocol_errors = 0;
+  /// Event-loop threads serving connections (RpcServerOptions::num_loops
+  /// after clamping).
+  uint64_t loops = 0;
+  /// Vectored flushes issued and the response frames they coalesced;
+  /// writev_frames / writev_calls is the realized coalescing factor.
+  uint64_t writev_calls = 0;
+  uint64_t writev_frames = 0;
+  /// Encode-arena slots acquired that already had capacity (a reused
+  /// pooled buffer — the steady state), and the bytes currently held by
+  /// pooled per-connection encode buffers across all loops.
+  uint64_t pool_hits = 0;
+  uint64_t pool_bytes = 0;
 };
 
 class RpcServer {
@@ -114,6 +158,12 @@ class RpcServer {
   uint16_t port() const;
 
   RpcServerStats stats() const;
+
+  /// Sum over loop threads of the latest RpcServerOptions::alloc_probe
+  /// sample each took at the end of a tick; 0 when the hook is unset.
+  /// Read it only while traffic is quiescent (a loop's sample lands
+  /// after its tick's flush) — bench/test use only.
+  uint64_t alloc_probe_total() const;
 
  private:
   struct Impl;

@@ -75,6 +75,26 @@ bool ReadQuote(WireReader& r, Quote* quote) {
   return r.ok();
 }
 
+/// Writes the frame head (zeroed length prefix + message header) and
+/// returns the prefix's offset for EndFrame to patch once the body is in.
+size_t BeginFrame(MsgType type, uint64_t request_id,
+                  std::vector<uint8_t>* out) {
+  const size_t start = out->size();
+  WireWriter w(out);
+  w.U32(0);
+  w.U8(static_cast<uint8_t>(type));
+  w.U64(request_id);
+  return start;
+}
+
+void EndFrame(size_t start, std::vector<uint8_t>* out) {
+  const uint32_t payload =
+      static_cast<uint32_t>(out->size() - start - kFrameHeaderBytes);
+  for (int i = 0; i < 4; ++i) {
+    (*out)[start + size_t(i)] = uint8_t(payload >> (8 * i));
+  }
+}
+
 }  // namespace
 
 std::vector<uint8_t> EncodeQuoteRequest(uint64_t id,
@@ -129,8 +149,13 @@ std::vector<uint8_t> EncodeApplySellerDeltaRequest(
 
 bool DecodeQuoteRequest(std::span<const uint8_t> body,
                         std::vector<uint32_t>* bundle) {
+  return DecodeQuoteRequestInto(body, bundle);
+}
+
+bool DecodeQuoteRequestInto(std::span<const uint8_t> body,
+                            std::vector<uint32_t>* bundle) {
   WireReader r(body);
-  *bundle = r.U32Vec();
+  r.U32VecInto(bundle);
   return r.AtEnd();
 }
 
@@ -175,55 +200,105 @@ bool DecodeApplySellerDeltaRequest(std::span<const uint8_t> body,
 }
 
 std::vector<uint8_t> EncodeQuoteReply(uint64_t id, const Quote& quote) {
-  std::vector<uint8_t> body;
-  WireWriter w(&body);
-  WriteQuote(w, quote);
-  return BuildFrame(MsgType::kQuoteReply, id, body);
+  std::vector<uint8_t> frame;
+  AppendQuoteReplyFrame(id, quote, &frame);
+  return frame;
 }
 
 std::vector<uint8_t> EncodeQuoteBatchReply(uint64_t id,
                                            std::span<const Quote> quotes) {
-  std::vector<uint8_t> body;
-  WireWriter w(&body);
-  w.U32(static_cast<uint32_t>(quotes.size()));
-  for (const Quote& quote : quotes) WriteQuote(w, quote);
-  return BuildFrame(MsgType::kQuoteBatchReply, id, body);
+  std::vector<uint8_t> frame;
+  AppendQuoteBatchReplyFrame(id, quotes, &frame);
+  return frame;
 }
 
 std::vector<uint8_t> EncodePurchaseReply(uint64_t id,
                                          const WirePurchase& purchase) {
-  std::vector<uint8_t> body;
-  WireWriter w(&body);
-  w.U8(purchase.accepted ? 1 : 0);
-  w.F64(purchase.valuation);
-  WriteQuote(w, purchase.quote);
-  w.U32Vec(purchase.bundle);
-  return BuildFrame(MsgType::kPurchaseReply, id, body);
+  std::vector<uint8_t> frame;
+  AppendPurchaseReplyFrame(id, purchase, &frame);
+  return frame;
 }
 
 std::vector<uint8_t> EncodeAppendReply(uint64_t id,
                                        const WireAppendResult& result) {
-  std::vector<uint8_t> body;
-  WireWriter w(&body);
-  w.U8(static_cast<uint8_t>(result.code));
-  w.String(result.message);
-  w.U64(result.version);
-  return BuildFrame(MsgType::kAppendReply, id, body);
+  std::vector<uint8_t> frame;
+  AppendAppendReplyFrame(id, result, &frame);
+  return frame;
 }
 
 std::vector<uint8_t> EncodeApplySellerDeltaReply(
     uint64_t id, const WireDeltaResult& result) {
-  std::vector<uint8_t> body;
-  WireWriter w(&body);
-  w.U8(static_cast<uint8_t>(result.code));
-  w.String(result.message);
-  w.U64(result.generation);
-  return BuildFrame(MsgType::kApplySellerDeltaReply, id, body);
+  std::vector<uint8_t> frame;
+  AppendApplySellerDeltaReplyFrame(id, result, &frame);
+  return frame;
 }
 
 std::vector<uint8_t> EncodeStatsReply(uint64_t id, const WireStats& stats) {
-  std::vector<uint8_t> body;
-  WireWriter w(&body);
+  std::vector<uint8_t> frame;
+  AppendStatsReplyFrame(id, stats, &frame);
+  return frame;
+}
+
+std::vector<uint8_t> EncodeErrorReply(uint64_t id, WireCode code,
+                                      const std::string& message) {
+  std::vector<uint8_t> frame;
+  AppendErrorReplyFrame(id, code, message, &frame);
+  return frame;
+}
+
+void AppendQuoteReplyFrame(uint64_t id, const Quote& quote,
+                           std::vector<uint8_t>* out) {
+  const size_t start = BeginFrame(MsgType::kQuoteReply, id, out);
+  WireWriter w(out);
+  WriteQuote(w, quote);
+  EndFrame(start, out);
+}
+
+void AppendQuoteBatchReplyFrame(uint64_t id, std::span<const Quote> quotes,
+                                std::vector<uint8_t>* out) {
+  const size_t start = BeginFrame(MsgType::kQuoteBatchReply, id, out);
+  WireWriter w(out);
+  w.U32(static_cast<uint32_t>(quotes.size()));
+  for (const Quote& quote : quotes) WriteQuote(w, quote);
+  EndFrame(start, out);
+}
+
+void AppendPurchaseReplyFrame(uint64_t id, const WirePurchase& purchase,
+                              std::vector<uint8_t>* out) {
+  const size_t start = BeginFrame(MsgType::kPurchaseReply, id, out);
+  WireWriter w(out);
+  w.U8(purchase.accepted ? 1 : 0);
+  w.F64(purchase.valuation);
+  WriteQuote(w, purchase.quote);
+  w.U32Vec(purchase.bundle);
+  EndFrame(start, out);
+}
+
+void AppendAppendReplyFrame(uint64_t id, const WireAppendResult& result,
+                            std::vector<uint8_t>* out) {
+  const size_t start = BeginFrame(MsgType::kAppendReply, id, out);
+  WireWriter w(out);
+  w.U8(static_cast<uint8_t>(result.code));
+  w.String(result.message);
+  w.U64(result.version);
+  EndFrame(start, out);
+}
+
+void AppendApplySellerDeltaReplyFrame(uint64_t id,
+                                      const WireDeltaResult& result,
+                                      std::vector<uint8_t>* out) {
+  const size_t start = BeginFrame(MsgType::kApplySellerDeltaReply, id, out);
+  WireWriter w(out);
+  w.U8(static_cast<uint8_t>(result.code));
+  w.String(result.message);
+  w.U64(result.generation);
+  EndFrame(start, out);
+}
+
+void AppendStatsReplyFrame(uint64_t id, const WireStats& stats,
+                           std::vector<uint8_t>* out) {
+  const size_t start = BeginFrame(MsgType::kStatsReply, id, out);
+  WireWriter w(out);
   w.U32(stats.num_shards);
   w.U64(stats.version);
   w.U64Vec(stats.shard_versions);
@@ -251,16 +326,22 @@ std::vector<uint8_t> EncodeStatsReply(uint64_t id, const WireStats& stats) {
   w.U64(stats.staleness_samples);
   w.U64(stats.staleness_sum);
   w.U64(stats.staleness_max);
-  return BuildFrame(MsgType::kStatsReply, id, body);
+  w.U64(stats.loops);
+  w.U64(stats.writev_calls);
+  w.U64(stats.writev_frames);
+  w.U64(stats.pool_hits);
+  w.U64(stats.pool_bytes);
+  EndFrame(start, out);
 }
 
-std::vector<uint8_t> EncodeErrorReply(uint64_t id, WireCode code,
-                                      const std::string& message) {
-  std::vector<uint8_t> body;
-  WireWriter w(&body);
+void AppendErrorReplyFrame(uint64_t id, WireCode code,
+                           const std::string& message,
+                           std::vector<uint8_t>* out) {
+  const size_t start = BeginFrame(MsgType::kErrorReply, id, out);
+  WireWriter w(out);
   w.U8(static_cast<uint8_t>(code));
   w.String(message);
-  return BuildFrame(MsgType::kErrorReply, id, body);
+  EndFrame(start, out);
 }
 
 bool DecodeQuoteReply(std::span<const uint8_t> body, Quote* quote) {
@@ -329,6 +410,11 @@ bool DecodeStatsReply(std::span<const uint8_t> body, WireStats* stats) {
   stats->staleness_samples = r.U64();
   stats->staleness_sum = r.U64();
   stats->staleness_max = r.U64();
+  stats->loops = r.U64();
+  stats->writev_calls = r.U64();
+  stats->writev_frames = r.U64();
+  stats->pool_hits = r.U64();
+  stats->pool_bytes = r.U64();
   return r.AtEnd();
 }
 

@@ -155,6 +155,13 @@ struct WireStats {
   uint64_t staleness_samples = 0;
   uint64_t staleness_sum = 0;
   uint64_t staleness_max = 0;
+  // Multi-reactor front-end counters (appended after the catalog block,
+  // keeping the StatsReply body prefix-compatible like that block was).
+  uint64_t loops = 0;
+  uint64_t writev_calls = 0;
+  uint64_t writev_frames = 0;
+  uint64_t pool_hits = 0;
+  uint64_t pool_bytes = 0;
 };
 
 /// Appends little-endian primitives to a byte buffer.
@@ -239,15 +246,23 @@ class WireReader {
     return s;
   }
   std::vector<uint32_t> U32Vec() {
+    std::vector<uint32_t> v;
+    U32VecInto(&v);
+    return v;
+  }
+  /// U32Vec into caller-owned storage (cleared first, capacity
+  /// retained) — the server's zero-allocation decode path. Identical
+  /// validation and failure latching; U32Vec delegates here.
+  bool U32VecInto(std::vector<uint32_t>* out) {
     uint32_t n = U32();
     if (!ok_ || size_ - pos_ < size_t(n) * 4) {
       ok_ = false;
-      return {};
+      return false;
     }
-    std::vector<uint32_t> v;
-    v.reserve(n);
-    for (uint32_t i = 0; i < n; ++i) v.push_back(U32());
-    return v;
+    out->clear();
+    out->reserve(n);
+    for (uint32_t i = 0; i < n; ++i) out->push_back(U32());
+    return true;
   }
   std::vector<uint64_t> U64Vec() {
     uint32_t n = U32();
@@ -314,6 +329,10 @@ std::vector<uint8_t> EncodeApplySellerDeltaRequest(
 
 bool DecodeQuoteRequest(std::span<const uint8_t> body,
                         std::vector<uint32_t>* bundle);
+/// DecodeQuoteRequest reusing `bundle`'s capacity (cleared first) — the
+/// event loops' per-tick decode path. DecodeQuoteRequest delegates here.
+bool DecodeQuoteRequestInto(std::span<const uint8_t> body,
+                            std::vector<uint32_t>* bundle);
 bool DecodeQuoteBatchRequest(std::span<const uint8_t> body,
                              std::vector<std::vector<uint32_t>>* bundles);
 bool DecodePurchaseRequest(std::span<const uint8_t> body, std::string* sql,
@@ -336,6 +355,28 @@ std::vector<uint8_t> EncodeApplySellerDeltaReply(uint64_t id,
                                                  const WireDeltaResult& result);
 std::vector<uint8_t> EncodeErrorReply(uint64_t id, WireCode code,
                                       const std::string& message);
+
+// --- in-place response encoders (server flush path) ----------------------
+// Append one complete frame (length prefix + message header + body) to
+// `out`, reusing its capacity — the per-connection encode arenas' zero-
+// allocation path. Byte-identical to the Encode* forms above, which
+// delegate here.
+void AppendQuoteReplyFrame(uint64_t id, const Quote& quote,
+                           std::vector<uint8_t>* out);
+void AppendQuoteBatchReplyFrame(uint64_t id, std::span<const Quote> quotes,
+                                std::vector<uint8_t>* out);
+void AppendPurchaseReplyFrame(uint64_t id, const WirePurchase& purchase,
+                              std::vector<uint8_t>* out);
+void AppendAppendReplyFrame(uint64_t id, const WireAppendResult& result,
+                            std::vector<uint8_t>* out);
+void AppendStatsReplyFrame(uint64_t id, const WireStats& stats,
+                           std::vector<uint8_t>* out);
+void AppendApplySellerDeltaReplyFrame(uint64_t id,
+                                      const WireDeltaResult& result,
+                                      std::vector<uint8_t>* out);
+void AppendErrorReplyFrame(uint64_t id, WireCode code,
+                           const std::string& message,
+                           std::vector<uint8_t>* out);
 
 bool DecodeQuoteReply(std::span<const uint8_t> body, Quote* quote);
 bool DecodeQuoteBatchReply(std::span<const uint8_t> body,

@@ -40,34 +40,49 @@ double MergedBookView::best_revenue() const {
 
 Quote MergedBookView::QuoteBundle(const std::vector<uint32_t>& bundle,
                                   int* touched_shards) const {
-  std::vector<std::vector<uint32_t>> parts = partition_->SplitBundle(bundle);
-  std::vector<double> prices;
-  std::vector<std::string> labels;
+  QuoteScratch scratch;
+  Quote quote;
+  QuoteBundleInto(bundle, &scratch, &quote, touched_shards);
+  return quote;
+}
+
+void MergedBookView::QuoteBundleInto(const std::vector<uint32_t>& bundle,
+                                     QuoteScratch* scratch, Quote* out,
+                                     int* touched_shards) const {
+  partition_->SplitBundleInto(bundle, &scratch->parts);
+  scratch->prices.clear();
+  scratch->labels.clear();
   for (size_t s = 0; s < views_.size(); ++s) {
-    if (parts[s].empty()) continue;
-    Quote part = views_[s].QuoteBundle(parts[s]);
-    prices.push_back(part.price);
-    labels.push_back(std::move(part.algorithm));
+    if (scratch->parts[s].empty()) continue;
+    const BookView& view = views_[s];
+    // Per-shard quote without the intermediate Quote: the price is the
+    // serving result's bundle price and the label is the base snapshot's
+    // algorithm name (stable while the view's pin is held) — exactly
+    // what BookView::QuoteBundle packages.
+    scratch->prices.push_back(
+        view.PriceBundle(view.best_index(), scratch->parts[s]));
+    scratch->labels.push_back(&view.best_algorithm());
   }
   if (touched_shards != nullptr) {
-    *touched_shards = static_cast<int>(prices.size());
+    *touched_shards = static_cast<int>(scratch->prices.size());
   }
-  if (labels.empty()) {
+  if (scratch->labels.empty()) {
     // Nothing touched (empty bundle): report the serving algorithms of
     // every shard so a one-shard router matches the monolithic engine's
     // empty-bundle quote exactly.
     for (const BookView& view : views_) {
-      labels.push_back(view.best_algorithm());
+      scratch->labels.push_back(&view.best_algorithm());
     }
   }
-  Quote quote;
-  quote.price = core::AdditivePrice(prices);
-  quote.version = version();
+  out->price = core::AdditivePrice(scratch->prices);
+  out->version = version();
   // The scalar version is monotone but collidable across shard-version
   // vectors; the vector is the collision-free stamp (see version()).
-  quote.shard_versions = version_vector();
-  quote.algorithm = core::MergeAlgorithmLabels(labels);
-  return quote;
+  out->shard_versions.clear();
+  for (const BookView& view : views_) {
+    out->shard_versions.push_back(view.version());
+  }
+  core::MergeAlgorithmLabelsInto(scratch->labels, &out->algorithm);
 }
 
 ShardedPricingEngine::ShardedPricingEngine(const db::Database* db,
@@ -199,13 +214,24 @@ Status ShardedPricingEngine::AppendRouted(
 }
 
 MergedBookView ShardedPricingEngine::snapshot() const {
+  MergedBookView view;
+  SnapshotInto(&view);
+  return view;
+}
+
+void ShardedPricingEngine::SnapshotInto(MergedBookView* view) const {
   // One epoch pin covers every shard (they share the router's manager);
-  // the per-shard head loads are plain acquire loads.
-  common::EpochManager::Guard guard(epochs_);
-  std::vector<BookView> views;
-  views.reserve(shards_.size());
-  for (const auto& shard : shards_) views.push_back(shard->book_view());
-  return MergedBookView(std::move(guard), std::move(views), &partition_);
+  // the per-shard head loads are plain acquire loads. Pin the fresh
+  // epoch FIRST: the move-assign constructs the new Guard before
+  // releasing the view's old pin, so heads loaded below are never
+  // reclaimable in between.
+  view->guard_ = common::EpochManager::Guard(epochs_);
+  view->views_.resize(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    view->views_[s] = shards_[s]->book_view();
+  }
+  view->partition_ = &partition_;
+  if (!view->materialized_.empty()) view->materialized_.clear();
 }
 
 Quote ShardedPricingEngine::QuoteBundle(
@@ -380,6 +406,55 @@ std::vector<Result<Quote>> ShardedPricingEngine::TryQuoteBatch(
     cross_shard_quotes_.fetch_add(crossing, std::memory_order_relaxed);
   }
   return out;
+}
+
+void ShardedPricingEngine::TryQuoteBatchInto(
+    std::span<const std::vector<uint32_t>> bundles,
+    QuoteBatchScratch* scratch) const {
+  // Grow-only result storage: shrinking would destroy Quote elements and
+  // forfeit their string/vector capacity when the batch size fluctuates.
+  if (scratch->quotes.size() < bundles.size()) {
+    scratch->quotes.resize(bundles.size());
+  }
+  if (scratch->statuses.size() < bundles.size()) {
+    scratch->statuses.resize(bundles.size());
+  }
+  SnapshotInto(&scratch->view);
+  if (cold_shards_.load(std::memory_order_acquire) == 0) {
+    // All warm (the steady state): one pinned view, exactly QuoteBatch —
+    // and no allocation once the scratch is at high-water capacity.
+    quotes_served_.fetch_add(bundles.size(), std::memory_order_relaxed);
+    uint64_t crossing = 0;
+    for (size_t i = 0; i < bundles.size(); ++i) {
+      scratch->statuses[i] = Status::OK();
+      int touched = 0;
+      scratch->view.QuoteBundleInto(bundles[i], &scratch->split,
+                                    &scratch->quotes[i], &touched);
+      if (touched > 1) ++crossing;
+    }
+    if (crossing > 0) {
+      cross_shard_quotes_.fetch_add(crossing, std::memory_order_relaxed);
+    }
+    return;
+  }
+  uint64_t crossing = 0, served = 0;
+  for (size_t i = 0; i < bundles.size(); ++i) {
+    Status ready = ReadyFor(bundles[i]);
+    if (!ready.ok()) {
+      scratch->statuses[i] = std::move(ready);
+      continue;
+    }
+    scratch->statuses[i] = Status::OK();
+    int touched = 0;
+    scratch->view.QuoteBundleInto(bundles[i], &scratch->split,
+                                  &scratch->quotes[i], &touched);
+    ++served;
+    if (touched > 1) ++crossing;
+  }
+  quotes_served_.fetch_add(served, std::memory_order_relaxed);
+  if (crossing > 0) {
+    cross_shard_quotes_.fetch_add(crossing, std::memory_order_relaxed);
+  }
 }
 
 ShardedPricingEngine::ReaderStats ShardedPricingEngine::reader_stats() const {

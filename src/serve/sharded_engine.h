@@ -126,6 +126,11 @@ struct ShardedEngineStats {
 /// router). Lock-free to obtain and use; move-only (it carries the pin).
 class MergedBookView {
  public:
+  /// Empty, unpinned view — a slot for ShardedPricingEngine::SnapshotInto
+  /// to re-pin in place (the RPC loop's per-tick scratch). Using it
+  /// before the first SnapshotInto is undefined.
+  MergedBookView() = default;
+
   MergedBookView(common::EpochManager::Guard guard,
                  std::vector<BookView> views,
                  const market::SupportPartition* partition)
@@ -170,10 +175,32 @@ class MergedBookView {
   Quote QuoteBundle(const std::vector<uint32_t>& bundle,
                     int* touched_shards = nullptr) const;
 
+  /// Caller-owned working storage for QuoteBundleInto. Every vector is
+  /// cleared (capacity retained) per call, so a reused scratch reaches a
+  /// high-water mark and then quotes allocation-free.
+  struct QuoteScratch {
+    std::vector<std::vector<uint32_t>> parts;
+    std::vector<double> prices;
+    /// Pointers into the pinned views' base snapshots — valid only
+    /// within one QuoteBundleInto call.
+    std::vector<const std::string*> labels;
+  };
+
+  /// QuoteBundle into caller-owned storage: bit-identical output (price,
+  /// version, shard_versions, algorithm), zero heap allocation once
+  /// `scratch` and `out`'s members have grown to their high-water
+  /// capacity — the RPC loop's steady-state quote path. QuoteBundle
+  /// delegates here, so the two can never drift.
+  void QuoteBundleInto(const std::vector<uint32_t>& bundle,
+                       QuoteScratch* scratch, Quote* out,
+                       int* touched_shards = nullptr) const;
+
  private:
+  friend class ShardedPricingEngine;  // SnapshotInto re-pins in place
+
   common::EpochManager::Guard guard_;
   std::vector<BookView> views_;
-  const market::SupportPartition* partition_;
+  const market::SupportPartition* partition_ = nullptr;
   /// Lazy per-shard materialization cache for shard(); indexed like
   /// views_, filled on demand.
   mutable std::vector<std::shared_ptr<const PriceBookSnapshot>> materialized_;
@@ -208,6 +235,14 @@ class ShardedPricingEngine {
   /// Pins one snapshot per shard; lock-free.
   MergedBookView snapshot() const;
 
+  /// snapshot() into caller-owned storage: re-pins `view` over the
+  /// current shard generations in place (the fresh pin is taken before
+  /// the stale one drops, so the view never observes reclaimed memory).
+  /// Identical observable state to `*view = snapshot()`, but reusing the
+  /// view's vectors — allocation-free after the first call on a given
+  /// view. snapshot() delegates here.
+  void SnapshotInto(MergedBookView* view) const;
+
   /// Prices a bundle of global item ids against a freshly pinned view;
   /// lock-free.
   Quote QuoteBundle(const std::vector<uint32_t>& bundle) const;
@@ -228,6 +263,27 @@ class ShardedPricingEngine {
   /// Unavailable for bundles touching cold shards.
   std::vector<Result<Quote>> TryQuoteBatch(
       std::span<const std::vector<uint32_t>> bundles) const;
+
+  /// Caller-owned working storage + results for TryQuoteBatchInto. The
+  /// result vectors only ever GROW (elements past the current batch size
+  /// are stale, never destroyed), so Quote strings and version vectors
+  /// keep their capacity across calls with fluctuating batch sizes.
+  struct QuoteBatchScratch {
+    MergedBookView view;
+    MergedBookView::QuoteScratch split;
+    /// quotes[i] is valid iff statuses[i].ok(), for i < batch size.
+    std::vector<Quote> quotes;
+    std::vector<Status> statuses;
+  };
+
+  /// TryQuoteBatch into caller-owned scratch: same pinned-view, warm-gate
+  /// and counter semantics, bit-identical quotes. Steady state (all
+  /// shards warm, scratch at high-water capacity) performs zero heap
+  /// allocations — the RPC loop's per-tick batch path. Bundles touching
+  /// cold shards get statuses[i] = Unavailable (that path allocates the
+  /// message, as TryQuoteBatch does).
+  void TryQuoteBatchInto(std::span<const std::vector<uint32_t>> bundles,
+                         QuoteBatchScratch* scratch) const;
 
   /// Posted-price interaction: global conflict set (read-only overlay
   /// probes through the router's prepared-query cache), additive quote,

@@ -424,6 +424,56 @@ TEST(RpcFaultTest, HardResetsReconnectAndNeverKillTheServer) {
   EXPECT_EQ(reply.quote.version, h.engine->snapshot().version());
 }
 
+TEST(RpcFaultTest, MultiLoopServerSurvivesDelayedChunksAndHardResets) {
+  // Same mangled-stream contracts with 4 reactor loops: the fault lands
+  // on whichever loop owns the proxied connection, and no loop's damage
+  // may leak into another loop's connections.
+  Harness h({.num_loops = 4, .force_accept_handoff = true});
+
+  // Tiny delayed chunks: frames reassemble across many partial reads on
+  // the owning loop and the answers stay exact.
+  qp::testing::FaultProxy slow({.target_address = "127.0.0.1",
+                                .target_port = h.server->port(),
+                                .chunk_bytes = 3,
+                                .chunk_delay_us = 200});
+  QP_CHECK_OK(slow.Start());
+  RpcClient chunked({.connect_timeout_ms = 2000, .recv_timeout_ms = 5000});
+  QP_CHECK_OK(chunked.Connect("127.0.0.1", slow.port()));
+  for (const std::vector<uint32_t>& bundle :
+       std::vector<std::vector<uint32_t>>{{}, {0, 1}, {2}}) {
+    RpcReply reply;
+    QP_CHECK_OK(chunked.Quote(bundle, &reply));
+    ASSERT_TRUE(reply.ok()) << reply.message;
+    EXPECT_EQ(reply.quote.price, h.engine->QuoteBundle(bundle).price);
+  }
+  slow.Stop();
+
+  // Hard RSTs after the first byte, several connections' worth — spread
+  // round-robin so multiple loops take one.
+  qp::testing::FaultProxy reset({.target_address = "127.0.0.1",
+                                 .target_port = h.server->port(),
+                                 .reset_after_bytes = 1});
+  QP_CHECK_OK(reset.Start());
+  for (int i = 0; i < 4; ++i) {
+    RpcClient victim({.connect_timeout_ms = 2000, .recv_timeout_ms = 500});
+    QP_CHECK_OK(victim.Connect("127.0.0.1", reset.port()));
+    RpcReply reply;
+    EXPECT_FALSE(victim.Quote({0}, &reply).ok());
+  }
+  EXPECT_GE(reset.stats().resets_injected, 1u);
+  reset.Stop();
+
+  // Every loop is still serving exact quotes afterwards.
+  for (int i = 0; i < 4; ++i) {
+    RpcClient direct;
+    QP_CHECK_OK(direct.Connect("127.0.0.1", h.server->port()));
+    RpcReply reply;
+    QP_CHECK_OK(direct.Quote({0, 1}, &reply));
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply.quote.price, h.engine->QuoteBundle({0, 1}).price);
+  }
+}
+
 TEST(RpcFaultTest, DuplicatedChunksCorruptOneConnectionNotTheServer) {
   Harness h;
   qp::testing::FaultProxy proxy({.target_address = "127.0.0.1",

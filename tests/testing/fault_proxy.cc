@@ -38,7 +38,9 @@ bool WriteAll(int fd, const char* data, size_t n) {
     if (w < 0 && errno == EINTR) continue;
     if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       pollfd pfd{fd, POLLOUT, 0};
-      if (poll(&pfd, 1, 1000) <= 0) return false;
+      int rc = poll(&pfd, 1, 1000);
+      if (rc < 0 && errno == EINTR) continue;  // interrupted, not stuck
+      if (rc <= 0) return false;               // timeout or hard error
       continue;
     }
     return false;
